@@ -1,0 +1,136 @@
+// Micro-benchmarks (google-benchmark) for the substrates: blocked GEMM,
+// masked sparse multiply, string metrics, tokenization, one ITER sweep,
+// and PageRank — the kernels whose cost model DESIGN.md documents.
+
+#include <benchmark/benchmark.h>
+
+#include "gter/gter.h"
+
+namespace gter {
+namespace {
+
+DenseMatrix RandomMatrix(size_t n, Rng* rng) {
+  DenseMatrix m(n, n);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < n; ++c) m(r, c) = rng->UniformDouble();
+  }
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  DenseMatrix a = RandomMatrix(n, &rng);
+  DenseMatrix b = RandomMatrix(n, &rng);
+  DenseMatrix c;
+  for (auto _ : state) {
+    Gemm(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOPS"] = benchmark::Counter(
+      2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_MaskedProduct(benchmark::State& state) {
+  // Random graph with n nodes and ~8n edges; the CliqueRank inner kernel.
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(2);
+  std::vector<CsrMatrix::Triplet> triplets;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (int e = 0; e < 8; ++e) {
+      uint32_t j = static_cast<uint32_t>(rng.NextBounded(n));
+      if (j == i) continue;
+      triplets.push_back({i, j, rng.OpenUniformDouble()});
+      triplets.push_back({j, i, rng.OpenUniformDouble()});
+    }
+  }
+  CsrMatrix trans = CsrMatrix::FromTriplets(n, n, triplets);
+  trans.NormalizeRows();
+  CsrMatrix pattern = trans;  // same structure
+  std::vector<double> values(pattern.nnz(), 0.5);
+  std::vector<double> scratch(n * n, 0.0);
+  ScatterToDense(pattern, values.data(), scratch.data());
+  std::vector<double> out(pattern.nnz(), 0.0);
+  for (auto _ : state) {
+    ComputeMaskedProduct(trans, scratch.data(), pattern, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["edges"] = static_cast<double>(pattern.nnz());
+}
+BENCHMARK(BM_MaskedProduct)->Arg(512)->Arg(2048);
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "arnie mortons of chicago 435 s la cienega blvd";
+  std::string b = "arnie morton s of chicago 435 s la cienega boulevard";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  std::string a = "panasonic pslx350h turntable";
+  std::string b = "panasonic pslx35oh turn table";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_JaccardTerms(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<uint32_t> a, b;
+  for (int i = 0; i < 12; ++i) {
+    a.push_back(static_cast<uint32_t>(rng.NextBounded(10000)));
+    b.push_back(static_cast<uint32_t>(rng.NextBounded(10000)));
+  }
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardTerms);
+
+void BM_Tokenize(benchmark::State& state) {
+  std::string text =
+      "Golden Dragon Palace, 435 S. La Cienega Blvd., Los Angeles "
+      "310-246-1501 Chinese";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Tokenize(text));
+  }
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_IterSweep(benchmark::State& state) {
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.2, 5);
+  RemoveFrequentTerms(&data.dataset);
+  PairSpace pairs = PairSpace::Build(data.dataset);
+  BipartiteGraph graph = BipartiteGraph::Build(data.dataset, pairs);
+  std::vector<double> probability(pairs.size(), 1.0);
+  IterOptions options;
+  options.max_iterations = 1;  // cost of one sweep
+  options.tolerance = 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunIter(graph, probability, options));
+  }
+  state.counters["bipartite_edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_IterSweep);
+
+void BM_PageRank(benchmark::State& state) {
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.2, 5);
+  RemoveFrequentTerms(&data.dataset);
+  TermGraph graph = TermGraph::Build(data.dataset);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PageRank(graph));
+  }
+}
+BENCHMARK(BM_PageRank);
+
+}  // namespace
+}  // namespace gter
+
+BENCHMARK_MAIN();

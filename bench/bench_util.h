@@ -1,0 +1,86 @@
+#ifndef GTER_BENCH_BENCH_UTIL_H_
+#define GTER_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding for the table/figure reproduction binaries.
+//
+// Every binary accepts:
+//   --scale   dataset scale (1.0 = the paper's sizes; default below)
+//   --seed    generator seed
+// and prints a paper-style table to stdout. The default scale is reduced
+// so the whole bench suite completes in minutes on a small machine; pass
+// --scale=1 to reproduce the published dataset sizes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "gter/gter.h"
+
+namespace gter {
+namespace bench {
+
+inline constexpr double kDefaultScale = 0.5;
+
+/// A generated benchmark, preprocessed, with its candidate-pair universe
+/// and evaluation labels — the common setup of §VII.
+struct Prepared {
+  GeneratedDataset data;
+  PairSpace pairs;
+  std::vector<bool> labels;
+  uint64_t positives = 0;
+
+  const Dataset& dataset() const { return data.dataset; }
+  const GroundTruth& truth() const { return data.truth; }
+};
+
+inline Prepared Prepare(BenchmarkKind kind, double scale, uint64_t seed) {
+  Prepared p;
+  p.data = GenerateBenchmark(kind, scale, seed);
+  RemoveFrequentTerms(&p.data.dataset);
+  p.pairs = PairSpace::Build(p.data.dataset);
+  p.labels = LabelPairs(p.pairs, p.data.truth);
+  p.positives = TotalPositives(p.data.dataset, p.data.truth);
+  return p;
+}
+
+/// Optimal-threshold F1 for a score vector (the §VII-C protocol for
+/// threshold-based methods).
+inline double ScoreF1(const Prepared& p, const std::vector<double>& scores) {
+  return BestF1Threshold(scores, p.labels, p.positives).f1;
+}
+
+/// F1 of hard decisions.
+inline double DecisionF1(const Prepared& p, const std::vector<bool>& matches) {
+  return EvaluatePairPredictions(p.pairs, matches, p.labels, p.positives).F1();
+}
+
+/// Parses the standard --scale/--seed flags (plus any the caller added).
+inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
+  flags->AddDouble("scale", kDefaultScale, "dataset scale (1.0 = paper size)");
+  flags->AddInt("seed", 2018, "generator seed");
+  Status s = flags->Parse(argc, argv);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
+                 flags->Usage().c_str());
+    return false;
+  }
+  return true;
+}
+
+inline const std::vector<BenchmarkKind>& AllBenchmarks() {
+  static const std::vector<BenchmarkKind> kAll = {
+      BenchmarkKind::kRestaurant, BenchmarkKind::kProduct,
+      BenchmarkKind::kPaper};
+  return kAll;
+}
+
+/// Prints a separator line sized to `width`.
+inline void Rule(size_t width) {
+  std::string line(width, '-');
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace bench
+}  // namespace gter
+
+#endif  // GTER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,80 @@
+// Two-source product catalog deduplication — the Abt-Buy scenario from the
+// paper's introduction: match noisy product listings across two shops,
+// where alphanumeric model codes are the discriminative terms.
+//
+//   build/examples/product_catalog_dedup [--scale 0.3] [--out matches.csv]
+//
+// Generates an Abt-Buy-like catalog, resolves it with the fusion
+// framework, reports precision/recall against the generator's ground
+// truth, prints sample matches, and exports the matched pairs as CSV.
+
+#include <cstdio>
+
+#include "gter/gter.h"
+
+int main(int argc, char** argv) {
+  using namespace gter;
+  FlagSet flags;
+  flags.AddDouble("scale", 0.3, "catalog scale (1.0 = 1081+1092 records)");
+  flags.AddInt("seed", 7, "generator seed");
+  flags.AddString("out", "/tmp/gter_product_matches.csv",
+                  "CSV path for matched pairs");
+  GTER_CHECK_OK(flags.Parse(argc, argv));
+
+  auto generated = GenerateBenchmark(BenchmarkKind::kProduct,
+                                     flags.GetDouble("scale"),
+                                     static_cast<uint64_t>(flags.GetInt("seed")));
+  Dataset& catalog = generated.dataset;
+  RemoveFrequentTerms(&catalog);
+  std::printf("catalog: %zu records from 2 sources, vocabulary %zu terms\n",
+              catalog.size(), catalog.vocabulary().size());
+
+  FusionConfig config;
+  config.rounds = 3;
+  FusionPipeline pipeline(catalog, config);
+  FusionResult result = pipeline.Run();
+
+  auto labels = LabelPairs(pipeline.pairs(), generated.truth);
+  Confusion confusion = EvaluatePairPredictions(
+      pipeline.pairs(), result.matches, labels,
+      TotalPositives(catalog, generated.truth));
+  std::printf(
+      "resolution: precision %.3f, recall %.3f, F1 %.3f "
+      "(%llu matched pairs)\n",
+      confusion.Precision(), confusion.Recall(), confusion.F1(),
+      static_cast<unsigned long long>(confusion.true_positives +
+                                      confusion.false_positives));
+
+  std::printf("\nsample cross-shop matches:\n");
+  size_t shown = 0;
+  for (PairId p = 0; p < pipeline.pairs().size() && shown < 5; ++p) {
+    if (!result.matches[p]) continue;
+    const RecordPair& rp = pipeline.pairs().pair(p);
+    std::printf("  [shop%u] %s\n  [shop%u] %s\n  --\n",
+                catalog.record(rp.a).source,
+                catalog.record(rp.a).raw_text.c_str(),
+                catalog.record(rp.b).source,
+                catalog.record(rp.b).raw_text.c_str());
+    ++shown;
+  }
+
+  // Export matched pairs.
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"record_a", "record_b", "probability", "text_a", "text_b"});
+  for (PairId p = 0; p < pipeline.pairs().size(); ++p) {
+    if (!result.matches[p]) continue;
+    const RecordPair& rp = pipeline.pairs().pair(p);
+    rows.push_back({std::to_string(rp.a), std::to_string(rp.b),
+                    std::to_string(result.pair_probability[p]),
+                    catalog.record(rp.a).raw_text,
+                    catalog.record(rp.b).raw_text});
+  }
+  Status status = WriteCsvFile(flags.GetString("out"), rows);
+  if (!status.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("\nexported %zu matched pairs to %s\n", rows.size() - 1,
+              flags.GetString("out").c_str());
+  return 0;
+}

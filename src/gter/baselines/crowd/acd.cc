@@ -1,0 +1,102 @@
+#include "gter/baselines/crowd/acd.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "gter/common/status.h"
+#include "gter/graph/union_find.h"
+
+namespace gter {
+namespace {
+
+uint64_t RepKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+CrowdRunResult RunAcd(const PairSpace& pairs,
+                      const std::vector<double>& machine_scores,
+                      CrowdOracle* oracle, const AcdOptions& options) {
+  GTER_CHECK(machine_scores.size() == pairs.size());
+  size_t before = oracle->questions_asked();
+  uint32_t num_records = 0;
+  for (const RecordPair& rp : pairs.pairs()) {
+    num_records = std::max({num_records, rp.a + 1, rp.b + 1});
+  }
+
+  auto budget_left = [&]() {
+    return options.budget == 0 ||
+           oracle->questions_asked() - before < options.budget;
+  };
+
+  // Pass 1: transitivity-aware questioning, best pairs first.
+  std::vector<PairId> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PairId a, PairId b) {
+    return machine_scores[a] > machine_scores[b];
+  });
+  UnionFind clusters(num_records);
+  std::unordered_set<uint64_t> negative;
+  std::vector<PairId> accepted;  // pairs the crowd answered "yes" to
+  for (PairId p : order) {
+    if (machine_scores[p] < options.filter_threshold) break;
+    const RecordPair& rp = pairs.pair(p);
+    uint32_t ra = clusters.Find(rp.a);
+    uint32_t rb = clusters.Find(rp.b);
+    if (ra == rb) continue;
+    if (negative.count(RepKey(ra, rb)) > 0) continue;
+    if (!budget_left()) break;
+    if (oracle->Ask(rp.a, rp.b)) {
+      clusters.Union(rp.a, rp.b);
+      accepted.push_back(p);
+    } else {
+      negative.insert(RepKey(ra, rb));
+    }
+  }
+
+  // Pass 2 (correlation-clustering repair): inside clusters of ≥3 records,
+  // re-verify the weakest accepted links with majority votes; contradicted
+  // links are removed before the final closure.
+  std::unordered_map<uint32_t, size_t> cluster_size;
+  for (uint32_t r = 0; r < num_records; ++r) ++cluster_size[clusters.Find(r)];
+  std::sort(accepted.begin(), accepted.end(), [&](PairId a, PairId b) {
+    return machine_scores[a] < machine_scores[b];  // weakest first
+  });
+  std::unordered_set<PairId> removed;
+  std::unordered_map<uint32_t, size_t> repairs_done;
+  for (PairId p : accepted) {
+    const RecordPair& rp = pairs.pair(p);
+    uint32_t root = clusters.Find(rp.a);
+    if (cluster_size[root] < 3) continue;
+    if (repairs_done[root] >= options.repair_samples) continue;
+    if (!budget_left()) break;
+    ++repairs_done[root];
+    if (!oracle->AskMajority(rp.a, rp.b, options.repair_votes,
+                             /*force_fresh=*/true)) {
+      removed.insert(p);
+    }
+  }
+
+  // Final closure over the surviving links.
+  UnionFind final_clusters(num_records);
+  for (PairId p : accepted) {
+    if (removed.count(p) > 0) continue;
+    const RecordPair& rp = pairs.pair(p);
+    final_clusters.Union(rp.a, rp.b);
+  }
+
+  CrowdRunResult result;
+  result.matches.assign(pairs.size(), false);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    result.matches[p] = final_clusters.Connected(rp.a, rp.b);
+  }
+  result.questions = oracle->questions_asked() - before;
+  return result;
+}
+
+}  // namespace gter

@@ -1,0 +1,43 @@
+#include "gter/baselines/crowd/crowder.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+CrowdRunResult RunCrowdEr(const PairSpace& pairs,
+                          const std::vector<double>& machine_scores,
+                          CrowdOracle* oracle,
+                          const CrowdErOptions& options) {
+  GTER_CHECK(machine_scores.size() == pairs.size());
+  size_t before = oracle->questions_asked();
+  CrowdRunResult result;
+  result.matches.assign(pairs.size(), false);
+
+  // Verify the most promising pairs first so a finite budget is spent where
+  // it matters.
+  std::vector<PairId> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PairId a, PairId b) {
+    return machine_scores[a] > machine_scores[b];
+  });
+
+  for (PairId p : order) {
+    if (machine_scores[p] < options.filter_threshold) break;
+    bool budget_left =
+        options.budget == 0 ||
+        oracle->questions_asked() - before < options.budget;
+    if (budget_left) {
+      const RecordPair& rp = pairs.pair(p);
+      result.matches[p] = oracle->Ask(rp.a, rp.b);
+    } else {
+      result.matches[p] = machine_scores[p] >= options.fallback_threshold;
+    }
+  }
+  result.questions = oracle->questions_asked() - before;
+  return result;
+}
+
+}  // namespace gter

@@ -1,0 +1,34 @@
+#ifndef GTER_BASELINES_CROWD_CROWDER_H_
+#define GTER_BASELINES_CROWD_CROWDER_H_
+
+#include <cstddef>
+
+#include "gter/baselines/crowd/oracle.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// CrowdER-style hybrid human–machine resolution (Wang et al. [8]):
+/// a cheap machine similarity filters out unpromising pairs (the paper
+/// cites a Jaccard threshold of 0.3), then the crowd verifies every
+/// surviving pair. This simplified reproduction issues pair-based HITs;
+/// the original's cluster-based HIT packing changes cost, not accuracy.
+struct CrowdErOptions {
+  /// Machine filter threshold on the provided similarity.
+  double filter_threshold = 0.3;
+  /// Question budget; 0 = unlimited. Pairs left unverified when the budget
+  /// runs out fall back to the machine decision (score ≥ fallback).
+  size_t budget = 0;
+  double fallback_threshold = 0.7;
+};
+
+/// `machine_scores` is any per-pair similarity in [0, ~1] (typically
+/// Jaccard).
+CrowdRunResult RunCrowdEr(const PairSpace& pairs,
+                          const std::vector<double>& machine_scores,
+                          CrowdOracle* oracle,
+                          const CrowdErOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_CROWD_CROWDER_H_

@@ -1,0 +1,51 @@
+#include "gter/baselines/crowd/gcer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+CrowdRunResult RunGcer(const PairSpace& pairs,
+                       const std::vector<double>& machine_scores,
+                       CrowdOracle* oracle, const GcerOptions& options) {
+  GTER_CHECK(machine_scores.size() == pairs.size());
+  size_t before = oracle->questions_asked();
+
+  double max_score = 0.0;
+  for (double s : machine_scores) max_score = std::max(max_score, s);
+  if (max_score <= 0.0) max_score = 1.0;
+  std::vector<double> prob(pairs.size());
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    prob[p] = machine_scores[p] / max_score;
+  }
+
+  // Uncertainty ordering: |p − 0.5| ascending, skipping certain negatives.
+  std::vector<PairId> order;
+  order.reserve(pairs.size());
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    if (prob[p] >= options.min_score) order.push_back(p);
+  }
+  std::sort(order.begin(), order.end(), [&](PairId a, PairId b) {
+    return std::fabs(prob[a] - 0.5) < std::fabs(prob[b] - 0.5);
+  });
+
+  CrowdRunResult result;
+  result.matches.assign(pairs.size(), false);
+  std::vector<bool> asked(pairs.size(), false);
+  for (PairId p : order) {
+    if (oracle->questions_asked() - before >= options.budget) break;
+    const RecordPair& rp = pairs.pair(p);
+    result.matches[p] = oracle->Ask(rp.a, rp.b);
+    asked[p] = true;
+  }
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    if (!asked[p]) result.matches[p] = prob[p] >= options.machine_threshold;
+  }
+  result.questions = oracle->questions_asked() - before;
+  return result;
+}
+
+}  // namespace gter

@@ -1,0 +1,31 @@
+#ifndef GTER_BASELINES_CROWD_GCER_H_
+#define GTER_BASELINES_CROWD_GCER_H_
+
+#include <cstddef>
+
+#include "gter/baselines/crowd/oracle.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// GCER-style question selection (Whang et al. [9]): under a hard question
+/// budget, spend crowd effort on the pairs whose machine probability is
+/// most *uncertain* (closest to 0.5) — the expected-accuracy-gain ordering
+/// — and decide confident pairs by machine alone.
+struct GcerOptions {
+  /// Hard question budget (the point of GCER is budgeted selection).
+  size_t budget = 1000;
+  /// Machine decision threshold for unasked pairs, applied to the
+  /// max-normalized machine score.
+  double machine_threshold = 0.5;
+  /// Skip pairs whose normalized score is below this (certain negatives).
+  double min_score = 0.05;
+};
+
+CrowdRunResult RunGcer(const PairSpace& pairs,
+                       const std::vector<double>& machine_scores,
+                       CrowdOracle* oracle, const GcerOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_CROWD_GCER_H_

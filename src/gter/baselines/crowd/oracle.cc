@@ -1,0 +1,38 @@
+#include "gter/baselines/crowd/oracle.h"
+
+namespace gter {
+
+bool CrowdOracle::FreshAnswer(RecordId a, RecordId b) {
+  bool correct = truth_.IsMatch(a, b);
+  ++questions_;
+  if (rng_.Bernoulli(error_rate_)) {
+    ++errors_;
+    return !correct;
+  }
+  return correct;
+}
+
+bool CrowdOracle::Ask(RecordId a, RecordId b) {
+  uint64_t key = Key(a, b);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  bool answer = FreshAnswer(a, b);
+  cache_.emplace(key, answer);
+  return answer;
+}
+
+bool CrowdOracle::AskMajority(RecordId a, RecordId b, size_t votes,
+                              bool force_fresh) {
+  uint64_t key = Key(a, b);
+  auto it = cache_.find(key);
+  if (it != cache_.end() && !force_fresh) return it->second;
+  size_t yes = 0;
+  for (size_t v = 0; v < votes; ++v) {
+    if (FreshAnswer(a, b)) ++yes;
+  }
+  bool answer = yes * 2 > votes;
+  cache_[key] = answer;
+  return answer;
+}
+
+}  // namespace gter

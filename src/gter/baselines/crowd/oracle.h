@@ -1,0 +1,69 @@
+#ifndef GTER_BASELINES_CROWD_ORACLE_H_
+#define GTER_BASELINES_CROWD_ORACLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+#include "gter/common/random.h"
+#include "gter/er/ground_truth.h"
+
+namespace gter {
+
+/// Simulated crowd worker pool: answers "are these the same entity?"
+/// from the ground truth, flipping each *fresh* answer with probability
+/// `error_rate` (workers are imperfect). Repeated questions return the
+/// cached answer at no extra budget — platforms deduplicate HITs. This is
+/// the substitution for Amazon Mechanical Turk that lets the CrowdER /
+/// TransM / GCER / ACD / Power+ strategies run offline (DESIGN.md §3).
+class CrowdOracle {
+ public:
+  CrowdOracle(const GroundTruth& truth, double error_rate, uint64_t seed)
+      : truth_(truth), error_rate_(error_rate), rng_(seed) {}
+
+  /// Asks one question, consuming budget unless cached.
+  bool Ask(RecordId a, RecordId b);
+
+  /// Asks `votes` independent workers (fresh draws) and majority-votes.
+  /// Costs `votes` questions on first ask; cached afterwards. With
+  /// `force_fresh`, re-polls even a cached pair (verification passes) and
+  /// overwrites the cache with the majority answer.
+  bool AskMajority(RecordId a, RecordId b, size_t votes,
+                   bool force_fresh = false);
+
+  /// Total questions charged so far.
+  size_t questions_asked() const { return questions_; }
+
+  /// Fraction of charged answers that were wrong (diagnostics).
+  double observed_error_rate() const {
+    return questions_ == 0
+               ? 0.0
+               : static_cast<double>(errors_) / static_cast<double>(questions_);
+  }
+
+ private:
+  static uint64_t Key(RecordId a, RecordId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  }
+  bool FreshAnswer(RecordId a, RecordId b);
+
+  const GroundTruth& truth_;
+  double error_rate_;
+  Rng rng_;
+  std::unordered_map<uint64_t, bool> cache_;
+  size_t questions_ = 0;
+  size_t errors_ = 0;
+};
+
+/// Result of one crowd-strategy run.
+struct CrowdRunResult {
+  /// Decision per candidate PairId.
+  std::vector<bool> matches;
+  /// Crowd questions consumed.
+  size_t questions = 0;
+};
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_CROWD_ORACLE_H_

@@ -1,0 +1,70 @@
+#include "gter/baselines/crowd/power_plus.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+CrowdRunResult RunPowerPlus(const PairSpace& pairs,
+                            const std::vector<double>& machine_scores,
+                            CrowdOracle* oracle,
+                            const PowerPlusOptions& options) {
+  GTER_CHECK(machine_scores.size() == pairs.size());
+  size_t before = oracle->questions_asked();
+
+  // Candidates above the filter, best first.
+  std::vector<PairId> order;
+  order.reserve(pairs.size());
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    if (machine_scores[p] >= options.filter_threshold) order.push_back(p);
+  }
+  std::sort(order.begin(), order.end(), [&](PairId a, PairId b) {
+    return machine_scores[a] > machine_scores[b];
+  });
+
+  CrowdRunResult result;
+  result.matches.assign(pairs.size(), false);
+  if (order.empty()) return result;
+
+  auto budget_left = [&]() {
+    return options.budget == 0 ||
+           oracle->questions_asked() - before < options.budget;
+  };
+  auto probe = [&](size_t idx) {
+    const RecordPair& rp = pairs.pair(order[idx]);
+    return oracle->AskMajority(rp.a, rp.b, options.probe_votes);
+  };
+
+  // Binary search the last matching index under the monotonicity
+  // assumption: everything before the boundary matches.
+  size_t lo = 0, hi = order.size();  // boundary ∈ [lo, hi]
+  while (lo < hi && budget_left()) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (probe(mid)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  size_t boundary = lo;
+
+  for (size_t i = 0; i < boundary; ++i) result.matches[order[i]] = true;
+
+  // Fringe verification: individually check pairs near the boundary where
+  // monotonicity is least reliable.
+  size_t fringe_lo = boundary > options.fringe_width
+                         ? boundary - options.fringe_width
+                         : 0;
+  size_t fringe_hi = std::min(order.size(), boundary + options.fringe_width);
+  for (size_t i = fringe_lo; i < fringe_hi && budget_left(); ++i) {
+    const RecordPair& rp = pairs.pair(order[i]);
+    result.matches[order[i]] = oracle->Ask(rp.a, rp.b);
+  }
+
+  result.questions = oracle->questions_asked() - before;
+  return result;
+}
+
+}  // namespace gter

@@ -1,0 +1,34 @@
+#ifndef GTER_BASELINES_CROWD_POWER_PLUS_H_
+#define GTER_BASELINES_CROWD_POWER_PLUS_H_
+
+#include <cstddef>
+
+#include "gter/baselines/crowd/oracle.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// Power+-style partial-order resolution (Chai et al. [13]): candidate
+/// pairs are ordered by machine similarity; assuming labels are
+/// approximately monotone in that order, a crowd-driven binary search
+/// locates the match/non-match boundary with O(log #pairs) majority-voted
+/// questions, and a verification sweep around the boundary cleans up the
+/// non-monotone fringe. Dramatically fewer questions than pairwise
+/// verification — the point of the partial-order approach.
+struct PowerPlusOptions {
+  double filter_threshold = 0.05;
+  /// Votes per boundary probe.
+  size_t probe_votes = 3;
+  /// Pairs individually verified on each side of the found boundary.
+  size_t fringe_width = 50;
+  size_t budget = 0;  // 0 = unlimited
+};
+
+CrowdRunResult RunPowerPlus(const PairSpace& pairs,
+                            const std::vector<double>& machine_scores,
+                            CrowdOracle* oracle,
+                            const PowerPlusOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_CROWD_POWER_PLUS_H_

@@ -1,0 +1,71 @@
+#include "gter/baselines/crowd/transm.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "gter/common/status.h"
+#include "gter/graph/union_find.h"
+
+namespace gter {
+namespace {
+
+uint64_t RepKey(uint32_t a, uint32_t b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+CrowdRunResult RunTransM(const PairSpace& pairs,
+                         const std::vector<double>& machine_scores,
+                         CrowdOracle* oracle, const TransMOptions& options) {
+  GTER_CHECK(machine_scores.size() == pairs.size());
+  size_t before = oracle->questions_asked();
+
+  // Number of records = 1 + max id appearing in any pair.
+  uint32_t num_records = 0;
+  for (const RecordPair& rp : pairs.pairs()) {
+    num_records = std::max({num_records, rp.a + 1, rp.b + 1});
+  }
+  UnionFind clusters(num_records);
+  // Cluster-representative pairs declared non-matching. Entries go stale
+  // after unions (lookups use current representatives), which only costs
+  // extra questions, never accuracy.
+  std::unordered_set<uint64_t> negative;
+
+  std::vector<PairId> order(pairs.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PairId a, PairId b) {
+    return machine_scores[a] > machine_scores[b];
+  });
+
+  for (PairId p : order) {
+    if (machine_scores[p] < options.filter_threshold) break;
+    const RecordPair& rp = pairs.pair(p);
+    uint32_t ra = clusters.Find(rp.a);
+    uint32_t rb = clusters.Find(rp.b);
+    if (ra == rb) continue;  // inferred positive
+    if (negative.count(RepKey(ra, rb)) > 0) continue;  // inferred negative
+    if (options.budget != 0 &&
+        oracle->questions_asked() - before >= options.budget) {
+      continue;  // budget exhausted: leave to the final closure
+    }
+    if (oracle->Ask(rp.a, rp.b)) {
+      clusters.Union(rp.a, rp.b);
+    } else {
+      negative.insert(RepKey(ra, rb));
+    }
+  }
+
+  CrowdRunResult result;
+  result.matches.assign(pairs.size(), false);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    result.matches[p] = clusters.Connected(rp.a, rp.b);
+  }
+  result.questions = oracle->questions_asked() - before;
+  return result;
+}
+
+}  // namespace gter

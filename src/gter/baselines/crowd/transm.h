@@ -1,0 +1,30 @@
+#ifndef GTER_BASELINES_CROWD_TRANSM_H_
+#define GTER_BASELINES_CROWD_TRANSM_H_
+
+#include <cstddef>
+
+#include "gter/baselines/crowd/oracle.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// TransM-style transitivity-aware crowdsourced join (Wang et al. [10]):
+/// candidate pairs are asked in descending machine-similarity order, and
+/// answers already implied by transitivity — positive (same verified
+/// cluster) or negative (their clusters were declared different) — are
+/// inferred for free instead of asked.
+struct TransMOptions {
+  /// Pairs below this machine similarity are never asked (the paper's 0.3
+  /// Jaccard filter).
+  double filter_threshold = 0.3;
+  size_t budget = 0;  // 0 = unlimited
+};
+
+CrowdRunResult RunTransM(const PairSpace& pairs,
+                         const std::vector<double>& machine_scores,
+                         CrowdOracle* oracle,
+                         const TransMOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_CROWD_TRANSM_H_

@@ -1,0 +1,18 @@
+#include "gter/baselines/edit_distance_resolver.h"
+
+#include "gter/text/string_metrics.h"
+
+namespace gter {
+
+std::vector<double> EditDistanceScorer::Score(const Dataset& dataset,
+                                              const PairSpace& pairs) {
+  std::vector<double> scores(pairs.size(), 0.0);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    scores[p] = LevenshteinSimilarity(dataset.record(rp.a).raw_text,
+                                      dataset.record(rp.b).raw_text);
+  }
+  return scores;
+}
+
+}  // namespace gter

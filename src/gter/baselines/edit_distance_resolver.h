@@ -1,0 +1,21 @@
+#ifndef GTER_BASELINES_EDIT_DISTANCE_RESOLVER_H_
+#define GTER_BASELINES_EDIT_DISTANCE_RESOLVER_H_
+
+#include "gter/core/resolver.h"
+
+namespace gter {
+
+/// Character-based baseline in the spirit of Monge–Elkan [1]: normalized
+/// Levenshtein similarity over the raw record text. Quadratic per pair —
+/// use on small/medium candidate sets (not part of Table II, provided for
+/// completeness of the distance-based family of §II-A).
+class EditDistanceScorer : public PairScorer {
+ public:
+  std::string name() const override { return "EditDistance"; }
+  std::vector<double> Score(const Dataset& dataset,
+                            const PairSpace& pairs) override;
+};
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_EDIT_DISTANCE_RESOLVER_H_

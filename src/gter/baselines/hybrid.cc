@@ -1,0 +1,33 @@
+#include "gter/baselines/hybrid.h"
+
+#include <algorithm>
+
+namespace gter {
+namespace {
+
+void MaxNormalize(std::vector<double>* scores) {
+  double max_score = 0.0;
+  for (double s : *scores) max_score = std::max(max_score, s);
+  if (max_score <= 0.0) return;
+  for (double& s : *scores) s /= max_score;
+}
+
+}  // namespace
+
+std::vector<double> HybridScorer::Score(const Dataset& dataset,
+                                        const PairSpace& pairs) {
+  SimRankScorer simrank(options_.simrank);
+  TwIdfPageRankScorer twidf(options_.twidf);
+  std::vector<double> topological = simrank.Score(dataset, pairs);
+  std::vector<double> textual = twidf.Score(dataset, pairs);
+  MaxNormalize(&topological);
+  MaxNormalize(&textual);
+  std::vector<double> scores(pairs.size(), 0.0);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    scores[p] = options_.beta * topological[p] +
+                (1.0 - options_.beta) * textual[p];
+  }
+  return scores;
+}
+
+}  // namespace gter

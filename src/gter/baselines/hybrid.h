@@ -1,0 +1,38 @@
+#ifndef GTER_BASELINES_HYBRID_H_
+#define GTER_BASELINES_HYBRID_H_
+
+#include "gter/baselines/simrank.h"
+#include "gter/baselines/twidf_pagerank.h"
+#include "gter/core/resolver.h"
+
+namespace gter {
+
+/// Options for the hybrid baseline (§III-C, Eq. 5).
+struct HybridOptions {
+  /// β weights the topological (SimRank) component; 1−β the textual
+  /// (TW-IDF) one. The paper uses 0.5.
+  double beta = 0.5;
+  SimRankOptions simrank;
+  TwIdfOptions twidf;
+};
+
+/// Table II row "Hybrid": linear fusion of SimRank topological similarity
+/// and TW-IDF textual similarity. Both components are max-normalized to
+/// [0, 1] before combining, since Eq. 4 scores are unbounded while Eq. 1
+/// scores live in [0, 1] — without this, one component degenerates into
+/// the other under any threshold sweep.
+class HybridScorer : public PairScorer {
+ public:
+  explicit HybridScorer(HybridOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "Hybrid"; }
+  std::vector<double> Score(const Dataset& dataset,
+                            const PairSpace& pairs) override;
+
+ private:
+  HybridOptions options_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_HYBRID_H_

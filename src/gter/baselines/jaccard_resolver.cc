@@ -1,0 +1,18 @@
+#include "gter/baselines/jaccard_resolver.h"
+
+#include "gter/text/string_metrics.h"
+
+namespace gter {
+
+std::vector<double> JaccardScorer::Score(const Dataset& dataset,
+                                         const PairSpace& pairs) {
+  std::vector<double> scores(pairs.size(), 0.0);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    scores[p] = JaccardSimilarity(dataset.record(rp.a).terms,
+                                  dataset.record(rp.b).terms);
+  }
+  return scores;
+}
+
+}  // namespace gter

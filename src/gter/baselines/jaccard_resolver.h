@@ -1,0 +1,19 @@
+#ifndef GTER_BASELINES_JACCARD_RESOLVER_H_
+#define GTER_BASELINES_JACCARD_RESOLVER_H_
+
+#include "gter/core/resolver.h"
+
+namespace gter {
+
+/// Table II row "Jaccard": token-set Jaccard similarity over the
+/// preprocessed term sets; decisions via the optimal-threshold sweep.
+class JaccardScorer : public PairScorer {
+ public:
+  std::string name() const override { return "Jaccard"; }
+  std::vector<double> Score(const Dataset& dataset,
+                            const PairSpace& pairs) override;
+};
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_JACCARD_RESOLVER_H_

@@ -1,0 +1,103 @@
+#include "gter/baselines/ml/bootstrap_gmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gter/common/status.h"
+
+namespace gter {
+namespace {
+
+/// Per-class Gaussian naive Bayes trained on (a subset of) labeled rows.
+struct NaiveBayes {
+  double prior_pos = 0.5;
+  std::vector<double> mean_pos, var_pos;
+  std::vector<double> mean_neg, var_neg;
+
+  static void FitClass(const std::vector<std::vector<double>>& rows,
+                       const std::vector<size_t>& members, double min_var,
+                       std::vector<double>* mean, std::vector<double>* var) {
+    const size_t dim = rows[0].size();
+    mean->assign(dim, 0.0);
+    var->assign(dim, 0.0);
+    for (size_t i : members) {
+      for (size_t d = 0; d < dim; ++d) (*mean)[d] += rows[i][d];
+    }
+    double n = static_cast<double>(members.size());
+    for (size_t d = 0; d < dim; ++d) (*mean)[d] /= n;
+    for (size_t i : members) {
+      for (size_t d = 0; d < dim; ++d) {
+        double diff = rows[i][d] - (*mean)[d];
+        (*var)[d] += diff * diff;
+      }
+    }
+    for (size_t d = 0; d < dim; ++d) {
+      (*var)[d] = std::max((*var)[d] / n, min_var);
+    }
+  }
+
+  double LogDensity(const std::vector<double>& row,
+                    const std::vector<double>& mean,
+                    const std::vector<double>& var) const {
+    static constexpr double kLog2Pi = 1.8378770664093453;
+    double acc = 0.0;
+    for (size_t d = 0; d < row.size(); ++d) {
+      double diff = row[d] - mean[d];
+      acc += -0.5 * (kLog2Pi + std::log(var[d]) + diff * diff / var[d]);
+    }
+    return acc;
+  }
+
+  double PosteriorPositive(const std::vector<double>& row) const {
+    double lp = std::log(std::max(prior_pos, 1e-12)) +
+                LogDensity(row, mean_pos, var_pos);
+    double ln = std::log(std::max(1.0 - prior_pos, 1e-12)) +
+                LogDensity(row, mean_neg, var_neg);
+    double m = std::max(lp, ln);
+    double zp = std::exp(lp - m);
+    double zn = std::exp(ln - m);
+    return zp / (zp + zn);
+  }
+};
+
+}  // namespace
+
+std::vector<double> BootstrapGmmMatchProbability(
+    const std::vector<std::vector<double>>& features,
+    const BootstrapOptions& options) {
+  GTER_CHECK(!features.empty());
+  // Seed labeling from the unsupervised mixture.
+  std::vector<double> probability = GmmMatchProbability(features, options.gmm);
+
+  for (size_t round = 0; round < options.max_rounds; ++round) {
+    std::vector<size_t> positives, negatives;
+    for (size_t i = 0; i < features.size(); ++i) {
+      if (probability[i] >= options.positive_confidence) {
+        positives.push_back(i);
+      } else if (probability[i] <= 1.0 - options.negative_confidence) {
+        negatives.push_back(i);
+      }
+    }
+    if (positives.size() < 2 || negatives.size() < 2) break;
+
+    NaiveBayes nb;
+    nb.prior_pos = static_cast<double>(positives.size()) /
+                   static_cast<double>(positives.size() + negatives.size());
+    NaiveBayes::FitClass(features, positives, options.min_variance,
+                         &nb.mean_pos, &nb.var_pos);
+    NaiveBayes::FitClass(features, negatives, options.min_variance,
+                         &nb.mean_neg, &nb.var_neg);
+
+    std::vector<double> next(features.size());
+    double change = 0.0;
+    for (size_t i = 0; i < features.size(); ++i) {
+      next[i] = nb.PosteriorPositive(features[i]);
+      change += std::fabs(next[i] - probability[i]);
+    }
+    probability.swap(next);
+    if (change / static_cast<double>(features.size()) < 1e-4) break;
+  }
+  return probability;
+}
+
+}  // namespace gter

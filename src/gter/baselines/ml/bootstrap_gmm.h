@@ -1,0 +1,34 @@
+#ifndef GTER_BASELINES_ML_BOOTSTRAP_GMM_H_
+#define GTER_BASELINES_ML_BOOTSTRAP_GMM_H_
+
+#include <vector>
+
+#include <cstddef>
+
+#include "gter/baselines/ml/gmm.h"
+
+namespace gter {
+
+/// Options for the HGM+Bootstrap analogue: an unsupervised GMM seeds
+/// high-confidence pseudo-labels, a per-class Gaussian naive-Bayes model is
+/// refit on them, and the labeling is re-estimated — repeated until stable
+/// (self-training / bootstrapping, substituting for the hierarchical
+/// graphical model of Ravikumar & Cohen [5]; DESIGN.md §3).
+struct BootstrapOptions {
+  GmmOptions gmm;
+  /// Posterior thresholds for the pseudo-label seed set.
+  double positive_confidence = 0.95;
+  double negative_confidence = 0.95;
+  size_t max_rounds = 10;
+  double min_variance = 1e-6;
+};
+
+/// Returns a per-pair match probability after bootstrapped self-training
+/// on the feature matrix.
+std::vector<double> BootstrapGmmMatchProbability(
+    const std::vector<std::vector<double>>& features,
+    const BootstrapOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_ML_BOOTSTRAP_GMM_H_

@@ -1,0 +1,60 @@
+#include "gter/baselines/ml/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gter/text/string_metrics.h"
+#include "gter/text/tfidf.h"
+
+namespace gter {
+
+std::vector<std::string> PairFeatureNames(const PairFeatureOptions& options) {
+  std::vector<std::string> names = {
+      "jaccard",        "dice",           "overlap",
+      "tfidf_cosine",   "trigram_jaccard", "shared_idf_ratio",
+  };
+  if (options.include_levenshtein) names.push_back("levenshtein");
+  return names;
+}
+
+std::vector<std::vector<double>> ComputePairFeatures(
+    const Dataset& dataset, const PairSpace& pairs,
+    const PairFeatureOptions& options) {
+  TfIdfModel model;
+  model.Build(dataset.TokenCorpus(), dataset.vocabulary().size());
+
+  // Per-record total IDF mass, for the shared-IDF ratio feature.
+  std::vector<double> idf_mass(dataset.size(), 0.0);
+  for (const Record& rec : dataset.records()) {
+    double acc = 0.0;
+    for (TermId t : rec.terms) acc += model.Idf(t);
+    idf_mass[rec.id] = acc;
+  }
+
+  std::vector<std::vector<double>> features(pairs.size());
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    const Record& a = dataset.record(rp.a);
+    const Record& b = dataset.record(rp.b);
+    std::vector<double> row;
+    row.reserve(7);
+    row.push_back(JaccardSimilarity(a.terms, b.terms));
+    row.push_back(DiceCoefficient(a.terms, b.terms));
+    row.push_back(OverlapCoefficient(a.terms, b.terms));
+    row.push_back(model.Cosine(rp.a, rp.b));
+    row.push_back(TrigramJaccard(a.raw_text, b.raw_text));
+    double shared_idf = 0.0;
+    for (TermId t : SortedIntersection(a.terms, b.terms)) {
+      shared_idf += model.Idf(t);
+    }
+    double denom = std::max(idf_mass[rp.a] + idf_mass[rp.b], 1e-12);
+    row.push_back(std::min(1.0, 2.0 * shared_idf / denom));
+    if (options.include_levenshtein) {
+      row.push_back(LevenshteinSimilarity(a.raw_text, b.raw_text));
+    }
+    features[p] = std::move(row);
+  }
+  return features;
+}
+
+}  // namespace gter

@@ -1,0 +1,34 @@
+#ifndef GTER_BASELINES_ML_FEATURES_H_
+#define GTER_BASELINES_ML_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// Hand-crafted per-pair similarity features — the input representation of
+/// every learning-based baseline, mirroring the feature-engineering step of
+/// the supervised methods the paper compares against ([5], [6]).
+struct PairFeatureOptions {
+  /// Include the quadratic-cost Levenshtein similarity over raw text
+  /// (disable on very large candidate sets).
+  bool include_levenshtein = false;
+};
+
+/// Names of the features produced, in order.
+std::vector<std::string> PairFeatureNames(const PairFeatureOptions& options);
+
+/// Feature matrix: one row (feature vector) per candidate pair.
+/// Features (all in [0, 1]): token Jaccard, Dice, overlap coefficient,
+/// TF-IDF cosine, character-trigram Jaccard of raw text, shared-IDF mass
+/// ratio, [optional normalized Levenshtein].
+std::vector<std::vector<double>> ComputePairFeatures(
+    const Dataset& dataset, const PairSpace& pairs,
+    const PairFeatureOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_ML_FEATURES_H_

@@ -1,0 +1,95 @@
+#include "gter/baselines/ml/fellegi_sunter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gter/common/status.h"
+#include "gter/text/string_metrics.h"
+
+namespace gter {
+
+FellegiSunterResult FitFellegiSunter(const Dataset& dataset,
+                                     const PairSpace& pairs,
+                                     const FellegiSunterOptions& options) {
+  size_t num_fields = 0;
+  for (const Record& rec : dataset.records()) {
+    num_fields = std::max(num_fields, rec.fields.size());
+  }
+  GTER_CHECK(num_fields >= 1);
+  GTER_CHECK(pairs.size() >= 1);
+
+  // Binary agreement patterns per candidate pair.
+  std::vector<std::vector<uint8_t>> gamma(pairs.size());
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    const Record& a = dataset.record(rp.a);
+    const Record& b = dataset.record(rp.b);
+    std::vector<uint8_t> row(num_fields, 0);
+    size_t shared = std::min(a.fields.size(), b.fields.size());
+    for (size_t f = 0; f < shared; ++f) {
+      row[f] = JaroWinklerSimilarity(a.fields[f], b.fields[f]) >=
+                       options.agreement_threshold
+                   ? 1
+                   : 0;
+    }
+    gamma[p] = std::move(row);
+  }
+
+  FellegiSunterResult result;
+  result.match_prior = options.init_match_prior;
+  result.m.assign(num_fields, options.init_m);
+  result.u.assign(num_fields, options.init_u);
+  result.probability.assign(pairs.size(), 0.0);
+
+  auto clamp01 = [](double v) { return std::clamp(v, 1e-6, 1.0 - 1e-6); };
+  double prev_ll = -1e300;
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    // E-step: posterior of the match class per pair.
+    double ll = 0.0;
+    for (PairId p = 0; p < pairs.size(); ++p) {
+      double log_match = std::log(clamp01(result.match_prior));
+      double log_unmatch = std::log(clamp01(1.0 - result.match_prior));
+      for (size_t f = 0; f < num_fields; ++f) {
+        if (gamma[p][f]) {
+          log_match += std::log(clamp01(result.m[f]));
+          log_unmatch += std::log(clamp01(result.u[f]));
+        } else {
+          log_match += std::log(clamp01(1.0 - result.m[f]));
+          log_unmatch += std::log(clamp01(1.0 - result.u[f]));
+        }
+      }
+      double mx = std::max(log_match, log_unmatch);
+      double zm = std::exp(log_match - mx);
+      double zu = std::exp(log_unmatch - mx);
+      result.probability[p] = zm / (zm + zu);
+      ll += mx + std::log(zm + zu);
+    }
+    // M-step.
+    double total_match = 0.0;
+    std::vector<double> agree_match(num_fields, 0.0);
+    std::vector<double> agree_unmatch(num_fields, 0.0);
+    for (PairId p = 0; p < pairs.size(); ++p) {
+      double w = result.probability[p];
+      total_match += w;
+      for (size_t f = 0; f < num_fields; ++f) {
+        if (gamma[p][f]) {
+          agree_match[f] += w;
+          agree_unmatch[f] += 1.0 - w;
+        }
+      }
+    }
+    double total = static_cast<double>(pairs.size());
+    result.match_prior = clamp01(total_match / total);
+    for (size_t f = 0; f < num_fields; ++f) {
+      result.m[f] = clamp01(agree_match[f] / std::max(total_match, 1e-12));
+      result.u[f] =
+          clamp01(agree_unmatch[f] / std::max(total - total_match, 1e-12));
+    }
+    if (std::fabs(ll - prev_ll) < options.tolerance * std::fabs(ll)) break;
+    prev_ll = ll;
+  }
+  return result;
+}
+
+}  // namespace gter

@@ -1,0 +1,49 @@
+#ifndef GTER_BASELINES_ML_FELLEGI_SUNTER_H_
+#define GTER_BASELINES_ML_FELLEGI_SUNTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// Options for the Fellegi–Sunter record-linkage model fitted with EM —
+/// the Table II "MLE [5]" analogue. Per-field binary agreement patterns
+/// are modeled as conditionally independent given the latent match class;
+/// EM estimates the match prior p and the per-field agreement rates
+/// m_i = P(agree | match), u_i = P(agree | non-match).
+struct FellegiSunterOptions {
+  /// A field pair agrees when its Jaro–Winkler similarity reaches this.
+  double agreement_threshold = 0.85;
+  size_t max_iterations = 200;
+  double tolerance = 1e-8;
+  /// Initial parameter guesses.
+  double init_match_prior = 0.01;
+  double init_m = 0.9;
+  double init_u = 0.1;
+};
+
+/// Fitted parameters plus per-pair posteriors.
+struct FellegiSunterResult {
+  double match_prior = 0.0;
+  std::vector<double> m;  // per field
+  std::vector<double> u;  // per field
+  /// Posterior match probability per candidate pair.
+  std::vector<double> probability;
+  size_t iterations = 0;
+};
+
+/// Fits the model on the candidate pairs of `dataset` using the records'
+/// attribute fields. Records must carry at least one field; pairs are
+/// compared on the first `min(#fields_a, #fields_b)` fields, padded with
+/// disagreement for missing ones.
+FellegiSunterResult FitFellegiSunter(const Dataset& dataset,
+                                     const PairSpace& pairs,
+                                     const FellegiSunterOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_ML_FELLEGI_SUNTER_H_

@@ -1,0 +1,170 @@
+#include "gter/baselines/ml/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "gter/common/random.h"
+#include "gter/common/status.h"
+
+namespace gter {
+namespace {
+
+double RowMass(const std::vector<double>& row) {
+  double acc = 0.0;
+  for (double v : row) acc += v;
+  return acc;
+}
+
+double LogSumExp(const std::vector<double>& xs) {
+  double max_x = -std::numeric_limits<double>::infinity();
+  for (double x : xs) max_x = std::max(max_x, x);
+  if (!std::isfinite(max_x)) return max_x;
+  double acc = 0.0;
+  for (double x : xs) acc += std::exp(x - max_x);
+  return max_x + std::log(acc);
+}
+
+}  // namespace
+
+double GaussianMixture::LogDensity(const std::vector<double>& row,
+                                   size_t k) const {
+  static constexpr double kLog2Pi = 1.8378770664093453;
+  double acc = 0.0;
+  for (size_t d = 0; d < row.size(); ++d) {
+    double var = variances_[k][d];
+    double diff = row[d] - means_[k][d];
+    acc += -0.5 * (kLog2Pi + std::log(var) + diff * diff / var);
+  }
+  return acc;
+}
+
+void GaussianMixture::Fit(const std::vector<std::vector<double>>& rows,
+                          const GmmOptions& options) {
+  GTER_CHECK(!rows.empty());
+  GTER_CHECK(options.num_components >= 1);
+  const size_t n = rows.size();
+  const size_t dim = rows[0].size();
+  const size_t k_comp = options.num_components;
+
+  // Initialization: order points by feature mass, seed component k's mean
+  // from the (k+1)/(K+1) quantile point; equal weights; global variance.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return RowMass(rows[a]) < RowMass(rows[b]);
+  });
+  std::vector<double> global_mean(dim, 0.0), global_var(dim, 0.0);
+  for (const auto& row : rows) {
+    for (size_t d = 0; d < dim; ++d) global_mean[d] += row[d];
+  }
+  for (size_t d = 0; d < dim; ++d) global_mean[d] /= static_cast<double>(n);
+  for (const auto& row : rows) {
+    for (size_t d = 0; d < dim; ++d) {
+      double diff = row[d] - global_mean[d];
+      global_var[d] += diff * diff;
+    }
+  }
+  for (size_t d = 0; d < dim; ++d) {
+    global_var[d] =
+        std::max(global_var[d] / static_cast<double>(n), options.min_variance);
+  }
+  weights_.assign(k_comp, 1.0 / static_cast<double>(k_comp));
+  means_.assign(k_comp, std::vector<double>(dim, 0.0));
+  variances_.assign(k_comp, global_var);
+  for (size_t k = 0; k < k_comp; ++k) {
+    size_t quantile = (k + 1) * n / (k_comp + 1);
+    quantile = std::min(quantile, n - 1);
+    means_[k] = rows[order[quantile]];
+  }
+
+  std::vector<std::vector<double>> resp(n, std::vector<double>(k_comp, 0.0));
+  double prev_ll = -std::numeric_limits<double>::infinity();
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // E-step.
+    double ll = 0.0;
+    std::vector<double> logs(k_comp);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t k = 0; k < k_comp; ++k) {
+        logs[k] = std::log(std::max(weights_[k], 1e-300)) +
+                  LogDensity(rows[i], k);
+      }
+      double norm = LogSumExp(logs);
+      ll += norm;
+      for (size_t k = 0; k < k_comp; ++k) {
+        resp[i][k] = std::exp(logs[k] - norm);
+      }
+    }
+    log_likelihood_ = ll;
+    // M-step.
+    for (size_t k = 0; k < k_comp; ++k) {
+      double total = 0.0;
+      std::vector<double> mean(dim, 0.0), var(dim, 0.0);
+      for (size_t i = 0; i < n; ++i) {
+        total += resp[i][k];
+        for (size_t d = 0; d < dim; ++d) mean[d] += resp[i][k] * rows[i][d];
+      }
+      if (total <= 1e-12) {
+        weights_[k] = 1e-12;
+        continue;
+      }
+      for (size_t d = 0; d < dim; ++d) mean[d] /= total;
+      for (size_t i = 0; i < n; ++i) {
+        for (size_t d = 0; d < dim; ++d) {
+          double diff = rows[i][d] - mean[d];
+          var[d] += resp[i][k] * diff * diff;
+        }
+      }
+      for (size_t d = 0; d < dim; ++d) {
+        var[d] = std::max(var[d] / total, options.min_variance);
+      }
+      weights_[k] = total / static_cast<double>(n);
+      means_[k] = std::move(mean);
+      variances_[k] = std::move(var);
+    }
+    if (std::fabs(ll - prev_ll) < options.tolerance * std::fabs(ll)) break;
+    prev_ll = ll;
+  }
+}
+
+std::vector<double> GaussianMixture::Posterior(
+    const std::vector<double>& row) const {
+  std::vector<double> logs(num_components());
+  for (size_t k = 0; k < num_components(); ++k) {
+    logs[k] = std::log(std::max(weights_[k], 1e-300)) + LogDensity(row, k);
+  }
+  double norm = LogSumExp(logs);
+  std::vector<double> post(num_components());
+  for (size_t k = 0; k < num_components(); ++k) {
+    post[k] = std::exp(logs[k] - norm);
+  }
+  return post;
+}
+
+size_t GaussianMixture::HighestMeanComponent() const {
+  size_t best = 0;
+  double best_mass = -std::numeric_limits<double>::infinity();
+  for (size_t k = 0; k < num_components(); ++k) {
+    double mass = RowMass(means_[k]);
+    if (mass > best_mass) {
+      best_mass = mass;
+      best = k;
+    }
+  }
+  return best;
+}
+
+std::vector<double> GmmMatchProbability(
+    const std::vector<std::vector<double>>& features,
+    const GmmOptions& options) {
+  GaussianMixture gmm;
+  gmm.Fit(features, options);
+  size_t match = gmm.HighestMeanComponent();
+  std::vector<double> probability(features.size(), 0.0);
+  for (size_t i = 0; i < features.size(); ++i) {
+    probability[i] = gmm.Posterior(features[i])[match];
+  }
+  return probability;
+}
+
+}  // namespace gter

@@ -1,0 +1,65 @@
+#ifndef GTER_BASELINES_ML_GMM_H_
+#define GTER_BASELINES_ML_GMM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gter {
+
+/// Diagonal-covariance Gaussian mixture fitted by EM. The Table II
+/// "Gaussian Mixture Model [5]" analogue clusters the per-pair feature
+/// vectors into two components — matches vs non-matches — entirely
+/// unsupervised; the component with the larger mean feature mass is taken
+/// as the match class (substitution documented in DESIGN.md §3).
+struct GmmOptions {
+  size_t num_components = 2;
+  size_t max_iterations = 200;
+  double tolerance = 1e-6;
+  /// Variance floor avoiding collapse onto duplicated points.
+  double min_variance = 1e-6;
+  uint64_t seed = 13;
+};
+
+/// A fitted mixture model.
+class GaussianMixture {
+ public:
+  /// Fits the mixture to `rows` (each a feature vector of equal length).
+  /// Initialization assigns component means to quantiles of the feature
+  /// mass, making the fit deterministic for a given seed.
+  void Fit(const std::vector<std::vector<double>>& rows,
+           const GmmOptions& options = {});
+
+  size_t num_components() const { return weights_.size(); }
+
+  /// Posterior responsibilities of one feature vector (sums to 1).
+  std::vector<double> Posterior(const std::vector<double>& row) const;
+
+  /// Index of the component whose mean vector has the largest L1 mass —
+  /// the "match" component for similarity features.
+  size_t HighestMeanComponent() const;
+
+  /// Mixture log-likelihood of the fitted data (for convergence tests).
+  double log_likelihood() const { return log_likelihood_; }
+
+  const std::vector<double>& mean(size_t k) const { return means_[k]; }
+  double weight(size_t k) const { return weights_[k]; }
+
+ private:
+  double LogDensity(const std::vector<double>& row, size_t k) const;
+
+  std::vector<double> weights_;
+  std::vector<std::vector<double>> means_;
+  std::vector<std::vector<double>> variances_;
+  double log_likelihood_ = 0.0;
+};
+
+/// Convenience scorer: fit a 2-component GMM on pair features, return the
+/// posterior probability of the match component per pair.
+std::vector<double> GmmMatchProbability(
+    const std::vector<std::vector<double>>& features,
+    const GmmOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_ML_GMM_H_

@@ -1,0 +1,89 @@
+#include "gter/baselines/ml/linear_svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gter/common/random.h"
+#include "gter/common/status.h"
+
+namespace gter {
+
+double LinearSvm::Margin(const std::vector<double>& x) const {
+  GTER_CHECK(x.size() == weights.size());
+  double acc = bias;
+  for (size_t d = 0; d < x.size(); ++d) acc += weights[d] * x[d];
+  return acc;
+}
+
+LinearSvm TrainPegasos(const std::vector<std::vector<double>>& features,
+                       const std::vector<bool>& labels,
+                       const std::vector<size_t>& train_indices,
+                       const SvmOptions& options) {
+  GTER_CHECK(!features.empty());
+  GTER_CHECK(features.size() == labels.size());
+  GTER_CHECK(!train_indices.empty());
+  const size_t dim = features[0].size();
+  LinearSvm model;
+  model.weights.assign(dim, 0.0);
+
+  Rng rng(options.seed);
+  std::vector<size_t> order = train_indices;
+  size_t t = 0;
+  for (size_t epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    for (size_t i : order) {
+      ++t;
+      double eta = 1.0 / (options.lambda * static_cast<double>(t));
+      double y = labels[i] ? 1.0 : -1.0;
+      double margin = model.Margin(features[i]);
+      // Regularization shrink.
+      double shrink = 1.0 - eta * options.lambda;
+      for (double& w : model.weights) w *= shrink;
+      if (y * margin < 1.0) {
+        for (size_t d = 0; d < dim; ++d) {
+          model.weights[d] += eta * y * features[i][d];
+        }
+        model.bias += eta * y;
+      }
+    }
+  }
+  return model;
+}
+
+std::vector<double> SvmMatchScore(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<bool>& labels, const SvmOptions& options) {
+  GTER_CHECK(features.size() == labels.size());
+  Rng rng(options.seed);
+
+  std::vector<size_t> positives, negatives;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    (labels[i] ? positives : negatives).push_back(i);
+  }
+  GTER_CHECK(!positives.empty());
+  GTER_CHECK(!negatives.empty());
+
+  rng.Shuffle(&positives);
+  size_t train_pos = std::max<size_t>(
+      1, static_cast<size_t>(options.train_fraction *
+                             static_cast<double>(positives.size())));
+  std::vector<size_t> train(positives.begin(), positives.begin() + train_pos);
+  size_t want_neg =
+      std::min(negatives.size(), train_pos * options.negatives_per_positive);
+  for (size_t idx : rng.SampleWithoutReplacement(negatives.size(), want_neg)) {
+    train.push_back(negatives[idx]);
+  }
+
+  LinearSvm model = TrainPegasos(features, labels, train, options);
+  std::vector<double> scores(features.size(), 0.0);
+  for (size_t i = 0; i < features.size(); ++i) {
+    scores[i] = model.Margin(features[i]);
+  }
+  // Shift margins to be non-negative so the threshold sweep (which assumes
+  // scores ≥ 0) applies unchanged.
+  double min_score = *std::min_element(scores.begin(), scores.end());
+  for (double& s : scores) s -= min_score;
+  return scores;
+}
+
+}  // namespace gter

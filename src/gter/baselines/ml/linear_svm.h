@@ -1,0 +1,50 @@
+#ifndef GTER_BASELINES_ML_LINEAR_SVM_H_
+#define GTER_BASELINES_ML_LINEAR_SVM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gter {
+
+/// Options for the linear SVM baseline (Table II "SVM [6]" analogue),
+/// trained with the Pegasos stochastic sub-gradient solver. This is the
+/// only *supervised* method in the library: it consumes a labeled split of
+/// the candidate pairs, exactly the annotation cost the paper's framework
+/// is designed to avoid.
+struct SvmOptions {
+  /// L2 regularization strength λ.
+  double lambda = 1e-4;
+  /// Passes over the training set.
+  size_t epochs = 50;
+  /// Fraction of *positive* candidate pairs revealed for training.
+  double train_fraction = 0.5;
+  /// Negatives sampled per revealed positive.
+  size_t negatives_per_positive = 5;
+  uint64_t seed = 17;
+};
+
+/// A trained linear model.
+struct LinearSvm {
+  std::vector<double> weights;
+  double bias = 0.0;
+
+  /// Signed margin w·x + b.
+  double Margin(const std::vector<double>& x) const;
+};
+
+/// Trains on rows indexed by `train_indices` with ±1 labels from `labels`.
+LinearSvm TrainPegasos(const std::vector<std::vector<double>>& features,
+                       const std::vector<bool>& labels,
+                       const std::vector<size_t>& train_indices,
+                       const SvmOptions& options);
+
+/// End-to-end supervised baseline: samples a labeled training split per
+/// `options`, trains, and scores every pair by its margin.
+std::vector<double> SvmMatchScore(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<bool>& labels, const SvmOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_ML_LINEAR_SVM_H_

@@ -1,0 +1,89 @@
+#include "gter/baselines/simrank.h"
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+std::vector<double> SimRankScorer::Score(const Dataset& dataset,
+                                         const PairSpace& pairs) {
+  const size_t n = dataset.size();
+  const size_t m = dataset.vocabulary().size();
+  auto inverted = dataset.BuildInvertedIndex();  // I(t)
+
+  // S_r starts as the identity (s(a,a) = 1, everything else 0).
+  record_sim_ = DenseMatrix::Identity(n);
+  DenseMatrix term_sim(m, m, 0.0);
+  DenseMatrix temp_tn(m, n, 0.0);  // B̂ S_r
+  DenseMatrix temp_nm(n, m, 0.0);  // Â S_t
+
+  for (size_t iter = 0; iter < options_.iterations; ++iter) {
+    // temp_tn[t, j] = (1/|I_t|) Σ_{r ∈ I_t} S_r[r, j].
+    temp_tn.Fill(0.0);
+    for (size_t t = 0; t < m; ++t) {
+      const auto& records = inverted[t];
+      if (records.empty()) continue;
+      double inv = 1.0 / static_cast<double>(records.size());
+      double* out = temp_tn.row(t);
+      for (RecordId r : records) {
+        const double* src = record_sim_.row(r);
+        for (size_t j = 0; j < n; ++j) out[j] += src[j];
+      }
+      for (size_t j = 0; j < n; ++j) out[j] *= inv;
+    }
+    // S_t[t, u] = C2 · (1/|I_u|) Σ_{r ∈ I_u} temp_tn[t, r]; diag = 1.
+    for (size_t t = 0; t < m; ++t) {
+      const double* src = temp_tn.row(t);
+      double* out = term_sim.row(t);
+      for (size_t u = 0; u < m; ++u) {
+        const auto& records = inverted[u];
+        if (records.empty()) {
+          out[u] = 0.0;
+          continue;
+        }
+        double acc = 0.0;
+        for (RecordId r : records) acc += src[r];
+        out[u] = options_.c2 * acc / static_cast<double>(records.size());
+      }
+      out[t] = 1.0;
+    }
+    // temp_nm[r, u] = (1/|O_r|) Σ_{t ∈ O_r} S_t[t, u].
+    temp_nm.Fill(0.0);
+    for (size_t r = 0; r < n; ++r) {
+      const auto& terms = dataset.record(static_cast<RecordId>(r)).terms;
+      if (terms.empty()) continue;
+      double inv = 1.0 / static_cast<double>(terms.size());
+      double* out = temp_nm.row(r);
+      for (TermId t : terms) {
+        const double* src = term_sim.row(t);
+        for (size_t u = 0; u < m; ++u) out[u] += src[u];
+      }
+      for (size_t u = 0; u < m; ++u) out[u] *= inv;
+    }
+    // S_r[r, q] = C1 · (1/|O_q|) Σ_{t ∈ O_q} temp_nm[r, t]; diag = 1.
+    for (size_t r = 0; r < n; ++r) {
+      const double* src = temp_nm.row(r);
+      double* out = record_sim_.row(r);
+      for (size_t q = 0; q < n; ++q) {
+        const auto& terms = dataset.record(static_cast<RecordId>(q)).terms;
+        if (terms.empty()) {
+          out[q] = 0.0;
+          continue;
+        }
+        double acc = 0.0;
+        for (TermId t : terms) acc += src[t];
+        out[q] = options_.c1 * acc / static_cast<double>(terms.size());
+      }
+      out[r] = 1.0;
+    }
+  }
+
+  std::vector<double> scores(pairs.size(), 0.0);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    // Symmetrize (numerical asymmetry only).
+    scores[p] = (record_sim_(rp.a, rp.b) + record_sim_(rp.b, rp.a)) / 2.0;
+  }
+  return scores;
+}
+
+}  // namespace gter

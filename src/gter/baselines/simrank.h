@@ -1,0 +1,44 @@
+#ifndef GTER_BASELINES_SIMRANK_H_
+#define GTER_BASELINES_SIMRANK_H_
+
+#include "gter/core/resolver.h"
+#include "gter/matrix/dense_matrix.h"
+
+namespace gter {
+
+/// Options for bipartite SimRank (§III-A, Eq. 1–2).
+struct SimRankOptions {
+  /// Decay factors C1 (record side) and C2 (term side); the paper uses 0.8
+  /// per Jeh & Widom's recommendation.
+  double c1 = 0.8;
+  double c2 = 0.8;
+  size_t iterations = 5;
+};
+
+/// Table II row "SimRank": the bipartite record–term SimRank baseline.
+/// Implemented in the matrix form
+///   S_t ← C2 · B̂ S_r B̂ᵀ  (diag forced to 1)
+///   S_r ← C1 · Â S_t Âᵀ  (diag forced to 1)
+/// with Â the 1/|O(r)| row-normalized record→term incidence and B̂ the
+/// 1/|I(t)| normalized term→record incidence. S_t is dense m×m — memory
+/// grows with vocabulary squared, which is exactly why the paper's ITER
+/// replaces this formulation.
+class SimRankScorer : public PairScorer {
+ public:
+  explicit SimRankScorer(SimRankOptions options = {}) : options_(options) {}
+
+  std::string name() const override { return "SimRank"; }
+  std::vector<double> Score(const Dataset& dataset,
+                            const PairSpace& pairs) override;
+
+  /// Full record-similarity matrix from the last Score() call (tests).
+  const DenseMatrix& record_similarity() const { return record_sim_; }
+
+ private:
+  SimRankOptions options_;
+  DenseMatrix record_sim_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_SIMRANK_H_

@@ -1,0 +1,19 @@
+#include "gter/baselines/tfidf_resolver.h"
+
+#include "gter/text/tfidf.h"
+
+namespace gter {
+
+std::vector<double> TfIdfScorer::Score(const Dataset& dataset,
+                                       const PairSpace& pairs) {
+  TfIdfModel model;
+  model.Build(dataset.TokenCorpus(), dataset.vocabulary().size());
+  std::vector<double> scores(pairs.size(), 0.0);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    scores[p] = model.Cosine(rp.a, rp.b);
+  }
+  return scores;
+}
+
+}  // namespace gter

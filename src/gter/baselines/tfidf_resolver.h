@@ -1,0 +1,19 @@
+#ifndef GTER_BASELINES_TFIDF_RESOLVER_H_
+#define GTER_BASELINES_TFIDF_RESOLVER_H_
+
+#include "gter/core/resolver.h"
+
+namespace gter {
+
+/// Table II row "TF-IDF": cosine similarity of L2-normalized TF-IDF vectors
+/// over the token corpus; decisions via the optimal-threshold sweep.
+class TfIdfScorer : public PairScorer {
+ public:
+  std::string name() const override { return "TF-IDF"; }
+  std::vector<double> Score(const Dataset& dataset,
+                            const PairSpace& pairs) override;
+};
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_TFIDF_RESOLVER_H_

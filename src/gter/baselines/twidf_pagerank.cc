@@ -1,0 +1,35 @@
+#include "gter/baselines/twidf_pagerank.h"
+
+#include <cmath>
+
+#include "gter/graph/term_graph.h"
+#include "gter/text/string_metrics.h"
+
+namespace gter {
+
+std::vector<double> TwIdfPageRankScorer::Score(const Dataset& dataset,
+                                               const PairSpace& pairs) {
+  TermGraph graph = TermGraph::Build(dataset, options_.window_size);
+  salience_ = PageRank(graph, options_.pagerank);
+  std::vector<uint32_t> df = dataset.ComputeDocumentFrequencies();
+  const double n = static_cast<double>(dataset.size());
+
+  std::vector<double> idf(df.size(), 0.0);
+  for (size_t t = 0; t < df.size(); ++t) {
+    if (df[t] > 0) idf[t] = std::log((n + 1.0) / static_cast<double>(df[t]));
+  }
+
+  std::vector<double> scores(pairs.size(), 0.0);
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    double acc = 0.0;
+    for (TermId t : SortedIntersection(dataset.record(rp.a).terms,
+                                       dataset.record(rp.b).terms)) {
+      acc += salience_[t] * idf[t];
+    }
+    scores[p] = acc;
+  }
+  return scores;
+}
+
+}  // namespace gter

@@ -1,0 +1,39 @@
+#ifndef GTER_BASELINES_TWIDF_PAGERANK_H_
+#define GTER_BASELINES_TWIDF_PAGERANK_H_
+
+#include "gter/core/resolver.h"
+#include "gter/graph/pagerank.h"
+
+namespace gter {
+
+/// Options for the TW-IDF / PageRank term-graph baseline (§III-B).
+struct TwIdfOptions {
+  /// Sliding window width for the co-occurrence graph.
+  size_t window_size = 3;
+  PageRankOptions pagerank;
+};
+
+/// Table II row "PageRank": term salience from PageRank on the term
+/// co-occurrence graph, combined TW-IDF style (Eq. 4):
+///   s_u(r_i, r_j) = Σ_{t ∈ r_i ∧ t ∈ r_j} s(t) · log((n+1)/df(t)).
+class TwIdfPageRankScorer : public PairScorer {
+ public:
+  explicit TwIdfPageRankScorer(TwIdfOptions options = {})
+      : options_(options) {}
+
+  std::string name() const override { return "PageRank"; }
+  std::vector<double> Score(const Dataset& dataset,
+                            const PairSpace& pairs) override;
+
+  /// Per-term PageRank salience from the last Score() call (Table IV
+  /// compares this ranking to ITER's).
+  const std::vector<double>& term_salience() const { return salience_; }
+
+ private:
+  TwIdfOptions options_;
+  std::vector<double> salience_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_BASELINES_TWIDF_PAGERANK_H_

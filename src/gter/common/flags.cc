@@ -1,0 +1,138 @@
+#include "gter/common/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace gter {
+
+void FlagSet::AddInt(const std::string& name, int64_t default_value,
+                     const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+
+void FlagSet::AddDouble(const std::string& name, double default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+
+void FlagSet::AddBool(const std::string& name, bool default_value,
+                      const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+
+void FlagSet::AddString(const std::string& name,
+                        const std::string& default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Value{default_value}, help};
+}
+
+Status FlagSet::SetFromString(const std::string& name,
+                              const std::string& text) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) {
+    return Status::InvalidArgument("unknown flag --" + name);
+  }
+  Value& v = it->second.value;
+  char* end = nullptr;
+  if (std::holds_alternative<int64_t>(v)) {
+    int64_t parsed = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("flag --" + name +
+                                     " expects an integer, got '" + text + "'");
+    }
+    v = parsed;
+  } else if (std::holds_alternative<double>(v)) {
+    double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0') {
+      return Status::InvalidArgument("flag --" + name +
+                                     " expects a number, got '" + text + "'");
+    }
+    v = parsed;
+  } else if (std::holds_alternative<bool>(v)) {
+    if (text == "true" || text == "1") {
+      v = true;
+    } else if (text == "false" || text == "0") {
+      v = false;
+    } else {
+      return Status::InvalidArgument("flag --" + name +
+                                     " expects true/false, got '" + text + "'");
+    }
+  } else {
+    v = text;
+  }
+  return Status::OK();
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      GTER_RETURN_IF_ERROR(SetFromString(arg.substr(0, eq), arg.substr(eq + 1)));
+      continue;
+    }
+    auto it = flags_.find(arg);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + arg);
+    }
+    if (std::holds_alternative<bool>(it->second.value)) {
+      it->second.value = true;
+      continue;
+    }
+    if (i + 1 >= argc) {
+      return Status::InvalidArgument("flag --" + arg + " requires a value");
+    }
+    GTER_RETURN_IF_ERROR(SetFromString(arg, argv[++i]));
+  }
+  return Status::OK();
+}
+
+int64_t FlagSet::GetInt(const std::string& name) const {
+  auto it = flags_.find(name);
+  GTER_CHECK(it != flags_.end());
+  return std::get<int64_t>(it->second.value);
+}
+
+double FlagSet::GetDouble(const std::string& name) const {
+  auto it = flags_.find(name);
+  GTER_CHECK(it != flags_.end());
+  return std::get<double>(it->second.value);
+}
+
+bool FlagSet::GetBool(const std::string& name) const {
+  auto it = flags_.find(name);
+  GTER_CHECK(it != flags_.end());
+  return std::get<bool>(it->second.value);
+}
+
+const std::string& FlagSet::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  GTER_CHECK(it != flags_.end());
+  return std::get<std::string>(it->second.value);
+}
+
+std::string FlagSet::Usage() const {
+  std::ostringstream os;
+  os << "Flags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << "  " << flag.help << " (default: ";
+    std::visit(
+        [&os](const auto& v) {
+          if constexpr (std::is_same_v<std::decay_t<decltype(v)>, bool>) {
+            os << (v ? "true" : "false");
+          } else {
+            os << v;
+          }
+        },
+        flag.value);
+    os << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace gter

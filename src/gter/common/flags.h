@@ -1,0 +1,58 @@
+#ifndef GTER_COMMON_FLAGS_H_
+#define GTER_COMMON_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// Minimal command-line flag parser for the bench/example binaries.
+/// Accepted syntaxes: `--name=value`, `--name value`, and `--bool_flag`
+/// (implies true). Unknown flags are an error; positional arguments are
+/// collected in `positional()`.
+class FlagSet {
+ public:
+  /// Registers a flag with its default value. `help` is shown by Usage().
+  void AddInt(const std::string& name, int64_t default_value,
+              const std::string& help);
+  void AddDouble(const std::string& name, double default_value,
+                 const std::string& help);
+  void AddBool(const std::string& name, bool default_value,
+               const std::string& help);
+  void AddString(const std::string& name, const std::string& default_value,
+                 const std::string& help);
+
+  /// Parses argv (skipping argv[0]). Returns InvalidArgument on unknown
+  /// flags or malformed values.
+  Status Parse(int argc, char** argv);
+
+  int64_t GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Human-readable flag table.
+  std::string Usage() const;
+
+ private:
+  using Value = std::variant<int64_t, double, bool, std::string>;
+  struct Flag {
+    Value value;
+    std::string help;
+  };
+
+  Status SetFromString(const std::string& name, const std::string& text);
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_FLAGS_H_

@@ -1,0 +1,49 @@
+#ifndef GTER_COMMON_LOGGING_H_
+#define GTER_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gter {
+
+/// Log severity, ordered. Messages below the active level are dropped.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum severity emitted to stderr. Default is kInfo.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum severity.
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style single-message logger; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define GTER_LOG(severity)                                        \
+  ::gter::internal::LogMessage(::gter::LogLevel::k##severity,     \
+                               __FILE__, __LINE__)
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_LOGGING_H_

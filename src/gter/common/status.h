@@ -1,0 +1,159 @@
+#ifndef GTER_COMMON_STATUS_H_
+#define GTER_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace gter {
+
+/// Error category for a failed operation. Mirrors the coarse categories used
+/// by RocksDB/Arrow style status objects; library code never throws.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kIOError = 3,
+  kFailedPrecondition = 4,
+  kOutOfRange = 5,
+  kInternal = 6,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "InvalidArgument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Result of an operation that can fail. Cheap to copy in the OK case
+/// (no message allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Holder of either a value of type T or an error Status. Accessing the
+/// value of an errored Result aborts (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  /// Returns the value or `fallback` when errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;  // OK when value_ is set.
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& extra);
+}  // namespace internal
+
+/// Aborts with a diagnostic when `cond` is false. Used for programming
+/// errors (precondition violations), not for recoverable failures.
+#define GTER_CHECK(cond)                                             \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      ::gter::internal::CheckFailed(__FILE__, __LINE__, #cond, "");  \
+    }                                                                \
+  } while (0)
+
+/// Aborts with the status message when `status_expr` is not OK.
+#define GTER_CHECK_OK(status_expr)                                        \
+  do {                                                                    \
+    ::gter::Status _gter_s = (status_expr);                               \
+    if (!_gter_s.ok()) {                                                  \
+      ::gter::internal::CheckFailed(__FILE__, __LINE__, #status_expr,     \
+                                    _gter_s.ToString());                  \
+    }                                                                     \
+  } while (0)
+
+/// Propagates a non-OK status to the caller.
+#define GTER_RETURN_IF_ERROR(expr)          \
+  do {                                      \
+    ::gter::Status _gter_s = (expr);        \
+    if (!_gter_s.ok()) return _gter_s;      \
+  } while (0)
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_STATUS_H_

@@ -1,0 +1,91 @@
+#include "gter/common/thread_pool.h"
+
+#include <algorithm>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_available_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    GTER_CHECK(!shutting_down_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_available_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_available_.wait(
+          lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+ThreadPool* ThreadPool::Default() {
+  static ThreadPool* pool = new ThreadPool();
+  return pool;
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  GTER_CHECK(begin <= end);
+  if (begin == end) return;
+  if (grain == 0) grain = 1;
+  size_t span = end - begin;
+  if (pool == nullptr || pool->num_threads() <= 1 || span <= grain) {
+    fn(begin, end);
+    return;
+  }
+  size_t num_chunks =
+      std::min((span + grain - 1) / grain, pool->num_threads() * 4);
+  size_t chunk = (span + num_chunks - 1) / num_chunks;
+  for (size_t lo = begin; lo < end; lo += chunk) {
+    size_t hi = std::min(lo + chunk, end);
+    pool->Submit([fn, lo, hi] { fn(lo, hi); });
+  }
+  pool->Wait();
+}
+
+}  // namespace gter

@@ -1,0 +1,61 @@
+#ifndef GTER_COMMON_THREAD_POOL_H_
+#define GTER_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace gter {
+
+/// Fixed-size worker pool with a blocking `Wait()` barrier.
+///
+/// The paper's CliqueRank implementation leaned on Eigen's multi-threaded
+/// GEMM on a 32-core Xeon; this pool is the substrate our from-scratch GEMM
+/// and masked multiply use for the same purpose. On a single-core host the
+/// pool degrades gracefully to near-sequential execution.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide default pool (lazily constructed, never destroyed before
+  /// exit). Size = hardware concurrency.
+  static ThreadPool* Default();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Splits [begin, end) into contiguous chunks of at least `grain` items and
+/// runs `fn(chunk_begin, chunk_end)` across `pool`. Blocks until complete.
+/// Runs inline when the range is small or the pool has one thread.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#ifndef GTER_COMMON_TIMER_H_
+#define GTER_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace gter {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// Table III / Table V timing instrumentation.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_TIMER_H_

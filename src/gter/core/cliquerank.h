@@ -1,0 +1,68 @@
+#ifndef GTER_CORE_CLIQUERANK_H_
+#define GTER_CORE_CLIQUERANK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/common/thread_pool.h"
+#include "gter/er/pair_space.h"
+#include "gter/graph/record_graph.h"
+
+namespace gter {
+
+/// Which matrix engine evaluates the recurrence M^k = M_t × (M^{k-1} ⊙ M_n).
+enum class CliqueRankEngine {
+  /// Pick by graph density: masked-sparse below `dense_density_threshold`,
+  /// dense above.
+  kAuto,
+  /// Full n×n GEMM per step (the paper's Eigen formulation).
+  kDense,
+  /// Confined to the edge pattern of M_n (exact — see masked_multiply.h).
+  kMaskedSparse,
+};
+
+/// How the per-walk random bonus b ∈ (0,1) of Eq. 12 is realized in the
+/// matrix formulation.
+enum class BoostMode {
+  /// Sample one b per directed edge from the seeded generator (mirrors the
+  /// per-walk sampling of RSS).
+  kSampled,
+  /// Use the closed-form expectation E[(1+b)^α] = (2^{α+1} − 1)/(α + 1).
+  kExpected,
+};
+
+/// Options for the CliqueRank algorithm (§VI-C).
+struct CliqueRankOptions {
+  /// Exponent α of the non-linear transition probability (Eq. 11).
+  double alpha = 20.0;
+  /// Maximum steps S (matrix powers accumulated).
+  size_t max_steps = 20;
+  /// Disable to ablate the big-clique boost (then M¹ = M_t).
+  bool use_boost = true;
+  BoostMode boost_mode = BoostMode::kSampled;
+  uint64_t seed = 7;
+  CliqueRankEngine engine = CliqueRankEngine::kAuto;
+  /// kAuto switches to the dense engine above this edge density.
+  double dense_density_threshold = 0.25;
+  /// Worker pool for the matrix kernels (nullptr → sequential).
+  ThreadPool* pool = nullptr;
+};
+
+/// Output of one CliqueRank run.
+struct CliqueRankResult {
+  /// Matching probability p(r_i, r_j) per PairId, clamped to [0, 1]
+  /// (Eq. 15 averages both walk directions over steps 1..S).
+  std::vector<double> pair_probability;
+  CliqueRankEngine engine_used = CliqueRankEngine::kAuto;
+  double seconds = 0.0;
+};
+
+/// Runs CliqueRank over the record graph built from ITER's similarities.
+CliqueRankResult RunCliqueRank(const RecordGraph& graph,
+                               const PairSpace& pairs,
+                               const CliqueRankOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_CORE_CLIQUERANK_H_

@@ -1,0 +1,66 @@
+#include "gter/core/fusion.h"
+
+#include "gter/common/status.h"
+#include "gter/common/timer.h"
+#include "gter/graph/record_graph.h"
+
+namespace gter {
+
+FusionPipeline::FusionPipeline(const Dataset& dataset, FusionConfig config)
+    : dataset_(dataset),
+      config_(config),
+      pairs_(PairSpace::Build(dataset)),
+      bipartite_(BipartiteGraph::Build(dataset, pairs_, config.pt_mode)) {}
+
+FusionResult FusionPipeline::Run() {
+  GTER_CHECK(config_.rounds >= 1);
+  Stopwatch total_watch;
+  FusionResult result;
+  // §V-C: p(r_i, r_j) is initialized to 1 before CliqueRank derives it.
+  result.pair_probability.assign(pairs_.size(), 1.0);
+
+  for (size_t round = 1; round <= config_.rounds; ++round) {
+    FusionRoundStats stats;
+    stats.round = round;
+
+    Stopwatch iter_watch;
+    IterOptions iter_options = config_.iter;
+    // Track convergence on the first round only (Figure 5 uses the initial
+    // randomly-initialized run).
+    iter_options.track_convergence =
+        config_.iter.track_convergence && round == 1;
+    IterResult iter = RunIter(bipartite_, result.pair_probability,
+                              iter_options);
+    stats.iter_seconds = iter_watch.ElapsedSeconds();
+    stats.iter_iterations = iter.iterations;
+    if (round == 1 && iter_options.track_convergence) {
+      result.first_iter_trace = iter.update_trace;
+    }
+    result.term_weights = std::move(iter.term_weights);
+    result.pair_scores = std::move(iter.pair_scores);
+
+    Stopwatch prob_watch;
+    RecordGraph graph =
+        RecordGraph::Build(dataset_.size(), pairs_, result.pair_scores);
+    if (config_.use_rss) {
+      result.pair_probability = RunRss(graph, pairs_, config_.rss);
+    } else {
+      CliqueRankResult cr = RunCliqueRank(graph, pairs_, config_.cliquerank);
+      result.pair_probability = std::move(cr.pair_probability);
+    }
+    stats.probability_seconds = prob_watch.ElapsedSeconds();
+    stats.cumulative_seconds = total_watch.ElapsedSeconds();
+    result.round_stats.push_back(stats);
+
+    if (observer_) observer_(round, result);
+  }
+
+  result.matches.resize(pairs_.size());
+  for (PairId p = 0; p < pairs_.size(); ++p) {
+    result.matches[p] = result.pair_probability[p] >= config_.eta;
+  }
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace gter

@@ -1,0 +1,95 @@
+#ifndef GTER_CORE_FUSION_H_
+#define GTER_CORE_FUSION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "gter/core/cliquerank.h"
+#include "gter/core/iter.h"
+#include "gter/core/rss.h"
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+#include "gter/graph/bipartite_graph.h"
+
+namespace gter {
+
+/// Configuration of the full ITER ⇄ CliqueRank fusion framework (§IV).
+struct FusionConfig {
+  IterOptions iter;
+  CliqueRankOptions cliquerank;
+  /// Outer reinforcement rounds; the paper runs 5 (§VII-C).
+  size_t rounds = 5;
+  /// Matching-probability threshold η; the paper sets 0.98 universally.
+  double eta = 0.98;
+  /// Replace CliqueRank by Monte-Carlo RSS (for the Table III speedup
+  /// comparison); much slower on dense graphs.
+  bool use_rss = false;
+  RssOptions rss;
+  PtMode pt_mode = PtMode::kPaper;
+};
+
+/// Timing and quality snapshot after each reinforcement round.
+struct FusionRoundStats {
+  size_t round = 0;  // 1-based
+  double iter_seconds = 0.0;
+  double probability_seconds = 0.0;  // CliqueRank or RSS
+  double cumulative_seconds = 0.0;
+  size_t iter_iterations = 0;
+};
+
+/// Output of a full fusion run.
+struct FusionResult {
+  /// Learned term discrimination power, by TermId.
+  std::vector<double> term_weights;
+  /// Learned pair similarity s(r_i, r_j), by PairId.
+  std::vector<double> pair_scores;
+  /// Matching probability p(r_i, r_j), by PairId.
+  std::vector<double> pair_probability;
+  /// p ≥ η decisions, by PairId.
+  std::vector<bool> matches;
+  std::vector<FusionRoundStats> round_stats;
+  double total_seconds = 0.0;
+  /// Σ|Δx| trace of the *first* ITER run (Figure 5).
+  std::vector<double> first_iter_trace;
+};
+
+/// The unsupervised fusion pipeline. Construction builds the candidate pair
+/// space and the term–pair bipartite graph; Run() then alternates ITER and
+/// CliqueRank for the configured number of rounds:
+///
+///   p ≡ 1 → ITER → s → record graph → CliqueRank → p → ITER → ...
+///
+/// The per-round observer (if set) fires after each CliqueRank with the
+/// state so far — the Table V instrumentation hook.
+class FusionPipeline {
+ public:
+  /// `dataset` must outlive the pipeline and should already be
+  /// preprocessed (RemoveFrequentTerms).
+  FusionPipeline(const Dataset& dataset, FusionConfig config);
+
+  /// Observer invoked after round r (1-based) with the in-progress result.
+  using RoundObserver =
+      std::function<void(size_t round, const FusionResult& snapshot)>;
+  void set_round_observer(RoundObserver observer) {
+    observer_ = std::move(observer);
+  }
+
+  /// Runs the configured number of reinforcement rounds.
+  FusionResult Run();
+
+  const PairSpace& pairs() const { return pairs_; }
+  const BipartiteGraph& bipartite() const { return bipartite_; }
+  const Dataset& dataset() const { return dataset_; }
+
+ private:
+  const Dataset& dataset_;
+  FusionConfig config_;
+  PairSpace pairs_;
+  BipartiteGraph bipartite_;
+  RoundObserver observer_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_CORE_FUSION_H_

@@ -1,0 +1,89 @@
+#include "gter/core/iter.h"
+
+#include <cmath>
+
+#include "gter/common/random.h"
+#include "gter/common/status.h"
+
+namespace gter {
+namespace {
+
+void Normalize(std::vector<double>* x, IterNormalization kind) {
+  if (kind == IterNormalization::kLogistic) {
+    // x/(1+x) is the division-safe form of the paper's 1/(1 + 1/x).
+    for (double& v : *x) v = v / (1.0 + v);
+    return;
+  }
+  double norm_sq = 0.0;
+  for (double v : *x) norm_sq += v * v;
+  if (norm_sq <= 0.0) return;
+  double inv = 1.0 / std::sqrt(norm_sq);
+  for (double& v : *x) v *= inv;
+}
+
+}  // namespace
+
+IterResult RunIter(const BipartiteGraph& graph,
+                   const std::vector<double>& edge_probability,
+                   const IterOptions& options) {
+  GTER_CHECK(edge_probability.size() == graph.num_pairs());
+  const size_t num_terms = graph.num_terms();
+  const size_t num_pairs = graph.num_pairs();
+
+  IterResult result;
+  result.term_weights.resize(num_terms);
+  result.pair_scores.assign(num_pairs, 0.0);
+
+  // Line 1: random initialization of x_t in (0, 1).
+  Rng rng(options.seed);
+  for (double& x : result.term_weights) x = rng.OpenUniformDouble();
+
+  std::vector<double>& x = result.term_weights;
+  std::vector<double>& s = result.pair_scores;
+  std::vector<double> x_prev(num_terms);
+
+  for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
+    x_prev = x;
+
+    // Lines 3–4: s(r_i, r_j) ← Σ_{t shared} x_t.
+    for (PairId p = 0; p < num_pairs; ++p) {
+      double acc = 0.0;
+      for (TermId t : graph.TermsOfPair(p)) acc += x[t];
+      s[p] = acc;
+    }
+
+    // Lines 5–6: x_t ← Σ_p p(r_i, r_j)·s(p) / P_t.
+    for (TermId t = 0; t < num_terms; ++t) {
+      auto adjacent = graph.PairsOfTerm(t);
+      if (adjacent.empty()) {
+        x[t] = 0.0;
+        continue;
+      }
+      double acc = 0.0;
+      for (PairId p : adjacent) acc += edge_probability[p] * s[p];
+      x[t] = acc / graph.Pt(t);
+    }
+
+    // Line 7: normalization keeps the additive rule bounded.
+    Normalize(&x, options.normalization);
+
+    double change = 0.0;
+    for (size_t t = 0; t < num_terms; ++t) change += std::fabs(x[t] - x_prev[t]);
+    if (options.track_convergence) result.update_trace.push_back(change);
+    result.iterations = iteration + 1;
+    if (change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Final pair scores from the converged weights.
+  for (PairId p = 0; p < num_pairs; ++p) {
+    double acc = 0.0;
+    for (TermId t : graph.TermsOfPair(p)) acc += x[t];
+    s[p] = acc;
+  }
+  return result;
+}
+
+}  // namespace gter

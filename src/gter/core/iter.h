@@ -1,0 +1,54 @@
+#ifndef GTER_CORE_ITER_H_
+#define GTER_CORE_ITER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/graph/bipartite_graph.h"
+
+namespace gter {
+
+/// Per-sweep term-weight normalization of Algorithm 1, line 7.
+enum class IterNormalization {
+  /// The paper's default x ← 1/(1 + 1/x) = x/(1+x), mapping into (0, 1).
+  kLogistic,
+  /// L2 normalization Σ x² = 1 (mentioned as an alternative in §V-C).
+  kL2,
+};
+
+/// Options for the ITER algorithm (Algorithm 1).
+struct IterOptions {
+  /// Stop when Σ_t |Δx_t| falls below this.
+  double tolerance = 1e-7;
+  size_t max_iterations = 100;
+  IterNormalization normalization = IterNormalization::kLogistic;
+  /// Seed for the random initialization of x_t in (0, 1).
+  uint64_t seed = 42;
+  /// Record Σ|Δx| per sweep (the Figure 5 trace).
+  bool track_convergence = false;
+};
+
+/// Output of one ITER run.
+struct IterResult {
+  /// Learned term weight x_t (discrimination power), indexed by TermId.
+  std::vector<double> term_weights;
+  /// Learned pair similarity s(r_i, r_j), indexed by PairId.
+  std::vector<double> pair_scores;
+  size_t iterations = 0;
+  bool converged = false;
+  /// Σ_t |Δx_t| after each sweep, when track_convergence is set.
+  std::vector<double> update_trace;
+};
+
+/// Runs ITER over the bipartite graph. `edge_probability[p]` is the
+/// matching probability p(r_i, r_j) used as the pair→term edge weight of
+/// Eq. 6 — pass a vector of 1.0 for the first fusion round (§V-C), or the
+/// CliqueRank output in later rounds.
+IterResult RunIter(const BipartiteGraph& graph,
+                   const std::vector<double>& edge_probability,
+                   const IterOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_CORE_ITER_H_

@@ -1,0 +1,87 @@
+#include "gter/core/model_io.h"
+
+#include <cstdlib>
+
+#include "gter/er/csv.h"
+
+namespace gter {
+
+Status SaveTermWeights(const std::string& path, const Dataset& dataset,
+                       const std::vector<double>& term_weights) {
+  if (term_weights.size() != dataset.vocabulary().size()) {
+    return Status::InvalidArgument("term weight vector size mismatch");
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"term", "weight"});
+  for (TermId t = 0; t < term_weights.size(); ++t) {
+    if (term_weights[t] == 0.0) continue;
+    rows.push_back({dataset.vocabulary().TermOf(t),
+                    std::to_string(term_weights[t])});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<std::vector<double>> LoadTermWeights(const std::string& path,
+                                            const Dataset& dataset) {
+  auto rows = ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  std::vector<double> weights(dataset.vocabulary().size(), 0.0);
+  const auto& data = rows.value();
+  for (size_t i = 1; i < data.size(); ++i) {
+    if (data[i].size() != 2) {
+      return Status::InvalidArgument("malformed term weight row " +
+                                     std::to_string(i));
+    }
+    TermId t = dataset.vocabulary().Lookup(data[i][0]);
+    if (t == kInvalidTermId) {
+      return Status::NotFound("term '" + data[i][0] +
+                              "' not in the dataset vocabulary");
+    }
+    weights[t] = std::strtod(data[i][1].c_str(), nullptr);
+  }
+  return weights;
+}
+
+Status SaveMatches(const std::string& path, const PairSpace& pairs,
+                   const FusionResult& result) {
+  if (result.matches.size() != pairs.size() ||
+      result.pair_probability.size() != pairs.size()) {
+    return Status::InvalidArgument("fusion result size mismatch");
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"record_a", "record_b", "probability"});
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    if (!result.matches[p]) continue;
+    const RecordPair& rp = pairs.pair(p);
+    rows.push_back({std::to_string(rp.a), std::to_string(rp.b),
+                    std::to_string(result.pair_probability[p])});
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<std::vector<bool>> LoadMatches(const std::string& path,
+                                      const PairSpace& pairs) {
+  auto rows = ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  std::vector<bool> matches(pairs.size(), false);
+  const auto& data = rows.value();
+  for (size_t i = 1; i < data.size(); ++i) {
+    if (data[i].size() != 3) {
+      return Status::InvalidArgument("malformed match row " +
+                                     std::to_string(i));
+    }
+    RecordId a = static_cast<RecordId>(std::strtoul(data[i][0].c_str(),
+                                                    nullptr, 10));
+    RecordId b = static_cast<RecordId>(std::strtoul(data[i][1].c_str(),
+                                                    nullptr, 10));
+    PairId p = pairs.Find(a, b);
+    if (p == kInvalidPairId) {
+      return Status::NotFound("pair (" + data[i][0] + "," + data[i][1] +
+                              ") not in the candidate space");
+    }
+    matches[p] = true;
+  }
+  return matches;
+}
+
+}  // namespace gter

@@ -1,0 +1,44 @@
+#ifndef GTER_CORE_MODEL_IO_H_
+#define GTER_CORE_MODEL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "gter/common/status.h"
+#include "gter/core/fusion.h"
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// Persistence for fusion outputs, so a resolution run can be stored,
+/// inspected, or applied later without recomputation.
+///
+/// Two artifacts:
+///  * a term-weight file (`term,weight` CSV) — the learned discrimination
+///    power, reusable as a domain lexicon;
+///  * a match file (`record_a,record_b,probability` CSV) — the resolved
+///    pairs at the configured η.
+
+/// Writes every term with non-zero weight.
+Status SaveTermWeights(const std::string& path, const Dataset& dataset,
+                       const std::vector<double>& term_weights);
+
+/// Loads weights back, aligned to `dataset`'s vocabulary (unknown terms in
+/// the file are an error; absent terms get weight 0).
+Result<std::vector<double>> LoadTermWeights(const std::string& path,
+                                            const Dataset& dataset);
+
+/// Writes matched pairs with their probability.
+Status SaveMatches(const std::string& path, const PairSpace& pairs,
+                   const FusionResult& result);
+
+/// Loads match decisions back into a PairSpace-aligned boolean vector.
+/// Pairs in the file that are not in `pairs` are an error (the file was
+/// made for a different dataset).
+Result<std::vector<bool>> LoadMatches(const std::string& path,
+                                      const PairSpace& pairs);
+
+}  // namespace gter
+
+#endif  // GTER_CORE_MODEL_IO_H_

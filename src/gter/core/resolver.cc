@@ -1,0 +1,38 @@
+#include "gter/core/resolver.h"
+
+#include "gter/common/status.h"
+#include "gter/graph/union_find.h"
+
+namespace gter {
+
+ResolutionResult ResolveFromMatches(const Dataset& dataset,
+                                    const PairSpace& pairs,
+                                    const std::vector<bool>& matches) {
+  GTER_CHECK(matches.size() == pairs.size());
+  ResolutionResult result;
+  result.matches = matches;
+  UnionFind uf(dataset.size());
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    if (matches[p]) {
+      const RecordPair& rp = pairs.pair(p);
+      uf.Union(rp.a, rp.b);
+    }
+  }
+  result.cluster_of = uf.ComponentLabels();
+  return result;
+}
+
+std::vector<std::pair<uint32_t, uint32_t>> MatchedPairs(
+    const PairSpace& pairs, const std::vector<bool>& matches) {
+  GTER_CHECK(matches.size() == pairs.size());
+  std::vector<std::pair<uint32_t, uint32_t>> out;
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    if (matches[p]) {
+      const RecordPair& rp = pairs.pair(p);
+      out.emplace_back(rp.a, rp.b);
+    }
+  }
+  return out;
+}
+
+}  // namespace gter

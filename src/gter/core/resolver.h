@@ -1,0 +1,50 @@
+#ifndef GTER_CORE_RESOLVER_H_
+#define GTER_CORE_RESOLVER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// Uniform interface for every unsupervised pair-scoring method in the
+/// library (string baselines, graph-theoretic baselines, and the fusion
+/// framework). A scorer maps each candidate pair to a similarity — higher
+/// means more likely the same entity. The evaluation harness turns scores
+/// into decisions (threshold sweep or the η rule).
+class PairScorer {
+ public:
+  virtual ~PairScorer() = default;
+
+  /// Display name used in reports (e.g. "TF-IDF").
+  virtual std::string name() const = 0;
+
+  /// Returns one score per candidate pair (indexed by PairId).
+  virtual std::vector<double> Score(const Dataset& dataset,
+                                    const PairSpace& pairs) = 0;
+};
+
+/// A resolved dataset: per-pair decisions plus the clusters they imply.
+struct ResolutionResult {
+  /// Decision per candidate pair.
+  std::vector<bool> matches;
+  /// Dense cluster label per record (transitive closure of matches).
+  std::vector<uint32_t> cluster_of;
+};
+
+/// Builds clusters from per-pair decisions by transitive closure.
+ResolutionResult ResolveFromMatches(const Dataset& dataset,
+                                    const PairSpace& pairs,
+                                    const std::vector<bool>& matches);
+
+/// Matching record pairs as (a, b) id pairs, for reporting.
+std::vector<std::pair<uint32_t, uint32_t>> MatchedPairs(
+    const PairSpace& pairs, const std::vector<bool>& matches);
+
+}  // namespace gter
+
+#endif  // GTER_CORE_RESOLVER_H_

@@ -1,0 +1,114 @@
+#include "gter/core/rss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gter/common/random.h"
+#include "gter/common/status.h"
+
+namespace gter {
+namespace {
+
+/// Per-node powered edge weights (w/rowmax)^α plus their sum, precomputed
+/// once so each walk step is O(deg) without pow() calls.
+struct PoweredRows {
+  std::vector<std::vector<double>> powered;  // per node, parallel to Neighbors
+  std::vector<double> row_sum;
+};
+
+PoweredRows PrecomputeRows(const RecordGraph& graph, double alpha) {
+  PoweredRows rows;
+  rows.powered.resize(graph.num_nodes());
+  rows.row_sum.resize(graph.num_nodes(), 0.0);
+  for (RecordId r = 0; r < graph.num_nodes(); ++r) {
+    auto wts = graph.Weights(r);
+    auto& out = rows.powered[r];
+    out.resize(wts.size());
+    double row_max = 0.0;
+    for (double w : wts) row_max = std::max(row_max, w);
+    if (row_max <= 0.0) {
+      // Degenerate node: uniform transitions.
+      std::fill(out.begin(), out.end(), 1.0);
+      rows.row_sum[r] = static_cast<double>(out.size());
+      continue;
+    }
+    double sum = 0.0;
+    for (size_t k = 0; k < wts.size(); ++k) {
+      out[k] = std::pow(wts[k] / row_max, alpha);
+      sum += out[k];
+    }
+    rows.row_sum[r] = sum;
+  }
+  return rows;
+}
+
+/// One rectified walk from `start` toward `target` (Algorithm 3).
+/// Returns 1 on reaching the target within S steps, 0 otherwise.
+int RandomWalk(const RecordGraph& graph, const PoweredRows& rows,
+               RecordId start, RecordId target, const RssOptions& options,
+               Rng* rng) {
+  RecordId cur = start;
+  for (size_t step = 0; step < options.max_steps; ++step) {
+    auto neigh = graph.Neighbors(cur);
+    if (neigh.empty()) return 0;
+    const auto& powered = rows.powered[cur];
+    double total = rows.row_sum[cur];
+    // Lines 3–4: boost the edge toward the target, when present.
+    int64_t target_idx = -1;
+    double boosted = 0.0;
+    if (options.use_boost) {
+      auto it = std::lower_bound(neigh.begin(), neigh.end(), target);
+      if (it != neigh.end() && *it == target) {
+        target_idx = it - neigh.begin();
+        double b = rng->OpenUniformDouble();
+        boosted = std::pow(1.0 + b, options.alpha) * powered[target_idx];
+        total = total - powered[target_idx] + boosted;
+      }
+    }
+    // Line 5: sample the next node from the boosted distribution.
+    double u = rng->UniformDouble() * total;
+    RecordId next = neigh.back();
+    double acc = 0.0;
+    for (size_t k = 0; k < neigh.size(); ++k) {
+      double w = (static_cast<int64_t>(k) == target_idx) ? boosted : powered[k];
+      acc += w;
+      if (u < acc) {
+        next = neigh[k];
+        break;
+      }
+    }
+    if (next == target) return 1;  // lines 6–7
+    if (options.early_stop && !graph.HasEdge(next, target)) {
+      return 0;  // lines 8–9: walked out of the target's clique
+    }
+    cur = next;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
+                           const RssOptions& options) {
+  GTER_CHECK(options.num_walks >= 2);
+  PoweredRows rows = PrecomputeRows(graph, options.alpha);
+  std::vector<double> probability(pairs.size(), 0.0);
+  Rng master(options.seed);
+  const size_t half = options.num_walks / 2;
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    Rng rng = master.Fork(p);
+    size_t successes = 0;
+    for (size_t m = 0; m < half; ++m) {
+      successes += RandomWalk(graph, rows, rp.a, rp.b, options, &rng);
+    }
+    for (size_t m = 0; m < half; ++m) {
+      successes += RandomWalk(graph, rows, rp.b, rp.a, options, &rng);
+    }
+    probability[p] =
+        static_cast<double>(successes) / static_cast<double>(2 * half);
+  }
+  return probability;
+}
+
+}  // namespace gter

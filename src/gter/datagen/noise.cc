@@ -1,0 +1,62 @@
+#include "gter/datagen/noise.h"
+
+namespace gter {
+
+std::string InjectTypo(const std::string& word, Rng* rng) {
+  if (word.empty()) return word;
+  static const char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string out = word;
+  size_t kind = out.size() == 1 ? 0 : rng->NextBounded(4);
+  size_t pos = rng->NextBounded(out.size());
+  switch (kind) {
+    case 0:  // substitution
+      out[pos] = kLetters[rng->NextBounded(26)];
+      break;
+    case 1:  // insertion
+      out.insert(out.begin() + pos, kLetters[rng->NextBounded(26)]);
+      break;
+    case 2:  // deletion
+      out.erase(out.begin() + pos);
+      break;
+    default:  // adjacent transposition
+      if (pos + 1 >= out.size()) pos = out.size() - 2;
+      std::swap(out[pos], out[pos + 1]);
+      break;
+  }
+  return out;
+}
+
+std::string Abbreviate(const std::string& word, Rng* rng) {
+  size_t keep = 3 + rng->NextBounded(2);
+  if (word.size() <= keep) return word;
+  return word.substr(0, keep);
+}
+
+std::vector<std::string> ApplyNoise(const std::vector<std::string>& tokens,
+                                    const NoiseOptions& options, Rng* rng) {
+  std::vector<std::string> out;
+  out.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    if (rng->Bernoulli(options.drop_prob)) continue;
+    std::string t = token;
+    if (rng->Bernoulli(options.abbreviate_prob)) {
+      t = Abbreviate(t, rng);
+    } else if (rng->Bernoulli(options.typo_prob)) {
+      t = InjectTypo(t, rng);
+    }
+    if (!t.empty()) out.push_back(std::move(t));
+  }
+  if (out.empty() && !tokens.empty()) out.push_back(tokens.front());
+  return out;
+}
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::string out;
+  for (const auto& t : tokens) {
+    if (!out.empty()) out.push_back(' ');
+    out += t;
+  }
+  return out;
+}
+
+}  // namespace gter

@@ -1,0 +1,45 @@
+#ifndef GTER_DATAGEN_NOISE_H_
+#define GTER_DATAGEN_NOISE_H_
+
+#include <string>
+#include <vector>
+
+#include "gter/common/random.h"
+
+namespace gter {
+
+/// Noise model shared by the synthetic generators: the corruption types the
+/// real benchmark datasets exhibit (typos, abbreviations, dropped tokens,
+/// case/punctuation differences handled upstream by the normalizer).
+struct NoiseOptions {
+  /// Probability of injecting one random edit (substitute/insert/delete/
+  /// transpose) into a word.
+  double typo_prob = 0.08;
+  /// Probability of replacing a word by its 3–4 letter prefix
+  /// (abbreviation, e.g. "proceedings" → "proc").
+  double abbreviate_prob = 0.05;
+  /// Probability of dropping a token entirely.
+  double drop_prob = 0.05;
+};
+
+/// Applies one random character edit to `word` (uniform over substitution,
+/// insertion, deletion, adjacent transposition). Single-character words are
+/// only ever substituted.
+std::string InjectTypo(const std::string& word, Rng* rng);
+
+/// Truncates `word` to a 3–4 character prefix when longer; otherwise
+/// returns it unchanged.
+std::string Abbreviate(const std::string& word, Rng* rng);
+
+/// Applies the noise model to every token independently; dropped tokens
+/// are removed. Never returns an empty vector — the first token survives
+/// when everything else was dropped.
+std::vector<std::string> ApplyNoise(const std::vector<std::string>& tokens,
+                                    const NoiseOptions& options, Rng* rng);
+
+/// Joins tokens with single spaces.
+std::string JoinTokens(const std::vector<std::string>& tokens);
+
+}  // namespace gter
+
+#endif  // GTER_DATAGEN_NOISE_H_

@@ -1,0 +1,216 @@
+#include "gter/datagen/vocab_bank.h"
+
+namespace gter {
+
+const std::vector<std::string>& VocabBank::RestaurantNameWords() {
+  static const std::vector<std::string> kWords = {
+      "golden",  "dragon",   "palace",   "garden",  "house",    "grill",
+      "corner",  "blue",     "ocean",    "star",    "royal",    "little",
+      "lucky",   "red",      "lantern",  "bistro",  "cafe",     "kitchen",
+      "tavern",  "villa",    "casa",     "chez",    "bella",    "luna",
+      "sunset",  "harbor",   "spice",    "pepper",  "olive",    "maple",
+      "cedar",   "willow",   "brass",    "copper",  "silver",   "ivory",
+      "jade",    "bamboo",   "lotus",    "tokyo",   "kyoto",    "napoli",
+      "roma",    "verona",   "paris",    "lyon",    "havana",   "bombay",
+      "saigon",  "seoul",    "athens",   "vienna",  "prague",   "lisbon",
+      "empire",  "union",    "liberty",  "pioneer", "heritage", "village",
+      "mission", "plaza",    "terrace",  "summit",  "canyon",   "lakeside",
+      "midtown", "uptown",   "downtown", "old",     "grand",    "royale",
+      "prime",   "classic",  "original", "famous",  "mama",     "papa",
+      "uncle",   "brothers", "sisters",  "twins",   "crown",    "anchor",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::Cuisines() {
+  static const std::vector<std::string> kWords = {
+      "american", "italian",   "french",        "chinese",  "japanese",
+      "thai",     "mexican",   "indian",        "greek",    "spanish",
+      "korean",   "vietnamese", "mediterranean", "cajun",    "seafood",
+      "steakhouse", "barbecue", "vegetarian",    "fusion",   "continental",
+      "delicatessen", "diner",  "pizzeria",      "sushi",    "noodles",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::StreetNames() {
+  static const std::vector<std::string> kWords = {
+      "main",       "oak",      "pine",      "maple",    "cedar",
+      "elm",        "washington", "lincoln",  "jefferson", "madison",
+      "franklin",   "broadway", "sunset",    "wilshire", "melrose",
+      "ventura",    "colorado", "pacific",   "atlantic", "ocean",
+      "park",       "lake",     "river",     "hill",     "valley",
+      "spring",     "church",   "market",    "canal",    "union",
+      "highland",   "fairfax",  "labrea",    "pico",     "olympic",
+      "santa",      "monica",   "beverly",   "robertson", "doheny",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::StreetSuffixes() {
+  static const std::vector<std::string> kWords = {
+      "street", "avenue", "boulevard", "drive", "road", "lane", "place",
+      "court",  "way",    "circle",
+  };
+  return kWords;
+}
+
+std::string VocabBank::AbbreviateStreetSuffix(const std::string& suffix) {
+  if (suffix == "street") return "st";
+  if (suffix == "avenue") return "ave";
+  if (suffix == "boulevard") return "blvd";
+  if (suffix == "drive") return "dr";
+  if (suffix == "road") return "rd";
+  if (suffix == "lane") return "ln";
+  if (suffix == "place") return "pl";
+  if (suffix == "court") return "ct";
+  if (suffix == "way") return "wy";
+  if (suffix == "circle") return "cir";
+  return suffix;
+}
+
+const std::vector<std::string>& VocabBank::Cities() {
+  static const std::vector<std::string> kWords = {
+      "losangeles", "hollywood", "pasadena",  "burbank",   "glendale",
+      "santamonica", "venice",   "culvercity", "westwood", "brentwood",
+      "sherman",    "studiocity", "encino",    "tarzana",  "newyork",
+      "brooklyn",   "queens",    "manhattan",  "atlanta",  "marietta",
+      "decatur",    "buckhead",  "sanfrancisco", "oakland", "berkeley",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::Brands() {
+  static const std::vector<std::string> kWords = {
+      "sony",      "samsung",  "panasonic", "toshiba",  "philips",
+      "sharp",     "sanyo",    "jvc",       "pioneer",  "kenwood",
+      "yamaha",    "onkyo",    "denon",     "bose",     "klipsch",
+      "logitech",  "canon",    "nikon",     "olympus",  "kodak",
+      "garmin",    "tomtom",   "motorola",  "nokia",    "siemens",
+      "whirlpool", "frigidaire", "maytag",   "hoover",   "dyson",
+      "braun",     "krups",    "cuisinart", "delonghi", "hamilton",
+      "haier",     "lg",       "vizio",     "polk",     "sennheiser",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::ProductCategories() {
+  static const std::vector<std::string> kWords = {
+      "television", "camcorder", "receiver",  "speaker",   "headphones",
+      "refrigerator", "microwave", "dishwasher", "washer",  "dryer",
+      "vacuum",     "blender",   "toaster",   "grinder",   "espresso",
+      "telephone",  "keyboard",  "monitor",   "printer",   "scanner",
+      "radio",      "turntable", "subwoofer", "amplifier", "projector",
+      "navigation", "camera",    "lens",      "tripod",    "flash",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::ProductAdjectives() {
+  static const std::vector<std::string> kWords = {
+      "black",    "white",   "silver",  "stainless", "compact",
+      "portable", "digital", "wireless", "bluetooth", "rechargeable",
+      "automatic", "programmable", "professional", "premium", "deluxe",
+      "slim",     "widescreen", "highdefinition", "energy", "quiet",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::ProductCommonWords() {
+  static const std::vector<std::string> kWords = {
+      "inch",     "series",   "system",   "home",     "theater",
+      "channel",  "watt",     "remote",   "control",  "player",
+      "recorder", "display",  "screen",   "panel",    "cycle",
+      "capacity", "stainless", "steel",   "finish",   "color",
+      "pack",     "kit",      "bundle",   "edition",  "model",
+      "video",    "audio",    "stereo",   "surround", "sound",
+      "power",    "battery",  "charger",  "adapter",  "cable",
+      "warranty", "includes", "features", "technology", "performance",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::TitleTopicWords() {
+  static const std::vector<std::string> kWords = {
+      "learning",   "reasoning",  "inference",   "classification",
+      "clustering", "retrieval",  "recognition", "optimization",
+      "estimation", "prediction", "generalization", "induction",
+      "bayesian",   "markov",     "neural",      "genetic",
+      "reinforcement", "supervised", "probabilistic", "stochastic",
+      "decision",   "boosting",   "bagging",     "pruning",
+      "sampling",   "regression", "kernels",     "margins",
+      "gradient",   "entropy",    "likelihood",  "posterior",
+      "hidden",     "latent",     "temporal",    "spatial",
+      "relational", "structural", "hierarchical", "adaptive",
+      "incremental", "online",    "parallel",    "distributed",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::TitleFillerWords() {
+  static const std::vector<std::string> kWords = {
+      "networks", "models",    "methods",   "algorithms", "systems",
+      "approach", "framework", "analysis",  "theory",     "applications",
+      "trees",    "machines",  "agents",    "programs",   "features",
+      "functions", "bounds",   "complexity", "experiments", "evaluation",
+  };
+  return kWords;
+}
+
+const std::vector<std::string>& VocabBank::VenueWords() {
+  static const std::vector<std::string> kWords = {
+      "icml",  "nips",  "aaai",  "ijcai", "uai",    "colt",
+      "kdd",   "sigir", "acl",   "emnlp", "icdm",   "ecml",
+      "jmlr",  "mlj",   "aij",   "jair",  "pami",   "tkde",
+  };
+  return kWords;
+}
+
+std::string VocabBank::MakeSurname(Rng* rng) {
+  static const std::vector<std::string> kOnsets = {
+      "ka", "ko", "mi", "ma", "ta", "to", "ri", "ro", "sa", "se",
+      "la", "le", "na", "no", "ha", "he", "va", "ve", "du", "de",
+      "ba", "be", "ga", "go", "pa", "pe", "cha", "shi", "zhu", "wei"};
+  static const std::vector<std::string> kMiddles = {
+      "val", "ren", "mor", "lan", "ber", "ker", "min", "tar", "son", "ler",
+      "mar", "nov", "rek", "lin", "dor", "ham", "wit", "gel", "ros", "man"};
+  static const std::vector<std::string> kCodas = {
+      "ov",  "ez",  "en",  "er",  "ski", "sen", "ton", "ley", "ing", "ara",
+      "ita", "ano", "elli", "off", "ak",  "ic",  "ah",  "u",   "o",   "a"};
+  std::string name = kOnsets[rng->NextBounded(kOnsets.size())];
+  name += kMiddles[rng->NextBounded(kMiddles.size())];
+  // An optional second middle syllable enlarges the space to ~260k names,
+  // keeping large generated pools collision-free.
+  if (rng->Bernoulli(0.5)) name += kMiddles[rng->NextBounded(kMiddles.size())];
+  if (rng->Bernoulli(0.7)) name += kCodas[rng->NextBounded(kCodas.size())];
+  return name;
+}
+
+std::string VocabBank::MakeModelCode(Rng* rng) {
+  static const char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+  std::string code;
+  size_t letters = 2 + rng->NextBounded(3);
+  for (size_t i = 0; i < letters; ++i) {
+    code.push_back(kLetters[rng->NextBounded(26)]);
+  }
+  size_t digits = 2 + rng->NextBounded(3);
+  for (size_t i = 0; i < digits; ++i) {
+    code.push_back(static_cast<char>('0' + rng->NextBounded(10)));
+  }
+  size_t tail = rng->NextBounded(3);
+  for (size_t i = 0; i < tail; ++i) {
+    code.push_back(kLetters[rng->NextBounded(26)]);
+  }
+  return code;
+}
+
+std::string VocabBank::MakePhone(Rng* rng) {
+  std::string phone;
+  phone.push_back(static_cast<char>('2' + rng->NextBounded(8)));
+  for (size_t i = 0; i < 9; ++i) {
+    phone.push_back(static_cast<char>('0' + rng->NextBounded(10)));
+  }
+  return phone;
+}
+
+}  // namespace gter

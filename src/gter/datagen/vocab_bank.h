@@ -1,0 +1,52 @@
+#ifndef GTER_DATAGEN_VOCAB_BANK_H_
+#define GTER_DATAGEN_VOCAB_BANK_H_
+
+#include <string>
+#include <vector>
+
+#include "gter/common/random.h"
+
+namespace gter {
+
+/// Word banks for the synthetic benchmark generators. Each accessor returns
+/// a stable list; the Make* helpers synthesize pseudo-words (names, model
+/// codes) deterministically from the caller's Rng so arbitrarily large
+/// vocabularies are available without shipping data files.
+class VocabBank {
+ public:
+  // -- Restaurant domain -------------------------------------------------
+  static const std::vector<std::string>& RestaurantNameWords();
+  static const std::vector<std::string>& Cuisines();
+  static const std::vector<std::string>& StreetNames();
+  static const std::vector<std::string>& StreetSuffixes();  // full forms
+  static const std::vector<std::string>& Cities();
+
+  // -- Product domain ----------------------------------------------------
+  static const std::vector<std::string>& Brands();
+  static const std::vector<std::string>& ProductCategories();
+  static const std::vector<std::string>& ProductAdjectives();
+  static const std::vector<std::string>& ProductCommonWords();
+
+  // -- Paper (bibliography) domain ----------------------------------------
+  static const std::vector<std::string>& TitleTopicWords();
+  static const std::vector<std::string>& TitleFillerWords();
+  static const std::vector<std::string>& VenueWords();
+
+  /// Canonical abbreviation of a full street suffix ("street" → "st").
+  static std::string AbbreviateStreetSuffix(const std::string& suffix);
+
+  /// Synthesizes a pronounceable surname from syllables ("kovalen",
+  /// "martez", ...). Deterministic in the Rng state.
+  static std::string MakeSurname(Rng* rng);
+
+  /// Synthesizes a product model code like "pslx350h" or "tu1500rd":
+  /// 2–4 lowercase letters, 2–4 digits, 0–2 trailing letters.
+  static std::string MakeModelCode(Rng* rng);
+
+  /// Synthesizes a 10-digit phone number rendered as one token.
+  static std::string MakePhone(Rng* rng);
+};
+
+}  // namespace gter
+
+#endif  // GTER_DATAGEN_VOCAB_BANK_H_

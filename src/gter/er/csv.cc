@@ -1,0 +1,140 @@
+#include "gter/er/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace gter {
+
+std::vector<std::string> ParseCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    const std::string& f = fields[i];
+    bool needs_quotes = f.find_first_of(",\"\n") != std::string::npos;
+    if (needs_quotes) {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out.push_back('"');
+        out.push_back(c);
+      }
+      out.push_back('"');
+    } else {
+      out += f;
+    }
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(ParseCsvLine(line));
+  }
+  return rows;
+}
+
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path + " for writing");
+  for (const auto& row : rows) {
+    out << FormatCsvLine(row) << "\n";
+  }
+  if (!out) return Status::IOError("write failure on " + path);
+  return Status::OK();
+}
+
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
+                      const GroundTruth& truth) {
+  if (truth.num_records() != dataset.size()) {
+    return Status::InvalidArgument("ground truth size mismatch");
+  }
+  std::vector<std::vector<std::string>> rows;
+  rows.push_back({"entity", "source", "text"});
+  for (const Record& rec : dataset.records()) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(truth.entity_of(rec.id)));
+    row.push_back(std::to_string(rec.source));
+    if (rec.fields.empty()) {
+      row.push_back(rec.raw_text);
+    } else {
+      for (const auto& f : rec.fields) row.push_back(f);
+    }
+    rows.push_back(std::move(row));
+  }
+  return WriteCsvFile(path, rows);
+}
+
+Result<std::pair<Dataset, GroundTruth>> LoadDatasetCsv(
+    const std::string& path, const std::string& dataset_name,
+    uint32_t num_sources) {
+  auto rows_result = ReadCsvFile(path);
+  if (!rows_result.ok()) return rows_result.status();
+  const auto& rows = rows_result.value();
+  if (rows.empty()) return Status::InvalidArgument("empty CSV: " + path);
+  Dataset dataset(dataset_name, num_sources);
+  std::vector<EntityId> entity_of;
+  for (size_t i = 1; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() < 3) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     " has fewer than 3 columns");
+    }
+    EntityId entity = static_cast<EntityId>(std::strtoul(row[0].c_str(),
+                                                         nullptr, 10));
+    uint32_t source = static_cast<uint32_t>(std::strtoul(row[1].c_str(),
+                                                         nullptr, 10));
+    if (source >= num_sources) {
+      return Status::InvalidArgument("row " + std::to_string(i) +
+                                     " has out-of-range source");
+    }
+    std::vector<std::string> fields(row.begin() + 2, row.end());
+    std::string text;
+    for (const auto& f : fields) {
+      if (!text.empty()) text.push_back(' ');
+      text += f;
+    }
+    dataset.AddRecord(source, std::move(text), std::move(fields));
+    entity_of.push_back(entity);
+  }
+  return std::make_pair(std::move(dataset), GroundTruth(std::move(entity_of)));
+}
+
+}  // namespace gter

@@ -1,0 +1,45 @@
+#ifndef GTER_ER_CSV_H_
+#define GTER_ER_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "gter/common/status.h"
+#include "gter/er/dataset.h"
+#include "gter/er/ground_truth.h"
+
+namespace gter {
+
+/// Parses one line of RFC-4180-ish CSV (double-quote quoting, embedded
+/// commas and escaped quotes inside quoted fields). Newlines inside quoted
+/// fields are not supported (the ER benchmark formats do not use them).
+std::vector<std::string> ParseCsvLine(const std::string& line);
+
+/// Serializes fields into one CSV line, quoting where needed.
+std::string FormatCsvLine(const std::vector<std::string>& fields);
+
+/// Reads a whole CSV file; returns one row per line. An empty trailing line
+/// is skipped.
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Writes rows to `path`, overwriting.
+Status WriteCsvFile(const std::string& path,
+                    const std::vector<std::vector<std::string>>& rows);
+
+/// Persists a dataset plus ground truth in the library's interchange format:
+/// header `entity,source,field...` followed by one row per record. Fields
+/// are the record's raw fields when present, else the raw text as a single
+/// field.
+Status SaveDatasetCsv(const std::string& path, const Dataset& dataset,
+                      const GroundTruth& truth);
+
+/// Loads a dataset saved by SaveDatasetCsv. All fields are joined with
+/// spaces to form the record text.
+Result<std::pair<Dataset, GroundTruth>> LoadDatasetCsv(
+    const std::string& path, const std::string& dataset_name,
+    uint32_t num_sources);
+
+}  // namespace gter
+
+#endif  // GTER_ER_CSV_H_

@@ -1,0 +1,55 @@
+#include "gter/er/ground_truth.h"
+
+#include <algorithm>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+GroundTruth::GroundTruth(std::vector<EntityId> entity_of)
+    : entity_of_(std::move(entity_of)) {
+  EntityId max_entity = 0;
+  for (EntityId e : entity_of_) max_entity = std::max(max_entity, e);
+  num_entities_ = entity_of_.empty() ? 0 : static_cast<size_t>(max_entity) + 1;
+  clusters_.assign(num_entities_, {});
+  for (RecordId r = 0; r < entity_of_.size(); ++r) {
+    clusters_[entity_of_[r]].push_back(r);
+  }
+}
+
+uint64_t GroundTruth::CountMatchingPairs() const {
+  uint64_t total = 0;
+  for (const auto& cluster : clusters_) {
+    uint64_t k = cluster.size();
+    total += k * (k - 1) / 2;
+  }
+  return total;
+}
+
+uint64_t GroundTruth::CountMatchingCrossPairs(
+    const std::vector<uint32_t>& source_of) const {
+  GTER_CHECK(source_of.size() == entity_of_.size());
+  uint64_t total = 0;
+  for (const auto& cluster : clusters_) {
+    uint64_t in_source0 = 0, in_source1 = 0;
+    for (RecordId r : cluster) {
+      if (source_of[r] == 0) {
+        ++in_source0;
+      } else {
+        ++in_source1;
+      }
+    }
+    total += in_source0 * in_source1;
+  }
+  return total;
+}
+
+std::vector<size_t> GroundTruth::ClusterSizeHistogram() const {
+  size_t max_size = 0;
+  for (const auto& c : clusters_) max_size = std::max(max_size, c.size());
+  std::vector<size_t> hist(max_size + 1, 0);
+  for (const auto& c : clusters_) ++hist[c.size()];
+  return hist;
+}
+
+}  // namespace gter

@@ -1,0 +1,59 @@
+#ifndef GTER_ER_GROUND_TRUTH_H_
+#define GTER_ER_GROUND_TRUTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/er/record.h"
+
+namespace gter {
+
+/// Dense entity (cluster) id.
+using EntityId = uint32_t;
+
+/// Ground-truth entity assignment: records with equal entity id refer to the
+/// same real-world entity. Used by the evaluation harness, the synthetic
+/// generators, and the simulated crowd oracle — never by the unsupervised
+/// resolvers themselves.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+
+  /// Builds from a per-record entity assignment (index = record id).
+  explicit GroundTruth(std::vector<EntityId> entity_of);
+
+  size_t num_records() const { return entity_of_.size(); }
+  size_t num_entities() const { return num_entities_; }
+
+  EntityId entity_of(RecordId r) const { return entity_of_[r]; }
+
+  /// True when the two records refer to the same entity.
+  bool IsMatch(RecordId a, RecordId b) const {
+    return entity_of_[a] == entity_of_[b];
+  }
+
+  /// Record ids of every entity, indexed by entity id.
+  const std::vector<std::vector<RecordId>>& clusters() const {
+    return clusters_;
+  }
+
+  /// Total number of matching record pairs Σ |cluster|·(|cluster|-1)/2.
+  /// For two-source datasets pass the per-record source array to count only
+  /// cross-source pairs (the candidate universe of such datasets).
+  uint64_t CountMatchingPairs() const;
+  uint64_t CountMatchingCrossPairs(const std::vector<uint32_t>& source_of) const;
+
+  /// Cluster-size histogram: result[k] = number of entities with exactly k
+  /// records (index 0 unused).
+  std::vector<size_t> ClusterSizeHistogram() const;
+
+ private:
+  std::vector<EntityId> entity_of_;
+  std::vector<std::vector<RecordId>> clusters_;
+  size_t num_entities_ = 0;
+};
+
+}  // namespace gter
+
+#endif  // GTER_ER_GROUND_TRUTH_H_

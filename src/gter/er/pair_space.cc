@@ -1,0 +1,55 @@
+#include "gter/er/pair_space.h"
+
+#include <algorithm>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+PairSpace PairSpace::Build(const Dataset& dataset) {
+  PairSpace space;
+  const bool two_source = dataset.num_sources() == 2;
+  auto inverted = dataset.BuildInvertedIndex();
+  for (const auto& posting : inverted) {
+    for (size_t i = 0; i < posting.size(); ++i) {
+      for (size_t j = i + 1; j < posting.size(); ++j) {
+        RecordId a = posting[i];
+        RecordId b = posting[j];
+        if (a > b) std::swap(a, b);
+        if (two_source &&
+            dataset.record(a).source == dataset.record(b).source) {
+          continue;
+        }
+        uint64_t key = Key(a, b);
+        if (space.index_.find(key) != space.index_.end()) continue;
+        space.index_.emplace(key, static_cast<PairId>(space.pairs_.size()));
+        space.pairs_.push_back(RecordPair{a, b});
+      }
+    }
+  }
+  return space;
+}
+
+PairId PairSpace::Find(RecordId a, RecordId b) const {
+  if (a > b) std::swap(a, b);
+  auto it = index_.find(Key(a, b));
+  return it == index_.end() ? kInvalidPairId : it->second;
+}
+
+uint64_t PairSpace::UniverseSize(const Dataset& dataset) const {
+  if (dataset.num_sources() == 2) {
+    uint64_t s0 = 0, s1 = 0;
+    for (const Record& r : dataset.records()) {
+      if (r.source == 0) {
+        ++s0;
+      } else {
+        ++s1;
+      }
+    }
+    return s0 * s1;
+  }
+  uint64_t n = dataset.size();
+  return n * (n - 1) / 2;
+}
+
+}  // namespace gter

@@ -1,0 +1,47 @@
+#include "gter/er/preprocess.h"
+
+#include <algorithm>
+
+namespace gter {
+
+PreprocessStats RemoveFrequentTerms(Dataset* dataset,
+                                    const PreprocessOptions& options) {
+  PreprocessStats stats;
+  const size_t n = dataset->size();
+  std::vector<uint32_t> df = dataset->ComputeDocumentFrequencies();
+  size_t ratio_cap = std::max<size_t>(
+      1, static_cast<size_t>(options.max_df_ratio * static_cast<double>(n)));
+  size_t cap = ratio_cap;
+  if (options.max_df_absolute > 0) {
+    cap = std::min(cap, options.max_df_absolute);
+  }
+  std::vector<bool> drop(df.size(), false);
+  for (size_t t = 0; t < df.size(); ++t) {
+    if (df[t] > cap) {
+      drop[t] = true;
+      if (df[t] > 0) ++stats.terms_removed;
+    } else if (df[t] > 0) {
+      ++stats.terms_kept;
+    }
+  }
+  for (Record& rec : *dataset->mutable_records()) {
+    auto keep = [&](TermId t) { return !drop[t]; };
+    size_t before = rec.tokens.size();
+    rec.tokens.erase(
+        std::remove_if(rec.tokens.begin(), rec.tokens.end(),
+                       [&](TermId t) { return !keep(t); }),
+        rec.tokens.end());
+    stats.token_occurrences_removed += before - rec.tokens.size();
+    rec.terms.erase(
+        std::remove_if(rec.terms.begin(), rec.terms.end(),
+                       [&](TermId t) { return !keep(t); }),
+        rec.terms.end());
+  }
+  return stats;
+}
+
+PreprocessStats RemoveFrequentTerms(Dataset* dataset) {
+  return RemoveFrequentTerms(dataset, PreprocessOptions{});
+}
+
+}  // namespace gter

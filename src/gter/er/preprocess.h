@@ -1,0 +1,41 @@
+#ifndef GTER_ER_PREPROCESS_H_
+#define GTER_ER_PREPROCESS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "gter/er/dataset.h"
+
+namespace gter {
+
+/// Options for the corpus preprocessing step of §VII-A: "tokenize the
+/// textual contents and then remove the terms that are very frequent".
+struct PreprocessOptions {
+  /// Terms contained in more than `max_df_ratio · n` records are removed
+  /// from every record's term set (domain-specific stop words dilute the
+  /// discriminative terms and blow up the pair space).
+  double max_df_ratio = 0.12;
+  /// Absolute document-frequency cap applied in addition to the ratio;
+  /// 0 disables it.
+  size_t max_df_absolute = 0;
+};
+
+/// Statistics describing what preprocessing removed.
+struct PreprocessStats {
+  size_t terms_removed = 0;
+  size_t terms_kept = 0;
+  size_t token_occurrences_removed = 0;
+};
+
+/// Removes very frequent terms from the term sets (and token lists) of every
+/// record in `dataset`, in place. The vocabulary itself is untouched —
+/// removed term ids simply no longer occur in any record.
+PreprocessStats RemoveFrequentTerms(Dataset* dataset,
+                                    const PreprocessOptions& options);
+
+/// Convenience: default options.
+PreprocessStats RemoveFrequentTerms(Dataset* dataset);
+
+}  // namespace gter
+
+#endif  // GTER_ER_PREPROCESS_H_

@@ -1,0 +1,39 @@
+#ifndef GTER_ER_RECORD_H_
+#define GTER_ER_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gter/text/vocabulary.h"
+
+namespace gter {
+
+/// Dense record index within a Dataset.
+using RecordId = uint32_t;
+
+inline constexpr RecordId kInvalidRecordId = static_cast<RecordId>(-1);
+
+/// One textual record. The paper treats a record as a bag of terms; we keep
+/// both the ordered token sequence (for TF and string baselines) and the
+/// sorted-unique term set (for the bipartite graph and set metrics), plus
+/// the raw fields for field-aware baselines (Fellegi–Sunter).
+struct Record {
+  RecordId id = kInvalidRecordId;
+  /// Source index: always 0 for single-source datasets; 0 or 1 for
+  /// two-source datasets such as Abt-Buy.
+  uint32_t source = 0;
+  /// Original (pre-normalization) text.
+  std::string raw_text;
+  /// Original attribute fields, e.g. {name, address, city, phone}.
+  std::vector<std::string> fields;
+  /// Interned tokens in document order (duplicates allowed).
+  std::vector<TermId> tokens;
+  /// Sorted, deduplicated term ids.
+  std::vector<TermId> terms;
+};
+
+}  // namespace gter
+
+#endif  // GTER_ER_RECORD_H_

@@ -1,0 +1,35 @@
+#ifndef GTER_EVAL_CLUSTER_METRICS_H_
+#define GTER_EVAL_CLUSTER_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/er/ground_truth.h"
+
+namespace gter {
+
+/// Pairwise clustering quality: precision/recall/F1 over all unordered
+/// record pairs, comparing a predicted labeling to the ground truth.
+struct ClusterEvaluation {
+  double pairwise_precision = 0.0;
+  double pairwise_recall = 0.0;
+  double pairwise_f1 = 0.0;
+  /// Adjusted Rand Index in [-1, 1].
+  double adjusted_rand_index = 0.0;
+  size_t num_predicted_clusters = 0;
+};
+
+/// Evaluates predicted cluster labels (one per record) against the truth.
+ClusterEvaluation EvaluateClustering(const std::vector<uint32_t>& predicted,
+                                     const GroundTruth& truth);
+
+/// Builds clusters from match decisions by transitive closure: every
+/// predicted-matching pair is merged. Returns one dense label per record.
+std::vector<uint32_t> ClustersFromMatches(
+    size_t num_records,
+    const std::vector<std::pair<uint32_t, uint32_t>>& matches);
+
+}  // namespace gter
+
+#endif  // GTER_EVAL_CLUSTER_METRICS_H_

@@ -1,0 +1,48 @@
+#include "gter/eval/confusion.h"
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+std::vector<bool> LabelPairs(const PairSpace& pairs,
+                             const GroundTruth& truth) {
+  std::vector<bool> labels(pairs.size());
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    labels[p] = truth.IsMatch(rp.a, rp.b);
+  }
+  return labels;
+}
+
+uint64_t TotalPositives(const Dataset& dataset, const GroundTruth& truth) {
+  if (dataset.num_sources() == 2) {
+    std::vector<uint32_t> source_of;
+    source_of.reserve(dataset.size());
+    for (const Record& r : dataset.records()) source_of.push_back(r.source);
+    return truth.CountMatchingCrossPairs(source_of);
+  }
+  return truth.CountMatchingPairs();
+}
+
+Confusion EvaluatePairPredictions(const PairSpace& pairs,
+                                  const std::vector<bool>& predicted,
+                                  const std::vector<bool>& labels,
+                                  uint64_t total_positives) {
+  GTER_CHECK(predicted.size() == pairs.size());
+  GTER_CHECK(labels.size() == pairs.size());
+  Confusion c;
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    if (predicted[p]) {
+      if (labels[p]) {
+        ++c.true_positives;
+      } else {
+        ++c.false_positives;
+      }
+    }
+  }
+  GTER_CHECK(total_positives >= c.true_positives);
+  c.false_negatives = total_positives - c.true_positives;
+  return c;
+}
+
+}  // namespace gter

@@ -1,0 +1,54 @@
+#ifndef GTER_EVAL_CONFUSION_H_
+#define GTER_EVAL_CONFUSION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/er/ground_truth.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// Pairwise confusion counts over the candidate universe. Matching pairs
+/// that were never candidates (no shared term) count as false negatives —
+/// the paper's F1 is over all record pairs, not just materialized ones.
+struct Confusion {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t false_negatives = 0;
+
+  double Precision() const {
+    uint64_t denom = true_positives + false_positives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double Recall() const {
+    uint64_t denom = true_positives + false_negatives;
+    return denom == 0 ? 0.0 : static_cast<double>(true_positives) / denom;
+  }
+  double F1() const {
+    double p = Precision(), r = Recall();
+    return (p + r) == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+};
+
+/// Per-candidate-pair ground-truth labels: labels[p] is true iff pair p's
+/// records refer to the same entity.
+std::vector<bool> LabelPairs(const PairSpace& pairs, const GroundTruth& truth);
+
+/// Counts matching pairs in the candidate *universe* (all cross-source
+/// pairs for 2-source data, all unordered pairs otherwise), including pairs
+/// not materialized in `pairs`.
+uint64_t TotalPositives(const Dataset& dataset, const GroundTruth& truth);
+
+/// Builds the confusion counts for a prediction over the candidate pairs.
+/// `predicted[p]` is the decision for candidate pair p; `total_positives`
+/// is TotalPositives(...) so that non-candidate matches become FNs.
+Confusion EvaluatePairPredictions(const PairSpace& pairs,
+                                  const std::vector<bool>& predicted,
+                                  const std::vector<bool>& labels,
+                                  uint64_t total_positives);
+
+}  // namespace gter
+
+#endif  // GTER_EVAL_CONFUSION_H_

@@ -1,0 +1,72 @@
+#include "gter/eval/pr_curve.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+std::vector<PrPoint> ComputePrCurve(const std::vector<double>& scores,
+                                    const std::vector<bool>& labels,
+                                    uint64_t total_positives,
+                                    size_t max_points) {
+  GTER_CHECK(scores.size() == labels.size());
+  GTER_CHECK(max_points >= 2);
+  std::vector<uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+
+  std::vector<PrPoint> full;
+  uint64_t tp = 0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    tp += labels[order[k]];
+    // Emit a point at each threshold boundary (last of a tie group).
+    if (k + 1 < order.size() &&
+        scores[order[k + 1]] == scores[order[k]]) {
+      continue;
+    }
+    PrPoint point;
+    point.threshold = scores[order[k]];
+    point.precision = static_cast<double>(tp) / static_cast<double>(k + 1);
+    point.recall = total_positives == 0
+                       ? 0.0
+                       : static_cast<double>(tp) /
+                             static_cast<double>(total_positives);
+    full.push_back(point);
+  }
+  if (full.size() <= max_points) return full;
+  std::vector<PrPoint> sampled;
+  sampled.reserve(max_points);
+  double step = static_cast<double>(full.size() - 1) /
+                static_cast<double>(max_points - 1);
+  for (size_t i = 0; i < max_points; ++i) {
+    sampled.push_back(full[static_cast<size_t>(i * step)]);
+  }
+  sampled.back() = full.back();
+  return sampled;
+}
+
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<bool>& labels,
+                        uint64_t total_positives) {
+  GTER_CHECK(scores.size() == labels.size());
+  if (total_positives == 0) return 0.0;
+  std::vector<uint32_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+  uint64_t tp = 0;
+  double ap = 0.0;
+  for (size_t k = 0; k < order.size(); ++k) {
+    if (!labels[order[k]]) continue;
+    ++tp;
+    ap += static_cast<double>(tp) / static_cast<double>(k + 1);
+  }
+  return ap / static_cast<double>(total_positives);
+}
+
+}  // namespace gter

@@ -1,0 +1,36 @@
+#ifndef GTER_EVAL_PR_CURVE_H_
+#define GTER_EVAL_PR_CURVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gter {
+
+/// One operating point of a scorer.
+struct PrPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// Precision–recall curve of a score vector against per-pair labels, one
+/// point per distinct predicted-set size, downsampled to at most
+/// `max_points` (always keeping the first and last). `total_positives`
+/// counts every matching pair of the universe, so recall accounts for
+/// matches outside the candidate set.
+std::vector<PrPoint> ComputePrCurve(const std::vector<double>& scores,
+                                    const std::vector<bool>& labels,
+                                    uint64_t total_positives,
+                                    size_t max_points = 200);
+
+/// Average precision (area under the PR curve by the step-wise
+/// interpolation standard in IR): Σ_k P(k)·Δ I(k) / total_positives where
+/// the sum runs over candidates in descending score order.
+double AveragePrecision(const std::vector<double>& scores,
+                        const std::vector<bool>& labels,
+                        uint64_t total_positives);
+
+}  // namespace gter
+
+#endif  // GTER_EVAL_PR_CURVE_H_

@@ -1,0 +1,48 @@
+#include "gter/eval/spearman.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    double mean_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = mean_rank;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanRho(const std::vector<double>& x,
+                   const std::vector<double>& y) {
+  GTER_CHECK(x.size() == y.size());
+  const size_t n = x.size();
+  if (n < 2) return 0.0;
+  std::vector<double> rx = AverageRanks(x);
+  std::vector<double> ry = AverageRanks(y);
+  double mean = (static_cast<double>(n) + 1.0) / 2.0;
+  double cov = 0.0, var_x = 0.0, var_y = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double dx = rx[i] - mean;
+    double dy = ry[i] - mean;
+    cov += dx * dy;
+    var_x += dx * dx;
+    var_y += dy * dy;
+  }
+  if (var_x <= 0.0 || var_y <= 0.0) return 0.0;
+  return cov / std::sqrt(var_x * var_y);
+}
+
+}  // namespace gter

@@ -1,0 +1,19 @@
+#ifndef GTER_EVAL_SPEARMAN_H_
+#define GTER_EVAL_SPEARMAN_H_
+
+#include <vector>
+
+namespace gter {
+
+/// Average ranks of `values` (1-based; ties share the mean of the rank
+/// block, as standard for Spearman with ties).
+std::vector<double> AverageRanks(const std::vector<double>& values);
+
+/// Spearman rank correlation coefficient between two equally-sized vectors,
+/// computed as Pearson correlation of average ranks (tie-robust). Returns 0
+/// for vectors of size < 2 or zero rank variance.
+double SpearmanRho(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace gter
+
+#endif  // GTER_EVAL_SPEARMAN_H_

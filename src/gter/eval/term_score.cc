@@ -1,0 +1,23 @@
+#include "gter/eval/term_score.h"
+
+namespace gter {
+
+std::vector<double> OracleTermScores(const BipartiteGraph& graph,
+                                     const PairSpace& pairs,
+                                     const GroundTruth& truth) {
+  std::vector<double> scores(graph.num_terms(), 0.0);
+  for (TermId t = 0; t < graph.num_terms(); ++t) {
+    auto adjacent = graph.PairsOfTerm(t);
+    if (adjacent.empty()) continue;
+    size_t matching = 0;
+    for (PairId p : adjacent) {
+      const RecordPair& rp = pairs.pair(p);
+      if (truth.IsMatch(rp.a, rp.b)) ++matching;
+    }
+    scores[t] =
+        static_cast<double>(matching) / static_cast<double>(adjacent.size());
+  }
+  return scores;
+}
+
+}  // namespace gter

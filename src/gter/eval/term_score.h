@@ -1,0 +1,28 @@
+#ifndef GTER_EVAL_TERM_SCORE_H_
+#define GTER_EVAL_TERM_SCORE_H_
+
+#include <vector>
+
+#include "gter/er/ground_truth.h"
+#include "gter/er/pair_space.h"
+#include "gter/graph/bipartite_graph.h"
+
+namespace gter {
+
+/// The oracle discrimination score of §VII-E:
+///
+///   score(t) = (Σ_{(r_i,r_j) adjacent to t} I(r_i, r_j)) / P_t
+///
+/// where I = 1 iff the pair refers to the same entity and P_t is the number
+/// of pair nodes connected to t in the bipartite graph. score(t) = 1 means
+/// every pair sharing t is a match (highly discriminative term); values
+/// near 0 mean a common term. Terms with no adjacent pair get score 0.
+/// Used to validate ITER's learned weights (Table IV, Figure 4) — never by
+/// the resolvers.
+std::vector<double> OracleTermScores(const BipartiteGraph& graph,
+                                     const PairSpace& pairs,
+                                     const GroundTruth& truth);
+
+}  // namespace gter
+
+#endif  // GTER_EVAL_TERM_SCORE_H_

@@ -1,0 +1,82 @@
+#include "gter/eval/threshold_sweep.h"
+
+#include <algorithm>
+
+#include "gter/common/status.h"
+
+namespace gter {
+namespace {
+
+SweepResult MakeResult(double threshold, uint64_t tp, uint64_t fp,
+                       uint64_t total_positives) {
+  Confusion c;
+  c.true_positives = tp;
+  c.false_positives = fp;
+  c.false_negatives = total_positives - tp;
+  SweepResult r;
+  r.threshold = threshold;
+  r.precision = c.Precision();
+  r.recall = c.Recall();
+  r.f1 = c.F1();
+  return r;
+}
+
+}  // namespace
+
+SweepResult BestF1Threshold(const std::vector<double>& scores,
+                            const std::vector<bool>& labels,
+                            uint64_t total_positives, size_t num_levels) {
+  GTER_CHECK(scores.size() == labels.size());
+  GTER_CHECK(num_levels >= 2);
+  double max_score = 0.0;
+  for (double s : scores) max_score = std::max(max_score, s);
+  if (max_score <= 0.0) max_score = 1.0;
+
+  // Sort pairs by score descending once; then every quantized threshold is a
+  // prefix of the sorted order — one pass computes all 1000 candidates.
+  std::vector<uint32_t> order(scores.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    return scores[a] > scores[b];
+  });
+
+  SweepResult best;
+  best.threshold = max_score + 1.0;  // "predict nothing" baseline, F1 = 0
+  uint64_t tp = 0, fp = 0;
+  size_t cursor = 0;
+  // Thresholds descend from max to 0 so predicted sets grow monotonically.
+  for (size_t level = num_levels; level-- > 0;) {
+    double threshold =
+        max_score * static_cast<double>(level) / static_cast<double>(num_levels - 1);
+    while (cursor < order.size() && scores[order[cursor]] >= threshold) {
+      if (labels[order[cursor]]) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++cursor;
+    }
+    SweepResult r = MakeResult(threshold, tp, fp, total_positives);
+    if (r.f1 > best.f1) best = r;
+  }
+  return best;
+}
+
+SweepResult EvaluateAtThreshold(const std::vector<double>& scores,
+                                const std::vector<bool>& labels,
+                                uint64_t total_positives, double threshold) {
+  GTER_CHECK(scores.size() == labels.size());
+  uint64_t tp = 0, fp = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] >= threshold) {
+      if (labels[i]) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+    }
+  }
+  return MakeResult(threshold, tp, fp, total_positives);
+}
+
+}  // namespace gter

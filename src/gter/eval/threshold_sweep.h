@@ -1,0 +1,38 @@
+#ifndef GTER_EVAL_THRESHOLD_SWEEP_H_
+#define GTER_EVAL_THRESHOLD_SWEEP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/eval/confusion.h"
+
+namespace gter {
+
+/// Result of an optimal-threshold search.
+struct SweepResult {
+  double threshold = 0.0;
+  double f1 = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+};
+
+/// The paper's §VII-C protocol for threshold-based methods: quantize
+/// [0, max score] into `num_levels` discrete thresholds and return the one
+/// with the highest F1 ("an upper bound of manually tuned parameters").
+/// `scores[p]`/`labels[p]` are per candidate pair; a pair matches when its
+/// score is >= the threshold. `total_positives` counts every matching pair
+/// of the universe (see TotalPositives).
+SweepResult BestF1Threshold(const std::vector<double>& scores,
+                            const std::vector<bool>& labels,
+                            uint64_t total_positives,
+                            size_t num_levels = 1000);
+
+/// F1/precision/recall at one fixed threshold.
+SweepResult EvaluateAtThreshold(const std::vector<double>& scores,
+                                const std::vector<bool>& labels,
+                                uint64_t total_positives, double threshold);
+
+}  // namespace gter
+
+#endif  // GTER_EVAL_THRESHOLD_SWEEP_H_

@@ -1,0 +1,67 @@
+#include "gter/graph/bipartite_graph.h"
+
+#include <algorithm>
+
+#include "gter/common/status.h"
+#include "gter/text/string_metrics.h"
+
+namespace gter {
+
+BipartiteGraph BipartiteGraph::Build(const Dataset& dataset,
+                                     const PairSpace& pairs, PtMode pt_mode) {
+  BipartiteGraph g;
+  const size_t num_terms = dataset.vocabulary().size();
+  const size_t num_pairs = pairs.size();
+
+  // Pass 1: pair → shared-term CSR.
+  g.pair_offsets_.assign(num_pairs + 1, 0);
+  std::vector<std::vector<TermId>> shared(num_pairs);
+  for (PairId p = 0; p < num_pairs; ++p) {
+    const RecordPair& rp = pairs.pair(p);
+    shared[p] = SortedIntersection(dataset.record(rp.a).terms,
+                                   dataset.record(rp.b).terms);
+    GTER_CHECK(!shared[p].empty());  // PairSpace only materializes sharers
+    g.pair_offsets_[p + 1] = g.pair_offsets_[p] + shared[p].size();
+  }
+  g.pair_terms_.reserve(g.pair_offsets_[num_pairs]);
+  for (PairId p = 0; p < num_pairs; ++p) {
+    g.pair_terms_.insert(g.pair_terms_.end(), shared[p].begin(),
+                         shared[p].end());
+  }
+
+  // Pass 2: invert to term → pairs CSR.
+  std::vector<size_t> degree(num_terms, 0);
+  for (TermId t : g.pair_terms_) ++degree[t];
+  g.term_offsets_.assign(num_terms + 1, 0);
+  for (size_t t = 0; t < num_terms; ++t) {
+    g.term_offsets_[t + 1] = g.term_offsets_[t] + degree[t];
+  }
+  g.term_pairs_.resize(g.pair_terms_.size());
+  std::vector<size_t> cursor(g.term_offsets_.begin(),
+                             g.term_offsets_.end() - 1);
+  for (PairId p = 0; p < num_pairs; ++p) {
+    for (TermId t : shared[p]) {
+      g.term_pairs_[cursor[t]++] = p;
+    }
+  }
+
+  // Pass 3: N_t and the Eq. 6 denominator P_t.
+  g.nt_.assign(num_terms, 0);
+  for (const Record& rec : dataset.records()) {
+    for (TermId t : rec.terms) ++g.nt_[t];
+  }
+  g.pt_.assign(num_terms, 1.0);
+  for (size_t t = 0; t < num_terms; ++t) {
+    double pt = 1.0;
+    if (pt_mode == PtMode::kPaper) {
+      double nt = static_cast<double>(g.nt_[t]);
+      pt = nt * (nt - 1.0) / 2.0;
+    } else {
+      pt = static_cast<double>(g.term_offsets_[t + 1] - g.term_offsets_[t]);
+    }
+    g.pt_[t] = std::max(pt, 1.0);
+  }
+  return g;
+}
+
+}  // namespace gter

@@ -1,0 +1,70 @@
+#ifndef GTER_GRAPH_BIPARTITE_GRAPH_H_
+#define GTER_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// How the normalization denominator P_t of Eq. 6 is computed.
+enum class PtMode {
+  /// The paper's literal formula P_t = N_t·(N_t−1)/2, where N_t is the
+  /// number of records containing t (counts pairs that may not be candidate
+  /// pairs in two-source datasets).
+  kPaper,
+  /// Number of *materialized* pair nodes adjacent to t in this graph.
+  kConnectedPairs,
+};
+
+/// The paper's §V-B bipartite graph between term nodes and record-pair
+/// nodes: term t is connected to pair (r_i, r_j) iff t appears in both
+/// records. Stored as CSR adjacency in both directions. This is the data
+/// structure ITER (Algorithm 1) iterates over.
+class BipartiteGraph {
+ public:
+  /// Builds the graph for every pair in `pairs` over `dataset`.
+  static BipartiteGraph Build(const Dataset& dataset, const PairSpace& pairs,
+                              PtMode pt_mode = PtMode::kPaper);
+
+  size_t num_terms() const { return term_offsets_.size() - 1; }
+  size_t num_pairs() const { return pair_offsets_.size() - 1; }
+  size_t num_edges() const { return pair_terms_.size(); }
+
+  /// Shared terms of pair node `p`, sorted ascending.
+  std::span<const TermId> TermsOfPair(PairId p) const {
+    return {pair_terms_.data() + pair_offsets_[p],
+            pair_offsets_[p + 1] - pair_offsets_[p]};
+  }
+
+  /// Pair nodes adjacent to term `t`.
+  std::span<const PairId> PairsOfTerm(TermId t) const {
+    return {term_pairs_.data() + term_offsets_[t],
+            term_offsets_[t + 1] - term_offsets_[t]};
+  }
+
+  /// Normalization denominator P_t of Eq. 6 (≥ 1 for any term with at
+  /// least one adjacent pair).
+  double Pt(TermId t) const { return pt_[t]; }
+
+  /// N_t = number of records containing term t.
+  uint32_t Nt(TermId t) const { return nt_[t]; }
+
+ private:
+  // CSR pair → terms.
+  std::vector<size_t> pair_offsets_;
+  std::vector<TermId> pair_terms_;
+  // CSR term → pairs.
+  std::vector<size_t> term_offsets_;
+  std::vector<PairId> term_pairs_;
+  std::vector<double> pt_;
+  std::vector<uint32_t> nt_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_GRAPH_BIPARTITE_GRAPH_H_

@@ -1,0 +1,27 @@
+#include "gter/graph/connected_components.h"
+
+#include <algorithm>
+
+#include "gter/graph/union_find.h"
+
+namespace gter {
+
+std::vector<uint32_t> ConnectedComponents(
+    size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges) {
+  UnionFind uf(n);
+  for (const auto& [a, b] : edges) uf.Union(a, b);
+  return uf.ComponentLabels();
+}
+
+std::vector<std::vector<uint32_t>> GroupByComponent(
+    const std::vector<uint32_t>& labels) {
+  uint32_t num = 0;
+  for (uint32_t l : labels) num = std::max(num, l + 1);
+  std::vector<std::vector<uint32_t>> groups(num);
+  for (uint32_t x = 0; x < labels.size(); ++x) {
+    groups[labels[x]].push_back(x);
+  }
+  return groups;
+}
+
+}  // namespace gter

@@ -1,0 +1,23 @@
+#ifndef GTER_GRAPH_CONNECTED_COMPONENTS_H_
+#define GTER_GRAPH_CONNECTED_COMPONENTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace gter {
+
+/// Connected components of an undirected graph given as an edge list over
+/// nodes [0, n). Returns dense component labels (smallest-member order).
+std::vector<uint32_t> ConnectedComponents(
+    size_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges);
+
+/// Groups node ids by component label: result[c] = sorted members of
+/// component c.
+std::vector<std::vector<uint32_t>> GroupByComponent(
+    const std::vector<uint32_t>& labels);
+
+}  // namespace gter
+
+#endif  // GTER_GRAPH_CONNECTED_COMPONENTS_H_

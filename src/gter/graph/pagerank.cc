@@ -1,0 +1,34 @@
+#include "gter/graph/pagerank.h"
+
+#include <cmath>
+
+namespace gter {
+
+std::vector<double> PageRank(const TermGraph& graph,
+                             const PageRankOptions& options) {
+  const size_t n = graph.num_terms();
+  std::vector<double> score(n, 1.0);
+  std::vector<double> next(n, 0.0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    double change = 0.0;
+    for (TermId t = 0; t < n; ++t) {
+      double acc = 0.0;
+      auto neigh = graph.Neighbors(t);
+      if (options.divide_by_receiver_degree) {
+        for (TermId nb : neigh) acc += score[nb];
+        if (!neigh.empty()) acc /= static_cast<double>(neigh.size());
+      } else {
+        for (TermId nb : neigh) {
+          acc += score[nb] / static_cast<double>(graph.Degree(nb));
+        }
+      }
+      next[t] = (1.0 - options.damping) + options.damping * acc;
+      change += std::fabs(next[t] - score[t]);
+    }
+    score.swap(next);
+    if (change < options.tolerance) break;
+  }
+  return score;
+}
+
+}  // namespace gter

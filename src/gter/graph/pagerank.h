@@ -1,0 +1,31 @@
+#ifndef GTER_GRAPH_PAGERANK_H_
+#define GTER_GRAPH_PAGERANK_H_
+
+#include <vector>
+
+#include "gter/graph/term_graph.h"
+
+namespace gter {
+
+/// Options for damped PageRank on the undirected term graph.
+struct PageRankOptions {
+  /// Damping factor φ; the paper (and TextRank) use 0.85.
+  double damping = 0.85;
+  /// Stop when the L1 change between sweeps falls below this.
+  double tolerance = 1e-8;
+  size_t max_iterations = 200;
+  /// Eq. 3 as printed divides each incoming contribution by |N(t_i)| (the
+  /// *receiver's* degree). Standard TextRank divides by |N(t_j)| (the
+  /// sender's). The default follows TextRank — the form TW-IDF is defined
+  /// on — with the paper's literal variant selectable for fidelity studies.
+  bool divide_by_receiver_degree = false;
+};
+
+/// Runs PageRank over `graph`; returns one salience score per term.
+/// Isolated terms receive the teleport mass (1 − φ).
+std::vector<double> PageRank(const TermGraph& graph,
+                             const PageRankOptions& options = {});
+
+}  // namespace gter
+
+#endif  // GTER_GRAPH_PAGERANK_H_

@@ -1,0 +1,52 @@
+#include "gter/graph/term_graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+TermGraph TermGraph::Build(const Dataset& dataset, size_t window_size) {
+  GTER_CHECK(window_size >= 2);
+  const size_t num_terms = dataset.vocabulary().size();
+  // Collect unique undirected edges as packed 64-bit keys.
+  std::unordered_set<uint64_t> edge_set;
+  for (const Record& rec : dataset.records()) {
+    const auto& toks = rec.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+      size_t end = std::min(toks.size(), i + window_size);
+      for (size_t j = i + 1; j < end; ++j) {
+        TermId a = toks[i], b = toks[j];
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        edge_set.insert((static_cast<uint64_t>(a) << 32) | b);
+      }
+    }
+  }
+  TermGraph g;
+  std::vector<size_t> degree(num_terms, 0);
+  for (uint64_t key : edge_set) {
+    ++degree[key >> 32];
+    ++degree[key & 0xFFFFFFFFULL];
+  }
+  g.offsets_.assign(num_terms + 1, 0);
+  for (size_t t = 0; t < num_terms; ++t) {
+    g.offsets_[t + 1] = g.offsets_[t] + degree[t];
+  }
+  g.adjacency_.resize(g.offsets_[num_terms]);
+  std::vector<size_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (uint64_t key : edge_set) {
+    TermId a = static_cast<TermId>(key >> 32);
+    TermId b = static_cast<TermId>(key & 0xFFFFFFFFULL);
+    g.adjacency_[cursor[a]++] = b;
+    g.adjacency_[cursor[b]++] = a;
+  }
+  for (size_t t = 0; t < num_terms; ++t) {
+    std::sort(g.adjacency_.begin() + g.offsets_[t],
+              g.adjacency_.begin() + g.offsets_[t + 1]);
+  }
+  return g;
+}
+
+}  // namespace gter

@@ -1,0 +1,41 @@
+#ifndef GTER_GRAPH_TERM_GRAPH_H_
+#define GTER_GRAPH_TERM_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gter/er/dataset.h"
+
+namespace gter {
+
+/// Undirected term co-occurrence graph of §III-B (TextRank / TW-IDF): nodes
+/// are terms; two terms are connected when they co-occur within a
+/// fixed-size sliding window in some record's token sequence. Edges are
+/// unweighted (multiple co-occurrences collapse to one edge), matching the
+/// TextRank graph the paper's PageRank baseline runs on.
+class TermGraph {
+ public:
+  /// Builds the graph from every record of `dataset` with the given window
+  /// size (number of consecutive tokens considered co-occurring; ≥ 2).
+  static TermGraph Build(const Dataset& dataset, size_t window_size = 3);
+
+  size_t num_terms() const { return offsets_.size() - 1; }
+  size_t num_edges() const { return adjacency_.size() / 2; }
+
+  /// Neighboring terms of t, sorted ascending.
+  std::span<const TermId> Neighbors(TermId t) const {
+    return {adjacency_.data() + offsets_[t], offsets_[t + 1] - offsets_[t]};
+  }
+
+  size_t Degree(TermId t) const { return offsets_[t + 1] - offsets_[t]; }
+
+ private:
+  std::vector<size_t> offsets_;
+  std::vector<TermId> adjacency_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_GRAPH_TERM_GRAPH_H_

@@ -1,0 +1,49 @@
+#include "gter/graph/union_find.h"
+
+#include <numeric>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+UnionFind::UnionFind(size_t n)
+    : parent_(n), size_(n, 1), num_components_(n) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  GTER_CHECK(x < parent_.size());
+  while (parent_[x] != x) {
+    parent_[x] = parent_[parent_[x]];  // path halving
+    x = parent_[x];
+  }
+  return x;
+}
+
+bool UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return false;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_components_;
+  return true;
+}
+
+size_t UnionFind::SizeOf(uint32_t x) { return size_[Find(x)]; }
+
+std::vector<uint32_t> UnionFind::ComponentLabels() {
+  std::vector<uint32_t> labels(parent_.size());
+  std::vector<uint32_t> root_label(parent_.size(),
+                                   static_cast<uint32_t>(-1));
+  uint32_t next = 0;
+  for (uint32_t x = 0; x < parent_.size(); ++x) {
+    uint32_t r = Find(x);
+    if (root_label[r] == static_cast<uint32_t>(-1)) root_label[r] = next++;
+    labels[x] = root_label[r];
+  }
+  return labels;
+}
+
+}  // namespace gter

@@ -1,0 +1,42 @@
+#ifndef GTER_GRAPH_UNION_FIND_H_
+#define GTER_GRAPH_UNION_FIND_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gter {
+
+/// Disjoint-set forest with path halving and union by size. Used for
+/// transitive closure of match decisions (cluster extraction, crowd
+/// transitivity inference).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n);
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of a and b; returns true when they were distinct.
+  bool Union(uint32_t a, uint32_t b);
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  size_t SizeOf(uint32_t x);
+
+  size_t num_components() const { return num_components_; }
+
+  /// Dense component labels in [0, num_components), stable by smallest
+  /// member.
+  std::vector<uint32_t> ComponentLabels();
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_components_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_GRAPH_UNION_FIND_H_

@@ -1,0 +1,59 @@
+#include "gter/matrix/gemm.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "gter/common/status.h"
+
+namespace gter {
+namespace {
+
+// Panel sizes tuned for L1/L2 residency on commodity x86: a 64×256 panel of
+// B (128 KiB) stays hot while we stream rows of A through it.
+constexpr size_t kBlockK = 64;
+constexpr size_t kBlockN = 256;
+
+// C[row_lo:row_hi) += A[row_lo:row_hi) × B using blocked i-k-j with a
+// broadcast-axpy inner loop (vectorizes cleanly under -O3).
+void GemmRows(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+              size_t row_lo, size_t row_hi) {
+  const size_t k_dim = a.cols();
+  const size_t n_dim = b.cols();
+  for (size_t k0 = 0; k0 < k_dim; k0 += kBlockK) {
+    const size_t k1 = std::min(k0 + kBlockK, k_dim);
+    for (size_t n0 = 0; n0 < n_dim; n0 += kBlockN) {
+      const size_t n1 = std::min(n0 + kBlockN, n_dim);
+      for (size_t i = row_lo; i < row_hi; ++i) {
+        const double* a_row = a.row(i);
+        double* c_row = c->row(i);
+        for (size_t k = k0; k < k1; ++k) {
+          const double a_ik = a_row[k];
+          if (a_ik == 0.0) continue;
+          const double* b_row = b.row(k);
+          for (size_t j = n0; j < n1; ++j) {
+            c_row[j] += a_ik * b_row[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+          ThreadPool* pool) {
+  GTER_CHECK(a.cols() == b.rows());
+  *c = DenseMatrix(a.rows(), b.cols(), 0.0);
+  ParallelFor(pool, 0, a.rows(), /*grain=*/16,
+              [&](size_t lo, size_t hi) { GemmRows(a, b, c, lo, hi); });
+}
+
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b,
+                     ThreadPool* pool) {
+  DenseMatrix c;
+  Gemm(a, b, &c, pool);
+  return c;
+}
+
+}  // namespace gter

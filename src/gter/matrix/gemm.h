@@ -1,0 +1,21 @@
+#ifndef GTER_MATRIX_GEMM_H_
+#define GTER_MATRIX_GEMM_H_
+
+#include "gter/common/thread_pool.h"
+#include "gter/matrix/dense_matrix.h"
+
+namespace gter {
+
+/// C = A × B using a cache-blocked i-k-j kernel, parallelized over row
+/// panels of A via `pool` (pass nullptr for sequential execution).
+/// Shapes: A is m×k, B is k×n, C is resized to m×n.
+void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+          ThreadPool* pool = nullptr);
+
+/// Returns A × B (convenience wrapper).
+DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b,
+                     ThreadPool* pool = nullptr);
+
+}  // namespace gter
+
+#endif  // GTER_MATRIX_GEMM_H_

@@ -1,0 +1,44 @@
+#include "gter/matrix/masked_multiply.h"
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
+                          const CsrMatrix& pattern, double* out_values,
+                          ThreadPool* pool) {
+  GTER_CHECK(trans.rows() == pattern.rows());
+  GTER_CHECK(trans.cols() == pattern.rows());
+  const size_t n = pattern.cols();
+  ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      auto pat_cols = pattern.RowCols(i);
+      if (pat_cols.empty()) continue;
+      auto t_cols = trans.RowCols(i);
+      auto t_vals = trans.RowValues(i);
+      // out position base for row i of the pattern.
+      int64_t base = pattern.PositionOf(i, pat_cols[0]);
+      for (size_t e = 0; e < pat_cols.size(); ++e) {
+        const size_t j = pat_cols[e];
+        double acc = 0.0;
+        for (size_t p = 0; p < t_cols.size(); ++p) {
+          acc += t_vals[p] * prev_dense[static_cast<size_t>(t_cols[p]) * n + j];
+        }
+        out_values[static_cast<size_t>(base) + e] = acc;
+      }
+    }
+  });
+}
+
+void ScatterToDense(const CsrMatrix& pattern, const double* values,
+                    double* dense) {
+  const size_t n = pattern.cols();
+  size_t pos = 0;
+  for (size_t i = 0; i < pattern.rows(); ++i) {
+    for (uint32_t j : pattern.RowCols(i)) {
+      dense[i * n + j] = values[pos++];
+    }
+  }
+}
+
+}  // namespace gter

@@ -1,0 +1,41 @@
+#ifndef GTER_MATRIX_MASKED_MULTIPLY_H_
+#define GTER_MATRIX_MASKED_MULTIPLY_H_
+
+#include "gter/common/thread_pool.h"
+#include "gter/matrix/csr_matrix.h"
+
+namespace gter {
+
+/// The sparse kernel behind CliqueRank's recurrence
+///   M^k = M_t × (M^{k-1} ⊙ M_n).
+///
+/// Entries of M^k off the adjacency pattern M_n are annihilated by the
+/// Hadamard mask at the next step and never contribute to the accumulated
+/// matching probability (which is read only on graph edges), so the whole
+/// iteration can be confined to the structural pattern of M_n.
+///
+/// `ComputeMaskedProduct` computes, for every structural entry (i, j) of
+/// `pattern` (= M_n, values ignored):
+///
+///   out[pos(i,j)] = Σ_k trans[i,k] · prev_dense[k·n + j]
+///
+/// where `prev_dense` is an n×n row-major scratch buffer holding M^{k-1}
+/// already masked to the pattern (zero elsewhere). Output is written into
+/// `out_values`, parallel to the CSR value array of `pattern`.
+///
+/// Cost: Σ_{(i,j)∈pattern} nnz(trans row i) — linear in pattern edges times
+/// average degree, vs. n³ for the dense product.
+void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
+                          const CsrMatrix& pattern, double* out_values,
+                          ThreadPool* pool = nullptr);
+
+/// Scatters CSR `values` (parallel to `pattern`'s value array) into the
+/// dense n×n row-major buffer `dense`, zeroing previous pattern positions
+/// first. Off-pattern entries of `dense` are assumed to already be zero and
+/// are not touched.
+void ScatterToDense(const CsrMatrix& pattern, const double* values,
+                    double* dense);
+
+}  // namespace gter
+
+#endif  // GTER_MATRIX_MASKED_MULTIPLY_H_

@@ -1,0 +1,38 @@
+#include "gter/text/normalizer.h"
+
+#include <cctype>
+
+namespace gter {
+
+std::string Normalize(std::string_view text, const NormalizerOptions& options) {
+  std::string out;
+  out.reserve(text.size());
+  for (unsigned char c : text) {
+    if (options.lowercase) c = static_cast<unsigned char>(std::tolower(c));
+    if (options.strip_punctuation && !std::isalnum(c)) c = ' ';
+    out.push_back(static_cast<char>(c));
+  }
+  if (options.collapse_whitespace) {
+    std::string squeezed;
+    squeezed.reserve(out.size());
+    bool in_space = true;  // trims leading whitespace
+    for (char c : out) {
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        if (!in_space) squeezed.push_back(' ');
+        in_space = true;
+      } else {
+        squeezed.push_back(c);
+        in_space = false;
+      }
+    }
+    while (!squeezed.empty() && squeezed.back() == ' ') squeezed.pop_back();
+    out = std::move(squeezed);
+  }
+  return out;
+}
+
+std::string Normalize(std::string_view text) {
+  return Normalize(text, NormalizerOptions{});
+}
+
+}  // namespace gter

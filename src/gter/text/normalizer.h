@@ -1,0 +1,30 @@
+#ifndef GTER_TEXT_NORMALIZER_H_
+#define GTER_TEXT_NORMALIZER_H_
+
+#include <string>
+#include <string_view>
+
+namespace gter {
+
+/// Options controlling textual normalization applied before tokenization.
+struct NormalizerOptions {
+  bool lowercase = true;
+  /// Replace every non-alphanumeric byte with a space (so punctuation acts
+  /// as a token separator). Digits are kept: model codes like "pslx350h"
+  /// and phone numbers are the discriminative terms the paper relies on.
+  bool strip_punctuation = true;
+  /// Squeeze runs of whitespace into a single space and trim the ends.
+  bool collapse_whitespace = true;
+};
+
+/// Applies the configured transformations to `text` and returns the result.
+/// ASCII-only by design: the benchmark datasets are ASCII and the synthetic
+/// generators emit ASCII.
+std::string Normalize(std::string_view text, const NormalizerOptions& options);
+
+/// Normalizes with default options.
+std::string Normalize(std::string_view text);
+
+}  // namespace gter
+
+#endif  // GTER_TEXT_NORMALIZER_H_

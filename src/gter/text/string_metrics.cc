@@ -1,0 +1,215 @@
+#include "gter/text/string_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <unordered_map>
+
+namespace gter {
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  std::iota(row.begin(), row.end(), 0);
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t up = row[j];
+      size_t cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, diag + cost});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+double LevenshteinSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t window =
+      std::max(a.size(), b.size()) / 2 >= 1 ? std::max(a.size(), b.size()) / 2 - 1 : 0;
+  std::vector<bool> a_matched(a.size(), false), b_matched(b.size(), false);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(b.size(), i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = true;
+        b_matched[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / a.size() + m / b.size() + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), static_cast<size_t>(4)});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * prefix_scale * (1.0 - jaro);
+}
+
+size_t SortedIntersectionSize(const std::vector<uint32_t>& a,
+                              const std::vector<uint32_t>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<uint32_t> SortedIntersection(const std::vector<uint32_t>& a,
+                                         const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      out.push_back(a[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+double JaccardSimilarity(const std::vector<uint32_t>& a,
+                         const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double OverlapCoefficient(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  if (a.empty() || b.empty()) return a.empty() && b.empty() ? 1.0 : 0.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         static_cast<double>(std::min(a.size(), b.size()));
+}
+
+double DiceCoefficient(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double TrigramJaccard(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto grams = [](std::string_view s) {
+    std::unordered_map<std::string, int> bag;
+    if (s.size() < 3) {
+      bag[std::string(s)]++;
+      return bag;
+    }
+    for (size_t i = 0; i + 3 <= s.size(); ++i) {
+      bag[std::string(s.substr(i, 3))]++;
+    }
+    return bag;
+  };
+  auto ga = grams(a);
+  auto gb = grams(b);
+  size_t inter = 0, uni = 0;
+  for (const auto& [gram, count] : ga) {
+    auto it = gb.find(gram);
+    int other = it == gb.end() ? 0 : it->second;
+    inter += std::min(count, other);
+    uni += std::max(count, other);
+  }
+  for (const auto& [gram, count] : gb) {
+    if (ga.find(gram) == ga.end()) uni += count;
+  }
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double MongeElkanSimilarity(const std::vector<std::string>& a,
+                            const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  auto directed = [](const std::vector<std::string>& from,
+                     const std::vector<std::string>& to) {
+    double total = 0.0;
+    for (const std::string& token : from) {
+      double best = 0.0;
+      for (const std::string& other : to) {
+        best = std::max(best, JaroWinklerSimilarity(token, other));
+      }
+      total += best;
+    }
+    return total / static_cast<double>(from.size());
+  };
+  return (directed(a, b) + directed(b, a)) / 2.0;
+}
+
+double SoftTfIdfSimilarity(const std::vector<std::string>& a,
+                           const std::vector<double>& weights_a,
+                           const std::vector<std::string>& b,
+                           const std::vector<double>& weights_b,
+                           double theta) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // CLOSE(θ; a, b): tokens of `a` with some token of `b` above θ; each
+  // contributes w_a(t) · w_b(best) · sim(best).
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double best_sim = 0.0;
+    size_t best_j = 0;
+    for (size_t j = 0; j < b.size(); ++j) {
+      double sim = JaroWinklerSimilarity(a[i], b[j]);
+      if (sim > best_sim) {
+        best_sim = sim;
+        best_j = j;
+      }
+    }
+    if (best_sim >= theta) {
+      dot += weights_a[i] * weights_b[best_j] * best_sim;
+    }
+  }
+  double norm_a = 0.0, norm_b = 0.0;
+  for (double w : weights_a) norm_a += w * w;
+  for (double w : weights_b) norm_b += w * w;
+  if (norm_a <= 0.0 || norm_b <= 0.0) return 0.0;
+  return dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+}
+
+}  // namespace gter

@@ -1,0 +1,77 @@
+#include "gter/text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+void TfIdfModel::Build(const std::vector<std::vector<TermId>>& docs,
+                       size_t vocab_size) {
+  num_docs_ = docs.size();
+  df_.assign(vocab_size, 0);
+  for (const auto& doc : docs) {
+    std::vector<TermId> unique(doc);
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    for (TermId t : unique) {
+      GTER_CHECK(t < vocab_size);
+      ++df_[t];
+    }
+  }
+  vectors_.clear();
+  vectors_.reserve(docs.size());
+  for (const auto& doc : docs) {
+    std::map<TermId, uint32_t> tf;
+    for (TermId t : doc) ++tf[t];
+    TfIdfVector vec;
+    vec.terms.reserve(tf.size());
+    vec.weights.reserve(tf.size());
+    double norm_sq = 0.0;
+    for (const auto& [t, count] : tf) {
+      double w = static_cast<double>(count) * Idf(t);
+      if (w <= 0.0) continue;
+      vec.terms.push_back(t);
+      vec.weights.push_back(w);
+      norm_sq += w * w;
+    }
+    if (norm_sq > 0.0) {
+      double inv = 1.0 / std::sqrt(norm_sq);
+      for (auto& w : vec.weights) w *= inv;
+    }
+    vectors_.push_back(std::move(vec));
+  }
+}
+
+double TfIdfModel::Idf(TermId t) const {
+  GTER_CHECK(t < df_.size());
+  if (df_[t] == 0) return 0.0;
+  return std::log(static_cast<double>(num_docs_ + 1) /
+                  static_cast<double>(df_[t]));
+}
+
+double TfIdfModel::Cosine(size_t doc_a, size_t doc_b) const {
+  GTER_CHECK(doc_a < vectors_.size() && doc_b < vectors_.size());
+  return SparseDot(vectors_[doc_a], vectors_[doc_b]);
+}
+
+double SparseDot(const TfIdfVector& a, const TfIdfVector& b) {
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.terms.size() && j < b.terms.size()) {
+    if (a.terms[i] < b.terms[j]) {
+      ++i;
+    } else if (a.terms[i] > b.terms[j]) {
+      ++j;
+    } else {
+      dot += a.weights[i] * b.weights[j];
+      ++i;
+      ++j;
+    }
+  }
+  return dot;
+}
+
+}  // namespace gter

@@ -1,0 +1,39 @@
+#include "gter/text/tokenizer.h"
+
+#include <sstream>
+
+namespace gter {
+
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options) {
+  std::string normalized = Normalize(text, options.normalizer);
+  std::vector<std::string> tokens;
+  std::istringstream stream(normalized);
+  std::string token;
+  while (stream >> token) {
+    if (token.size() >= options.min_token_length) {
+      tokens.push_back(std::move(token));
+    }
+  }
+  return tokens;
+}
+
+std::vector<std::string> Tokenize(std::string_view text) {
+  return Tokenize(text, TokenizerOptions{});
+}
+
+std::vector<std::string> CharNgrams(std::string_view token, size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0) return grams;
+  if (token.size() <= n) {
+    grams.emplace_back(token);
+    return grams;
+  }
+  grams.reserve(token.size() - n + 1);
+  for (size_t i = 0; i + n <= token.size(); ++i) {
+    grams.emplace_back(token.substr(i, n));
+  }
+  return grams;
+}
+
+}  // namespace gter

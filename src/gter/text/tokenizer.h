@@ -1,0 +1,34 @@
+#ifndef GTER_TEXT_TOKENIZER_H_
+#define GTER_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gter/text/normalizer.h"
+
+namespace gter {
+
+/// Options for whitespace tokenization applied after normalization.
+struct TokenizerOptions {
+  NormalizerOptions normalizer;
+  /// Tokens shorter than this are dropped (single characters are almost
+  /// always noise in the benchmark domains).
+  size_t min_token_length = 1;
+};
+
+/// Splits `text` into normalized tokens.
+std::vector<std::string> Tokenize(std::string_view text,
+                                  const TokenizerOptions& options);
+
+/// Tokenizes with default options.
+std::vector<std::string> Tokenize(std::string_view text);
+
+/// Character n-grams of `token` (used by approximate string metrics and by
+/// the typo-robust feature extractors). Returns the token itself when it is
+/// shorter than `n`.
+std::vector<std::string> CharNgrams(std::string_view token, size_t n);
+
+}  // namespace gter
+
+#endif  // GTER_TEXT_TOKENIZER_H_

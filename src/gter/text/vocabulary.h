@@ -1,0 +1,41 @@
+#ifndef GTER_TEXT_VOCABULARY_H_
+#define GTER_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gter {
+
+/// Dense integer id of an interned term. Term ids are contiguous in
+/// [0, Vocabulary::size()).
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = static_cast<TermId>(-1);
+
+/// Bidirectional string ↔ dense-id interner. Every record in a Dataset
+/// stores TermIds rather than strings, which makes the bipartite graph and
+/// ITER updates integer-indexed.
+class Vocabulary {
+ public:
+  /// Returns the id of `term`, interning it if new.
+  TermId Intern(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTermId when absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the string for a valid id.
+  const std::string& TermOf(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_TEXT_VOCABULARY_H_

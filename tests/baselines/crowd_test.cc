@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "gter/baselines/crowd/acd.h"
+#include "gter/baselines/crowd/crowder.h"
+#include "gter/baselines/crowd/gcer.h"
+#include "gter/baselines/crowd/power_plus.h"
+#include "gter/baselines/crowd/transm.h"
+#include "gter/baselines/jaccard_resolver.h"
+#include "gter/datagen/datagen.h"
+#include "gter/er/preprocess.h"
+#include "gter/eval/confusion.h"
+
+namespace gter {
+namespace {
+
+struct CrowdFixture {
+  GeneratedDataset data;
+  PairSpace pairs;
+  std::vector<bool> labels;
+  std::vector<double> machine;
+  uint64_t positives;
+
+  CrowdFixture()
+      : data(GenerateBenchmark(BenchmarkKind::kRestaurant, 0.15, 31)) {
+    RemoveFrequentTerms(&data.dataset);
+    pairs = PairSpace::Build(data.dataset);
+    labels = LabelPairs(pairs, data.truth);
+    machine = JaccardScorer().Score(data.dataset, pairs);
+    positives = TotalPositives(data.dataset, data.truth);
+  }
+
+  double F1(const std::vector<bool>& matches) const {
+    return EvaluatePairPredictions(pairs, matches, labels, positives).F1();
+  }
+};
+
+TEST(OracleTest, PerfectOracleMatchesTruth) {
+  GroundTruth truth({0, 0, 1});
+  CrowdOracle oracle(truth, 0.0, 1);
+  EXPECT_TRUE(oracle.Ask(0, 1));
+  EXPECT_FALSE(oracle.Ask(0, 2));
+  EXPECT_EQ(oracle.questions_asked(), 2u);
+}
+
+TEST(OracleTest, CachedQuestionsAreFree) {
+  GroundTruth truth({0, 0});
+  CrowdOracle oracle(truth, 0.0, 1);
+  oracle.Ask(0, 1);
+  oracle.Ask(0, 1);
+  oracle.Ask(1, 0);  // order-insensitive cache key
+  EXPECT_EQ(oracle.questions_asked(), 1u);
+}
+
+TEST(OracleTest, ErrorRateApproximatelyRealized) {
+  GroundTruth truth(std::vector<EntityId>(2000, 0));
+  CrowdOracle oracle(truth, 0.2, 7);
+  size_t wrong = 0;
+  for (uint32_t i = 0; i + 1 < 2000; i += 2) {
+    if (!oracle.Ask(i, i + 1)) ++wrong;  // truth is always "match"
+  }
+  double rate = static_cast<double>(wrong) / 1000.0;
+  EXPECT_NEAR(rate, 0.2, 0.05);
+  EXPECT_NEAR(oracle.observed_error_rate(), rate, 1e-12);
+}
+
+TEST(OracleTest, MajorityVoteReducesError) {
+  GroundTruth truth(std::vector<EntityId>(2000, 0));
+  CrowdOracle single(truth, 0.25, 9);
+  CrowdOracle majority(truth, 0.25, 9);
+  size_t wrong_single = 0, wrong_majority = 0;
+  for (uint32_t i = 0; i + 1 < 2000; i += 2) {
+    if (!single.Ask(i, i + 1)) ++wrong_single;
+    if (!majority.AskMajority(i, i + 1, 5)) ++wrong_majority;
+  }
+  EXPECT_LT(wrong_majority, wrong_single);
+}
+
+TEST(CrowdErTest, PerfectOracleYieldsHighF1) {
+  CrowdFixture f;
+  CrowdOracle oracle(f.data.truth, 0.0, 3);
+  CrowdRunResult result = RunCrowdEr(f.pairs, f.machine, &oracle, {});
+  EXPECT_GT(f.F1(result.matches), 0.85);
+  EXPECT_GT(result.questions, 0u);
+}
+
+TEST(CrowdErTest, BudgetLimitsQuestions) {
+  CrowdFixture f;
+  CrowdOracle oracle(f.data.truth, 0.0, 3);
+  CrowdErOptions options;
+  options.budget = 10;
+  CrowdRunResult result = RunCrowdEr(f.pairs, f.machine, &oracle, options);
+  EXPECT_LE(result.questions, 10u);
+}
+
+TEST(TransMTest, TransitivityReducesQuestionsVsCrowdEr) {
+  // On a dataset with clusters ≥ 3, transitive inference must save asks.
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.05, 11);
+  RemoveFrequentTerms(&data.dataset);
+  PairSpace pairs = PairSpace::Build(data.dataset);
+  auto machine = JaccardScorer().Score(data.dataset, pairs);
+  CrowdOracle o1(data.truth, 0.0, 5);
+  CrowdOracle o2(data.truth, 0.0, 5);
+  auto crowder = RunCrowdEr(pairs, machine, &o1, {});
+  auto transm = RunTransM(pairs, machine, &o2, {});
+  EXPECT_LT(transm.questions, crowder.questions);
+  auto labels = LabelPairs(pairs, data.truth);
+  uint64_t positives = TotalPositives(data.dataset, data.truth);
+  double f1_transm =
+      EvaluatePairPredictions(pairs, transm.matches, labels, positives).F1();
+  EXPECT_GT(f1_transm, 0.7);
+}
+
+TEST(GcerTest, RespectsBudgetAndStaysReasonable) {
+  CrowdFixture f;
+  CrowdOracle oracle(f.data.truth, 0.0, 13);
+  GcerOptions options;
+  options.budget = 200;
+  CrowdRunResult result = RunGcer(f.pairs, f.machine, &oracle, options);
+  EXPECT_LE(result.questions, 200u);
+  EXPECT_GT(f.F1(result.matches), 0.5);
+}
+
+TEST(AcdTest, RepairsNoisyAnswers) {
+  CrowdFixture f;
+  // A noisy oracle: ACD's majority-vote repair should beat raw TransM.
+  CrowdOracle noisy1(f.data.truth, 0.12, 17);
+  CrowdOracle noisy2(f.data.truth, 0.12, 17);
+  auto transm = RunTransM(f.pairs, f.machine, &noisy1, {});
+  auto acd = RunAcd(f.pairs, f.machine, &noisy2, {});
+  EXPECT_GE(f.F1(acd.matches) + 0.05, f.F1(transm.matches));
+}
+
+TEST(PowerPlusTest, FarFewerQuestionsThanPairCount) {
+  // On a large candidate set the binary search plus fringe verification
+  // costs O(log n + fringe), far below per-pair verification.
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.1, 23);
+  RemoveFrequentTerms(&data.dataset);
+  PairSpace pairs = PairSpace::Build(data.dataset);
+  auto machine = JaccardScorer().Score(data.dataset, pairs);
+  CrowdOracle oracle(data.truth, 0.0, 19);
+  CrowdRunResult result = RunPowerPlus(pairs, machine, &oracle, {});
+  EXPECT_LT(result.questions, pairs.size() / 4);
+  auto labels = LabelPairs(pairs, data.truth);
+  uint64_t positives = TotalPositives(data.dataset, data.truth);
+  double f1 =
+      EvaluatePairPredictions(pairs, result.matches, labels, positives).F1();
+  EXPECT_GT(f1, 0.6);
+}
+
+TEST(PowerPlusTest, EmptyCandidateSetHandled) {
+  Dataset ds("test");
+  ds.AddRecord(0, "x");
+  ds.AddRecord(0, "y");
+  PairSpace pairs = PairSpace::Build(ds);
+  GroundTruth truth({0, 1});
+  CrowdOracle oracle(truth, 0.0, 1);
+  CrowdRunResult result = RunPowerPlus(pairs, {}, &oracle, {});
+  EXPECT_TRUE(result.matches.empty());
+  EXPECT_EQ(result.questions, 0u);
+}
+
+}  // namespace
+}  // namespace gter

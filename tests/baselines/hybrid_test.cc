@@ -1,0 +1,64 @@
+#include "gter/baselines/hybrid.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+struct Fixture {
+  Dataset ds{"test"};
+  PairSpace pairs;
+  Fixture() {
+    ds.AddRecord(0, "golden dragon palace");
+    ds.AddRecord(0, "golden dragon house");
+    ds.AddRecord(0, "blue ocean palace");
+    pairs = PairSpace::Build(ds);
+  }
+};
+
+TEST(HybridTest, ScoresAreNormalizedCombination) {
+  Fixture f;
+  HybridScorer scorer;
+  EXPECT_EQ(scorer.name(), "Hybrid");
+  auto scores = scorer.Score(f.ds, f.pairs);
+  ASSERT_EQ(scores.size(), f.pairs.size());
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+TEST(HybridTest, BetaZeroEqualsTextualRanking) {
+  Fixture f;
+  HybridOptions options;
+  options.beta = 0.0;
+  HybridScorer hybrid(options);
+  TwIdfPageRankScorer twidf(options.twidf);
+  auto h = hybrid.Score(f.ds, f.pairs);
+  auto t = twidf.Score(f.ds, f.pairs);
+  // Same ranking (h is max-normalized t).
+  EXPECT_EQ(std::max_element(h.begin(), h.end()) - h.begin(),
+            std::max_element(t.begin(), t.end()) - t.begin());
+}
+
+TEST(HybridTest, BetaOneEqualsTopologicalRanking) {
+  Fixture f;
+  HybridOptions options;
+  options.beta = 1.0;
+  HybridScorer hybrid(options);
+  SimRankScorer simrank(options.simrank);
+  auto h = hybrid.Score(f.ds, f.pairs);
+  auto s = simrank.Score(f.ds, f.pairs);
+  EXPECT_EQ(std::max_element(h.begin(), h.end()) - h.begin(),
+            std::max_element(s.begin(), s.end()) - s.begin());
+}
+
+TEST(HybridTest, NearDuplicatePreferred) {
+  Fixture f;
+  HybridScorer scorer;
+  auto scores = scorer.Score(f.ds, f.pairs);
+  EXPECT_GT(scores[f.pairs.Find(0, 1)], scores[f.pairs.Find(0, 2)]);
+}
+
+}  // namespace
+}  // namespace gter

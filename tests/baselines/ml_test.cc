@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "gter/baselines/ml/bootstrap_gmm.h"
+#include "gter/common/random.h"
+#include "gter/baselines/ml/features.h"
+#include "gter/baselines/ml/fellegi_sunter.h"
+#include "gter/baselines/ml/gmm.h"
+#include "gter/baselines/ml/linear_svm.h"
+#include "gter/datagen/datagen.h"
+#include "gter/er/preprocess.h"
+#include "gter/eval/confusion.h"
+#include "gter/eval/threshold_sweep.h"
+
+namespace gter {
+namespace {
+
+struct BenchFixture {
+  GeneratedDataset data;
+  PairSpace pairs;
+  std::vector<bool> labels;
+  std::vector<std::vector<double>> features;
+
+  explicit BenchFixture(double scale = 0.12)
+      : data(GenerateBenchmark(BenchmarkKind::kRestaurant, scale, 21)) {
+    RemoveFrequentTerms(&data.dataset);
+    pairs = PairSpace::Build(data.dataset);
+    labels = LabelPairs(pairs, data.truth);
+    features = ComputePairFeatures(data.dataset, pairs);
+  }
+};
+
+TEST(FeaturesTest, ShapeAndRange) {
+  BenchFixture f;
+  ASSERT_EQ(f.features.size(), f.pairs.size());
+  size_t dim = PairFeatureNames({}).size();
+  for (const auto& row : f.features) {
+    ASSERT_EQ(row.size(), dim);
+    for (double v : row) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(FeaturesTest, LevenshteinOptional) {
+  BenchFixture f;
+  PairFeatureOptions options;
+  options.include_levenshtein = true;
+  auto names = PairFeatureNames(options);
+  EXPECT_EQ(names.back(), "levenshtein");
+  Dataset tiny("t");
+  tiny.AddRecord(0, "abc x");
+  tiny.AddRecord(0, "abd x");
+  PairSpace pairs = PairSpace::Build(tiny);
+  auto rows = ComputePairFeatures(tiny, pairs, options);
+  ASSERT_EQ(rows[0].size(), names.size());
+}
+
+TEST(FeaturesTest, MatchesScoreHigherOnAverage) {
+  BenchFixture f;
+  double pos_sum = 0.0, neg_sum = 0.0;
+  size_t pos = 0, neg = 0;
+  for (PairId p = 0; p < f.pairs.size(); ++p) {
+    double mass = 0.0;
+    for (double v : f.features[p]) mass += v;
+    if (f.labels[p]) {
+      pos_sum += mass;
+      ++pos;
+    } else {
+      neg_sum += mass;
+      ++neg;
+    }
+  }
+  ASSERT_GT(pos, 0u);
+  ASSERT_GT(neg, 0u);
+  EXPECT_GT(pos_sum / pos, neg_sum / neg);
+}
+
+TEST(GmmTest, SeparatesTwoGaussians) {
+  Rng rng(1);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 300; ++i) {
+    rows.push_back({rng.Gaussian(0.2, 0.05), rng.Gaussian(0.25, 0.05)});
+  }
+  for (int i = 0; i < 100; ++i) {
+    rows.push_back({rng.Gaussian(0.8, 0.05), rng.Gaussian(0.75, 0.05)});
+  }
+  GaussianMixture gmm;
+  gmm.Fit(rows);
+  size_t match = gmm.HighestMeanComponent();
+  // Points from the high cluster must get high posterior.
+  size_t correct = 0;
+  for (size_t i = 300; i < 400; ++i) {
+    if (gmm.Posterior(rows[i])[match] > 0.5) ++correct;
+  }
+  EXPECT_GT(correct, 95u);
+  // Mixture weight of the match component ≈ 0.25.
+  EXPECT_NEAR(gmm.weight(match), 0.25, 0.05);
+}
+
+TEST(GmmTest, PosteriorsSumToOne) {
+  Rng rng(2);
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < 50; ++i) {
+    rows.push_back({rng.UniformDouble(), rng.UniformDouble()});
+  }
+  GaussianMixture gmm;
+  GmmOptions options;
+  options.num_components = 3;
+  gmm.Fit(rows, options);
+  for (const auto& row : rows) {
+    auto post = gmm.Posterior(row);
+    double total = 0.0;
+    for (double p : post) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(GmmTest, ResolvesRestaurantPairsUnsupervised) {
+  BenchFixture f;
+  auto prob = GmmMatchProbability(f.features);
+  uint64_t positives = TotalPositives(f.data.dataset, f.data.truth);
+  SweepResult sweep = BestF1Threshold(prob, f.labels, positives);
+  EXPECT_GT(sweep.f1, 0.5);
+}
+
+TEST(BootstrapGmmTest, AtLeastAsGoodAsPlainGmm) {
+  BenchFixture f;
+  uint64_t positives = TotalPositives(f.data.dataset, f.data.truth);
+  auto plain = GmmMatchProbability(f.features);
+  auto boot = BootstrapGmmMatchProbability(f.features);
+  double f1_plain = BestF1Threshold(plain, f.labels, positives).f1;
+  double f1_boot = BestF1Threshold(boot, f.labels, positives).f1;
+  EXPECT_GE(f1_boot, f1_plain - 0.05);
+}
+
+TEST(FellegiSunterTest, LearnsFieldReliabilities) {
+  BenchFixture f;
+  FellegiSunterResult result =
+      FitFellegiSunter(f.data.dataset, f.pairs, {});
+  ASSERT_EQ(result.m.size(), 5u);  // restaurant records have 5 fields
+  // Phone (field 3) agrees on matches and almost never on non-matches.
+  EXPECT_GT(result.m[3], 0.5);
+  EXPECT_LT(result.u[3], 0.1);
+  uint64_t positives = TotalPositives(f.data.dataset, f.data.truth);
+  SweepResult sweep = BestF1Threshold(result.probability, f.labels, positives);
+  EXPECT_GT(sweep.f1, 0.6);
+}
+
+TEST(FellegiSunterTest, PriorReflectsMatchRate) {
+  BenchFixture f;
+  FellegiSunterResult result =
+      FitFellegiSunter(f.data.dataset, f.pairs, {});
+  double actual_rate = 0.0;
+  for (bool l : f.labels) actual_rate += l;
+  actual_rate /= static_cast<double>(f.labels.size());
+  EXPECT_NEAR(result.match_prior, actual_rate, 0.1);
+}
+
+TEST(SvmTest, TrainedModelSeparatesTestPairs) {
+  BenchFixture f;
+  uint64_t positives = TotalPositives(f.data.dataset, f.data.truth);
+  auto scores = SvmMatchScore(f.features, f.labels);
+  SweepResult sweep = BestF1Threshold(scores, f.labels, positives);
+  EXPECT_GT(sweep.f1, 0.6);
+}
+
+TEST(SvmTest, MarginIsLinear) {
+  LinearSvm model;
+  model.weights = {2.0, -1.0};
+  model.bias = 0.5;
+  EXPECT_DOUBLE_EQ(model.Margin({1.0, 1.0}), 1.5);
+  EXPECT_DOUBLE_EQ(model.Margin({0.0, 0.0}), 0.5);
+}
+
+TEST(SvmTest, PegasosLearnsSeparableData) {
+  Rng rng(3);
+  std::vector<std::vector<double>> rows;
+  std::vector<bool> labels;
+  std::vector<size_t> train;
+  for (int i = 0; i < 400; ++i) {
+    bool positive = i % 4 == 0;
+    rows.push_back({positive ? rng.UniformDouble(0.7, 1.0)
+                             : rng.UniformDouble(0.0, 0.3),
+                    rng.UniformDouble()});
+    labels.push_back(positive);
+    train.push_back(i);
+  }
+  SvmOptions options;
+  LinearSvm model = TrainPegasos(rows, labels, train, options);
+  size_t correct = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool predicted = model.Margin(rows[i]) > 0.0;
+    if (predicted == labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 380u);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,86 @@
+#include "gter/baselines/simrank.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(SimRankTest, IdenticalTermSetsScoreHighest) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b c");  // 0
+  ds.AddRecord(0, "a b c");  // 1 identical
+  ds.AddRecord(0, "a x y");  // 2 partially overlapping
+  PairSpace pairs = PairSpace::Build(ds);
+  SimRankScorer scorer;
+  auto scores = scorer.Score(ds, pairs);
+  EXPECT_GT(scores[pairs.Find(0, 1)], scores[pairs.Find(0, 2)]);
+}
+
+TEST(SimRankTest, ScoresBoundedByDecayFactor) {
+  Dataset ds("test");
+  ds.AddRecord(0, "p q");
+  ds.AddRecord(0, "p q");
+  ds.AddRecord(0, "q r");
+  PairSpace pairs = PairSpace::Build(ds);
+  SimRankScorer scorer;
+  auto scores = scorer.Score(ds, pairs);
+  for (double s : scores) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 0.8 + 1e-12);  // off-diagonal SimRank ≤ C1
+  }
+}
+
+TEST(SimRankTest, StructuralSimilarityWithoutDirectOverlapIsCaptured) {
+  // Records 0 and 1 share no term, but their terms co-occur with the same
+  // terms elsewhere — SimRank still assigns nonzero similarity (accessible
+  // through record_similarity(); PairSpace excludes such pairs).
+  Dataset ds("test");
+  ds.AddRecord(0, "a x");  // 0
+  ds.AddRecord(0, "b x");  // 1 (x links a and b)
+  ds.AddRecord(0, "a b");  // 2
+  PairSpace pairs = PairSpace::Build(ds);
+  SimRankScorer scorer;
+  scorer.Score(ds, pairs);
+  EXPECT_GT(scorer.record_similarity()(0, 1), 0.0);
+}
+
+TEST(SimRankTest, DiagonalIsOne) {
+  Dataset ds("test");
+  ds.AddRecord(0, "m n");
+  ds.AddRecord(0, "n o");
+  PairSpace pairs = PairSpace::Build(ds);
+  SimRankScorer scorer;
+  scorer.Score(ds, pairs);
+  EXPECT_DOUBLE_EQ(scorer.record_similarity()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.record_similarity()(1, 1), 1.0);
+}
+
+TEST(SimRankTest, MoreIterationsRefineScores) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b");
+  ds.AddRecord(0, "a c");
+  ds.AddRecord(0, "b c");
+  PairSpace pairs = PairSpace::Build(ds);
+  SimRankOptions one_iter;
+  one_iter.iterations = 1;
+  SimRankOptions five_iter;
+  five_iter.iterations = 5;
+  auto s1 = SimRankScorer(one_iter).Score(ds, pairs);
+  auto s5 = SimRankScorer(five_iter).Score(ds, pairs);
+  // Scores grow as longer meeting paths accumulate.
+  for (PairId p = 0; p < pairs.size(); ++p) EXPECT_GE(s5[p] + 1e-12, s1[p]);
+}
+
+TEST(SimRankTest, SymmetricScores) {
+  Dataset ds("test");
+  ds.AddRecord(0, "u v w");
+  ds.AddRecord(0, "u v");
+  PairSpace pairs = PairSpace::Build(ds);
+  SimRankScorer scorer;
+  scorer.Score(ds, pairs);
+  EXPECT_NEAR(scorer.record_similarity()(0, 1),
+              scorer.record_similarity()(1, 0), 1e-12);
+}
+
+}  // namespace
+}  // namespace gter

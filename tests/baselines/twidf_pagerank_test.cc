@@ -1,0 +1,59 @@
+#include "gter/baselines/twidf_pagerank.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(TwIdfTest, SharedRareTermsBeatSharedCommonOnes) {
+  Dataset ds("test");
+  // (0,1) share the rare "pslx350h"; (2,3) share only ubiquitous "sony".
+  ds.AddRecord(0, "sony pslx350h turntable");
+  ds.AddRecord(0, "sony pslx350h deck");
+  ds.AddRecord(0, "sony radio alarm");
+  ds.AddRecord(0, "sony speaker dock");
+  PairSpace pairs = PairSpace::Build(ds);
+  TwIdfPageRankScorer scorer;
+  EXPECT_EQ(scorer.name(), "PageRank");
+  auto scores = scorer.Score(ds, pairs);
+  EXPECT_GT(scores[pairs.Find(0, 1)], scores[pairs.Find(2, 3)]);
+}
+
+TEST(TwIdfTest, NoSharedTermsScoreZero) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b shared");
+  ds.AddRecord(0, "c d shared");
+  PairSpace pairs = PairSpace::Build(ds);
+  TwIdfPageRankScorer scorer;
+  auto scores = scorer.Score(ds, pairs);
+  // The only shared term is "shared" — score equals salience·idf of it.
+  EXPECT_GT(scores[0], 0.0);
+}
+
+TEST(TwIdfTest, SalienceExposedForTableIV) {
+  Dataset ds("test");
+  ds.AddRecord(0, "hub a");
+  ds.AddRecord(0, "hub b");
+  ds.AddRecord(0, "hub c");
+  PairSpace pairs = PairSpace::Build(ds);
+  TwIdfPageRankScorer scorer;
+  scorer.Score(ds, pairs);
+  ASSERT_EQ(scorer.term_salience().size(), ds.vocabulary().size());
+  TermId hub = ds.vocabulary().Lookup("hub");
+  TermId a = ds.vocabulary().Lookup("a");
+  EXPECT_GT(scorer.term_salience()[hub], scorer.term_salience()[a]);
+}
+
+TEST(TwIdfTest, MoreSharedTermsNeverLowerScore) {
+  Dataset ds("test");
+  ds.AddRecord(0, "x y z");
+  ds.AddRecord(0, "x y z");  // shares 3 with record 0
+  ds.AddRecord(0, "x q r");  // shares 1 with record 0
+  PairSpace pairs = PairSpace::Build(ds);
+  TwIdfPageRankScorer scorer;
+  auto scores = scorer.Score(ds, pairs);
+  EXPECT_GT(scores[pairs.Find(0, 1)], scores[pairs.Find(0, 2)]);
+}
+
+}  // namespace
+}  // namespace gter

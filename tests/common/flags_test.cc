@@ -1,0 +1,119 @@
+#include "gter/common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& storage) {
+  std::vector<char*> argv;
+  argv.reserve(storage.size());
+  for (auto& s : storage) argv.push_back(s.data());
+  return argv;
+}
+
+TEST(FlagsTest, DefaultsSurviveEmptyParse) {
+  FlagSet flags;
+  flags.AddInt("count", 5, "a count");
+  flags.AddDouble("alpha", 2.5, "exponent");
+  flags.AddBool("verbose", false, "log more");
+  flags.AddString("name", "abc", "a name");
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetInt("count"), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 2.5);
+  EXPECT_FALSE(flags.GetBool("verbose"));
+  EXPECT_EQ(flags.GetString("name"), "abc");
+}
+
+TEST(FlagsTest, EqualsSyntax) {
+  FlagSet flags;
+  flags.AddInt("count", 0, "");
+  flags.AddDouble("alpha", 0, "");
+  flags.AddString("name", "", "");
+  std::vector<std::string> args = {"prog", "--count=42", "--alpha=1.25",
+                                   "--name=xyz"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetInt("count"), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("alpha"), 1.25);
+  EXPECT_EQ(flags.GetString("name"), "xyz");
+}
+
+TEST(FlagsTest, SpaceSyntax) {
+  FlagSet flags;
+  flags.AddInt("count", 0, "");
+  std::vector<std::string> args = {"prog", "--count", "7"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetInt("count"), 7);
+}
+
+TEST(FlagsTest, BareBoolImpliesTrue) {
+  FlagSet flags;
+  flags.AddBool("verbose", false, "");
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(flags.GetBool("verbose"));
+}
+
+TEST(FlagsTest, BoolAcceptsExplicitValues) {
+  FlagSet flags;
+  flags.AddBool("a", false, "");
+  flags.AddBool("b", true, "");
+  std::vector<std::string> args = {"prog", "--a=true", "--b=false"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(flags.GetBool("a"));
+  EXPECT_FALSE(flags.GetBool("b"));
+}
+
+TEST(FlagsTest, UnknownFlagIsError) {
+  FlagSet flags;
+  std::vector<std::string> args = {"prog", "--mystery=1"};
+  auto argv = MakeArgv(args);
+  Status s = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, MalformedIntIsError) {
+  FlagSet flags;
+  flags.AddInt("count", 0, "");
+  std::vector<std::string> args = {"prog", "--count=seven"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, MissingValueIsError) {
+  FlagSet flags;
+  flags.AddInt("count", 0, "");
+  std::vector<std::string> args = {"prog", "--count"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentsCollected) {
+  FlagSet flags;
+  flags.AddInt("count", 0, "");
+  std::vector<std::string> args = {"prog", "input.csv", "--count=3", "out"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.csv");
+  EXPECT_EQ(flags.positional()[1], "out");
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagSet flags;
+  flags.AddInt("count", 5, "how many");
+  flags.AddBool("verbose", false, "chatty");
+  std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--count"), std::string::npos);
+  EXPECT_NE(usage.find("how many"), std::string::npos);
+  EXPECT_NE(usage.find("false"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gter

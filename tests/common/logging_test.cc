@@ -1,0 +1,33 @@
+#include "gter/common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamingBelowLevelDoesNotCrash) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  GTER_LOG(Info) << "suppressed " << 42 << " message";
+  GTER_LOG(Debug) << "also suppressed";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, StreamingAtLevelDoesNotCrash) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  GTER_LOG(Warning) << "visible warning " << 3.14;
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,101 @@
+#include "gter/common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, MultipleWaitCycles) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(counter.load(), (round + 1) * 20);
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSingleton) {
+  EXPECT_EQ(ThreadPool::Default(), ThreadPool::Default());
+}
+
+TEST(ParallelForTest, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> touched(1000);
+  ParallelFor(&pool, 0, 1000, 10, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+  });
+  for (const auto& t : touched) EXPECT_EQ(t.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  ParallelFor(&pool, 5, 5, 1, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  std::vector<int> touched(100, 0);
+  ParallelFor(nullptr, 0, 100, 10, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  EXPECT_EQ(std::accumulate(touched.begin(), touched.end(), 0), 100);
+}
+
+TEST(ParallelForTest, SmallRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> touched(3, 0);
+  ParallelFor(&pool, 0, 3, 100, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) ++touched[i];
+  });
+  for (int t : touched) EXPECT_EQ(t, 1);
+}
+
+TEST(ParallelForTest, ZeroGrainIsTreatedAsOne) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 0, 50, 0, [&](size_t lo, size_t hi) {
+    total.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(total.load(), 50);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,159 @@
+#include "gter/core/fusion.h"
+
+#include <gtest/gtest.h>
+
+#include "gter/core/resolver.h"
+#include "gter/datagen/datagen.h"
+#include "gter/er/preprocess.h"
+#include "gter/eval/confusion.h"
+#include "gter/eval/threshold_sweep.h"
+
+namespace gter {
+namespace {
+
+FusionConfig FastConfig() {
+  FusionConfig config;
+  config.rounds = 3;
+  config.cliquerank.max_steps = 10;
+  return config;
+}
+
+TEST(FusionTest, ResolvesSmallRestaurantBenchmarkWell) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.15, 3);
+  RemoveFrequentTerms(&data.dataset);
+  FusionPipeline pipeline(data.dataset, FastConfig());
+  FusionResult result = pipeline.Run();
+
+  auto labels = LabelPairs(pipeline.pairs(), data.truth);
+  Confusion c = EvaluatePairPredictions(pipeline.pairs(), result.matches,
+                                        labels,
+                                        TotalPositives(data.dataset, data.truth));
+  EXPECT_GT(c.F1(), 0.7);
+}
+
+TEST(FusionTest, OutputShapesAreConsistent) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
+  RemoveFrequentTerms(&data.dataset);
+  FusionPipeline pipeline(data.dataset, FastConfig());
+  FusionResult result = pipeline.Run();
+  EXPECT_EQ(result.pair_scores.size(), pipeline.pairs().size());
+  EXPECT_EQ(result.pair_probability.size(), pipeline.pairs().size());
+  EXPECT_EQ(result.matches.size(), pipeline.pairs().size());
+  EXPECT_EQ(result.term_weights.size(), data.dataset.vocabulary().size());
+  for (double p : result.pair_probability) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(FusionTest, RoundStatsAreRecordedAndCumulative) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig config = FastConfig();
+  config.rounds = 4;
+  FusionPipeline pipeline(data.dataset, config);
+  FusionResult result = pipeline.Run();
+  ASSERT_EQ(result.round_stats.size(), 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    EXPECT_EQ(result.round_stats[r].round, r + 1);
+    EXPECT_GT(result.round_stats[r].iter_iterations, 0u);
+    if (r > 0) {
+      EXPECT_GE(result.round_stats[r].cumulative_seconds,
+                result.round_stats[r - 1].cumulative_seconds);
+    }
+  }
+}
+
+TEST(FusionTest, ObserverFiresOncePerRound) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig config = FastConfig();
+  config.rounds = 3;
+  FusionPipeline pipeline(data.dataset, config);
+  std::vector<size_t> seen;
+  pipeline.set_round_observer([&](size_t round, const FusionResult& snapshot) {
+    seen.push_back(round);
+    EXPECT_EQ(snapshot.pair_probability.size(), pipeline.pairs().size());
+  });
+  pipeline.Run();
+  EXPECT_EQ(seen, (std::vector<size_t>{1, 2, 3}));
+}
+
+TEST(FusionTest, FirstIterTraceRecordedWhenRequested) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig config = FastConfig();
+  config.iter.track_convergence = true;
+  FusionPipeline pipeline(data.dataset, config);
+  FusionResult result = pipeline.Run();
+  EXPECT_FALSE(result.first_iter_trace.empty());
+}
+
+TEST(FusionTest, ReinforcementImprovesOverFirstRound) {
+  // Table V's shape: later-round F1 (optimal-threshold on probability)
+  // should not degrade materially vs round 1 and typically improves.
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.08, 7);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig config;
+  config.rounds = 3;
+  config.cliquerank.max_steps = 10;
+  FusionPipeline pipeline(data.dataset, config);
+  auto labels = LabelPairs(pipeline.pairs(), data.truth);
+  uint64_t positives = TotalPositives(data.dataset, data.truth);
+  std::vector<double> f1_by_round;
+  pipeline.set_round_observer([&](size_t, const FusionResult& snapshot) {
+    SweepResult sweep =
+        BestF1Threshold(snapshot.pair_probability, labels, positives);
+    f1_by_round.push_back(sweep.f1);
+  });
+  pipeline.Run();
+  ASSERT_EQ(f1_by_round.size(), 3u);
+  EXPECT_GE(f1_by_round.back(), f1_by_round.front() - 0.02);
+}
+
+TEST(FusionTest, EtaThresholdControlsMatches) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig strict = FastConfig();
+  strict.eta = 0.999;
+  FusionConfig loose = FastConfig();
+  loose.eta = 0.5;
+  FusionResult rs = FusionPipeline(data.dataset, strict).Run();
+  FusionResult rl = FusionPipeline(data.dataset, loose).Run();
+  size_t strict_matches = std::count(rs.matches.begin(), rs.matches.end(), true);
+  size_t loose_matches = std::count(rl.matches.begin(), rl.matches.end(), true);
+  EXPECT_LE(strict_matches, loose_matches);
+}
+
+TEST(FusionTest, RssBackendProducesComparableDecisions) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.2, 9);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig config = FastConfig();
+  config.rounds = 2;
+  config.use_rss = true;
+  config.rss.num_walks = 100;
+  FusionPipeline pipeline(data.dataset, config);
+  FusionResult result = pipeline.Run();
+  auto labels = LabelPairs(pipeline.pairs(), data.truth);
+  Confusion c = EvaluatePairPredictions(pipeline.pairs(), result.matches,
+                                        labels,
+                                        TotalPositives(data.dataset, data.truth));
+  EXPECT_GT(c.F1(), 0.6);
+}
+
+TEST(FusionTest, ResolveFromMatchesBuildsClusters) {
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
+  RemoveFrequentTerms(&data.dataset);
+  FusionPipeline pipeline(data.dataset, FastConfig());
+  FusionResult result = pipeline.Run();
+  ResolutionResult res =
+      ResolveFromMatches(data.dataset, pipeline.pairs(), result.matches);
+  EXPECT_EQ(res.cluster_of.size(), data.dataset.size());
+  auto matched = MatchedPairs(pipeline.pairs(), result.matches);
+  for (const auto& [a, b] : matched) {
+    EXPECT_EQ(res.cluster_of[a], res.cluster_of[b]);
+  }
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,120 @@
+#include "gter/core/iter_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "gter/core/iter.h"
+#include "gter/datagen/datagen.h"
+#include "gter/er/preprocess.h"
+#include "gter/eval/spearman.h"
+
+namespace gter {
+namespace {
+
+struct Fixture {
+  Dataset ds{"test"};
+  PairSpace pairs;
+  BipartiteGraph graph;
+
+  Fixture() : pairs(BuildPairs()), graph(BipartiteGraph::Build(ds, pairs)) {}
+
+  PairSpace BuildPairs() {
+    ds.AddRecord(0, "anchor1 noise");
+    ds.AddRecord(0, "anchor1 noise");
+    ds.AddRecord(0, "anchor2 noise");
+    ds.AddRecord(0, "anchor2 noise");
+    ds.AddRecord(0, "noise misc1");
+    ds.AddRecord(0, "noise misc2");
+    return PairSpace::Build(ds);
+  }
+
+  std::vector<double> Uniform() const {
+    return std::vector<double>(pairs.size(), 1.0);
+  }
+};
+
+TEST(IterMatrixTest, ConvergesToEigenvector) {
+  Fixture f;
+  IterMatrixResult result = RunIterMatrixForm(f.graph, f.Uniform());
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.eigenvalue, 0.0);
+  // Theorem 1: the stationary y is the principal eigenvector — residual
+  // ‖My − λy‖ must be tiny relative to λ.
+  EXPECT_LT(result.residual, 1e-9 * result.eigenvalue);
+}
+
+TEST(IterMatrixTest, StationaryVectorIsUnitNorm) {
+  Fixture f;
+  IterMatrixResult result = RunIterMatrixForm(f.graph, f.Uniform());
+  double norm_sq = 0.0;
+  for (double v : result.pair_scores) norm_sq += v * v;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+}
+
+TEST(IterMatrixTest, SeedDoesNotChangeStationarySolution) {
+  Fixture f;
+  IterMatrixOptions a, b;
+  a.seed = 1;
+  b.seed = 424242;
+  IterMatrixResult ra = RunIterMatrixForm(f.graph, f.Uniform(), a);
+  IterMatrixResult rb = RunIterMatrixForm(f.graph, f.Uniform(), b);
+  for (PairId p = 0; p < f.pairs.size(); ++p) {
+    EXPECT_NEAR(ra.pair_scores[p], rb.pair_scores[p], 1e-8);
+  }
+}
+
+TEST(IterMatrixTest, AgreesWithSweepImplementationOnRanking) {
+  // Algorithm 1 (with its per-sweep normalization) and the pure power
+  // iteration converge to the same *ranking* of pairs and terms — the
+  // normalization only reshapes magnitudes monotonically per sweep.
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.15, 5);
+  RemoveFrequentTerms(&data.dataset);
+  PairSpace pairs = PairSpace::Build(data.dataset);
+  BipartiteGraph graph = BipartiteGraph::Build(data.dataset, pairs);
+  std::vector<double> uniform(pairs.size(), 1.0);
+
+  IterMatrixResult matrix = RunIterMatrixForm(graph, uniform);
+  IterOptions sweep_options;
+  sweep_options.normalization = IterNormalization::kL2;
+  IterResult sweep = RunIter(graph, uniform, sweep_options);
+
+  EXPECT_GT(SpearmanRho(matrix.pair_scores, sweep.pair_scores), 0.95);
+  // Compare term rankings over terms that participate in pairs.
+  std::vector<double> mx, sx;
+  for (TermId t = 0; t < graph.num_terms(); ++t) {
+    if (graph.PairsOfTerm(t).empty()) continue;
+    mx.push_back(matrix.term_weights[t]);
+    sx.push_back(sweep.term_weights[t]);
+  }
+  EXPECT_GT(SpearmanRho(mx, sx), 0.9);
+}
+
+TEST(IterMatrixTest, EdgeProbabilityReweightsSpectrum) {
+  Fixture f;
+  // Zeroing all probabilities collapses M to the zero matrix.
+  std::vector<double> zeros(f.pairs.size(), 0.0);
+  IterMatrixResult dead = RunIterMatrixForm(f.graph, zeros);
+  EXPECT_DOUBLE_EQ(dead.eigenvalue, 0.0);
+
+  // Keeping only the anchor1 pair concentrates the eigenvector on it.
+  std::vector<double> only(f.pairs.size(), 0.0);
+  PairId anchor_pair = f.pairs.Find(0, 1);
+  only[anchor_pair] = 1.0;
+  IterMatrixResult focused = RunIterMatrixForm(f.graph, only);
+  for (PairId p = 0; p < f.pairs.size(); ++p) {
+    EXPECT_GE(focused.pair_scores[anchor_pair] + 1e-12,
+              focused.pair_scores[p]);
+  }
+}
+
+TEST(IterMatrixTest, EmptyGraphHandled) {
+  Dataset ds("test");
+  ds.AddRecord(0, "x");
+  ds.AddRecord(0, "y");
+  PairSpace pairs = PairSpace::Build(ds);
+  BipartiteGraph graph = BipartiteGraph::Build(ds, pairs);
+  IterMatrixResult result = RunIterMatrixForm(graph, {});
+  EXPECT_TRUE(result.pair_scores.empty());
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,180 @@
+#include "gter/core/iter.h"
+
+#include <gtest/gtest.h>
+
+#include "gter/eval/spearman.h"
+#include "gter/eval/term_score.h"
+
+namespace gter {
+namespace {
+
+/// Two matching pairs anchored by discriminative terms, one frequent noise
+/// term shared by everything.
+struct Fixture {
+  Dataset ds{"test"};
+  GroundTruth truth;
+  PairSpace pairs;
+  BipartiteGraph graph;
+
+  Fixture()
+      : truth({0, 0, 1, 1, 2, 3}),
+        pairs(BuildPairs()),
+        graph(BipartiteGraph::Build(ds, pairs)) {}
+
+  PairSpace BuildPairs() {
+    ds.AddRecord(0, "anchor1 noise");      // 0 ┐ entity 0
+    ds.AddRecord(0, "anchor1 noise");      // 1 ┘
+    ds.AddRecord(0, "anchor2 noise");      // 2 ┐ entity 1
+    ds.AddRecord(0, "anchor2 noise");      // 3 ┘
+    ds.AddRecord(0, "noise misc1");        // 4   entity 2
+    ds.AddRecord(0, "noise misc2");        // 5   entity 3
+    return PairSpace::Build(ds);
+  }
+};
+
+std::vector<double> UniformProbability(const PairSpace& pairs) {
+  return std::vector<double>(pairs.size(), 1.0);
+}
+
+TEST(IterTest, ConvergesOnSmallGraph) {
+  Fixture f;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 100u);
+}
+
+TEST(IterTest, DiscriminativeTermsOutweighNoise) {
+  Fixture f;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  double anchor1 = result.term_weights[f.ds.vocabulary().Lookup("anchor1")];
+  double anchor2 = result.term_weights[f.ds.vocabulary().Lookup("anchor2")];
+  double noise = result.term_weights[f.ds.vocabulary().Lookup("noise")];
+  EXPECT_GT(anchor1, noise);
+  EXPECT_GT(anchor2, noise);
+}
+
+TEST(IterTest, MatchingPairsScoreHigherThanNonMatching) {
+  Fixture f;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  double match_01 = result.pair_scores[f.pairs.Find(0, 1)];
+  double match_23 = result.pair_scores[f.pairs.Find(2, 3)];
+  double nonmatch = result.pair_scores[f.pairs.Find(0, 2)];
+  EXPECT_GT(match_01, nonmatch);
+  EXPECT_GT(match_23, nonmatch);
+}
+
+TEST(IterTest, WeightsLieInUnitIntervalUnderLogistic) {
+  Fixture f;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  for (double x : result.term_weights) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(IterTest, PairScoreIsSumOfSharedTermWeights) {
+  Fixture f;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  for (PairId p = 0; p < f.pairs.size(); ++p) {
+    double expected = 0.0;
+    for (TermId t : f.graph.TermsOfPair(p)) {
+      expected += result.term_weights[t];
+    }
+    EXPECT_NEAR(result.pair_scores[p], expected, 1e-12);
+  }
+}
+
+TEST(IterTest, DeterministicInSeed) {
+  Fixture f;
+  IterOptions options;
+  options.seed = 99;
+  IterResult a = RunIter(f.graph, UniformProbability(f.pairs), options);
+  IterResult b = RunIter(f.graph, UniformProbability(f.pairs), options);
+  EXPECT_EQ(a.term_weights, b.term_weights);
+}
+
+TEST(IterTest, ConvergesFromDifferentInitializations) {
+  // The stationary point is the principal eigenvector (Theorem 1) — the
+  // seed must not change where we land, only the path.
+  Fixture f;
+  IterOptions o1, o2;
+  o1.seed = 1;
+  o2.seed = 123456;
+  o1.tolerance = o2.tolerance = 1e-12;
+  IterResult a = RunIter(f.graph, UniformProbability(f.pairs), o1);
+  IterResult b = RunIter(f.graph, UniformProbability(f.pairs), o2);
+  for (size_t t = 0; t < a.term_weights.size(); ++t) {
+    EXPECT_NEAR(a.term_weights[t], b.term_weights[t], 1e-6);
+  }
+}
+
+TEST(IterTest, EdgeProbabilityDemotesPunishedTerms) {
+  Fixture f;
+  // Tell ITER the non-matching pairs (those not (0,1) or (2,3)) have
+  // probability 0: noise-only pairs stop contributing to "noise".
+  std::vector<double> probability(f.pairs.size(), 0.0);
+  probability[f.pairs.Find(0, 1)] = 1.0;
+  probability[f.pairs.Find(2, 3)] = 1.0;
+  IterResult with_p = RunIter(f.graph, probability);
+  IterResult uniform = RunIter(f.graph, UniformProbability(f.pairs));
+  TermId noise = f.ds.vocabulary().Lookup("noise");
+  TermId anchor = f.ds.vocabulary().Lookup("anchor1");
+  double ratio_with = with_p.term_weights[anchor] /
+                      std::max(with_p.term_weights[noise], 1e-12);
+  double ratio_uniform = uniform.term_weights[anchor] /
+                         std::max(uniform.term_weights[noise], 1e-12);
+  EXPECT_GT(ratio_with, ratio_uniform);
+}
+
+TEST(IterTest, TrackConvergenceRecordsDecreasingTail) {
+  Fixture f;
+  IterOptions options;
+  options.track_convergence = true;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs), options);
+  ASSERT_EQ(result.update_trace.size(), result.iterations);
+  // The final update must be below tolerance (that is why it stopped).
+  EXPECT_LT(result.update_trace.back(), options.tolerance);
+  // And smaller than the peak update.
+  double peak = *std::max_element(result.update_trace.begin(),
+                                  result.update_trace.end());
+  EXPECT_GT(peak, result.update_trace.back());
+}
+
+TEST(IterTest, L2NormalizationVariant) {
+  Fixture f;
+  IterOptions options;
+  options.normalization = IterNormalization::kL2;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs), options);
+  double norm_sq = 0.0;
+  for (double x : result.term_weights) norm_sq += x * x;
+  EXPECT_NEAR(norm_sq, 1.0, 1e-9);
+  // The ranking must agree with the logistic variant.
+  IterResult logistic = RunIter(f.graph, UniformProbability(f.pairs));
+  TermId anchor = f.ds.vocabulary().Lookup("anchor1");
+  TermId noise = f.ds.vocabulary().Lookup("noise");
+  EXPECT_GT(result.term_weights[anchor], result.term_weights[noise]);
+  EXPECT_GT(logistic.term_weights[anchor], logistic.term_weights[noise]);
+}
+
+TEST(IterTest, LearnedRankingCorrelatesWithOracle) {
+  Fixture f;
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  auto oracle = OracleTermScores(f.graph, f.pairs, f.truth);
+  // Restrict to terms that participate in some pair.
+  std::vector<double> learned, truth_scores;
+  for (TermId t = 0; t < f.graph.num_terms(); ++t) {
+    if (!f.graph.PairsOfTerm(t).empty()) {
+      learned.push_back(result.term_weights[t]);
+      truth_scores.push_back(oracle[t]);
+    }
+  }
+  EXPECT_GT(SpearmanRho(learned, truth_scores), 0.5);
+}
+
+TEST(IterDeathTest, WrongProbabilitySizeAborts) {
+  Fixture f;
+  EXPECT_DEATH(RunIter(f.graph, {1.0}), "GTER_CHECK");
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,96 @@
+#include "gter/core/model_io.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "gter/datagen/datagen.h"
+#include "gter/er/csv.h"
+#include "gter/er/preprocess.h"
+
+namespace gter {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+struct Fixture {
+  GeneratedDataset data;
+  FusionResult result;
+  PairSpace pairs;
+
+  Fixture() : data(GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5)) {
+    RemoveFrequentTerms(&data.dataset);
+    FusionConfig config;
+    config.rounds = 2;
+    config.cliquerank.max_steps = 10;
+    FusionPipeline pipeline(data.dataset, config);
+    result = pipeline.Run();
+    pairs = pipeline.pairs();
+  }
+};
+
+TEST(ModelIoTest, TermWeightsRoundTrip) {
+  Fixture f;
+  std::string path = TempPath("gter_weights_test.csv");
+  ASSERT_TRUE(SaveTermWeights(path, f.data.dataset, f.result.term_weights).ok());
+  auto loaded = LoadTermWeights(path, f.data.dataset);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), f.result.term_weights.size());
+  for (TermId t = 0; t < f.result.term_weights.size(); ++t) {
+    EXPECT_NEAR(loaded.value()[t], f.result.term_weights[t], 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MatchesRoundTrip) {
+  Fixture f;
+  std::string path = TempPath("gter_matches_test.csv");
+  ASSERT_TRUE(SaveMatches(path, f.pairs, f.result).ok());
+  auto loaded = LoadMatches(path, f.pairs);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), f.result.matches);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, SizeMismatchRejected) {
+  Fixture f;
+  std::vector<double> wrong(3, 0.5);
+  EXPECT_FALSE(
+      SaveTermWeights(TempPath("gter_bad.csv"), f.data.dataset, wrong).ok());
+}
+
+TEST(ModelIoTest, UnknownTermRejectedOnLoad) {
+  Fixture f;
+  std::string path = TempPath("gter_unknown_term.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"term", "weight"},
+                                  {"definitely_not_in_vocab_xyz", "0.5"}})
+                  .ok());
+  auto loaded = LoadTermWeights(path, f.data.dataset);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ForeignPairRejectedOnLoad) {
+  Fixture f;
+  std::string path = TempPath("gter_foreign_pair.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"record_a", "record_b", "probability"},
+                                  {"0", "999999", "1.0"}})
+                  .ok());
+  auto loaded = LoadMatches(path, f.pairs);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MissingFileIsIOError) {
+  Fixture f;
+  auto loaded = LoadTermWeights("/no/such/path.csv", f.data.dataset);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace gter

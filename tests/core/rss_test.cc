@@ -1,0 +1,153 @@
+#include "gter/core/rss.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+/// Two well-separated cliques {0,1,2} and {3,4,5} linked by one weak
+/// bridge edge (2,3). Within-clique similarities are high; the bridge is
+/// weak — the structure CliqueRank/RSS is designed to exploit.
+struct TwoCliques {
+  Dataset ds{"test"};
+  PairSpace pairs;
+  std::vector<double> sims;
+  RecordGraph graph;
+
+  TwoCliques() : pairs(BuildPairs()), graph(BuildGraph()) {}
+
+  PairSpace BuildPairs() {
+    // Clique A shares "aa", clique B shares "bb"; the bridge records 2 and
+    // 3 additionally share "weak".
+    ds.AddRecord(0, "aa");        // 0
+    ds.AddRecord(0, "aa");        // 1
+    ds.AddRecord(0, "aa weak");   // 2
+    ds.AddRecord(0, "bb weak");   // 3
+    ds.AddRecord(0, "bb");        // 4
+    ds.AddRecord(0, "bb");        // 5
+    return PairSpace::Build(ds);
+  }
+
+  RecordGraph BuildGraph() {
+    sims.assign(pairs.size(), 0.0);
+    auto set = [&](RecordId a, RecordId b, double w) {
+      PairId p = pairs.Find(a, b);
+      ASSERT_TRUE(p != kInvalidPairId) << a << "," << b;
+      sims[p] = w;
+    };
+    set(0, 1, 0.9);
+    set(0, 2, 0.85);
+    set(1, 2, 0.9);
+    set(3, 4, 0.9);
+    set(3, 5, 0.85);
+    set(4, 5, 0.9);
+    set(2, 3, 0.1);  // the bridge
+    return RecordGraph::Build(ds.size(), pairs, sims);
+  }
+};
+
+TEST(RssTest, WithinCliqueProbabilityHigh) {
+  TwoCliques f;
+  RssOptions options;
+  options.num_walks = 200;
+  auto p = RunRss(f.graph, f.pairs, options);
+  EXPECT_GT(p[f.pairs.Find(0, 1)], 0.9);
+  EXPECT_GT(p[f.pairs.Find(4, 5)], 0.9);
+}
+
+TEST(RssTest, BridgeProbabilityLow) {
+  TwoCliques f;
+  RssOptions options;
+  options.num_walks = 200;
+  auto p = RunRss(f.graph, f.pairs, options);
+  EXPECT_LT(p[f.pairs.Find(2, 3)], 0.5);
+  EXPECT_LT(p[f.pairs.Find(2, 3)], p[f.pairs.Find(0, 1)]);
+}
+
+TEST(RssTest, ProbabilitiesAreValidAndDeterministic) {
+  TwoCliques f;
+  RssOptions options;
+  options.num_walks = 50;
+  options.seed = 11;
+  auto a = RunRss(f.graph, f.pairs, options);
+  auto b = RunRss(f.graph, f.pairs, options);
+  EXPECT_EQ(a, b);
+  for (double v : a) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(RssTest, BoostHelpsLargeCliques) {
+  // A 12-node clique with uniform weights: without the bonus, reaching a
+  // specific target within S steps is unlikely; the boost fixes it
+  // (the paper's 192-record Paper-dataset motivation).
+  Dataset ds("test");
+  for (int i = 0; i < 12; ++i) ds.AddRecord(0, "big");
+  PairSpace pairs = PairSpace::Build(ds);
+  std::vector<double> sims(pairs.size(), 0.8);
+  RecordGraph graph = RecordGraph::Build(ds.size(), pairs, sims);
+
+  RssOptions with_boost;
+  with_boost.num_walks = 100;
+  with_boost.max_steps = 5;
+  RssOptions no_boost = with_boost;
+  no_boost.use_boost = false;
+
+  auto p_boost = RunRss(graph, pairs, with_boost);
+  auto p_plain = RunRss(graph, pairs, no_boost);
+  double mean_boost = 0.0, mean_plain = 0.0;
+  for (PairId p = 0; p < pairs.size(); ++p) {
+    mean_boost += p_boost[p];
+    mean_plain += p_plain[p];
+  }
+  mean_boost /= static_cast<double>(pairs.size());
+  mean_plain /= static_cast<double>(pairs.size());
+  EXPECT_GT(mean_boost, mean_plain + 0.15);
+  EXPECT_GT(mean_boost, 0.7);
+}
+
+TEST(RssTest, EarlyStopSuppressesEscapedWalks) {
+  TwoCliques f;
+  RssOptions with_stop;
+  with_stop.num_walks = 200;
+  RssOptions no_stop = with_stop;
+  no_stop.early_stop = false;
+  auto p_stop = RunRss(f.graph, f.pairs, with_stop);
+  auto p_free = RunRss(f.graph, f.pairs, no_stop);
+  // Without early stop the surfer may wander out and back, so cross-clique
+  // probability can only grow.
+  EXPECT_LE(p_stop[f.pairs.Find(2, 3)], p_free[f.pairs.Find(2, 3)] + 0.05);
+}
+
+TEST(RssTest, MoreStepsNeverReduceReachability) {
+  TwoCliques f;
+  RssOptions few;
+  few.num_walks = 400;
+  few.max_steps = 1;
+  RssOptions many = few;
+  many.max_steps = 20;
+  auto p_few = RunRss(f.graph, f.pairs, few);
+  auto p_many = RunRss(f.graph, f.pairs, many);
+  double sum_few = 0.0, sum_many = 0.0;
+  for (PairId p = 0; p < f.pairs.size(); ++p) {
+    sum_few += p_few[p];
+    sum_many += p_many[p];
+  }
+  EXPECT_GE(sum_many, sum_few - 0.1);
+}
+
+TEST(RssTest, IsolatedPairStillDefined) {
+  Dataset ds("test");
+  ds.AddRecord(0, "only");
+  ds.AddRecord(0, "only");
+  PairSpace pairs = PairSpace::Build(ds);
+  std::vector<double> sims(pairs.size(), 0.5);
+  RecordGraph graph = RecordGraph::Build(ds.size(), pairs, sims);
+  auto p = RunRss(graph, pairs, {});
+  // The two records are each other's only neighbor → always reached.
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+}
+
+}  // namespace
+}  // namespace gter

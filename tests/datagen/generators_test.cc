@@ -1,0 +1,156 @@
+#include "gter/datagen/datagen.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "gter/datagen/paper_gen.h"
+#include "gter/datagen/product_gen.h"
+#include "gter/datagen/restaurant_gen.h"
+#include "gter/er/pair_space.h"
+#include "gter/er/preprocess.h"
+
+namespace gter {
+namespace {
+
+TEST(RestaurantGenTest, MatchesPublishedStatistics) {
+  auto data = GenerateRestaurant();
+  EXPECT_EQ(data.dataset.size(), 858u);
+  EXPECT_EQ(data.dataset.num_sources(), 1u);
+  EXPECT_EQ(data.truth.CountMatchingPairs(), 106u);
+  // Restaurant clusters are at most pairs.
+  auto hist = data.truth.ClusterSizeHistogram();
+  EXPECT_EQ(hist.size(), 3u);  // sizes 1 and 2 only
+  EXPECT_EQ(hist[2], 106u);
+}
+
+TEST(RestaurantGenTest, RecordsHaveFiveFields) {
+  auto data = GenerateRestaurant();
+  for (const Record& rec : data.dataset.records()) {
+    EXPECT_EQ(rec.fields.size(), 5u);
+    EXPECT_FALSE(rec.raw_text.empty());
+  }
+}
+
+TEST(RestaurantGenTest, DuplicatesSharePhone) {
+  auto data = GenerateRestaurant();
+  size_t shared_phone = 0, dup_pairs = 0;
+  for (const auto& cluster : data.truth.clusters()) {
+    if (cluster.size() != 2) continue;
+    ++dup_pairs;
+    const auto& f0 = data.dataset.record(cluster[0]).fields;
+    const auto& f1 = data.dataset.record(cluster[1]).fields;
+    if (f0[3] == f1[3]) ++shared_phone;
+  }
+  // The phone is the stable anchor; a small fraction is typo'd by design.
+  EXPECT_GT(shared_phone, dup_pairs * 85 / 100);
+}
+
+TEST(ProductGenTest, MatchesPublishedStatistics) {
+  auto data = GenerateProduct();
+  EXPECT_EQ(data.dataset.num_sources(), 2u);
+  size_t s0 = 0, s1 = 0;
+  for (const Record& rec : data.dataset.records()) {
+    (rec.source == 0 ? s0 : s1) += 1;
+  }
+  EXPECT_EQ(s0, 1081u);
+  EXPECT_EQ(s1, 1092u);
+  std::vector<uint32_t> sources;
+  for (const Record& rec : data.dataset.records()) sources.push_back(rec.source);
+  EXPECT_EQ(data.truth.CountMatchingCrossPairs(sources), 1092u);
+}
+
+TEST(ProductGenTest, NoSameSourceDuplicateOnAbtSide) {
+  auto data = GenerateProduct();
+  for (const auto& cluster : data.truth.clusters()) {
+    size_t abt = 0;
+    for (RecordId r : cluster) {
+      if (data.dataset.record(r).source == 0) ++abt;
+    }
+    EXPECT_LE(abt, 1u);
+  }
+}
+
+TEST(PaperGenTest, MatchesPublishedStatistics) {
+  auto data = GeneratePaper();
+  EXPECT_EQ(data.dataset.size(), 1865u);
+  auto hist = data.truth.ClusterSizeHistogram();
+  EXPECT_EQ(hist.size(), 193u);  // largest cluster has 192 records
+  size_t big = 0;
+  for (size_t size = 3; size < hist.size(); ++size) big += hist[size];
+  EXPECT_GE(big, 20u);  // many multi-record clusters
+  EXPECT_EQ(hist[192], 1u);
+}
+
+TEST(PaperGenTest, ClusterMembershipNotContiguous) {
+  auto data = GeneratePaper();
+  // The largest cluster's record ids must be spread out, not a block.
+  const auto& clusters = data.truth.clusters();
+  auto largest = std::max_element(
+      clusters.begin(), clusters.end(),
+      [](const auto& a, const auto& b) { return a.size() < b.size(); });
+  RecordId lo = *std::min_element(largest->begin(), largest->end());
+  RecordId hi = *std::max_element(largest->begin(), largest->end());
+  EXPECT_GT(hi - lo + 1, largest->size() * 2);
+}
+
+TEST(GenerateBenchmarkTest, DispatchesAndNames) {
+  EXPECT_EQ(BenchmarkName(BenchmarkKind::kRestaurant), "Restaurant");
+  EXPECT_EQ(BenchmarkName(BenchmarkKind::kProduct), "Product");
+  EXPECT_EQ(BenchmarkName(BenchmarkKind::kPaper), "Paper");
+  auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.25, 7);
+  EXPECT_EQ(data.dataset.size(), 215u);  // Round(858·0.25) with dup cap
+}
+
+TEST(GenerateBenchmarkTest, DeterministicInSeed) {
+  auto a = GenerateBenchmark(BenchmarkKind::kProduct, 0.1, 99);
+  auto b = GenerateBenchmark(BenchmarkKind::kProduct, 0.1, 99);
+  ASSERT_EQ(a.dataset.size(), b.dataset.size());
+  for (size_t r = 0; r < a.dataset.size(); ++r) {
+    EXPECT_EQ(a.dataset.record(r).raw_text, b.dataset.record(r).raw_text);
+    EXPECT_EQ(a.truth.entity_of(r), b.truth.entity_of(r));
+  }
+}
+
+TEST(GenerateBenchmarkTest, DifferentSeedsDiffer) {
+  auto a = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 1);
+  auto b = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 2);
+  size_t differing = 0;
+  for (size_t r = 0; r < std::min(a.dataset.size(), b.dataset.size()); ++r) {
+    if (a.dataset.record(r).raw_text != b.dataset.record(r).raw_text) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, a.dataset.size() / 2);
+}
+
+TEST(GenerateBenchmarkTest, MatchingPairsShareTermsAfterPreprocessing) {
+  // The candidate-pair space must cover nearly all matching pairs —
+  // otherwise blocking recall caps every method's F1.
+  for (auto kind : {BenchmarkKind::kRestaurant, BenchmarkKind::kProduct}) {
+    auto data = GenerateBenchmark(kind, 0.3, 5);
+    RemoveFrequentTerms(&data.dataset);
+    PairSpace pairs = PairSpace::Build(data.dataset);
+    uint64_t covered = 0, total = 0;
+    for (const auto& cluster : data.truth.clusters()) {
+      for (size_t i = 0; i < cluster.size(); ++i) {
+        for (size_t j = i + 1; j < cluster.size(); ++j) {
+          RecordId a = cluster[i], b = cluster[j];
+          if (data.dataset.num_sources() == 2 &&
+              data.dataset.record(a).source ==
+                  data.dataset.record(b).source) {
+            continue;
+          }
+          ++total;
+          if (pairs.Find(a, b) != kInvalidPairId) ++covered;
+        }
+      }
+    }
+    ASSERT_GT(total, 0u);
+    EXPECT_GT(static_cast<double>(covered) / static_cast<double>(total), 0.95)
+        << BenchmarkName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,97 @@
+#include "gter/datagen/noise.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(NoiseTest, TypoChangesWordByOneEdit) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    std::string word = "panasonic";
+    std::string typo = InjectTypo(word, &rng);
+    // One edit: length differs by at most 1.
+    EXPECT_LE(typo.size(), word.size() + 1);
+    EXPECT_GE(typo.size() + 1, word.size());
+  }
+}
+
+TEST(NoiseTest, TypoOnSingleChar) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    std::string typo = InjectTypo("a", &rng);
+    EXPECT_EQ(typo.size(), 1u);  // single chars only get substituted
+  }
+}
+
+TEST(NoiseTest, TypoOnEmptyWordIsNoop) {
+  Rng rng(3);
+  EXPECT_EQ(InjectTypo("", &rng), "");
+}
+
+TEST(NoiseTest, AbbreviateTruncatesLongWords) {
+  Rng rng(4);
+  for (int i = 0; i < 50; ++i) {
+    std::string abbr = Abbreviate("proceedings", &rng);
+    EXPECT_GE(abbr.size(), 3u);
+    EXPECT_LE(abbr.size(), 4u);
+    EXPECT_EQ(abbr, std::string("proceedings").substr(0, abbr.size()));
+  }
+}
+
+TEST(NoiseTest, AbbreviateKeepsShortWords) {
+  Rng rng(5);
+  EXPECT_EQ(Abbreviate("abc", &rng), "abc");
+  EXPECT_EQ(Abbreviate("ab", &rng), "ab");
+}
+
+TEST(NoiseTest, ZeroProbabilityNoiseIsIdentity) {
+  Rng rng(6);
+  NoiseOptions options;
+  options.typo_prob = 0.0;
+  options.abbreviate_prob = 0.0;
+  options.drop_prob = 0.0;
+  std::vector<std::string> tokens = {"golden", "dragon", "palace"};
+  EXPECT_EQ(ApplyNoise(tokens, options, &rng), tokens);
+}
+
+TEST(NoiseTest, DropProbabilityOneKeepsFirstToken) {
+  Rng rng(7);
+  NoiseOptions options;
+  options.drop_prob = 1.0;
+  std::vector<std::string> tokens = {"a", "b", "c"};
+  auto out = ApplyNoise(tokens, options, &rng);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], "a");
+}
+
+TEST(NoiseTest, NoiseRatesRoughlyRespected) {
+  Rng rng(8);
+  NoiseOptions options;
+  options.typo_prob = 0.5;
+  options.abbreviate_prob = 0.0;
+  options.drop_prob = 0.0;
+  size_t changed = 0;
+  constexpr int kTrials = 2000;
+  for (int i = 0; i < kTrials; ++i) {
+    auto out = ApplyNoise({"benchmark"}, options, &rng);
+    if (out[0] != "benchmark") ++changed;
+  }
+  // Some substitutions pick the same letter, so observed < nominal rate.
+  EXPECT_GT(changed, kTrials / 4);
+  EXPECT_LT(changed, 3 * kTrials / 4);
+}
+
+TEST(NoiseTest, JoinTokens) {
+  EXPECT_EQ(JoinTokens({"a", "b", "c"}), "a b c");
+  EXPECT_EQ(JoinTokens({}), "");
+  EXPECT_EQ(JoinTokens({"only"}), "only");
+}
+
+TEST(NoiseTest, EmptyInputStaysEmpty) {
+  Rng rng(9);
+  EXPECT_TRUE(ApplyNoise({}, NoiseOptions{}, &rng).empty());
+}
+
+}  // namespace
+}  // namespace gter

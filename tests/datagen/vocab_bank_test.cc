@@ -1,0 +1,93 @@
+#include "gter/datagen/vocab_bank.h"
+
+#include <cctype>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(VocabBankTest, WordBanksAreNonEmptyAndLowercase) {
+  for (const auto* bank :
+       {&VocabBank::RestaurantNameWords(), &VocabBank::Cuisines(),
+        &VocabBank::StreetNames(), &VocabBank::Cities(), &VocabBank::Brands(),
+        &VocabBank::ProductCategories(), &VocabBank::ProductCommonWords(),
+        &VocabBank::TitleTopicWords(), &VocabBank::VenueWords()}) {
+    ASSERT_FALSE(bank->empty());
+    for (const auto& word : *bank) {
+      ASSERT_FALSE(word.empty());
+      for (char c : word) {
+        EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                    std::isdigit(static_cast<unsigned char>(c)))
+            << word;
+      }
+    }
+  }
+}
+
+TEST(VocabBankTest, StreetSuffixAbbreviations) {
+  EXPECT_EQ(VocabBank::AbbreviateStreetSuffix("street"), "st");
+  EXPECT_EQ(VocabBank::AbbreviateStreetSuffix("avenue"), "ave");
+  EXPECT_EQ(VocabBank::AbbreviateStreetSuffix("boulevard"), "blvd");
+  EXPECT_EQ(VocabBank::AbbreviateStreetSuffix("unknown"), "unknown");
+  // Every listed suffix has a distinct abbreviation.
+  std::set<std::string> abbrs;
+  for (const auto& s : VocabBank::StreetSuffixes()) {
+    auto a = VocabBank::AbbreviateStreetSuffix(s);
+    EXPECT_NE(a, s);
+    abbrs.insert(a);
+  }
+  EXPECT_EQ(abbrs.size(), VocabBank::StreetSuffixes().size());
+}
+
+TEST(VocabBankTest, SurnamesArePronounceableAndVaried) {
+  Rng rng(1);
+  std::set<std::string> names;
+  for (int i = 0; i < 500; ++i) {
+    std::string name = VocabBank::MakeSurname(&rng);
+    EXPECT_GE(name.size(), 4u);
+    names.insert(name);
+  }
+  EXPECT_GT(names.size(), 300u);  // large name space
+}
+
+TEST(VocabBankTest, ModelCodesLookLikeProductModels) {
+  Rng rng(2);
+  std::set<std::string> codes;
+  for (int i = 0; i < 500; ++i) {
+    std::string code = VocabBank::MakeModelCode(&rng);
+    EXPECT_GE(code.size(), 4u);
+    bool has_digit = false, has_letter = false;
+    for (char c : code) {
+      has_digit |= std::isdigit(static_cast<unsigned char>(c)) != 0;
+      has_letter |= std::islower(static_cast<unsigned char>(c)) != 0;
+    }
+    EXPECT_TRUE(has_digit) << code;
+    EXPECT_TRUE(has_letter) << code;
+    codes.insert(code);
+  }
+  EXPECT_GT(codes.size(), 490u);  // collisions must be rare
+}
+
+TEST(VocabBankTest, PhonesAreTenDigitSingleTokens) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    std::string phone = VocabBank::MakePhone(&rng);
+    ASSERT_EQ(phone.size(), 10u);
+    for (char c : phone) EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(c)));
+    EXPECT_GE(phone[0], '2');  // no leading 0/1
+  }
+}
+
+TEST(VocabBankTest, GeneratorsAreDeterministicInSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(VocabBank::MakeSurname(&a), VocabBank::MakeSurname(&b));
+    EXPECT_EQ(VocabBank::MakeModelCode(&a), VocabBank::MakeModelCode(&b));
+    EXPECT_EQ(VocabBank::MakePhone(&a), VocabBank::MakePhone(&b));
+  }
+}
+
+}  // namespace
+}  // namespace gter

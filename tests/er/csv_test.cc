@@ -1,0 +1,104 @@
+#include "gter/er/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CsvLineTest, SimpleFields) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(CsvLineTest, QuotedFieldWithComma) {
+  auto fields = ParseCsvLine("a,\"b, with comma\",c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[1], "b, with comma");
+}
+
+TEST(CsvLineTest, EscapedQuotes) {
+  auto fields = ParseCsvLine("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(CsvLineTest, EmptyFields) {
+  auto fields = ParseCsvLine(",,");
+  ASSERT_EQ(fields.size(), 3u);
+  for (const auto& f : fields) EXPECT_TRUE(f.empty());
+}
+
+TEST(CsvLineTest, FormatAndParseRoundTrip) {
+  std::vector<std::string> original = {"plain", "with, comma", "with \"quote\"",
+                                       ""};
+  std::string line = FormatCsvLine(original);
+  EXPECT_EQ(ParseCsvLine(line), original);
+}
+
+TEST(CsvFileTest, WriteAndReadBack) {
+  std::string path = TempPath("gter_csv_test.csv");
+  std::vector<std::vector<std::string>> rows = {{"h1", "h2"},
+                                                {"a", "b, c"},
+                                                {"d", ""}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto result = ReadCsvFile(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIOError) {
+  auto result = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+TEST(DatasetCsvTest, SaveAndLoadRoundTrip) {
+  Dataset ds("orig", 2);
+  ds.AddRecord(0, "golden dragon 123 main st",
+               {"golden dragon", "123 main st"});
+  ds.AddRecord(1, "golden dragon restaurant",
+               {"golden dragon restaurant"});
+  GroundTruth truth({0, 0});
+
+  std::string path = TempPath("gter_dataset_test.csv");
+  ASSERT_TRUE(SaveDatasetCsv(path, ds, truth).ok());
+  auto result = LoadDatasetCsv(path, "loaded", 2);
+  ASSERT_TRUE(result.ok());
+  const auto& [loaded, loaded_truth] = result.value();
+  EXPECT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.record(0).source, 0u);
+  EXPECT_EQ(loaded.record(1).source, 1u);
+  EXPECT_TRUE(loaded_truth.IsMatch(0, 1));
+  EXPECT_EQ(loaded.record(0).fields.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(DatasetCsvTest, SizeMismatchRejected) {
+  Dataset ds("x");
+  ds.AddRecord(0, "a");
+  GroundTruth truth({0, 1});
+  EXPECT_FALSE(SaveDatasetCsv(TempPath("gter_mismatch.csv"), ds, truth).ok());
+}
+
+TEST(DatasetCsvTest, OutOfRangeSourceRejectedOnLoad) {
+  std::string path = TempPath("gter_bad_source.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"entity", "source", "text"},
+                                  {"0", "5", "hello"}})
+                  .ok());
+  auto result = LoadDatasetCsv(path, "bad", 1);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gter

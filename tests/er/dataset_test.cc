@@ -1,0 +1,90 @@
+#include "gter/er/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(DatasetTest, AddRecordTokenizesAndInterns) {
+  Dataset ds("test");
+  RecordId id = ds.AddRecord(0, "Golden Dragon, Golden City");
+  EXPECT_EQ(id, 0u);
+  const Record& rec = ds.record(id);
+  ASSERT_EQ(rec.tokens.size(), 4u);
+  // "golden" appears twice and must map to the same id.
+  EXPECT_EQ(rec.tokens[0], rec.tokens[2]);
+  // Term set is sorted and deduplicated.
+  ASSERT_EQ(rec.terms.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(rec.terms.begin(), rec.terms.end()));
+}
+
+TEST(DatasetTest, FieldsArePreserved) {
+  Dataset ds("test");
+  RecordId id = ds.AddRecord(0, "a b", {"field one", "field two"});
+  ASSERT_EQ(ds.record(id).fields.size(), 2u);
+  EXPECT_EQ(ds.record(id).fields[1], "field two");
+}
+
+TEST(DatasetTest, SharedVocabularyAcrossRecords) {
+  Dataset ds("test");
+  ds.AddRecord(0, "alpha beta");
+  ds.AddRecord(0, "beta gamma");
+  EXPECT_EQ(ds.vocabulary().size(), 3u);
+  EXPECT_EQ(ds.record(0).terms[1], ds.record(1).terms[0]);
+}
+
+TEST(DatasetTest, DocumentFrequencies) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b");
+  ds.AddRecord(0, "b c");
+  ds.AddRecord(0, "b b b");
+  auto df = ds.ComputeDocumentFrequencies();
+  TermId b = ds.vocabulary().Lookup("b");
+  TermId a = ds.vocabulary().Lookup("a");
+  EXPECT_EQ(df[b], 3u);  // counted once per record despite repeats
+  EXPECT_EQ(df[a], 1u);
+}
+
+TEST(DatasetTest, InvertedIndex) {
+  Dataset ds("test");
+  ds.AddRecord(0, "x y");
+  ds.AddRecord(0, "y z");
+  auto index = ds.BuildInvertedIndex();
+  TermId y = ds.vocabulary().Lookup("y");
+  ASSERT_EQ(index[y].size(), 2u);
+  EXPECT_EQ(index[y][0], 0u);
+  EXPECT_EQ(index[y][1], 1u);
+}
+
+TEST(DatasetTest, TokenCorpusKeepsDuplicates) {
+  Dataset ds("test");
+  ds.AddRecord(0, "w w v");
+  auto corpus = ds.TokenCorpus();
+  ASSERT_EQ(corpus.size(), 1u);
+  EXPECT_EQ(corpus[0].size(), 3u);
+}
+
+TEST(DatasetTest, TwoSourceRecordsKeepSource) {
+  Dataset ds("two", 2);
+  ds.AddRecord(0, "a");
+  ds.AddRecord(1, "b");
+  EXPECT_EQ(ds.record(0).source, 0u);
+  EXPECT_EQ(ds.record(1).source, 1u);
+}
+
+TEST(DatasetDeathTest, OutOfRangeSourceAborts) {
+  Dataset ds("one", 1);
+  EXPECT_DEATH(ds.AddRecord(1, "a"), "GTER_CHECK");
+}
+
+TEST(DatasetTest, TokenizerOptionsAreApplied) {
+  Dataset ds("test");
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  ds.set_tokenizer_options(options);
+  ds.AddRecord(0, "ab abc abcd");
+  EXPECT_EQ(ds.record(0).tokens.size(), 2u);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,61 @@
+#include "gter/er/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(GroundTruthTest, BasicProperties) {
+  GroundTruth truth({0, 0, 1, 2, 2, 2});
+  EXPECT_EQ(truth.num_records(), 6u);
+  EXPECT_EQ(truth.num_entities(), 3u);
+  EXPECT_TRUE(truth.IsMatch(0, 1));
+  EXPECT_FALSE(truth.IsMatch(1, 2));
+  EXPECT_TRUE(truth.IsMatch(3, 5));
+}
+
+TEST(GroundTruthTest, Clusters) {
+  GroundTruth truth({0, 1, 0, 1, 1});
+  ASSERT_EQ(truth.clusters().size(), 2u);
+  EXPECT_EQ(truth.clusters()[0].size(), 2u);
+  EXPECT_EQ(truth.clusters()[1].size(), 3u);
+}
+
+TEST(GroundTruthTest, CountMatchingPairs) {
+  // cluster sizes 2, 1, 3 → 1 + 0 + 3 = 4 pairs
+  GroundTruth truth({0, 0, 1, 2, 2, 2});
+  EXPECT_EQ(truth.CountMatchingPairs(), 4u);
+}
+
+TEST(GroundTruthTest, CountMatchingCrossPairs) {
+  // Entity 0: records {0 (src0), 1 (src1), 2 (src1)} → 1*2 = 2 cross pairs.
+  // Entity 1: records {3 (src0), 4 (src0)} → 0 cross pairs.
+  GroundTruth truth({0, 0, 0, 1, 1});
+  std::vector<uint32_t> sources = {0, 1, 1, 0, 0};
+  EXPECT_EQ(truth.CountMatchingCrossPairs(sources), 2u);
+}
+
+TEST(GroundTruthTest, ClusterSizeHistogram) {
+  GroundTruth truth({0, 0, 1, 2, 2, 2});
+  auto hist = truth.ClusterSizeHistogram();
+  ASSERT_EQ(hist.size(), 4u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(GroundTruthTest, SingletonsOnly) {
+  GroundTruth truth({0, 1, 2});
+  EXPECT_EQ(truth.CountMatchingPairs(), 0u);
+  EXPECT_EQ(truth.num_entities(), 3u);
+}
+
+TEST(GroundTruthTest, EmptyTruth) {
+  GroundTruth truth{std::vector<EntityId>{}};
+  EXPECT_EQ(truth.num_records(), 0u);
+  EXPECT_EQ(truth.num_entities(), 0u);
+  EXPECT_EQ(truth.CountMatchingPairs(), 0u);
+}
+
+}  // namespace
+}  // namespace gter

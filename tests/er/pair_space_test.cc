@@ -1,0 +1,94 @@
+#include "gter/er/pair_space.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(PairSpaceTest, OnlySharingPairsMaterialized) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b");   // 0
+  ds.AddRecord(0, "b c");   // 1
+  ds.AddRecord(0, "x y");   // 2
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.size(), 1u);
+  EXPECT_NE(space.Find(0, 1), kInvalidPairId);
+  EXPECT_EQ(space.Find(0, 2), kInvalidPairId);
+  EXPECT_EQ(space.Find(1, 2), kInvalidPairId);
+}
+
+TEST(PairSpaceTest, FindIsOrderInsensitive) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a");
+  ds.AddRecord(0, "a");
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.Find(0, 1), space.Find(1, 0));
+}
+
+TEST(PairSpaceTest, PairsStoredWithSmallerIdFirst) {
+  Dataset ds("test");
+  ds.AddRecord(0, "t");
+  ds.AddRecord(0, "t");
+  ds.AddRecord(0, "t");
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.size(), 3u);
+  for (const RecordPair& rp : space.pairs()) EXPECT_LT(rp.a, rp.b);
+}
+
+TEST(PairSpaceTest, MultipleSharedTermsYieldOnePair) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b c");
+  ds.AddRecord(0, "a b d");
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.size(), 1u);
+}
+
+TEST(PairSpaceTest, TwoSourceRestrictsToCrossPairs) {
+  Dataset ds("two", 2);
+  ds.AddRecord(0, "shared x");  // 0
+  ds.AddRecord(0, "shared y");  // 1  — same source as 0
+  ds.AddRecord(1, "shared z");  // 2
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.size(), 2u);
+  EXPECT_EQ(space.Find(0, 1), kInvalidPairId);  // same-source pair excluded
+  EXPECT_NE(space.Find(0, 2), kInvalidPairId);
+  EXPECT_NE(space.Find(1, 2), kInvalidPairId);
+}
+
+TEST(PairSpaceTest, UniverseSizeSingleSource) {
+  Dataset ds("test");
+  for (int i = 0; i < 5; ++i) {
+    std::string text = "r";
+    text += std::to_string(i);
+    ds.AddRecord(0, std::move(text));
+  }
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.UniverseSize(ds), 10u);  // 5*4/2
+}
+
+TEST(PairSpaceTest, UniverseSizeTwoSource) {
+  Dataset ds("two", 2);
+  ds.AddRecord(0, "a");
+  ds.AddRecord(0, "b");
+  ds.AddRecord(1, "c");
+  ds.AddRecord(1, "d");
+  ds.AddRecord(1, "e");
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.UniverseSize(ds), 6u);  // 2*3
+}
+
+TEST(PairSpaceTest, EmptyDatasetYieldsNoPairs) {
+  Dataset ds("test");
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.size(), 0u);
+}
+
+TEST(PairSpaceTest, CliqueOfSharers) {
+  Dataset ds("test");
+  for (int i = 0; i < 6; ++i) ds.AddRecord(0, "common");
+  PairSpace space = PairSpace::Build(ds);
+  EXPECT_EQ(space.size(), 15u);  // 6 choose 2
+}
+
+}  // namespace
+}  // namespace gter

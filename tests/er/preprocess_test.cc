@@ -1,0 +1,80 @@
+#include "gter/er/preprocess.h"
+
+#include <gtest/gtest.h>
+
+#include "gter/er/pair_space.h"
+
+namespace gter {
+namespace {
+
+Dataset TenRecordsWithStopword() {
+  Dataset ds("test");
+  for (int i = 0; i < 10; ++i) {
+    // "the" is in every record; "unique<i>" in exactly one.
+    ds.AddRecord(0, "the unique" + std::to_string(i));
+  }
+  return ds;
+}
+
+TEST(PreprocessTest, RemovesTermsAboveRatio) {
+  Dataset ds = TenRecordsWithStopword();
+  PreprocessOptions options;
+  options.max_df_ratio = 0.5;  // cap = 5 records
+  PreprocessStats stats = RemoveFrequentTerms(&ds, options);
+  EXPECT_EQ(stats.terms_removed, 1u);
+  EXPECT_EQ(stats.terms_kept, 10u);
+  TermId the = ds.vocabulary().Lookup("the");
+  for (const Record& rec : ds.records()) {
+    for (TermId t : rec.terms) EXPECT_NE(t, the);
+    EXPECT_EQ(rec.terms.size(), 1u);
+  }
+}
+
+TEST(PreprocessTest, TokensAlsoFiltered) {
+  Dataset ds = TenRecordsWithStopword();
+  PreprocessOptions options;
+  options.max_df_ratio = 0.5;
+  PreprocessStats stats = RemoveFrequentTerms(&ds, options);
+  EXPECT_EQ(stats.token_occurrences_removed, 10u);
+  for (const Record& rec : ds.records()) EXPECT_EQ(rec.tokens.size(), 1u);
+}
+
+TEST(PreprocessTest, NothingRemovedWhenAllRare) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b");
+  ds.AddRecord(0, "c d");
+  PreprocessStats stats = RemoveFrequentTerms(&ds);
+  EXPECT_EQ(stats.terms_removed, 0u);
+  EXPECT_EQ(stats.terms_kept, 4u);
+}
+
+TEST(PreprocessTest, AbsoluteCapApplies) {
+  Dataset ds("test");
+  for (int i = 0; i < 4; ++i) ds.AddRecord(0, "common r" + std::to_string(i));
+  PreprocessOptions options;
+  options.max_df_ratio = 1.0;    // ratio alone would keep everything
+  options.max_df_absolute = 3;   // but df("common") = 4 > 3
+  PreprocessStats stats = RemoveFrequentTerms(&ds, options);
+  EXPECT_EQ(stats.terms_removed, 1u);
+}
+
+TEST(PreprocessTest, PairSpaceShrinksAfterPreprocessing) {
+  Dataset ds = TenRecordsWithStopword();
+  EXPECT_EQ(PairSpace::Build(ds).size(), 45u);  // all pairs share "the"
+  PreprocessOptions options;
+  options.max_df_ratio = 0.5;
+  RemoveFrequentTerms(&ds, options);
+  EXPECT_EQ(PairSpace::Build(ds).size(), 0u);
+}
+
+TEST(PreprocessTest, RecordCanBecomeEmpty) {
+  Dataset ds("test");
+  for (int i = 0; i < 5; ++i) ds.AddRecord(0, "only");
+  PreprocessOptions options;
+  options.max_df_ratio = 0.2;
+  RemoveFrequentTerms(&ds, options);
+  for (const Record& rec : ds.records()) EXPECT_TRUE(rec.terms.empty());
+}
+
+}  // namespace
+}  // namespace gter

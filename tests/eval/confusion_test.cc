@@ -1,0 +1,93 @@
+#include "gter/eval/confusion.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(ConfusionTest, MetricsFromCounts) {
+  Confusion c;
+  c.true_positives = 8;
+  c.false_positives = 2;
+  c.false_negatives = 4;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.8);
+  EXPECT_NEAR(c.Recall(), 8.0 / 12.0, 1e-12);
+  EXPECT_NEAR(c.F1(), 2 * 0.8 * (8.0 / 12.0) / (0.8 + 8.0 / 12.0), 1e-12);
+}
+
+TEST(ConfusionTest, ZeroDenominators) {
+  Confusion c;
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.F1(), 0.0);
+}
+
+struct Fixture {
+  Dataset ds{"test"};
+  GroundTruth truth;
+  PairSpace pairs;
+  Fixture() : truth({0, 0, 1, 2}) {
+    // Records 0,1 match; all four share a term so every pair is a candidate.
+    ds.AddRecord(0, "t a");
+    ds.AddRecord(0, "t a");
+    ds.AddRecord(0, "t b");
+    ds.AddRecord(0, "t c");
+    pairs = PairSpace::Build(ds);
+  }
+};
+
+TEST(ConfusionTest, LabelPairs) {
+  Fixture f;
+  auto labels = LabelPairs(f.pairs, f.truth);
+  ASSERT_EQ(labels.size(), 6u);
+  size_t positives = 0;
+  for (bool l : labels) positives += l;
+  EXPECT_EQ(positives, 1u);
+  EXPECT_TRUE(labels[f.pairs.Find(0, 1)]);
+}
+
+TEST(ConfusionTest, TotalPositivesSingleSource) {
+  Fixture f;
+  EXPECT_EQ(TotalPositives(f.ds, f.truth), 1u);
+}
+
+TEST(ConfusionTest, TotalPositivesTwoSource) {
+  Dataset ds("two", 2);
+  ds.AddRecord(0, "a");
+  ds.AddRecord(1, "a");
+  ds.AddRecord(0, "b");
+  GroundTruth truth({0, 0, 0});  // all same entity but only 1 cross pair
+  // record 2 (src0) with record 1 (src1) is also cross → 2 cross pairs.
+  EXPECT_EQ(TotalPositives(ds, truth), 2u);
+}
+
+TEST(ConfusionTest, EvaluatePredictions) {
+  Fixture f;
+  auto labels = LabelPairs(f.pairs, f.truth);
+  std::vector<bool> predicted(f.pairs.size(), false);
+  predicted[f.pairs.Find(0, 1)] = true;   // the true match
+  predicted[f.pairs.Find(2, 3)] = true;   // a false positive
+  Confusion c = EvaluatePairPredictions(f.pairs, predicted, labels, 1);
+  EXPECT_EQ(c.true_positives, 1u);
+  EXPECT_EQ(c.false_positives, 1u);
+  EXPECT_EQ(c.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(c.Precision(), 0.5);
+  EXPECT_DOUBLE_EQ(c.Recall(), 1.0);
+}
+
+TEST(ConfusionTest, NonCandidateMatchesBecomeFalseNegatives) {
+  // Matching pair that shares no term: not in PairSpace, still a positive.
+  Dataset ds("test");
+  ds.AddRecord(0, "x");
+  ds.AddRecord(0, "y");
+  GroundTruth truth({0, 0});
+  PairSpace pairs = PairSpace::Build(ds);
+  ASSERT_EQ(pairs.size(), 0u);
+  Confusion c = EvaluatePairPredictions(pairs, {}, {},
+                                        TotalPositives(ds, truth));
+  EXPECT_EQ(c.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(c.Recall(), 0.0);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,98 @@
+#include "gter/eval/pr_curve.h"
+
+#include <gtest/gtest.h>
+
+#include "gter/common/random.h"
+
+namespace gter {
+namespace {
+
+TEST(PrCurveTest, PerfectRankingReachesFullRecallAtFullPrecision) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<bool> labels = {true, true, false, false};
+  auto curve = ComputePrCurve(scores, labels, 2);
+  ASSERT_FALSE(curve.empty());
+  // At the second point (threshold 0.8) precision 1, recall 1.
+  bool found = false;
+  for (const PrPoint& pt : curve) {
+    if (pt.recall == 1.0 && pt.precision == 1.0) found = true;
+  }
+  EXPECT_TRUE(found);
+  // Final point: everything predicted — precision = 2/4, recall = 1.
+  EXPECT_DOUBLE_EQ(curve.back().precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(PrCurveTest, RecallIsMonotoneNonDecreasing) {
+  Rng rng(3);
+  std::vector<double> scores(300);
+  std::vector<bool> labels(300);
+  uint64_t positives = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.Bernoulli(0.2);
+    positives += labels[i];
+    scores[i] = rng.UniformDouble();
+  }
+  auto curve = ComputePrCurve(scores, labels, positives);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall + 1e-12, curve[i - 1].recall);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold + 1e-12);
+  }
+}
+
+TEST(PrCurveTest, UnreachablePositivesCapRecall) {
+  std::vector<double> scores = {0.9};
+  std::vector<bool> labels = {true};
+  auto curve = ComputePrCurve(scores, labels, 4);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 0.25);
+}
+
+TEST(PrCurveTest, DownsamplingKeepsEndpoints) {
+  Rng rng(5);
+  std::vector<double> scores(5000);
+  std::vector<bool> labels(5000);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.UniformDouble();
+    labels[i] = rng.Bernoulli(0.1);
+  }
+  auto full = ComputePrCurve(scores, labels, 500, 1 << 20);
+  auto sampled = ComputePrCurve(scores, labels, 500, 50);
+  ASSERT_LE(sampled.size(), 50u);
+  EXPECT_DOUBLE_EQ(sampled.front().threshold, full.front().threshold);
+  EXPECT_DOUBLE_EQ(sampled.back().recall, full.back().recall);
+}
+
+TEST(PrCurveTest, TiedScoresCollapseToOnePoint) {
+  std::vector<double> scores = {0.5, 0.5, 0.5};
+  std::vector<bool> labels = {true, false, true};
+  auto curve = ComputePrCurve(scores, labels, 2);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_NEAR(curve[0].precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(AveragePrecisionTest, PerfectRankingIsOne) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<bool> labels = {true, true, false, false};
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, labels, 2), 1.0);
+}
+
+TEST(AveragePrecisionTest, WorstRankingIsLow) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<bool> labels = {false, false, true, true};
+  // AP = (1/3 + 2/4)/2 = 5/12.
+  EXPECT_NEAR(AveragePrecision(scores, labels, 2), 5.0 / 12.0, 1e-12);
+}
+
+TEST(AveragePrecisionTest, MissingPositivesLowerAp) {
+  std::vector<double> scores = {0.9};
+  std::vector<bool> labels = {true};
+  EXPECT_DOUBLE_EQ(AveragePrecision(scores, labels, 2), 0.5);
+}
+
+TEST(AveragePrecisionTest, NoPositivesIsZero) {
+  EXPECT_DOUBLE_EQ(AveragePrecision({0.5}, {false}, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,66 @@
+#include "gter/eval/spearman.h"
+
+#include <gtest/gtest.h>
+
+#include "gter/common/random.h"
+
+namespace gter {
+namespace {
+
+TEST(AverageRanksTest, DistinctValues) {
+  auto ranks = AverageRanks({10.0, 30.0, 20.0});
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(AverageRanksTest, TiesShareMeanRank) {
+  auto ranks = AverageRanks({5.0, 5.0, 1.0});
+  EXPECT_DOUBLE_EQ(ranks[2], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+}
+
+TEST(SpearmanTest, PerfectAgreement) {
+  EXPECT_NEAR(SpearmanRho({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, PerfectDisagreement) {
+  EXPECT_NEAR(SpearmanRho({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0, 1e-12);
+}
+
+TEST(SpearmanTest, MonotoneTransformInvariance) {
+  std::vector<double> x = {0.1, 0.7, 0.3, 0.9, 0.5};
+  std::vector<double> y;
+  for (double v : x) y.push_back(v * v * v + 5.0);  // strictly increasing
+  EXPECT_NEAR(SpearmanRho(x, y), 1.0, 1e-12);
+}
+
+TEST(SpearmanTest, IndependentVectorsNearZero) {
+  Rng rng(5);
+  std::vector<double> x(2000), y(2000);
+  for (size_t i = 0; i < x.size(); ++i) {
+    x[i] = rng.UniformDouble();
+    y[i] = rng.UniformDouble();
+  }
+  EXPECT_NEAR(SpearmanRho(x, y), 0.0, 0.08);
+}
+
+TEST(SpearmanTest, ConstantVectorGivesZero) {
+  EXPECT_DOUBLE_EQ(SpearmanRho({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(SpearmanTest, TooShortGivesZero) {
+  EXPECT_DOUBLE_EQ(SpearmanRho({1}, {2}), 0.0);
+  EXPECT_DOUBLE_EQ(SpearmanRho({}, {}), 0.0);
+}
+
+TEST(SpearmanTest, SymmetricInArguments) {
+  std::vector<double> x = {3, 1, 4, 1, 5};
+  std::vector<double> y = {2, 7, 1, 8, 2};
+  EXPECT_NEAR(SpearmanRho(x, y), SpearmanRho(y, x), 1e-12);
+}
+
+}  // namespace
+}  // namespace gter

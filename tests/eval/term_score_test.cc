@@ -1,0 +1,51 @@
+#include "gter/eval/term_score.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(TermScoreTest, DiscriminativeTermScoresOne) {
+  // "model123" appears only in the two matching records.
+  Dataset ds("test");
+  ds.AddRecord(0, "model123 common");
+  ds.AddRecord(0, "model123 common");
+  ds.AddRecord(0, "common other");
+  GroundTruth truth({0, 0, 1});
+  PairSpace pairs = PairSpace::Build(ds);
+  BipartiteGraph graph = BipartiteGraph::Build(ds, pairs);
+  auto scores = OracleTermScores(graph, pairs, truth);
+  TermId model = ds.vocabulary().Lookup("model123");
+  TermId common = ds.vocabulary().Lookup("common");
+  EXPECT_DOUBLE_EQ(scores[model], 1.0);
+  // "common" connects 3 pairs, 1 matching → 1/3.
+  EXPECT_NEAR(scores[common], 1.0 / 3.0, 1e-12);
+}
+
+TEST(TermScoreTest, TermWithNoPairsScoresZero) {
+  Dataset ds("test");
+  ds.AddRecord(0, "solo shared");
+  ds.AddRecord(0, "shared");
+  GroundTruth truth({0, 1});
+  PairSpace pairs = PairSpace::Build(ds);
+  BipartiteGraph graph = BipartiteGraph::Build(ds, pairs);
+  auto scores = OracleTermScores(graph, pairs, truth);
+  EXPECT_DOUBLE_EQ(scores[ds.vocabulary().Lookup("solo")], 0.0);
+}
+
+TEST(TermScoreTest, StopwordLikeTermScoresLow) {
+  Dataset ds("test");
+  // 6 records sharing "the"; only one matching pair.
+  for (int i = 0; i < 6; ++i) {
+    ds.AddRecord(0, "the r" + std::to_string(i / 5));  // records 0-4 vs 5
+  }
+  GroundTruth truth({0, 1, 2, 3, 4, 4});
+  PairSpace pairs = PairSpace::Build(ds);
+  BipartiteGraph graph = BipartiteGraph::Build(ds, pairs);
+  auto scores = OracleTermScores(graph, pairs, truth);
+  TermId the = ds.vocabulary().Lookup("the");
+  EXPECT_NEAR(scores[the], 1.0 / 15.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,102 @@
+#include "gter/eval/threshold_sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "gter/common/random.h"
+
+namespace gter {
+namespace {
+
+TEST(ThresholdSweepTest, PerfectSeparationFindsPerfectF1) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<bool> labels = {true, true, false, false};
+  SweepResult r = BestF1Threshold(scores, labels, 2);
+  EXPECT_DOUBLE_EQ(r.f1, 1.0);
+  EXPECT_GT(r.threshold, 0.2);
+  EXPECT_LE(r.threshold, 0.8);
+}
+
+TEST(ThresholdSweepTest, OverlappingScores) {
+  // One negative above one positive: best F1 < 1.
+  std::vector<double> scores = {0.9, 0.5, 0.7, 0.1};
+  std::vector<bool> labels = {true, true, false, false};
+  SweepResult r = BestF1Threshold(scores, labels, 2);
+  EXPECT_LT(r.f1, 1.0);
+  EXPECT_GT(r.f1, 0.5);
+}
+
+TEST(ThresholdSweepTest, UnreachedPositivesCountAgainstRecall) {
+  std::vector<double> scores = {0.9};
+  std::vector<bool> labels = {true};
+  // 3 total positives; only 1 is a candidate.
+  SweepResult r = BestF1Threshold(scores, labels, 3);
+  EXPECT_DOUBLE_EQ(r.precision, 1.0);
+  EXPECT_NEAR(r.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ThresholdSweepTest, AllNegativesGiveZeroF1) {
+  std::vector<double> scores = {0.5, 0.4};
+  std::vector<bool> labels = {false, false};
+  SweepResult r = BestF1Threshold(scores, labels, 0);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(ThresholdSweepTest, EmptyScores) {
+  SweepResult r = BestF1Threshold({}, {}, 5);
+  EXPECT_DOUBLE_EQ(r.f1, 0.0);
+}
+
+TEST(ThresholdSweepTest, EvaluateAtThresholdMatchesSweepPoint) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<bool> labels = {true, true, false, false};
+  SweepResult best = BestF1Threshold(scores, labels, 2);
+  SweepResult at = EvaluateAtThreshold(scores, labels, 2, best.threshold);
+  EXPECT_DOUBLE_EQ(at.f1, best.f1);
+  EXPECT_DOUBLE_EQ(at.precision, best.precision);
+  EXPECT_DOUBLE_EQ(at.recall, best.recall);
+}
+
+TEST(ThresholdSweepTest, SweepNeverBeatenByRandomThresholds) {
+  Rng rng(3);
+  std::vector<double> scores(500);
+  std::vector<bool> labels(500);
+  size_t positives = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.Bernoulli(0.1);
+    positives += labels[i];
+    // Noisy but informative scores.
+    scores[i] = (labels[i] ? 0.6 : 0.3) + 0.4 * rng.UniformDouble();
+  }
+  SweepResult best = BestF1Threshold(scores, labels, positives);
+  for (int t = 0; t < 200; ++t) {
+    double threshold = rng.UniformDouble();
+    SweepResult at = EvaluateAtThreshold(scores, labels, positives, threshold);
+    EXPECT_LE(at.f1, best.f1 + 1e-9);
+  }
+}
+
+TEST(ThresholdSweepTest, MoreLevelsNeverHurt) {
+  Rng rng(4);
+  std::vector<double> scores(200);
+  std::vector<bool> labels(200);
+  size_t positives = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = rng.Bernoulli(0.2);
+    positives += labels[i];
+    scores[i] = (labels[i] ? 0.5 : 0.2) + 0.5 * rng.UniformDouble();
+  }
+  SweepResult coarse = BestF1Threshold(scores, labels, positives, 10);
+  SweepResult fine = BestF1Threshold(scores, labels, positives, 1000);
+  EXPECT_GE(fine.f1 + 1e-12, coarse.f1);
+}
+
+TEST(ThresholdSweepTest, TiedScoresHandledConsistently) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<bool> labels = {true, true, false, false};
+  SweepResult r = BestF1Threshold(scores, labels, 2);
+  // All-or-nothing at 0.5: best is everything predicted (P=0.5, R=1).
+  EXPECT_NEAR(r.f1, 2 * 0.5 * 1.0 / 1.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace gter

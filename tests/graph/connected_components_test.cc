@@ -1,0 +1,37 @@
+#include "gter/graph/connected_components.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(ConnectedComponentsTest, NoEdgesAllSingletons) {
+  auto labels = ConnectedComponents(4, {});
+  ASSERT_EQ(labels.size(), 4u);
+  for (uint32_t i = 0; i < 4; ++i) EXPECT_EQ(labels[i], i);
+}
+
+TEST(ConnectedComponentsTest, TwoComponents) {
+  auto labels = ConnectedComponents(5, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[1], labels[2]);
+  EXPECT_EQ(labels[3], labels[4]);
+  EXPECT_NE(labels[0], labels[3]);
+}
+
+TEST(ConnectedComponentsTest, GroupByComponent) {
+  auto labels = ConnectedComponents(5, {{0, 2}, {1, 3}});
+  auto groups = GroupByComponent(labels);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::vector<uint32_t>{0, 2}));
+  EXPECT_EQ(groups[1], (std::vector<uint32_t>{1, 3}));
+  EXPECT_EQ(groups[2], (std::vector<uint32_t>{4}));
+}
+
+TEST(ConnectedComponentsTest, SelfLoopIsHarmless) {
+  auto labels = ConnectedComponents(2, {{0, 0}});
+  EXPECT_NE(labels[0], labels[1]);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,84 @@
+#include "gter/graph/pagerank.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(PageRankTest, HubScoresHigherThanLeaves) {
+  // Star graph: "hub" co-occurs with many distinct terms.
+  Dataset ds("test");
+  ds.AddRecord(0, "hub p");
+  ds.AddRecord(0, "hub q");
+  ds.AddRecord(0, "hub r");
+  ds.AddRecord(0, "hub s");
+  TermGraph g = TermGraph::Build(ds, 2);
+  auto scores = PageRank(g);
+  TermId hub = ds.vocabulary().Lookup("hub");
+  for (const char* leaf : {"p", "q", "r", "s"}) {
+    EXPECT_GT(scores[hub], scores[ds.vocabulary().Lookup(leaf)]);
+  }
+}
+
+TEST(PageRankTest, IsolatedTermGetsTeleportMass) {
+  Dataset ds("test");
+  ds.AddRecord(0, "solo");
+  ds.AddRecord(0, "a b");
+  TermGraph g = TermGraph::Build(ds, 2);
+  auto scores = PageRank(g);
+  TermId solo = ds.vocabulary().Lookup("solo");
+  EXPECT_NEAR(scores[solo], 0.15, 1e-9);
+}
+
+TEST(PageRankTest, SymmetricGraphGivesEqualScores) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b");
+  TermGraph g = TermGraph::Build(ds, 2);
+  auto scores = PageRank(g);
+  EXPECT_NEAR(scores[0], scores[1], 1e-9);
+}
+
+TEST(PageRankTest, ConvergesToStationaryPoint) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b c d a c");
+  TermGraph g = TermGraph::Build(ds, 3);
+  PageRankOptions options;
+  options.tolerance = 1e-12;
+  auto scores = PageRank(g, options);
+  // Verify the fixed point: s = (1-φ) + φ Σ s(nb)/deg(nb).
+  for (TermId t = 0; t < g.num_terms(); ++t) {
+    double acc = 0.0;
+    for (TermId nb : g.Neighbors(t)) {
+      acc += scores[nb] / static_cast<double>(g.Degree(nb));
+    }
+    EXPECT_NEAR(scores[t], 0.15 + 0.85 * acc, 1e-8);
+  }
+}
+
+TEST(PageRankTest, ReceiverDegreeVariantRuns) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b c");
+  TermGraph g = TermGraph::Build(ds, 2);
+  PageRankOptions options;
+  options.divide_by_receiver_degree = true;  // the paper's literal Eq. 3
+  auto scores = PageRank(g, options);
+  for (double s : scores) {
+    EXPECT_TRUE(std::isfinite(s));
+    EXPECT_GT(s, 0.0);
+  }
+}
+
+TEST(PageRankTest, DampingZeroGivesUniformOne) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b");
+  TermGraph g = TermGraph::Build(ds, 2);
+  PageRankOptions options;
+  options.damping = 0.0;
+  auto scores = PageRank(g, options);
+  for (double s : scores) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,71 @@
+#include "gter/graph/term_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(TermGraphTest, WindowTwoConnectsAdjacentTokensOnly) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b c");
+  TermGraph g = TermGraph::Build(ds, 2);
+  TermId a = ds.vocabulary().Lookup("a");
+  TermId b = ds.vocabulary().Lookup("b");
+  TermId c = ds.vocabulary().Lookup("c");
+  EXPECT_EQ(g.num_edges(), 2u);  // a-b, b-c
+  auto nb = g.Neighbors(b);
+  EXPECT_EQ(nb.size(), 2u);
+  EXPECT_TRUE(std::binary_search(nb.begin(), nb.end(), a));
+  EXPECT_TRUE(std::binary_search(nb.begin(), nb.end(), c));
+  EXPECT_TRUE(g.Neighbors(a).size() == 1 && g.Neighbors(a)[0] == b);
+  EXPECT_FALSE(std::binary_search(g.Neighbors(a).begin(),
+                                  g.Neighbors(a).end(), c));
+}
+
+TEST(TermGraphTest, WindowThreeConnectsSkipOne) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b c");
+  TermGraph g = TermGraph::Build(ds, 3);
+  TermId a = ds.vocabulary().Lookup("a");
+  TermId c = ds.vocabulary().Lookup("c");
+  EXPECT_EQ(g.num_edges(), 3u);  // triangle
+  EXPECT_TRUE(std::binary_search(g.Neighbors(a).begin(),
+                                 g.Neighbors(a).end(), c));
+}
+
+TEST(TermGraphTest, RepeatedCooccurrenceCollapsesToOneEdge) {
+  Dataset ds("test");
+  ds.AddRecord(0, "x y");
+  ds.AddRecord(0, "x y");
+  ds.AddRecord(0, "y x");
+  TermGraph g = TermGraph::Build(ds, 2);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(TermGraphTest, SelfCooccurrenceIgnored) {
+  Dataset ds("test");
+  ds.AddRecord(0, "z z z");
+  TermGraph g = TermGraph::Build(ds, 2);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(TermGraphTest, DegreeMatchesNeighbors) {
+  Dataset ds("test");
+  ds.AddRecord(0, "hub p");
+  ds.AddRecord(0, "hub q");
+  ds.AddRecord(0, "hub r");
+  TermGraph g = TermGraph::Build(ds, 2);
+  TermId hub = ds.vocabulary().Lookup("hub");
+  EXPECT_EQ(g.Degree(hub), 3u);
+  EXPECT_EQ(g.Neighbors(hub).size(), 3u);
+}
+
+TEST(TermGraphTest, EmptyDataset) {
+  Dataset ds("test");
+  TermGraph g = TermGraph::Build(ds, 3);
+  EXPECT_EQ(g.num_terms(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,65 @@
+#include "gter/graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSeparate) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5u);
+  EXPECT_FALSE(uf.Connected(0, 1));
+  EXPECT_TRUE(uf.Connected(2, 2));
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_EQ(uf.num_components(), 3u);
+  EXPECT_FALSE(uf.Union(0, 1));  // already merged
+  EXPECT_EQ(uf.num_components(), 3u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(5);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(2, 3));
+}
+
+TEST(UnionFindTest, SizeTracking) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.SizeOf(0), 3u);
+  EXPECT_EQ(uf.SizeOf(2), 3u);
+  EXPECT_EQ(uf.SizeOf(5), 1u);
+}
+
+TEST(UnionFindTest, ComponentLabelsAreDenseAndStable) {
+  UnionFind uf(5);
+  uf.Union(1, 3);
+  uf.Union(2, 4);
+  auto labels = uf.ComponentLabels();
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], 0u);  // smallest member order
+  EXPECT_EQ(labels[1], 1u);
+  EXPECT_EQ(labels[3], 1u);
+  EXPECT_EQ(labels[2], 2u);
+  EXPECT_EQ(labels[4], 2u);
+}
+
+TEST(UnionFindTest, LargeChain) {
+  constexpr size_t kN = 10000;
+  UnionFind uf(kN);
+  for (uint32_t i = 0; i + 1 < kN; ++i) uf.Union(i, i + 1);
+  EXPECT_EQ(uf.num_components(), 1u);
+  EXPECT_TRUE(uf.Connected(0, kN - 1));
+  EXPECT_EQ(uf.SizeOf(kN / 2), kN);
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,90 @@
+#include "gter/matrix/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(DenseMatrixTest, ConstructionAndFill) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+  m.Fill(0.25);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.25);
+}
+
+TEST(DenseMatrixTest, ElementAccessIsRowMajor) {
+  DenseMatrix m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  EXPECT_DOUBLE_EQ(m.data()[0], 1);
+  EXPECT_DOUBLE_EQ(m.data()[1], 2);
+  EXPECT_DOUBLE_EQ(m.data()[2], 3);
+  EXPECT_DOUBLE_EQ(m.row(1)[1], 4);
+}
+
+TEST(DenseMatrixTest, Transposed) {
+  DenseMatrix m(2, 3);
+  int v = 0;
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) m(r, c) = ++v;
+  }
+  DenseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+  }
+}
+
+TEST(DenseMatrixTest, Hadamard) {
+  DenseMatrix a(2, 2, 3.0);
+  DenseMatrix b(2, 2, 0.5);
+  DenseMatrix h = a.Hadamard(b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 1.5);
+  EXPECT_DOUBLE_EQ(h(1, 1), 1.5);
+}
+
+TEST(DenseMatrixTest, AddAndScale) {
+  DenseMatrix a(2, 2, 1.0);
+  DenseMatrix b(2, 2, 2.0);
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a(0, 1), 3.0);
+  a.Scale(2.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 6.0);
+}
+
+TEST(DenseMatrixTest, MaxAbsDiff) {
+  DenseMatrix a(2, 2, 1.0);
+  DenseMatrix b(2, 2, 1.0);
+  b(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 3.0);
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(a), 0.0);
+}
+
+TEST(DenseMatrixTest, Sum) {
+  DenseMatrix m(3, 3, 2.0);
+  EXPECT_DOUBLE_EQ(m.Sum(), 18.0);
+}
+
+TEST(DenseMatrixTest, Identity) {
+  DenseMatrix id = DenseMatrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(DenseMatrixDeathTest, MismatchedHadamardAborts) {
+  DenseMatrix a(2, 2), b(2, 3);
+  EXPECT_DEATH(a.Hadamard(b), "GTER_CHECK");
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,106 @@
+#include "gter/matrix/gemm.h"
+
+#include "gter/common/random.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+DenseMatrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      m(r, c) = rng->UniformDouble(-1.0, 1.0);
+    }
+  }
+  return m;
+}
+
+DenseMatrix NaiveMultiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols(), 0.0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.cols(); ++j) {
+      double acc = 0.0;
+      for (size_t k = 0; k < a.cols(); ++k) acc += a(i, k) * b(k, j);
+      c(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  DenseMatrix c = Multiply(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  Rng rng(1);
+  DenseMatrix a = RandomMatrix(7, 7, &rng);
+  DenseMatrix c = Multiply(a, DenseMatrix::Identity(7));
+  EXPECT_LT(c.MaxAbsDiff(a), 1e-12);
+  DenseMatrix d = Multiply(DenseMatrix::Identity(7), a);
+  EXPECT_LT(d.MaxAbsDiff(a), 1e-12);
+}
+
+TEST(GemmTest, MatchesNaiveOnRectangular) {
+  Rng rng(2);
+  DenseMatrix a = RandomMatrix(13, 31, &rng);
+  DenseMatrix b = RandomMatrix(31, 9, &rng);
+  DenseMatrix fast = Multiply(a, b);
+  DenseMatrix ref = NaiveMultiply(a, b);
+  EXPECT_LT(fast.MaxAbsDiff(ref), 1e-10);
+}
+
+TEST(GemmTest, MatchesNaiveAcrossBlockBoundaries) {
+  // Sizes chosen to straddle the kernel's kBlockK=64 / kBlockN=256 panels.
+  Rng rng(3);
+  DenseMatrix a = RandomMatrix(70, 130, &rng);
+  DenseMatrix b = RandomMatrix(130, 300, &rng);
+  DenseMatrix fast = Multiply(a, b);
+  DenseMatrix ref = NaiveMultiply(a, b);
+  EXPECT_LT(fast.MaxAbsDiff(ref), 1e-9);
+}
+
+TEST(GemmTest, ParallelMatchesSequential) {
+  Rng rng(4);
+  DenseMatrix a = RandomMatrix(64, 64, &rng);
+  DenseMatrix b = RandomMatrix(64, 64, &rng);
+  ThreadPool pool(4);
+  DenseMatrix with_pool = Multiply(a, b, &pool);
+  DenseMatrix without = Multiply(a, b, nullptr);
+  EXPECT_DOUBLE_EQ(with_pool.MaxAbsDiff(without), 0.0);
+}
+
+TEST(GemmTest, OneByOne) {
+  DenseMatrix a(1, 1, 3.0), b(1, 1, 4.0);
+  EXPECT_DOUBLE_EQ(Multiply(a, b)(0, 0), 12.0);
+}
+
+TEST(GemmTest, ZeroMatrixYieldsZero) {
+  Rng rng(5);
+  DenseMatrix a = RandomMatrix(5, 5, &rng);
+  DenseMatrix zero(5, 5, 0.0);
+  EXPECT_DOUBLE_EQ(Multiply(a, zero).Sum(), 0.0);
+}
+
+TEST(GemmDeathTest, ShapeMismatchAborts) {
+  DenseMatrix a(2, 3), b(4, 2), c;
+  EXPECT_DEATH(Gemm(a, b, &c), "GTER_CHECK");
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,48 @@
+#include "gter/text/normalizer.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(NormalizerTest, LowercasesAscii) {
+  EXPECT_EQ(Normalize("HeLLo WoRLD"), "hello world");
+}
+
+TEST(NormalizerTest, PunctuationBecomesSeparator) {
+  EXPECT_EQ(Normalize("ace-hardware, inc."), "ace hardware inc");
+}
+
+TEST(NormalizerTest, DigitsAreKept) {
+  EXPECT_EQ(Normalize("Sony PSLX350H (310) 246-1501"),
+            "sony pslx350h 310 246 1501");
+}
+
+TEST(NormalizerTest, WhitespaceCollapsed) {
+  EXPECT_EQ(Normalize("  a \t b\n\nc  "), "a b c");
+}
+
+TEST(NormalizerTest, EmptyInput) { EXPECT_EQ(Normalize(""), ""); }
+
+TEST(NormalizerTest, OnlyPunctuation) { EXPECT_EQ(Normalize("!!!...---"), ""); }
+
+TEST(NormalizerTest, OptionsCanDisableLowercasing) {
+  NormalizerOptions options;
+  options.lowercase = false;
+  EXPECT_EQ(Normalize("AbC", options), "AbC");
+}
+
+TEST(NormalizerTest, OptionsCanKeepPunctuation) {
+  NormalizerOptions options;
+  options.strip_punctuation = false;
+  EXPECT_EQ(Normalize("a-b", options), "a-b");
+}
+
+TEST(NormalizerTest, OptionsCanKeepWhitespace) {
+  NormalizerOptions options;
+  options.collapse_whitespace = false;
+  EXPECT_EQ(Normalize("a  b", options), "a  b");
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,208 @@
+#include "gter/text/string_metrics.h"
+
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(LevenshteinTest, KnownDistances) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", ""), 3u);
+  EXPECT_EQ(LevenshteinDistance("", ""), 0u);
+}
+
+TEST(LevenshteinTest, SimilarityNormalization) {
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(LevenshteinSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(LevenshteinSimilarity("abcd", "abcx"), 0.75, 1e-12);
+}
+
+TEST(JaroTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("martha", "martha"), 1.0);
+}
+
+TEST(JaroTest, KnownValue) {
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+}
+
+TEST(JaroTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+}
+
+TEST(JaroTest, NoCommonCharacters) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoostsScore) {
+  double jaro = JaroSimilarity("martha", "marhta");
+  double jw = JaroWinklerSimilarity("martha", "marhta");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+}
+
+TEST(JaroWinklerTest, NoPrefixNoBoost) {
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "xbc"),
+                   JaroSimilarity("abc", "xbc"));
+}
+
+TEST(SetMetricsTest, SortedIntersection) {
+  std::vector<uint32_t> a = {1, 3, 5, 7};
+  std::vector<uint32_t> b = {3, 4, 5, 8};
+  EXPECT_EQ(SortedIntersectionSize(a, b), 2u);
+  auto inter = SortedIntersection(a, b);
+  ASSERT_EQ(inter.size(), 2u);
+  EXPECT_EQ(inter[0], 3u);
+  EXPECT_EQ(inter[1], 5u);
+}
+
+TEST(SetMetricsTest, JaccardKnownValues) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {2, 3, 4};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, {}), 0.0);
+}
+
+TEST(SetMetricsTest, OverlapCoefficient) {
+  std::vector<uint32_t> a = {1, 2};
+  std::vector<uint32_t> b = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(OverlapCoefficient(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, b), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapCoefficient({}, {}), 1.0);
+}
+
+TEST(SetMetricsTest, DiceCoefficient) {
+  std::vector<uint32_t> a = {1, 2, 3};
+  std::vector<uint32_t> b = {2, 3, 4};
+  EXPECT_NEAR(DiceCoefficient(a, b), 2.0 * 2 / 6, 1e-12);
+}
+
+TEST(TrigramJaccardTest, IdenticalStrings) {
+  EXPECT_DOUBLE_EQ(TrigramJaccard("hello world", "hello world"), 1.0);
+}
+
+TEST(TrigramJaccardTest, TypoRobustness) {
+  // One typo should keep similarity high while disjoint strings score 0.
+  double close = TrigramJaccard("panasonic", "panasomic");
+  double far = TrigramJaccard("panasonic", "whirlpool");
+  EXPECT_GT(close, 0.35);
+  EXPECT_LT(far, 0.05);
+}
+
+TEST(TrigramJaccardTest, EmptyAndShortStrings) {
+  EXPECT_DOUBLE_EQ(TrigramJaccard("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(TrigramJaccard("ab", "ab"), 1.0);
+}
+
+TEST(MongeElkanTest, ReorderedTokensStaySimilar) {
+  std::vector<std::string> a = {"golden", "dragon", "palace"};
+  std::vector<std::string> b = {"palace", "golden", "dragon"};
+  EXPECT_NEAR(MongeElkanSimilarity(a, b), 1.0, 1e-12);
+}
+
+TEST(MongeElkanTest, PerTokenTyposDegradeGracefully) {
+  std::vector<std::string> a = {"golden", "dragon"};
+  std::vector<std::string> b = {"goldan", "dragon"};
+  double close = MongeElkanSimilarity(a, b);
+  std::vector<std::string> c = {"ocean", "grill"};
+  double far = MongeElkanSimilarity(a, c);
+  EXPECT_GT(close, 0.9);
+  EXPECT_GT(close, far + 0.2);
+}
+
+TEST(MongeElkanTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(MongeElkanSimilarity({"a"}, {}), 0.0);
+}
+
+TEST(MongeElkanTest, Symmetric) {
+  std::vector<std::string> a = {"blue", "ocean", "grill"};
+  std::vector<std::string> b = {"blue", "lagoon"};
+  EXPECT_NEAR(MongeElkanSimilarity(a, b), MongeElkanSimilarity(b, a), 1e-12);
+}
+
+TEST(SoftTfIdfTest, ExactMatchIsCosine) {
+  std::vector<std::string> tokens = {"golden", "dragon"};
+  std::vector<double> weights = {0.6, 0.8};
+  EXPECT_NEAR(SoftTfIdfSimilarity(tokens, weights, tokens, weights), 1.0,
+              1e-9);
+}
+
+TEST(SoftTfIdfTest, ApproximateTokensCountWhenAboveTheta) {
+  std::vector<std::string> a = {"goldan"};
+  std::vector<double> wa = {1.0};
+  std::vector<std::string> b = {"golden"};
+  std::vector<double> wb = {1.0};
+  double soft = SoftTfIdfSimilarity(a, wa, b, wb, 0.9);
+  EXPECT_GT(soft, 0.9);  // JW("goldan","golden") ≈ 0.96 counts
+  double strict = SoftTfIdfSimilarity(a, wa, b, wb, 0.99);
+  EXPECT_DOUBLE_EQ(strict, 0.0);  // theta excludes the fuzzy match
+}
+
+TEST(SoftTfIdfTest, WeightsScaleContribution) {
+  std::vector<std::string> a = {"rare", "common"};
+  std::vector<std::string> b = {"rare", "other"};
+  std::vector<double> high_rare = {0.9, 0.1};
+  std::vector<double> low_rare = {0.1, 0.9};
+  double high = SoftTfIdfSimilarity(a, high_rare, b, high_rare);
+  double low = SoftTfIdfSimilarity(a, low_rare, b, low_rare);
+  EXPECT_GT(high, low);
+}
+
+TEST(SoftTfIdfTest, EmptyHandling) {
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity({}, {}, {}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(SoftTfIdfSimilarity({"a"}, {1.0}, {}, {}), 0.0);
+}
+
+// ---- Property sweeps over metric invariants --------------------------------
+
+using MetricFn = double (*)(std::string_view, std::string_view);
+
+class StringSimilarityProperties
+    : public ::testing::TestWithParam<std::tuple<const char*, MetricFn>> {};
+
+TEST_P(StringSimilarityProperties, SymmetricAndBounded) {
+  MetricFn metric = std::get<1>(GetParam());
+  const std::vector<std::string> samples = {
+      "",      "a",       "ab",         "golden dragon",
+      "dragon golden",    "pslx350h",   "pslx35oh",
+      "3102461501",       "sony bravia television",
+  };
+  for (const auto& x : samples) {
+    for (const auto& y : samples) {
+      double xy = metric(x, y);
+      double yx = metric(y, x);
+      EXPECT_NEAR(xy, yx, 1e-12) << x << " vs " << y;
+      EXPECT_GE(xy, 0.0);
+      EXPECT_LE(xy, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(metric(x, x), 1.0) << x;
+  }
+}
+
+double JaroWinklerDefault(std::string_view a, std::string_view b) {
+  return JaroWinklerSimilarity(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMetrics, StringSimilarityProperties,
+    ::testing::Values(
+        std::make_tuple("levenshtein", &LevenshteinSimilarity),
+        std::make_tuple("jaro", &JaroSimilarity),
+        std::make_tuple("jaro_winkler", &JaroWinklerDefault),
+        std::make_tuple("trigram", &TrigramJaccard)),
+    [](const auto& info) { return std::get<0>(info.param); });
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,62 @@
+#include "gter/text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(TokenizerTest, SplitsOnWhitespaceAfterNormalization) {
+  auto tokens = Tokenize("Golden Dragon, 123 Main St.");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[0], "golden");
+  EXPECT_EQ(tokens[1], "dragon");
+  EXPECT_EQ(tokens[2], "123");
+  EXPECT_EQ(tokens[4], "st");
+}
+
+TEST(TokenizerTest, EmptyStringYieldsNoTokens) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   ...  ").empty());
+}
+
+TEST(TokenizerTest, MinTokenLengthFilters) {
+  TokenizerOptions options;
+  options.min_token_length = 2;
+  auto tokens = Tokenize("a bc def g", options);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "bc");
+  EXPECT_EQ(tokens[1], "def");
+}
+
+TEST(TokenizerTest, DuplicatesPreserved) {
+  auto tokens = Tokenize("la la land");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0], tokens[1]);
+}
+
+TEST(CharNgramsTest, BasicTrigrams) {
+  auto grams = CharNgrams("hello", 3);
+  ASSERT_EQ(grams.size(), 3u);
+  EXPECT_EQ(grams[0], "hel");
+  EXPECT_EQ(grams[1], "ell");
+  EXPECT_EQ(grams[2], "llo");
+}
+
+TEST(CharNgramsTest, ShortTokenReturnsItself) {
+  auto grams = CharNgrams("ab", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "ab");
+}
+
+TEST(CharNgramsTest, ExactLengthToken) {
+  auto grams = CharNgrams("abc", 3);
+  ASSERT_EQ(grams.size(), 1u);
+  EXPECT_EQ(grams[0], "abc");
+}
+
+TEST(CharNgramsTest, ZeroNReturnsEmpty) {
+  EXPECT_TRUE(CharNgrams("abc", 0).empty());
+}
+
+}  // namespace
+}  // namespace gter

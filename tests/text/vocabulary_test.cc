@@ -1,0 +1,55 @@
+#include "gter/text/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(VocabularyTest, InternAssignsDenseIds) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Intern("alpha"), 0u);
+  EXPECT_EQ(vocab.Intern("beta"), 1u);
+  EXPECT_EQ(vocab.Intern("gamma"), 2u);
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("alpha");
+  EXPECT_EQ(vocab.Intern("alpha"), id);
+  EXPECT_EQ(vocab.size(), 1u);
+}
+
+TEST(VocabularyTest, LookupFindsInterned) {
+  Vocabulary vocab;
+  TermId id = vocab.Intern("alpha");
+  EXPECT_EQ(vocab.Lookup("alpha"), id);
+}
+
+TEST(VocabularyTest, LookupMissingReturnsInvalid) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.Lookup("nothing"), kInvalidTermId);
+}
+
+TEST(VocabularyTest, TermOfRoundTrips) {
+  Vocabulary vocab;
+  TermId a = vocab.Intern("alpha");
+  TermId b = vocab.Intern("beta");
+  EXPECT_EQ(vocab.TermOf(a), "alpha");
+  EXPECT_EQ(vocab.TermOf(b), "beta");
+}
+
+TEST(VocabularyTest, ManyTermsStayConsistent) {
+  Vocabulary vocab;
+  for (int i = 0; i < 1000; ++i) {
+    vocab.Intern("term" + std::to_string(i));
+  }
+  EXPECT_EQ(vocab.size(), 1000u);
+  for (int i = 0; i < 1000; ++i) {
+    std::string term = "term" + std::to_string(i);
+    EXPECT_EQ(vocab.TermOf(vocab.Lookup(term)), term);
+  }
+}
+
+}  // namespace
+}  // namespace gter
