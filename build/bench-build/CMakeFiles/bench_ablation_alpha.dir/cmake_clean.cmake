@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_alpha"
+  "../bench/bench_ablation_alpha.pdb"
+  "CMakeFiles/bench_ablation_alpha.dir/bench_ablation_alpha.cc.o"
+  "CMakeFiles/bench_ablation_alpha.dir/bench_ablation_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

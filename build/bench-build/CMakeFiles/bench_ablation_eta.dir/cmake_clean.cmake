@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_eta"
+  "../bench/bench_ablation_eta.pdb"
+  "CMakeFiles/bench_ablation_eta.dir/bench_ablation_eta.cc.o"
+  "CMakeFiles/bench_ablation_eta.dir/bench_ablation_eta.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_string_metrics"
+  "../bench/bench_string_metrics.pdb"
+  "CMakeFiles/bench_string_metrics.dir/bench_string_metrics.cc.o"
+  "CMakeFiles/bench_string_metrics.dir/bench_string_metrics.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_string_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

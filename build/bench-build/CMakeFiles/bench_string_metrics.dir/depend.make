@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_string_metrics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blocking_pipeline.dir/blocking_pipeline.cpp.o"
+  "CMakeFiles/blocking_pipeline.dir/blocking_pipeline.cpp.o.d"
+  "blocking_pipeline"
+  "blocking_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blocking_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crowd_vs_unsupervised.dir/crowd_vs_unsupervised.cpp.o"
+  "CMakeFiles/crowd_vs_unsupervised.dir/crowd_vs_unsupervised.cpp.o.d"
+  "crowd_vs_unsupervised"
+  "crowd_vs_unsupervised.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crowd_vs_unsupervised.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_catalog_dedup.dir/product_catalog_dedup.cpp.o"
+  "CMakeFiles/product_catalog_dedup.dir/product_catalog_dedup.cpp.o.d"
+  "product_catalog_dedup"
+  "product_catalog_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_catalog_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

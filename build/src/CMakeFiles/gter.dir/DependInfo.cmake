@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gter/baselines/crowd/acd.cc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/acd.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/acd.cc.o.d"
+  "/root/repo/src/gter/baselines/crowd/crowder.cc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/crowder.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/crowder.cc.o.d"
+  "/root/repo/src/gter/baselines/crowd/gcer.cc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/gcer.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/gcer.cc.o.d"
+  "/root/repo/src/gter/baselines/crowd/oracle.cc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/oracle.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/oracle.cc.o.d"
+  "/root/repo/src/gter/baselines/crowd/power_plus.cc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/power_plus.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/power_plus.cc.o.d"
+  "/root/repo/src/gter/baselines/crowd/transm.cc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/transm.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/crowd/transm.cc.o.d"
+  "/root/repo/src/gter/baselines/edit_distance_resolver.cc" "src/CMakeFiles/gter.dir/gter/baselines/edit_distance_resolver.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/edit_distance_resolver.cc.o.d"
+  "/root/repo/src/gter/baselines/hybrid.cc" "src/CMakeFiles/gter.dir/gter/baselines/hybrid.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/hybrid.cc.o.d"
+  "/root/repo/src/gter/baselines/jaccard_resolver.cc" "src/CMakeFiles/gter.dir/gter/baselines/jaccard_resolver.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/jaccard_resolver.cc.o.d"
+  "/root/repo/src/gter/baselines/ml/bootstrap_gmm.cc" "src/CMakeFiles/gter.dir/gter/baselines/ml/bootstrap_gmm.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/ml/bootstrap_gmm.cc.o.d"
+  "/root/repo/src/gter/baselines/ml/features.cc" "src/CMakeFiles/gter.dir/gter/baselines/ml/features.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/ml/features.cc.o.d"
+  "/root/repo/src/gter/baselines/ml/fellegi_sunter.cc" "src/CMakeFiles/gter.dir/gter/baselines/ml/fellegi_sunter.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/ml/fellegi_sunter.cc.o.d"
+  "/root/repo/src/gter/baselines/ml/gmm.cc" "src/CMakeFiles/gter.dir/gter/baselines/ml/gmm.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/ml/gmm.cc.o.d"
+  "/root/repo/src/gter/baselines/ml/linear_svm.cc" "src/CMakeFiles/gter.dir/gter/baselines/ml/linear_svm.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/ml/linear_svm.cc.o.d"
+  "/root/repo/src/gter/baselines/simrank.cc" "src/CMakeFiles/gter.dir/gter/baselines/simrank.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/simrank.cc.o.d"
+  "/root/repo/src/gter/baselines/tfidf_resolver.cc" "src/CMakeFiles/gter.dir/gter/baselines/tfidf_resolver.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/tfidf_resolver.cc.o.d"
+  "/root/repo/src/gter/baselines/twidf_pagerank.cc" "src/CMakeFiles/gter.dir/gter/baselines/twidf_pagerank.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/baselines/twidf_pagerank.cc.o.d"
+  "/root/repo/src/gter/common/flags.cc" "src/CMakeFiles/gter.dir/gter/common/flags.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/common/flags.cc.o.d"
+  "/root/repo/src/gter/common/logging.cc" "src/CMakeFiles/gter.dir/gter/common/logging.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/common/logging.cc.o.d"
+  "/root/repo/src/gter/common/random.cc" "src/CMakeFiles/gter.dir/gter/common/random.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/common/random.cc.o.d"
+  "/root/repo/src/gter/common/status.cc" "src/CMakeFiles/gter.dir/gter/common/status.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/common/status.cc.o.d"
+  "/root/repo/src/gter/common/thread_pool.cc" "src/CMakeFiles/gter.dir/gter/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/common/thread_pool.cc.o.d"
+  "/root/repo/src/gter/core/cliquerank.cc" "src/CMakeFiles/gter.dir/gter/core/cliquerank.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/cliquerank.cc.o.d"
+  "/root/repo/src/gter/core/correlation_clustering.cc" "src/CMakeFiles/gter.dir/gter/core/correlation_clustering.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/correlation_clustering.cc.o.d"
+  "/root/repo/src/gter/core/fusion.cc" "src/CMakeFiles/gter.dir/gter/core/fusion.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/fusion.cc.o.d"
+  "/root/repo/src/gter/core/iter.cc" "src/CMakeFiles/gter.dir/gter/core/iter.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/iter.cc.o.d"
+  "/root/repo/src/gter/core/iter_matrix.cc" "src/CMakeFiles/gter.dir/gter/core/iter_matrix.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/iter_matrix.cc.o.d"
+  "/root/repo/src/gter/core/model_io.cc" "src/CMakeFiles/gter.dir/gter/core/model_io.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/model_io.cc.o.d"
+  "/root/repo/src/gter/core/resolver.cc" "src/CMakeFiles/gter.dir/gter/core/resolver.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/resolver.cc.o.d"
+  "/root/repo/src/gter/core/rss.cc" "src/CMakeFiles/gter.dir/gter/core/rss.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/core/rss.cc.o.d"
+  "/root/repo/src/gter/datagen/datagen.cc" "src/CMakeFiles/gter.dir/gter/datagen/datagen.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/datagen/datagen.cc.o.d"
+  "/root/repo/src/gter/datagen/noise.cc" "src/CMakeFiles/gter.dir/gter/datagen/noise.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/datagen/noise.cc.o.d"
+  "/root/repo/src/gter/datagen/paper_gen.cc" "src/CMakeFiles/gter.dir/gter/datagen/paper_gen.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/datagen/paper_gen.cc.o.d"
+  "/root/repo/src/gter/datagen/product_gen.cc" "src/CMakeFiles/gter.dir/gter/datagen/product_gen.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/datagen/product_gen.cc.o.d"
+  "/root/repo/src/gter/datagen/restaurant_gen.cc" "src/CMakeFiles/gter.dir/gter/datagen/restaurant_gen.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/datagen/restaurant_gen.cc.o.d"
+  "/root/repo/src/gter/datagen/vocab_bank.cc" "src/CMakeFiles/gter.dir/gter/datagen/vocab_bank.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/datagen/vocab_bank.cc.o.d"
+  "/root/repo/src/gter/er/blocking.cc" "src/CMakeFiles/gter.dir/gter/er/blocking.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/er/blocking.cc.o.d"
+  "/root/repo/src/gter/er/csv.cc" "src/CMakeFiles/gter.dir/gter/er/csv.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/er/csv.cc.o.d"
+  "/root/repo/src/gter/er/dataset.cc" "src/CMakeFiles/gter.dir/gter/er/dataset.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/er/dataset.cc.o.d"
+  "/root/repo/src/gter/er/ground_truth.cc" "src/CMakeFiles/gter.dir/gter/er/ground_truth.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/er/ground_truth.cc.o.d"
+  "/root/repo/src/gter/er/pair_space.cc" "src/CMakeFiles/gter.dir/gter/er/pair_space.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/er/pair_space.cc.o.d"
+  "/root/repo/src/gter/er/preprocess.cc" "src/CMakeFiles/gter.dir/gter/er/preprocess.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/er/preprocess.cc.o.d"
+  "/root/repo/src/gter/eval/cluster_metrics.cc" "src/CMakeFiles/gter.dir/gter/eval/cluster_metrics.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/eval/cluster_metrics.cc.o.d"
+  "/root/repo/src/gter/eval/confusion.cc" "src/CMakeFiles/gter.dir/gter/eval/confusion.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/eval/confusion.cc.o.d"
+  "/root/repo/src/gter/eval/pr_curve.cc" "src/CMakeFiles/gter.dir/gter/eval/pr_curve.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/eval/pr_curve.cc.o.d"
+  "/root/repo/src/gter/eval/spearman.cc" "src/CMakeFiles/gter.dir/gter/eval/spearman.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/eval/spearman.cc.o.d"
+  "/root/repo/src/gter/eval/term_score.cc" "src/CMakeFiles/gter.dir/gter/eval/term_score.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/eval/term_score.cc.o.d"
+  "/root/repo/src/gter/eval/threshold_sweep.cc" "src/CMakeFiles/gter.dir/gter/eval/threshold_sweep.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/eval/threshold_sweep.cc.o.d"
+  "/root/repo/src/gter/graph/bipartite_graph.cc" "src/CMakeFiles/gter.dir/gter/graph/bipartite_graph.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/graph/bipartite_graph.cc.o.d"
+  "/root/repo/src/gter/graph/connected_components.cc" "src/CMakeFiles/gter.dir/gter/graph/connected_components.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/graph/connected_components.cc.o.d"
+  "/root/repo/src/gter/graph/pagerank.cc" "src/CMakeFiles/gter.dir/gter/graph/pagerank.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/graph/pagerank.cc.o.d"
+  "/root/repo/src/gter/graph/record_graph.cc" "src/CMakeFiles/gter.dir/gter/graph/record_graph.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/graph/record_graph.cc.o.d"
+  "/root/repo/src/gter/graph/term_graph.cc" "src/CMakeFiles/gter.dir/gter/graph/term_graph.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/graph/term_graph.cc.o.d"
+  "/root/repo/src/gter/graph/union_find.cc" "src/CMakeFiles/gter.dir/gter/graph/union_find.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/graph/union_find.cc.o.d"
+  "/root/repo/src/gter/matrix/csr_matrix.cc" "src/CMakeFiles/gter.dir/gter/matrix/csr_matrix.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/matrix/csr_matrix.cc.o.d"
+  "/root/repo/src/gter/matrix/dense_matrix.cc" "src/CMakeFiles/gter.dir/gter/matrix/dense_matrix.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/matrix/dense_matrix.cc.o.d"
+  "/root/repo/src/gter/matrix/gemm.cc" "src/CMakeFiles/gter.dir/gter/matrix/gemm.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/matrix/gemm.cc.o.d"
+  "/root/repo/src/gter/matrix/masked_multiply.cc" "src/CMakeFiles/gter.dir/gter/matrix/masked_multiply.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/matrix/masked_multiply.cc.o.d"
+  "/root/repo/src/gter/text/normalizer.cc" "src/CMakeFiles/gter.dir/gter/text/normalizer.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/text/normalizer.cc.o.d"
+  "/root/repo/src/gter/text/string_metrics.cc" "src/CMakeFiles/gter.dir/gter/text/string_metrics.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/text/string_metrics.cc.o.d"
+  "/root/repo/src/gter/text/tfidf.cc" "src/CMakeFiles/gter.dir/gter/text/tfidf.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/text/tfidf.cc.o.d"
+  "/root/repo/src/gter/text/tokenizer.cc" "src/CMakeFiles/gter.dir/gter/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/text/tokenizer.cc.o.d"
+  "/root/repo/src/gter/text/vocabulary.cc" "src/CMakeFiles/gter.dir/gter/text/vocabulary.cc.o" "gcc" "src/CMakeFiles/gter.dir/gter/text/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines/crowd_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/crowd_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/crowd_test.cc.o.d"
+  "/root/repo/tests/baselines/hybrid_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/hybrid_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/hybrid_test.cc.o.d"
+  "/root/repo/tests/baselines/ml_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/ml_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/ml_test.cc.o.d"
+  "/root/repo/tests/baselines/simrank_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/simrank_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/simrank_test.cc.o.d"
+  "/root/repo/tests/baselines/string_baselines_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/string_baselines_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/string_baselines_test.cc.o.d"
+  "/root/repo/tests/baselines/twidf_pagerank_test.cc" "tests/CMakeFiles/baselines_test.dir/baselines/twidf_pagerank_test.cc.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines/twidf_pagerank_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_test.dir/baselines/crowd_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/crowd_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/hybrid_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/hybrid_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/ml_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/ml_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/simrank_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/simrank_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/string_baselines_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/string_baselines_test.cc.o.d"
+  "CMakeFiles/baselines_test.dir/baselines/twidf_pagerank_test.cc.o"
+  "CMakeFiles/baselines_test.dir/baselines/twidf_pagerank_test.cc.o.d"
+  "baselines_test"
+  "baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cliquerank_test.cc" "tests/CMakeFiles/core_test.dir/core/cliquerank_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/cliquerank_test.cc.o.d"
+  "/root/repo/tests/core/correlation_clustering_test.cc" "tests/CMakeFiles/core_test.dir/core/correlation_clustering_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/correlation_clustering_test.cc.o.d"
+  "/root/repo/tests/core/fusion_test.cc" "tests/CMakeFiles/core_test.dir/core/fusion_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/fusion_test.cc.o.d"
+  "/root/repo/tests/core/iter_matrix_test.cc" "tests/CMakeFiles/core_test.dir/core/iter_matrix_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/iter_matrix_test.cc.o.d"
+  "/root/repo/tests/core/iter_test.cc" "tests/CMakeFiles/core_test.dir/core/iter_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/iter_test.cc.o.d"
+  "/root/repo/tests/core/model_io_test.cc" "tests/CMakeFiles/core_test.dir/core/model_io_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/model_io_test.cc.o.d"
+  "/root/repo/tests/core/random_graph_properties_test.cc" "tests/CMakeFiles/core_test.dir/core/random_graph_properties_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/random_graph_properties_test.cc.o.d"
+  "/root/repo/tests/core/rss_test.cc" "tests/CMakeFiles/core_test.dir/core/rss_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/rss_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

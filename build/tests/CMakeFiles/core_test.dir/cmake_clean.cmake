@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/cliquerank_test.cc.o"
+  "CMakeFiles/core_test.dir/core/cliquerank_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/correlation_clustering_test.cc.o"
+  "CMakeFiles/core_test.dir/core/correlation_clustering_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/fusion_test.cc.o"
+  "CMakeFiles/core_test.dir/core/fusion_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/iter_matrix_test.cc.o"
+  "CMakeFiles/core_test.dir/core/iter_matrix_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/iter_test.cc.o"
+  "CMakeFiles/core_test.dir/core/iter_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/model_io_test.cc.o"
+  "CMakeFiles/core_test.dir/core/model_io_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/random_graph_properties_test.cc.o"
+  "CMakeFiles/core_test.dir/core/random_graph_properties_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rss_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rss_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

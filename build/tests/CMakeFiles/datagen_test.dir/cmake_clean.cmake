@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_test.dir/datagen/generators_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/generators_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/noise_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/noise_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/vocab_bank_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/vocab_bank_test.cc.o.d"
+  "datagen_test"
+  "datagen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/er/blocking_test.cc" "tests/CMakeFiles/er_test.dir/er/blocking_test.cc.o" "gcc" "tests/CMakeFiles/er_test.dir/er/blocking_test.cc.o.d"
+  "/root/repo/tests/er/csv_test.cc" "tests/CMakeFiles/er_test.dir/er/csv_test.cc.o" "gcc" "tests/CMakeFiles/er_test.dir/er/csv_test.cc.o.d"
+  "/root/repo/tests/er/dataset_test.cc" "tests/CMakeFiles/er_test.dir/er/dataset_test.cc.o" "gcc" "tests/CMakeFiles/er_test.dir/er/dataset_test.cc.o.d"
+  "/root/repo/tests/er/ground_truth_test.cc" "tests/CMakeFiles/er_test.dir/er/ground_truth_test.cc.o" "gcc" "tests/CMakeFiles/er_test.dir/er/ground_truth_test.cc.o.d"
+  "/root/repo/tests/er/pair_space_test.cc" "tests/CMakeFiles/er_test.dir/er/pair_space_test.cc.o" "gcc" "tests/CMakeFiles/er_test.dir/er/pair_space_test.cc.o.d"
+  "/root/repo/tests/er/preprocess_test.cc" "tests/CMakeFiles/er_test.dir/er/preprocess_test.cc.o" "gcc" "tests/CMakeFiles/er_test.dir/er/preprocess_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

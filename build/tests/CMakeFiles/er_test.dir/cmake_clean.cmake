@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_test.dir/er/blocking_test.cc.o"
+  "CMakeFiles/er_test.dir/er/blocking_test.cc.o.d"
+  "CMakeFiles/er_test.dir/er/csv_test.cc.o"
+  "CMakeFiles/er_test.dir/er/csv_test.cc.o.d"
+  "CMakeFiles/er_test.dir/er/dataset_test.cc.o"
+  "CMakeFiles/er_test.dir/er/dataset_test.cc.o.d"
+  "CMakeFiles/er_test.dir/er/ground_truth_test.cc.o"
+  "CMakeFiles/er_test.dir/er/ground_truth_test.cc.o.d"
+  "CMakeFiles/er_test.dir/er/pair_space_test.cc.o"
+  "CMakeFiles/er_test.dir/er/pair_space_test.cc.o.d"
+  "CMakeFiles/er_test.dir/er/preprocess_test.cc.o"
+  "CMakeFiles/er_test.dir/er/preprocess_test.cc.o.d"
+  "er_test"
+  "er_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

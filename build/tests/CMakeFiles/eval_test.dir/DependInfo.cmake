@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/eval/cluster_metrics_test.cc" "tests/CMakeFiles/eval_test.dir/eval/cluster_metrics_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/cluster_metrics_test.cc.o.d"
+  "/root/repo/tests/eval/confusion_test.cc" "tests/CMakeFiles/eval_test.dir/eval/confusion_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/confusion_test.cc.o.d"
+  "/root/repo/tests/eval/pr_curve_test.cc" "tests/CMakeFiles/eval_test.dir/eval/pr_curve_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/pr_curve_test.cc.o.d"
+  "/root/repo/tests/eval/spearman_test.cc" "tests/CMakeFiles/eval_test.dir/eval/spearman_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/spearman_test.cc.o.d"
+  "/root/repo/tests/eval/term_score_test.cc" "tests/CMakeFiles/eval_test.dir/eval/term_score_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/term_score_test.cc.o.d"
+  "/root/repo/tests/eval/threshold_sweep_test.cc" "tests/CMakeFiles/eval_test.dir/eval/threshold_sweep_test.cc.o" "gcc" "tests/CMakeFiles/eval_test.dir/eval/threshold_sweep_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

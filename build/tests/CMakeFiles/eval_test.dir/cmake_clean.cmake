@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_test.dir/eval/cluster_metrics_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/cluster_metrics_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/confusion_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/confusion_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/pr_curve_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/pr_curve_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/spearman_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/spearman_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/term_score_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/term_score_test.cc.o.d"
+  "CMakeFiles/eval_test.dir/eval/threshold_sweep_test.cc.o"
+  "CMakeFiles/eval_test.dir/eval/threshold_sweep_test.cc.o.d"
+  "eval_test"
+  "eval_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/bipartite_graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph/bipartite_graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/bipartite_graph_test.cc.o.d"
+  "/root/repo/tests/graph/connected_components_test.cc" "tests/CMakeFiles/graph_test.dir/graph/connected_components_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/connected_components_test.cc.o.d"
+  "/root/repo/tests/graph/pagerank_test.cc" "tests/CMakeFiles/graph_test.dir/graph/pagerank_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/pagerank_test.cc.o.d"
+  "/root/repo/tests/graph/record_graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph/record_graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/record_graph_test.cc.o.d"
+  "/root/repo/tests/graph/term_graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph/term_graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/term_graph_test.cc.o.d"
+  "/root/repo/tests/graph/union_find_test.cc" "tests/CMakeFiles/graph_test.dir/graph/union_find_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph/union_find_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gter.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

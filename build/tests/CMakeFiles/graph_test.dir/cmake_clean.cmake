@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/bipartite_graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/bipartite_graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/connected_components_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/connected_components_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/pagerank_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/pagerank_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/record_graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/record_graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/term_graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/term_graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/union_find_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/union_find_test.cc.o.d"
+  "graph_test"
+  "graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/text_test.dir/text/normalizer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/normalizer_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/string_metrics_test.cc.o"
+  "CMakeFiles/text_test.dir/text/string_metrics_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tfidf_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tfidf_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o"
+  "CMakeFiles/text_test.dir/text/tokenizer_test.cc.o.d"
+  "CMakeFiles/text_test.dir/text/vocabulary_test.cc.o"
+  "CMakeFiles/text_test.dir/text/vocabulary_test.cc.o.d"
+  "text_test"
+  "text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gter_cli.dir/gter_cli.cc.o"
+  "CMakeFiles/gter_cli.dir/gter_cli.cc.o.d"
+  "gter_cli"
+  "gter_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gter_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
