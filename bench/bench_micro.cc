@@ -1,6 +1,7 @@
 // Micro-benchmarks (google-benchmark) for the substrates: blocked GEMM,
 // masked sparse multiply, string metrics, tokenization, one ITER sweep,
-// and PageRank — the kernels whose cost model DESIGN.md documents.
+// PageRank, and the parallel RSS pair loop — the kernels whose cost model
+// DESIGN.md documents.
 
 #include <benchmark/benchmark.h>
 
@@ -119,6 +120,57 @@ void BM_IterSweep(benchmark::State& state) {
   state.counters["bipartite_edges"] = static_cast<double>(graph.num_edges());
 }
 BENCHMARK(BM_IterSweep);
+
+// RSS over the Paper-like record graph, pair loop split across a pool of
+// range(0) threads. Results are bit-identical for every thread count
+// (checked once per run below), so the wall-clock ratio between /1 and /N
+// is the parallel speedup of the hot path.
+void BM_Rss(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.2, 5);
+  RemoveFrequentTerms(&data.dataset);
+  PairSpace pairs = PairSpace::Build(data.dataset);
+  std::vector<double> sims(pairs.size(), 0.8);
+  RecordGraph graph = RecordGraph::Build(data.dataset.size(), pairs, sims);
+
+  RssOptions options;
+  options.num_walks = 20;
+  ThreadPool pool(threads);
+  if (threads > 1) options.pool = &pool;
+
+  // Determinism contract: the parallel run must match the serial run bit
+  // for bit before we time anything.
+  RssOptions serial = options;
+  serial.pool = nullptr;
+  GTER_CHECK(RunRss(graph, pairs, options) == RunRss(graph, pairs, serial));
+
+  for (auto _ : state) {
+    auto p = RunRss(graph, pairs, options);
+    benchmark::DoNotOptimize(p.data());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs.size());
+}
+BENCHMARK(BM_Rss)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// One ITER sweep with the propagation loops split across range(0) threads.
+void BM_IterSweepParallel(benchmark::State& state) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.2, 5);
+  RemoveFrequentTerms(&data.dataset);
+  PairSpace pairs = PairSpace::Build(data.dataset);
+  BipartiteGraph graph = BipartiteGraph::Build(data.dataset, pairs);
+  std::vector<double> probability(pairs.size(), 1.0);
+  IterOptions options;
+  options.max_iterations = 1;  // cost of one sweep
+  options.tolerance = 0.0;
+  ThreadPool pool(threads);
+  if (threads > 1) options.pool = &pool;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunIter(graph, probability, options));
+  }
+  state.counters["bipartite_edges"] = static_cast<double>(graph.num_edges());
+}
+BENCHMARK(BM_IterSweepParallel)->Arg(1)->Arg(4)->UseRealTime();
 
 void BM_PageRank(benchmark::State& state) {
   auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.2, 5);

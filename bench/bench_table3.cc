@@ -15,7 +15,7 @@ namespace gter {
 namespace bench {
 namespace {
 
-void Run(double scale, uint64_t seed, bool full_rss) {
+void Run(double scale, uint64_t seed, bool full_rss, ThreadPool* pool) {
   std::printf("Table III: efficiency of ITER+CliqueRank (scale=%.2f)\n",
               scale);
   Rule(76);
@@ -35,6 +35,7 @@ void Run(double scale, uint64_t seed, bool full_rss) {
     col.edges = p.pairs.size();
 
     FusionConfig config;  // 5 rounds, α=20, S=20
+    config.pool = pool;
     FusionPipeline pipeline(p.dataset(), config);
     FusionResult result = pipeline.Run();
     col.total_s = result.total_seconds;
@@ -48,6 +49,7 @@ void Run(double scale, uint64_t seed, bool full_rss) {
     RecordGraph graph =
         RecordGraph::Build(p.dataset().size(), p.pairs, result.pair_scores);
     RssOptions rss_options;  // M=100 walks, S=20 — §VI-B defaults
+    rss_options.pool = pool;
     if (full_rss || p.pairs.size() <= 1500) {
       Stopwatch watch;
       RunRss(graph, p.pairs, rss_options);
@@ -59,7 +61,6 @@ void Run(double scale, uint64_t seed, bool full_rss) {
       RssOptions probe = rss_options;
       probe.num_walks = std::max<size_t>(
           2, rss_options.num_walks * 1500 / p.pairs.size());
-      probe.num_walks += probe.num_walks % 2;  // keep it even
       Stopwatch watch;
       RunRss(graph, p.pairs, probe);
       double fraction = static_cast<double>(probe.num_walks) /
@@ -106,6 +107,6 @@ int main(int argc, char** argv) {
   if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
   gter::bench::Run(flags.GetDouble("scale"),
                    static_cast<uint64_t>(flags.GetInt("seed")),
-                   flags.GetBool("full_rss"));
+                   flags.GetBool("full_rss"), gter::bench::BenchPool(flags));
   return 0;
 }

@@ -6,11 +6,13 @@
 // Every binary accepts:
 //   --scale   dataset scale (1.0 = the paper's sizes; default below)
 //   --seed    generator seed
+//   --threads worker threads for the parallel hot paths (1 = sequential)
 // and prints a paper-style table to stdout. The default scale is reduced
 // so the whole bench suite completes in minutes on a small machine; pass
 // --scale=1 to reproduce the published dataset sizes.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -54,10 +56,12 @@ inline double DecisionF1(const Prepared& p, const std::vector<bool>& matches) {
   return EvaluatePairPredictions(p.pairs, matches, p.labels, p.positives).F1();
 }
 
-/// Parses the standard --scale/--seed flags (plus any the caller added).
+/// Parses the standard --scale/--seed/--threads flags (plus any the caller
+/// added).
 inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
   flags->AddDouble("scale", kDefaultScale, "dataset scale (1.0 = paper size)");
   flags->AddInt("seed", 2018, "generator seed");
+  flags->AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
   Status s = flags->Parse(argc, argv);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -65,6 +69,19 @@ inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
     return false;
   }
   return true;
+}
+
+/// Pool for --threads, or nullptr for the sequential path. Every stage is
+/// bit-identical for any thread count, so results match --threads=1 runs.
+inline ThreadPool* BenchPool(const FlagSet& flags) {
+  int threads = flags.GetInt("threads");
+  if (threads == 1) return nullptr;
+  static std::unique_ptr<ThreadPool> pool;
+  if (!pool) {
+    pool = std::make_unique<ThreadPool>(
+        threads <= 0 ? 0 : static_cast<size_t>(threads));
+  }
+  return pool.get();
 }
 
 inline const std::vector<BenchmarkKind>& AllBenchmarks() {

@@ -1,8 +1,9 @@
 #include "gter/common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "gter/common/status.h"
+#include "gter/common/logging.h"
 
 namespace gter {
 
@@ -21,45 +22,68 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mutex_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  wakeup_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+Status ThreadPool::Submit(TaskGroup* group, std::function<void()> task) {
+  GTER_CHECK(group != nullptr);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    GTER_CHECK(!shutting_down_);
-    tasks_.push(std::move(task));
-    ++in_flight_;
+    if (shutting_down_) {
+      GTER_LOG(Warning) << "ThreadPool::Submit after shutdown; task dropped";
+      return Status::FailedPrecondition(
+          "ThreadPool is shutting down; task rejected");
+    }
+    tasks_.push_back({std::move(task), group});
+    ++group->pending_;
   }
-  task_available_.notify_one();
+  wakeup_.notify_all();
+  return Status::OK();
 }
 
-void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+Status ThreadPool::Submit(std::function<void()> task) {
+  return Submit(&default_group_, std::move(task));
 }
+
+void ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
+  Task task = std::move(tasks_.front());
+  tasks_.pop_front();
+  lock->unlock();
+  task.fn();
+  lock->lock();
+  if (--task.group->pending_ == 0) wakeup_.notify_all();
+}
+
+void ThreadPool::Wait(TaskGroup* group) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (group->pending_ > 0) {
+    if (!tasks_.empty()) {
+      // Help drain the queue instead of sleeping: the task we run may be
+      // ours or another group's, but either way the pool makes progress and
+      // a worker blocked here (nested ParallelFor) cannot deadlock.
+      RunOneTask(&lock);
+    } else {
+      // Our remaining tasks are running on other threads; sleep until a
+      // completion or a new task to steal arrives.
+      wakeup_.wait(lock, [this, group] {
+        return group->pending_ == 0 || !tasks_.empty();
+      });
+    }
+  }
+}
+
+void ThreadPool::Wait() { Wait(&default_group_); }
 
 void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !tasks_.empty(); });
-      if (tasks_.empty()) {
-        if (shutting_down_) return;
-        continue;
-      }
-      task = std::move(tasks_.front());
-      tasks_.pop();
+    wakeup_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+    if (tasks_.empty()) {
+      if (shutting_down_) return;
+      continue;
     }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
-    }
+    RunOneTask(&lock);
   }
 }
 
@@ -81,11 +105,16 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
   size_t num_chunks =
       std::min((span + grain - 1) / grain, pool->num_threads() * 4);
   size_t chunk = (span + num_chunks - 1) / num_chunks;
+  TaskGroup group;
   for (size_t lo = begin; lo < end; lo += chunk) {
     size_t hi = std::min(lo + chunk, end);
-    pool->Submit([fn, lo, hi] { fn(lo, hi); });
+    if (!pool->Submit(&group, [&fn, lo, hi] { fn(lo, hi); }).ok()) {
+      // Pool is shutting down; finish the chunk inline so the range is
+      // still fully covered.
+      fn(lo, hi);
+    }
   }
-  pool->Wait();
+  pool->Wait(&group);
 }
 
 }  // namespace gter

@@ -3,20 +3,60 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <deque>
 #include <functional>
 #include <mutex>
-#include <queue>
 #include <thread>
 #include <vector>
 
+#include "gter/common/status.h"
+
 namespace gter {
 
-/// Fixed-size worker pool with a blocking `Wait()` barrier.
+class ThreadPool;
+
+/// Completion handle for a batch of related tasks.
+///
+/// Each group carries its own pending-task counter, so waiting on one group
+/// never blocks on tasks submitted by other callers. Groups are cheap
+/// stack-allocated objects; the usual pattern is
+///
+///   TaskGroup group;
+///   pool->Submit(&group, [] { ... });
+///   pool->Submit(&group, [] { ... });
+///   pool->Wait(&group);
+///
+/// A TaskGroup must outlive its last submitted task (Wait() before it goes
+/// out of scope). Groups are not reusable across pools, but may be reused
+/// for successive batches on the same pool after Wait() returns.
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class ThreadPool;
+  // Guarded by the owning pool's mutex.
+  size_t pending_ = 0;
+};
+
+/// Fixed-size worker pool with task-group completion semantics.
 ///
 /// The paper's CliqueRank implementation leaned on Eigen's multi-threaded
-/// GEMM on a 32-core Xeon; this pool is the substrate our from-scratch GEMM
-/// and masked multiply use for the same purpose. On a single-core host the
-/// pool degrades gracefully to near-sequential execution.
+/// GEMM on a 32-core Xeon; this pool is the substrate our from-scratch GEMM,
+/// masked multiply, RSS walks, and ITER sweeps use for the same purpose.
+///
+/// Threading model (see DESIGN.md §"Threading model"):
+///  * Every task belongs to a TaskGroup; `Wait(&group)` blocks until that
+///    group's tasks — and only that group's tasks — have finished.
+///  * A thread blocked in `Wait()` helps drain the shared queue instead of
+///    sleeping while work is available. This makes `Wait()` safe to call
+///    from inside a worker task: nested `ParallelFor` cannot deadlock
+///    because the waiter executes queued tasks (its own group's or
+///    others') until its group completes.
+///  * Concurrent `ParallelFor` calls from different threads are independent:
+///    each waits on its own group, never on the union of all in-flight work.
 class ThreadPool {
  public:
   /// Creates `num_threads` workers; 0 means `hardware_concurrency()`.
@@ -26,10 +66,21 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task. Tasks must not throw.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task into `group`. Tasks must not throw. Returns
+  /// FailedPrecondition (and drops the task) if the pool is shutting down —
+  /// submitting to a destructing pool is rejected, not fatal, so shutdown
+  /// races degrade to lost work the caller can observe instead of a crash.
+  Status Submit(TaskGroup* group, std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Enqueues a task into the pool-wide default group (legacy interface;
+  /// prefer an explicit TaskGroup). Same shutdown semantics as above.
+  Status Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted to `group` has finished. Helps drain
+  /// the queue while waiting, so this is safe to call from a worker thread.
+  void Wait(TaskGroup* group);
+
+  /// Blocks until the pool-wide default group is empty (legacy interface).
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -39,20 +90,36 @@ class ThreadPool {
   static ThreadPool* Default();
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    TaskGroup* group;
+  };
+
   void WorkerLoop();
+  /// Pops and runs one task. `lock` must be held; it is released while the
+  /// task runs and re-acquired before returning.
+  void RunOneTask(std::unique_lock<std::mutex>* lock);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> tasks_;
+  std::deque<Task> tasks_;
   std::mutex mutex_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  size_t in_flight_ = 0;
+  /// Signaled on: new task, group completion, shutdown. Workers and waiting
+  /// helpers share it; completion events are rare enough that the shared
+  /// condvar beats per-group condvars in allocation and fairness.
+  std::condition_variable wakeup_;
+  TaskGroup default_group_;
   bool shutting_down_ = false;
 };
 
 /// Splits [begin, end) into contiguous chunks of at least `grain` items and
 /// runs `fn(chunk_begin, chunk_end)` across `pool`. Blocks until complete.
 /// Runs inline when the range is small or the pool has one thread.
+///
+/// Safe to call concurrently from multiple threads sharing one pool, and
+/// recursively from inside `fn` (the blocked caller drains queued chunks).
+/// Chunk boundaries depend only on (begin, end, grain, num_threads), so any
+/// `fn` whose chunks are independent yields thread-count-independent
+/// results as long as each index's computation is self-contained.
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
                  const std::function<void(size_t, size_t)>& fn);
 

@@ -63,11 +63,14 @@ std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
   }
 
   std::vector<double> probability(pairs.size(), 0.0);
-  for (PairId p = 0; p < pairs.size(); ++p) {
-    const RecordPair& rp = pairs.pair(p);
-    double avg = (accum(rp.a, rp.b) + accum(rp.b, rp.a)) / 2.0;
-    probability[p] = std::clamp(avg, 0.0, 1.0);
-  }
+  ParallelFor(options.pool, 0, pairs.size(), /*grain=*/256,
+              [&](size_t lo, size_t hi) {
+    for (PairId p = lo; p < hi; ++p) {
+      const RecordPair& rp = pairs.pair(p);
+      double avg = (accum(rp.a, rp.b) + accum(rp.b, rp.a)) / 2.0;
+      probability[p] = std::clamp(avg, 0.0, 1.0);
+    }
+  });
   return probability;
 }
 
@@ -87,20 +90,26 @@ std::vector<double> RunMasked(const CsrMatrix& trans, const CsrMatrix& pattern,
     ComputeMaskedProduct(trans, scratch.data(), pattern, next.data(),
                          options.pool);
     cur.swap(next);
-    for (size_t e = 0; e < cur.size(); ++e) accum[e] += cur[e];
+    ParallelFor(options.pool, 0, cur.size(), /*grain=*/4096,
+                [&](size_t lo, size_t hi) {
+      for (size_t e = lo; e < hi; ++e) accum[e] += cur[e];
+    });
   }
 
   std::vector<double> probability(pairs.size(), 0.0);
-  for (PairId p = 0; p < pairs.size(); ++p) {
-    const RecordPair& rp = pairs.pair(p);
-    int64_t pos_ab = pattern.PositionOf(rp.a, rp.b);
-    int64_t pos_ba = pattern.PositionOf(rp.b, rp.a);
-    GTER_CHECK(pos_ab >= 0 && pos_ba >= 0);
-    double avg = (accum[static_cast<size_t>(pos_ab)] +
-                  accum[static_cast<size_t>(pos_ba)]) /
-                 2.0;
-    probability[p] = std::clamp(avg, 0.0, 1.0);
-  }
+  ParallelFor(options.pool, 0, pairs.size(), /*grain=*/256,
+              [&](size_t lo, size_t hi) {
+    for (PairId p = lo; p < hi; ++p) {
+      const RecordPair& rp = pairs.pair(p);
+      int64_t pos_ab = pattern.PositionOf(rp.a, rp.b);
+      int64_t pos_ba = pattern.PositionOf(rp.b, rp.a);
+      GTER_CHECK(pos_ab >= 0 && pos_ba >= 0);
+      double avg = (accum[static_cast<size_t>(pos_ab)] +
+                    accum[static_cast<size_t>(pos_ba)]) /
+                   2.0;
+      probability[p] = std::clamp(avg, 0.0, 1.0);
+    }
+  });
   return probability;
 }
 

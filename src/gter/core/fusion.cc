@@ -10,7 +10,15 @@ FusionPipeline::FusionPipeline(const Dataset& dataset, FusionConfig config)
     : dataset_(dataset),
       config_(config),
       pairs_(PairSpace::Build(dataset)),
-      bipartite_(BipartiteGraph::Build(dataset, pairs_, config.pt_mode)) {}
+      bipartite_(BipartiteGraph::Build(dataset, pairs_, config.pt_mode)) {
+  if (config_.pool != nullptr) {
+    if (config_.iter.pool == nullptr) config_.iter.pool = config_.pool;
+    if (config_.cliquerank.pool == nullptr) {
+      config_.cliquerank.pool = config_.pool;
+    }
+    if (config_.rss.pool == nullptr) config_.rss.pool = config_.pool;
+  }
+}
 
 FusionResult FusionPipeline::Run() {
   GTER_CHECK(config_.rounds >= 1);

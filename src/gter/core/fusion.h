@@ -27,6 +27,11 @@ struct FusionConfig {
   bool use_rss = false;
   RssOptions rss;
   PtMode pt_mode = PtMode::kPaper;
+  /// Worker pool shared by every stage (nullptr → sequential). Forwarded
+  /// into `iter.pool`, `cliquerank.pool`, and `rss.pool` unless those are
+  /// already set explicitly; results are bit-identical for any thread
+  /// count.
+  ThreadPool* pool = nullptr;
 };
 
 /// Timing and quality snapshot after each reinforcement round.

@@ -42,27 +42,37 @@ IterResult RunIter(const BipartiteGraph& graph,
   std::vector<double>& s = result.pair_scores;
   std::vector<double> x_prev(num_terms);
 
+  // Both sweeps are gather-style — every output element reads only from the
+  // previous phase's vector and accumulates its own adjacency in storage
+  // order — so the parallel chunks are independent and bit-identical to the
+  // serial sweep.
+  ThreadPool* pool = options.pool;
+  const size_t grain = options.grain;
   for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
     x_prev = x;
 
     // Lines 3–4: s(r_i, r_j) ← Σ_{t shared} x_t.
-    for (PairId p = 0; p < num_pairs; ++p) {
-      double acc = 0.0;
-      for (TermId t : graph.TermsOfPair(p)) acc += x[t];
-      s[p] = acc;
-    }
+    ParallelFor(pool, 0, num_pairs, grain, [&](size_t lo, size_t hi) {
+      for (PairId p = lo; p < hi; ++p) {
+        double acc = 0.0;
+        for (TermId t : graph.TermsOfPair(p)) acc += x[t];
+        s[p] = acc;
+      }
+    });
 
     // Lines 5–6: x_t ← Σ_p p(r_i, r_j)·s(p) / P_t.
-    for (TermId t = 0; t < num_terms; ++t) {
-      auto adjacent = graph.PairsOfTerm(t);
-      if (adjacent.empty()) {
-        x[t] = 0.0;
-        continue;
+    ParallelFor(pool, 0, num_terms, grain, [&](size_t lo, size_t hi) {
+      for (TermId t = lo; t < hi; ++t) {
+        auto adjacent = graph.PairsOfTerm(t);
+        if (adjacent.empty()) {
+          x[t] = 0.0;
+          continue;
+        }
+        double acc = 0.0;
+        for (PairId p : adjacent) acc += edge_probability[p] * s[p];
+        x[t] = acc / graph.Pt(t);
       }
-      double acc = 0.0;
-      for (PairId p : adjacent) acc += edge_probability[p] * s[p];
-      x[t] = acc / graph.Pt(t);
-    }
+    });
 
     // Line 7: normalization keeps the additive rule bounded.
     Normalize(&x, options.normalization);
@@ -78,11 +88,13 @@ IterResult RunIter(const BipartiteGraph& graph,
   }
 
   // Final pair scores from the converged weights.
-  for (PairId p = 0; p < num_pairs; ++p) {
-    double acc = 0.0;
-    for (TermId t : graph.TermsOfPair(p)) acc += x[t];
-    s[p] = acc;
-  }
+  ParallelFor(pool, 0, num_pairs, grain, [&](size_t lo, size_t hi) {
+    for (PairId p = lo; p < hi; ++p) {
+      double acc = 0.0;
+      for (TermId t : graph.TermsOfPair(p)) acc += x[t];
+      s[p] = acc;
+    }
+  });
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/thread_pool.h"
 #include "gter/graph/bipartite_graph.h"
 
 namespace gter {
@@ -27,6 +28,12 @@ struct IterOptions {
   uint64_t seed = 42;
   /// Record Σ|Δx| per sweep (the Figure 5 trace).
   bool track_convergence = false;
+  /// Worker pool for the propagation sweeps (nullptr → sequential). Each
+  /// term/pair accumulates over its own adjacency in a fixed order, so
+  /// results are bit-identical for any thread count.
+  ThreadPool* pool = nullptr;
+  /// Minimum terms/pairs per parallel chunk.
+  size_t grain = 256;
 };
 
 /// Output of one ITER run.

@@ -31,20 +31,28 @@ IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
   // One application of M = Sᵀ D⁻¹ S C to y, via the intermediate x.
   // S is the term×pair incidence (structural); D is diag(P_t); C is
   // diag(p(r_i, r_j)).
+  // Both halves of the application are gather-style over fixed adjacency
+  // order, so the parallel sweeps stay bit-identical to the serial ones.
   std::vector<double> x(num_terms);
   auto apply = [&](const std::vector<double>& y, std::vector<double>* out) {
-    for (TermId t = 0; t < num_terms; ++t) {
-      double acc = 0.0;
-      for (PairId p : graph.PairsOfTerm(t)) {
-        acc += edge_probability[p] * y[p];
+    ParallelFor(options.pool, 0, num_terms, options.grain,
+                [&](size_t lo, size_t hi) {
+      for (TermId t = lo; t < hi; ++t) {
+        double acc = 0.0;
+        for (PairId p : graph.PairsOfTerm(t)) {
+          acc += edge_probability[p] * y[p];
+        }
+        x[t] = acc / graph.Pt(t);
       }
-      x[t] = acc / graph.Pt(t);
-    }
-    for (PairId p = 0; p < num_pairs; ++p) {
-      double acc = 0.0;
-      for (TermId t : graph.TermsOfPair(p)) acc += x[t];
-      (*out)[p] = acc;
-    }
+    });
+    ParallelFor(options.pool, 0, num_pairs, options.grain,
+                [&](size_t lo, size_t hi) {
+      for (PairId p = lo; p < hi; ++p) {
+        double acc = 0.0;
+        for (TermId t : graph.TermsOfPair(p)) acc += x[t];
+        (*out)[p] = acc;
+      }
+    });
   };
 
   // Random non-negative start: cannot be orthogonal to the (non-negative)
@@ -88,13 +96,16 @@ IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
   result.residual = std::sqrt(residual_sq);
 
   result.pair_scores = y;
-  for (TermId t = 0; t < num_terms; ++t) {
-    double acc = 0.0;
-    for (PairId p : graph.PairsOfTerm(t)) {
-      acc += edge_probability[p] * y[p];
+  ParallelFor(options.pool, 0, num_terms, options.grain,
+              [&](size_t lo, size_t hi) {
+    for (TermId t = lo; t < hi; ++t) {
+      double acc = 0.0;
+      for (PairId p : graph.PairsOfTerm(t)) {
+        acc += edge_probability[p] * y[p];
+      }
+      result.term_weights[t] = acc / graph.Pt(t);
     }
-    result.term_weights[t] = acc / graph.Pt(t);
-  }
+  });
   return result;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/thread_pool.h"
 #include "gter/graph/bipartite_graph.h"
 
 namespace gter {
@@ -25,6 +26,11 @@ struct IterMatrixOptions {
   /// this.
   double tolerance = 1e-12;
   uint64_t seed = 42;
+  /// Worker pool for the M·y applications (nullptr → sequential); results
+  /// are bit-identical for any thread count.
+  ThreadPool* pool = nullptr;
+  /// Minimum terms/pairs per parallel chunk.
+  size_t grain = 256;
 };
 
 struct IterMatrixResult {

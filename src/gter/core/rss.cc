@@ -16,29 +16,33 @@ struct PoweredRows {
   std::vector<double> row_sum;
 };
 
-PoweredRows PrecomputeRows(const RecordGraph& graph, double alpha) {
+PoweredRows PrecomputeRows(const RecordGraph& graph, double alpha,
+                           ThreadPool* pool) {
   PoweredRows rows;
   rows.powered.resize(graph.num_nodes());
   rows.row_sum.resize(graph.num_nodes(), 0.0);
-  for (RecordId r = 0; r < graph.num_nodes(); ++r) {
-    auto wts = graph.Weights(r);
-    auto& out = rows.powered[r];
-    out.resize(wts.size());
-    double row_max = 0.0;
-    for (double w : wts) row_max = std::max(row_max, w);
-    if (row_max <= 0.0) {
-      // Degenerate node: uniform transitions.
-      std::fill(out.begin(), out.end(), 1.0);
-      rows.row_sum[r] = static_cast<double>(out.size());
-      continue;
+  ParallelFor(pool, 0, graph.num_nodes(), /*grain=*/64,
+              [&](size_t lo, size_t hi) {
+    for (RecordId r = lo; r < hi; ++r) {
+      auto wts = graph.Weights(r);
+      auto& out = rows.powered[r];
+      out.resize(wts.size());
+      double row_max = 0.0;
+      for (double w : wts) row_max = std::max(row_max, w);
+      if (row_max <= 0.0) {
+        // Degenerate node: uniform transitions.
+        std::fill(out.begin(), out.end(), 1.0);
+        rows.row_sum[r] = static_cast<double>(out.size());
+        continue;
+      }
+      double sum = 0.0;
+      for (size_t k = 0; k < wts.size(); ++k) {
+        out[k] = std::pow(wts[k] / row_max, alpha);
+        sum += out[k];
+      }
+      rows.row_sum[r] = sum;
     }
-    double sum = 0.0;
-    for (size_t k = 0; k < wts.size(); ++k) {
-      out[k] = std::pow(wts[k] / row_max, alpha);
-      sum += out[k];
-    }
-    rows.row_sum[r] = sum;
-  }
+  });
   return rows;
 }
 
@@ -91,23 +95,32 @@ int RandomWalk(const RecordGraph& graph, const PoweredRows& rows,
 std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
                            const RssOptions& options) {
   GTER_CHECK(options.num_walks >= 2);
-  PoweredRows rows = PrecomputeRows(graph, options.alpha);
+  PoweredRows rows = PrecomputeRows(graph, options.alpha, options.pool);
   std::vector<double> probability(pairs.size(), 0.0);
-  Rng master(options.seed);
-  const size_t half = options.num_walks / 2;
-  for (PairId p = 0; p < pairs.size(); ++p) {
-    const RecordPair& rp = pairs.pair(p);
-    Rng rng = master.Fork(p);
-    size_t successes = 0;
-    for (size_t m = 0; m < half; ++m) {
-      successes += RandomWalk(graph, rows, rp.a, rp.b, options, &rng);
+  const Rng master(options.seed);
+  // Odd walk counts give the extra walk to the forward direction; every
+  // requested walk runs and the estimate is normalized by the true count.
+  const size_t forward = (options.num_walks + 1) / 2;
+  const size_t backward = options.num_walks - forward;
+  // Each pair forks its own RNG stream off the (const, shared) master and
+  // writes only probability[p], so chunks are independent and the result is
+  // bit-identical for any thread count.
+  ParallelFor(options.pool, 0, pairs.size(), options.grain,
+              [&](size_t lo, size_t hi) {
+    for (PairId p = lo; p < hi; ++p) {
+      const RecordPair& rp = pairs.pair(p);
+      Rng rng = master.Fork(p);
+      size_t successes = 0;
+      for (size_t m = 0; m < forward; ++m) {
+        successes += RandomWalk(graph, rows, rp.a, rp.b, options, &rng);
+      }
+      for (size_t m = 0; m < backward; ++m) {
+        successes += RandomWalk(graph, rows, rp.b, rp.a, options, &rng);
+      }
+      probability[p] = static_cast<double>(successes) /
+                       static_cast<double>(options.num_walks);
     }
-    for (size_t m = 0; m < half; ++m) {
-      successes += RandomWalk(graph, rows, rp.b, rp.a, options, &rng);
-    }
-    probability[p] =
-        static_cast<double>(successes) / static_cast<double>(2 * half);
-  }
+  });
   return probability;
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/thread_pool.h"
 #include "gter/er/pair_space.h"
 #include "gter/graph/record_graph.h"
 
@@ -25,6 +26,12 @@ struct RssOptions {
   /// (Algorithm 3, lines 8–9).
   bool early_stop = true;
   uint64_t seed = 7;
+  /// Worker pool for the pair loop (nullptr → sequential). Each pair draws
+  /// from its own forked RNG stream, so results are bit-identical for any
+  /// thread count.
+  ThreadPool* pool = nullptr;
+  /// Minimum pairs per parallel chunk.
+  size_t grain = 32;
 };
 
 /// Runs RSS over the record graph: estimates the matching probability of

@@ -44,6 +44,9 @@ void GemmRows(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
 void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
           ThreadPool* pool) {
   GTER_CHECK(a.cols() == b.rows());
+  // `*c` is zero-initialized before `a`/`b` are read, so aliasing an input
+  // would silently compute garbage.
+  GTER_CHECK(c != &a && c != &b);
   *c = DenseMatrix(a.rows(), b.cols(), 0.0);
   ParallelFor(pool, 0, a.rows(), /*grain=*/16,
               [&](size_t lo, size_t hi) { GemmRows(a, b, c, lo, hi); });

@@ -1,7 +1,9 @@
 #include "gter/common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -95,6 +97,145 @@ TEST(ParallelForTest, ZeroGrainIsTreatedAsOne) {
     total.fetch_add(static_cast<int>(hi - lo));
   });
   EXPECT_EQ(total.load(), 50);
+}
+
+TEST(TaskGroupTest, WaitCoversOnlyOwnGroup) {
+  ThreadPool pool(4);
+  // A long-running task in another group must not delay Wait() on ours.
+  TaskGroup slow;
+  std::atomic<bool> slow_started{false};
+  std::atomic<bool> slow_done{false};
+  ASSERT_TRUE(pool.Submit(&slow, [&] {
+    slow_started.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    slow_done.store(true);
+  }).ok());
+  // Ensure the slow task is *running* (not queued, where a helping waiter
+  // could legitimately pick it up).
+  while (!slow_started.load()) std::this_thread::yield();
+
+  TaskGroup fast;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Submit(&fast, [&count] { count.fetch_add(1); }).ok());
+  }
+  pool.Wait(&fast);
+  EXPECT_EQ(count.load(), 8);
+  EXPECT_FALSE(slow_done.load());  // we did not wait for the other group
+  pool.Wait(&slow);
+  EXPECT_TRUE(slow_done.load());
+}
+
+TEST(TaskGroupTest, GroupIsReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(pool.Submit(&group, [&count] { count.fetch_add(1); }).ok());
+    }
+    pool.Wait(&group);
+    EXPECT_EQ(count.load(), (round + 1) * 10);
+  }
+}
+
+TEST(ThreadPoolTest, SubmitDuringShutdownIsRejected) {
+  std::atomic<bool> saw_rejection{false};
+  std::atomic<int> noops{0};
+  {
+    ThreadPool pool(2);
+    ASSERT_TRUE(pool.Submit([&] {
+      // Keep submitting no-ops until destruction flips the pool into
+      // shutdown; then Submit must fail cleanly instead of crashing.
+      for (;;) {
+        Status s = pool.Submit([&noops] { noops.fetch_add(1); });
+        if (!s.ok()) {
+          EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+          saw_rejection.store(true);
+          return;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(saw_rejection.load());
+}
+
+TEST(ParallelForTest, NestedFromInsideWorkerDoesNotDeadlock) {
+  // The pre-task-group pool deadlocked here: the outer chunks blocked in
+  // Wait() while the inner chunks sat unexecuted in the queue.
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 0, 32, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ParallelFor(&pool, 0, 32, 1, [&](size_t ilo, size_t ihi) {
+        total.fetch_add(static_cast<int>(ihi - ilo));
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 32 * 32);
+}
+
+TEST(ParallelForTest, DoublyNestedDoesNotDeadlock) {
+  ThreadPool pool(3);
+  std::atomic<int> total{0};
+  ParallelFor(&pool, 0, 8, 1, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      ParallelFor(&pool, 0, 8, 1, [&](size_t mlo, size_t mhi) {
+        for (size_t m = mlo; m < mhi; ++m) {
+          ParallelFor(&pool, 0, 8, 1, [&](size_t ilo, size_t ihi) {
+            total.fetch_add(static_cast<int>(ihi - ilo));
+          });
+        }
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 8 * 8 * 8);
+}
+
+TEST(ParallelForTest, ConcurrentCallersAreIndependent) {
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr size_t kItems = 20000;
+  std::vector<std::vector<int>> touched(kCallers,
+                                        std::vector<int>(kItems, 0));
+  std::vector<std::thread> callers;
+  callers.reserve(kCallers);
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &touched, c] {
+      for (int round = 0; round < 10; ++round) {
+        ParallelFor(&pool, 0, kItems, 64, [&touched, c](size_t lo, size_t hi) {
+          for (size_t i = lo; i < hi; ++i) ++touched[c][i];
+        });
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c) {
+    for (size_t i = 0; i < kItems; ++i) {
+      ASSERT_EQ(touched[c][i], 10) << "caller " << c << " index " << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, ConcurrentAndNestedCombined) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&] {
+      ParallelFor(&pool, 0, 16, 1, [&](size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          ParallelFor(&pool, 0, 16, 1, [&](size_t ilo, size_t ihi) {
+            total.fetch_add(static_cast<int>(ihi - ilo));
+          });
+        }
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(total.load(), 3 * 16 * 16);
 }
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "gter/core/rss.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace gter {
@@ -135,6 +137,53 @@ TEST(RssTest, MoreStepsNeverReduceReachability) {
     sum_many += p_many[p];
   }
   EXPECT_GE(sum_many, sum_few - 0.1);
+}
+
+TEST(RssTest, OddWalkCountRunsEveryWalk) {
+  // num_walks=9 must run all 9 walks and normalize by 9: every probability
+  // is then an exact multiple of 1/9. The old half-split ran 8 walks and
+  // produced multiples of 1/8.
+  Dataset ds("test");
+  for (int i = 0; i < 12; ++i) ds.AddRecord(0, "big");
+  PairSpace pairs = PairSpace::Build(ds);
+  std::vector<double> sims(pairs.size(), 0.8);
+  RecordGraph graph = RecordGraph::Build(ds.size(), pairs, sims);
+
+  RssOptions options;
+  options.num_walks = 9;
+  options.max_steps = 5;
+  options.use_boost = false;  // keeps mid-range probabilities in play
+  auto p = RunRss(graph, pairs, options);
+  bool saw_fractional = false;
+  for (double v : p) {
+    double scaled = v * 9.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9) << "v=" << v;
+    if (v > 0.0 && v < 1.0) saw_fractional = true;
+  }
+  // The check above is vacuous if every walk succeeded or failed.
+  EXPECT_TRUE(saw_fractional);
+}
+
+TEST(RssTest, BitIdenticalAcrossThreadCounts) {
+  TwoCliques f;
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  for (uint64_t seed : {3u, 11u, 2018u}) {
+    RssOptions serial;
+    serial.num_walks = 50;
+    serial.seed = seed;
+    serial.grain = 1;  // force chunking even on this tiny pair space
+    RssOptions one_thread = serial;
+    one_thread.pool = &pool1;
+    RssOptions eight_threads = serial;
+    eight_threads.pool = &pool8;
+
+    auto p_serial = RunRss(f.graph, f.pairs, serial);
+    auto p_one = RunRss(f.graph, f.pairs, one_thread);
+    auto p_eight = RunRss(f.graph, f.pairs, eight_threads);
+    EXPECT_EQ(p_serial, p_one) << "seed " << seed;
+    EXPECT_EQ(p_serial, p_eight) << "seed " << seed;
+  }
 }
 
 TEST(RssTest, IsolatedPairStillDefined) {

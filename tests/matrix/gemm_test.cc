@@ -102,5 +102,13 @@ TEST(GemmDeathTest, ShapeMismatchAborts) {
   EXPECT_DEATH(Gemm(a, b, &c), "GTER_CHECK");
 }
 
+TEST(GemmDeathTest, AliasedOutputAborts) {
+  // Gemm zero-initializes *c before reading a/b, so c aliasing an input
+  // would silently compute garbage; it must abort instead.
+  DenseMatrix a(3, 3, 1.0), b(3, 3, 1.0);
+  EXPECT_DEATH(Gemm(a, b, &a), "GTER_CHECK");
+  EXPECT_DEATH(Gemm(a, b, &b), "GTER_CHECK");
+}
+
 }  // namespace
 }  // namespace gter

@@ -14,6 +14,7 @@
 //   entity,source,field...
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "gter/gter.h"
@@ -67,6 +68,7 @@ int RunResolve(int argc, char** argv) {
   flags.AddDouble("max_df_ratio", 0.12, "frequent-term removal ratio");
   flags.AddString("matches", "matches.csv", "output: matched pairs CSV");
   flags.AddString("weights", "", "output: term weights CSV (optional)");
+  flags.AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) return Fail(s);
 
@@ -84,6 +86,15 @@ int RunResolve(int argc, char** argv) {
   config.eta = flags.GetDouble("eta");
   config.cliquerank.alpha = flags.GetDouble("alpha");
   config.cliquerank.max_steps = static_cast<size_t>(flags.GetInt("steps"));
+  // Results are bit-identical for any thread count, so --threads only
+  // changes wall-clock time.
+  int threads = flags.GetInt("threads");
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) {
+    pool = std::make_unique<ThreadPool>(
+        threads <= 0 ? 0 : static_cast<size_t>(threads));
+    config.pool = pool.get();
+  }
   FusionPipeline pipeline(dataset, config);
   FusionResult result = pipeline.Run();
 
