@@ -63,6 +63,7 @@ void Run(double scale, uint64_t seed) {
 int main(int argc, char** argv) {
   gter::FlagSet flags;
   if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
+  gter::bench::BenchMetricsScope metrics_scope(flags);
   gter::bench::Run(flags.GetDouble("scale"),
                    static_cast<uint64_t>(flags.GetInt("seed")));
   return 0;

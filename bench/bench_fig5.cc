@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
   gter::FlagSet flags;
   flags.AddInt("iterations", 20, "ITER sweeps to trace");
   if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
+  gter::bench::BenchMetricsScope metrics_scope(flags);
   gter::bench::Run(flags.GetDouble("scale"),
                    static_cast<uint64_t>(flags.GetInt("seed")),
                    static_cast<size_t>(flags.GetInt("iterations")));

@@ -65,6 +65,7 @@ void Run(uint64_t seed) {
 int main(int argc, char** argv) {
   gter::FlagSet flags;
   if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
+  gter::bench::BenchMetricsScope metrics_scope(flags);
   gter::bench::Run(static_cast<uint64_t>(flags.GetInt("seed")));
   return 0;
 }

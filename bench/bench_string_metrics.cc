@@ -94,6 +94,7 @@ void Run(double scale, uint64_t seed) {
 int main(int argc, char** argv) {
   gter::FlagSet flags;
   if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
+  gter::bench::BenchMetricsScope metrics_scope(flags);
   // Levenshtein and Monge–Elkan are quadratic per pair; default to a
   // smaller slice than the table benches.
   double scale = flags.GetDouble("scale");

@@ -182,6 +182,7 @@ int main(int argc, char** argv) {
   gter::FlagSet flags;
   flags.AddDouble("crowd_error", 0.05, "simulated crowd worker error rate");
   if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
+  gter::bench::BenchMetricsScope metrics_scope(flags);
   gter::bench::Run(flags.GetDouble("scale"),
                    static_cast<uint64_t>(flags.GetInt("seed")),
                    flags.GetDouble("crowd_error"));

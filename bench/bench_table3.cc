@@ -105,6 +105,7 @@ int main(int argc, char** argv) {
   gter::FlagSet flags;
   flags.AddBool("full_rss", false, "run RSS on every edge (slow)");
   if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
+  gter::bench::BenchMetricsScope metrics_scope(flags);
   gter::bench::Run(flags.GetDouble("scale"),
                    static_cast<uint64_t>(flags.GetInt("seed")),
                    flags.GetBool("full_rss"), gter::bench::BenchPool(flags));

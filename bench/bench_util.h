@@ -62,6 +62,8 @@ inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
   flags->AddDouble("scale", kDefaultScale, "dataset scale (1.0 = paper size)");
   flags->AddInt("seed", 2018, "generator seed");
   flags->AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
+  flags->AddString("metrics_out", "",
+                   "output: pipeline metrics JSON (optional)");
   Status s = flags->Parse(argc, argv);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
@@ -83,6 +85,43 @@ inline ThreadPool* BenchPool(const FlagSet& flags) {
   }
   return pool.get();
 }
+
+/// Installs a MetricsRegistry for the binary's lifetime when --metrics_out
+/// was given, and writes the JSON dump on destruction. Declare one at the
+/// top of main(), after ParseStandardFlags:
+///
+///   bench::BenchMetricsScope metrics(flags);
+///
+/// With the flag empty this is a no-op and the pipeline runs with metrics
+/// fully disabled (the zero-cost path).
+class BenchMetricsScope {
+ public:
+  explicit BenchMetricsScope(const FlagSet& flags)
+      : path_(flags.GetString("metrics_out")) {
+    if (path_.empty()) return;
+    registry_ = std::make_unique<MetricsRegistry>();
+    DeclarePipelineMetrics(registry_.get());
+    install_ = std::make_unique<ScopedMetricsInstall>(registry_.get());
+  }
+
+  ~BenchMetricsScope() {
+    if (registry_ == nullptr) return;
+    install_.reset();
+    Status s = WriteMetricsJson(path_, *registry_);
+    if (s.ok()) {
+      std::printf("metrics written to %s\n", path_.c_str());
+    } else {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    }
+  }
+
+  MetricsRegistry* registry() const { return registry_.get(); }
+
+ private:
+  std::string path_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::unique_ptr<ScopedMetricsInstall> install_;
+};
 
 inline const std::vector<BenchmarkKind>& AllBenchmarks() {
   static const std::vector<BenchmarkKind> kAll = {

@@ -1,0 +1,267 @@
+#include "gter/common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gter {
+namespace {
+
+thread_local MetricsRegistry* tls_current_registry = nullptr;
+
+/// Bucket index for a value: floor(log2(v)) shifted so 1.0 lands at
+/// kBucketOfOne, clamped to the array. frexp avoids a log call.
+size_t BucketIndex(double value) {
+  if (!(value > 0.0)) return 0;  // non-positive (and NaN) → lowest bucket
+  int exp = 0;
+  std::frexp(value, &exp);  // value = m·2^exp, m ∈ [0.5, 1)
+  long idx = static_cast<long>(exp) - 1 + Histogram::kBucketOfOne;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(Histogram::kNumBuckets)) {
+    return Histogram::kNumBuckets - 1;
+  }
+  return static_cast<size_t>(idx);
+}
+
+void AppendEscaped(std::string* out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendDouble(std::string* out, double value) {
+  if (!std::isfinite(value)) {  // JSON has no inf/nan literals
+    *out += value > 0 ? "1e308" : (value < 0 ? "-1e308" : "0");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+/// Emits `"name": <value>` sequences for one section.
+template <typename Map, typename EmitValue>
+void AppendSection(std::string* out, const char* section, const Map& map,
+                   EmitValue emit_value) {
+  *out += "  \"";
+  *out += section;
+  *out += "\": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) *out += ',';
+    first = false;
+    *out += "\n    \"";
+    AppendEscaped(out, name);
+    *out += "\": ";
+    emit_value(out, value);
+  }
+  *out += first ? "}" : "\n  }";
+}
+
+}  // namespace
+
+void Histogram::Observe(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    if (value < min) min = value;
+    if (value > max) max = value;
+  }
+  ++count;
+  sum += value;
+  ++buckets[BucketIndex(value)];
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  count += other.count;
+  sum += other.sum;
+  for (size_t i = 0; i < kNumBuckets; ++i) buckets[i] += other.buckets[i];
+}
+
+double Histogram::BucketUpperBound(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) - kBucketOfOne + 1);
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::DeclareCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.emplace(std::string(name), 0);
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.Observe(value);
+}
+
+void MetricsRegistry::MergeHistogram(std::string_view name,
+                                     const Histogram& local) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
+  }
+  it->second.Merge(local);
+}
+
+void MetricsRegistry::RecordTime(std::string_view name, double seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  if (it == timers_.end()) {
+    it = timers_.emplace(std::string(name), TimerStat{}).first;
+  }
+  ++it->second.count;
+  it->second.seconds += seconds;
+}
+
+uint64_t MetricsRegistry::Counter(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::Gauge(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+TimerStat MetricsRegistry::Timer(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = timers_.find(name);
+  return it == timers_.end() ? TimerStat{} : it->second;
+}
+
+Histogram MetricsRegistry::HistogramOf(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\n";
+  AppendSection(&out, "counters", counters_,
+                [](std::string* o, uint64_t v) { AppendUint(o, v); });
+  out += ",\n";
+  AppendSection(&out, "gauges", gauges_,
+                [](std::string* o, double v) { AppendDouble(o, v); });
+  out += ",\n";
+  AppendSection(&out, "timers", timers_,
+                [](std::string* o, const TimerStat& t) {
+                  *o += "{\"count\": ";
+                  AppendUint(o, t.count);
+                  *o += ", \"seconds\": ";
+                  AppendDouble(o, t.seconds);
+                  *o += "}";
+                });
+  out += ",\n";
+  AppendSection(&out, "histograms", histograms_,
+                [](std::string* o, const Histogram& h) {
+                  *o += "{\"count\": ";
+                  AppendUint(o, h.count);
+                  *o += ", \"sum\": ";
+                  AppendDouble(o, h.sum);
+                  if (h.count > 0) {
+                    *o += ", \"min\": ";
+                    AppendDouble(o, h.min);
+                    *o += ", \"max\": ";
+                    AppendDouble(o, h.max);
+                  }
+                  *o += ", \"buckets\": [";
+                  bool first = true;
+                  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+                    if (h.buckets[i] == 0) continue;  // sparse emission
+                    if (!first) *o += ", ";
+                    first = false;
+                    *o += "{\"le\": ";
+                    AppendDouble(o, Histogram::BucketUpperBound(i));
+                    *o += ", \"count\": ";
+                    AppendUint(o, h.buckets[i]);
+                    *o += "}";
+                  }
+                  *o += "]}";
+                });
+  out += "\n}\n";
+  return out;
+}
+
+MetricsRegistry* MetricsRegistry::Current() { return tls_current_registry; }
+
+ScopedMetricsInstall::ScopedMetricsInstall(MetricsRegistry* registry)
+    : previous_(tls_current_registry) {
+  tls_current_registry = registry;
+}
+
+ScopedMetricsInstall::~ScopedMetricsInstall() {
+  tls_current_registry = previous_;
+}
+
+Status WriteMetricsJson(const std::string& path,
+                        const MetricsRegistry& registry) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot open metrics output '" + path + "'");
+  }
+  std::string json = registry.ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  int close_err = std::fclose(f);
+  if (written != json.size() || close_err != 0) {
+    return Status::IOError("short write to metrics output '" + path + "'");
+  }
+  return Status::OK();
+}
+
+}  // namespace gter

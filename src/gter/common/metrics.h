@@ -1,0 +1,187 @@
+#ifndef GTER_COMMON_METRICS_H_
+#define GTER_COMMON_METRICS_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// Pipeline-wide observability substrate (see DESIGN.md §"Observability").
+///
+/// A `MetricsRegistry` collects named counters, gauges, log-scale
+/// histograms, and aggregated stage timers from every pipeline stage that
+/// was handed one — either explicitly through the `metrics` field of a
+/// stage's options struct, or implicitly through the thread-local registry
+/// installed by `ScopedMetricsInstall` (the path the CLI and the bench
+/// harness use).
+///
+/// Contract: with no registry installed anywhere, every instrumentation
+/// point collapses to one null-pointer test — no clock reads, no locks, no
+/// allocation — so the hot paths keep their uninstrumented cost.
+///
+/// Naming convention: lowercase `stage/metric` slugs (`rss/walks_run`,
+/// `cliquerank/gemm`). Counters count events, gauges record last-observed
+/// magnitudes (bytes, sizes), timers aggregate {count, seconds} per stage
+/// name, histograms bucket value distributions by powers of two.
+
+/// Aggregated wall time of one named stage.
+struct TimerStat {
+  uint64_t count = 0;
+  double seconds = 0.0;
+};
+
+/// Log-scale (base-2 bucket) histogram accumulator. Cheap value type:
+/// stages build one per worker chunk lock-free and merge it into the
+/// registry once per chunk.
+struct Histogram {
+  /// Buckets span 2^-32 .. 2^32: bucket i counts values in
+  /// [2^(i-33), 2^(i-32)); bucket 0 additionally absorbs v ≤ 2^-32 (and
+  /// non-positive values), the last bucket absorbs v ≥ 2^32.
+  static constexpr size_t kNumBuckets = 64;
+  /// floor(log2) offset mapping value 1.0 to bucket 32.
+  static constexpr int kBucketOfOne = 32;
+
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // valid when count > 0
+  double max = 0.0;  // valid when count > 0
+  std::array<uint64_t, kNumBuckets> buckets{};
+
+  void Observe(double value);
+  void Merge(const Histogram& other);
+
+  /// Exclusive upper bound of bucket `i` (2^(i-32)).
+  static double BucketUpperBound(size_t i);
+};
+
+/// Thread-safe metrics registry. All methods may be called concurrently.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to counter `name`, creating it at zero first.
+  void AddCounter(std::string_view name, uint64_t delta = 1);
+
+  /// Ensures counter `name` exists (at zero) so emitted JSON has a stable
+  /// schema even for stages that did not run.
+  void DeclareCounter(std::string_view name);
+
+  /// Sets gauge `name` to `value` (last write wins).
+  void SetGauge(std::string_view name, double value);
+
+  /// Records one observation into log-scale histogram `name`.
+  void Observe(std::string_view name, double value);
+
+  /// Merges a locally-accumulated histogram into `name` under one lock —
+  /// the bulk path for per-chunk accumulation in parallel loops.
+  void MergeHistogram(std::string_view name, const Histogram& local);
+
+  /// Adds one completed timing of stage `name` (ScopedTimer's sink).
+  void RecordTime(std::string_view name, double seconds);
+
+  /// Point reads (zero / empty when the metric was never touched).
+  uint64_t Counter(std::string_view name) const;
+  double Gauge(std::string_view name) const;
+  TimerStat Timer(std::string_view name) const;
+  Histogram HistogramOf(std::string_view name) const;
+
+  /// Serializes every metric as a JSON object with top-level sections
+  /// "counters", "gauges", "timers", "histograms". Keys are sorted, so the
+  /// output is deterministic for a given state.
+  std::string ToJson() const;
+
+  /// The registry installed on this thread by `ScopedMetricsInstall`, or
+  /// nullptr. Stages resolve this once at entry (on the calling thread —
+  /// pool workers do not inherit it) when their options carry no explicit
+  /// registry.
+  static MetricsRegistry* Current();
+
+ private:
+  friend class ScopedMetricsInstall;
+
+  mutable std::mutex mutex_;
+  // std::map keeps ToJson() key order deterministic; std::less<> enables
+  // string_view lookups without temporary strings.
+  std::map<std::string, uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStat, std::less<>> timers_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// Installs `registry` as the thread-local current registry for the
+/// lifetime of the object; restores the previous one on destruction.
+class ScopedMetricsInstall {
+ public:
+  explicit ScopedMetricsInstall(MetricsRegistry* registry);
+  ~ScopedMetricsInstall();
+
+  ScopedMetricsInstall(const ScopedMetricsInstall&) = delete;
+  ScopedMetricsInstall& operator=(const ScopedMetricsInstall&) = delete;
+
+ private:
+  MetricsRegistry* previous_;
+};
+
+/// Explicit registry (from an options struct) if set, else the installed
+/// thread-local one, else nullptr. The standard stage-entry resolution.
+inline MetricsRegistry* ResolveMetrics(MetricsRegistry* explicit_registry) {
+  return explicit_registry != nullptr ? explicit_registry
+                                      : MetricsRegistry::Current();
+}
+
+/// RAII stage timer: records elapsed wall time into `registry` under
+/// `name` on destruction. With a null registry the constructor and the
+/// destructor are a single branch each — no clock is read.
+class ScopedTimer {
+ public:
+  ScopedTimer(MetricsRegistry* registry, const char* name)
+      : registry_(registry), name_(name) {
+    if (registry_ != nullptr) start_ = Clock::now();
+  }
+  ~ScopedTimer() {
+    if (registry_ == nullptr) return;
+    registry_->RecordTime(
+        name_, std::chrono::duration<double>(Clock::now() - start_).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  MetricsRegistry* registry_;
+  const char* name_;
+  Clock::time_point start_;
+};
+
+/// Writes `registry.ToJson()` to `path` (the CLI/bench `--metrics_out`
+/// sink).
+Status WriteMetricsJson(const std::string& path,
+                        const MetricsRegistry& registry);
+
+#define GTER_METRICS_CONCAT_INNER(a, b) a##b
+#define GTER_METRICS_CONCAT(a, b) GTER_METRICS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope into the thread-local current registry (a
+/// no-op when none is installed).
+#define GTER_TRACE_SCOPE(name)                                      \
+  ::gter::ScopedTimer GTER_METRICS_CONCAT(gter_trace_, __LINE__)(   \
+      ::gter::MetricsRegistry::Current(), name)
+
+/// Times the enclosing scope into an explicit registry (nullptr → no-op).
+#define GTER_TRACE_SCOPE_TO(registry, name)                         \
+  ::gter::ScopedTimer GTER_METRICS_CONCAT(gter_trace_, __LINE__)(   \
+      registry, name)
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_METRICS_H_

@@ -13,39 +13,11 @@
 namespace gter {
 namespace {
 
-/// Boosted one-step values M_b on the structural pattern, derived from the
-/// transition matrix: with t = M_t[i,j] and per-directed-edge bonus factor
-/// B = (1+b)^α,
-///   M_b[i,j] = B·t / (1 − t + B·t)
-/// which is Eq. 12 after dividing numerator and denominator by the row's
-/// unboosted normalizer.
-std::vector<double> BoostedValues(const CsrMatrix& trans,
-                                  const CliqueRankOptions& options) {
-  std::vector<double> values(trans.values().begin(), trans.values().end());
-  if (!options.use_boost) return values;
-  Rng rng(options.seed);
-  double expected_boost = 0.0;
-  if (options.boost_mode == BoostMode::kExpected) {
-    // E[(1+b)^α] for b ~ U(0,1) = (2^{α+1} − 1) / (α + 1).
-    expected_boost =
-        (std::pow(2.0, options.alpha + 1.0) - 1.0) / (options.alpha + 1.0);
-  }
-  for (double& t : values) {
-    if (t <= 0.0) continue;
-    double boost = expected_boost;
-    if (options.boost_mode == BoostMode::kSampled) {
-      double b = rng.OpenUniformDouble();
-      boost = std::pow(1.0 + b, options.alpha);
-    }
-    t = boost * t / (1.0 - t + boost * t);
-  }
-  return values;
-}
-
 std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
                              const std::vector<double>& m1_values,
                              const CliqueRankOptions& options,
-                             const PairSpace& pairs) {
+                             const PairSpace& pairs,
+                             MetricsRegistry* metrics) {
   const size_t n = pattern.rows();
   DenseMatrix mt = trans.ToDense();
   DenseMatrix mn = pattern.ToDense();
@@ -55,11 +27,22 @@ std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
   ScatterToDense(pattern, m1_values.data(), m.data());
   DenseMatrix accum = m;
 
+  if (metrics != nullptr) {
+    // mt, mn, m, accum plus the per-step Hadamard product below.
+    metrics->SetGauge("cliquerank/scratch_bytes",
+                      static_cast<double>(5 * n * n * sizeof(double)));
+  }
   DenseMatrix masked;
   for (size_t step = 2; step <= options.max_steps; ++step) {
     masked = m.Hadamard(mn);
-    Gemm(mt, masked, &m, options.pool);
+    {
+      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/gemm");
+      Gemm(mt, masked, &m, options.pool);
+    }
     accum.Add(m);
+  }
+  if (metrics != nullptr && options.max_steps >= 2) {
+    metrics->AddCounter("cliquerank/steps", options.max_steps - 1);
   }
 
   std::vector<double> probability(pairs.size(), 0.0);
@@ -77,23 +60,35 @@ std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
 std::vector<double> RunMasked(const CsrMatrix& trans, const CsrMatrix& pattern,
                               const std::vector<double>& m1_values,
                               const CliqueRankOptions& options,
-                              const PairSpace& pairs) {
+                              const PairSpace& pairs,
+                              MetricsRegistry* metrics) {
   const size_t n = pattern.rows();
   std::vector<double> cur = m1_values;
   std::vector<double> accum = cur;
   std::vector<double> next(cur.size(), 0.0);
-  // Dense scratch for M^{k-1}: pattern positions are overwritten on every
-  // scatter; off-pattern entries stay zero for the whole run.
-  std::vector<double> scratch(n * n, 0.0);
+  if (metrics != nullptr) {
+    // cur/accum/next on the edge pattern plus the O(n) per-chunk row
+    // accumulator inside the CSR kernel — the engine's whole footprint.
+    metrics->SetGauge(
+        "cliquerank/scratch_bytes",
+        static_cast<double>((3 * pattern.nnz() + n) * sizeof(double)));
+  }
+  // The iterate lives on the CSR pattern for the whole run; each step is a
+  // Gustavson gather confined to the pattern (no n×n scratch).
   for (size_t step = 2; step <= options.max_steps; ++step) {
-    ScatterToDense(pattern, cur.data(), scratch.data());
-    ComputeMaskedProduct(trans, scratch.data(), pattern, next.data(),
-                         options.pool);
+    {
+      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/masked_product");
+      ComputeMaskedProductCsr(trans, cur.data(), pattern, next.data(),
+                              options.pool);
+    }
     cur.swap(next);
     ParallelFor(options.pool, 0, cur.size(), /*grain=*/4096,
                 [&](size_t lo, size_t hi) {
       for (size_t e = lo; e < hi; ++e) accum[e] += cur[e];
     });
+  }
+  if (metrics != nullptr && options.max_steps >= 2) {
+    metrics->AddCounter("cliquerank/steps", options.max_steps - 1);
   }
 
   std::vector<double> probability(pairs.size(), 0.0);
@@ -115,16 +110,47 @@ std::vector<double> RunMasked(const CsrMatrix& trans, const CsrMatrix& pattern,
 
 }  // namespace
 
+/// Boosted one-step values M_b on the structural pattern, derived from the
+/// transition matrix: with t = M_t[i,j] and per-directed-edge bonus factor
+/// B = (1+b)^α,
+///   M_b[i,j] = B·t / (1 − t + B·t)
+/// which is Eq. 12 after dividing numerator and denominator by the row's
+/// unboosted normalizer.
+std::vector<double> CliqueRankBoostedValues(const CsrMatrix& trans,
+                                            const CliqueRankOptions& options) {
+  std::vector<double> values(trans.values().begin(), trans.values().end());
+  if (!options.use_boost) return values;
+  Rng rng(options.seed);
+  double expected_boost = 0.0;
+  if (options.boost_mode == BoostMode::kExpected) {
+    // E[(1+b)^α] for b ~ U(0,1) = (2^{α+1} − 1) / (α + 1).
+    expected_boost =
+        (std::pow(2.0, options.alpha + 1.0) - 1.0) / (options.alpha + 1.0);
+  }
+  for (double& t : values) {
+    if (t <= 0.0) continue;
+    double boost = expected_boost;
+    if (options.boost_mode == BoostMode::kSampled) {
+      double b = rng.OpenUniformDouble();
+      boost = std::pow(1.0 + b, options.alpha);
+    }
+    t = boost * t / (1.0 - t + boost * t);
+  }
+  return values;
+}
+
 CliqueRankResult RunCliqueRank(const RecordGraph& graph,
                                const PairSpace& pairs,
                                const CliqueRankOptions& options) {
   GTER_CHECK(options.max_steps >= 1);
   GTER_CHECK(graph.num_nodes() > 0);
+  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
+  GTER_TRACE_SCOPE_TO(metrics, "cliquerank/total");
   Stopwatch watch;
   CsrMatrix trans = graph.TransitionMatrix(options.alpha);
   CsrMatrix pattern = graph.AdjacencyMatrix();
   GTER_CHECK(trans.nnz() == pattern.nnz());  // identical structure
-  std::vector<double> m1 = BoostedValues(trans, options);
+  std::vector<double> m1 = CliqueRankBoostedValues(trans, options);
 
   CliqueRankEngine engine = options.engine;
   if (engine == CliqueRankEngine::kAuto) {
@@ -132,13 +158,19 @@ CliqueRankResult RunCliqueRank(const RecordGraph& graph,
                  ? CliqueRankEngine::kDense
                  : CliqueRankEngine::kMaskedSparse;
   }
+  if (metrics != nullptr) {
+    metrics->AddCounter("cliquerank/runs");
+    metrics->AddCounter(engine == CliqueRankEngine::kDense
+                            ? "cliquerank/engine_dense"
+                            : "cliquerank/engine_masked");
+  }
 
   CliqueRankResult result;
   result.engine_used = engine;
   result.pair_probability =
       engine == CliqueRankEngine::kDense
-          ? RunDense(trans, pattern, m1, options, pairs)
-          : RunMasked(trans, pattern, m1, options, pairs);
+          ? RunDense(trans, pattern, m1, options, pairs, metrics)
+          : RunMasked(trans, pattern, m1, options, pairs, metrics);
   result.seconds = watch.ElapsedSeconds();
   return result;
 }

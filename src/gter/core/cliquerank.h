@@ -5,9 +5,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/metrics.h"
 #include "gter/common/thread_pool.h"
 #include "gter/er/pair_space.h"
 #include "gter/graph/record_graph.h"
+#include "gter/matrix/csr_matrix.h"
 
 namespace gter {
 
@@ -47,6 +49,9 @@ struct CliqueRankOptions {
   double dense_density_threshold = 0.25;
   /// Worker pool for the matrix kernels (nullptr → sequential).
   ThreadPool* pool = nullptr;
+  /// Metrics sink (engine chosen, per-step kernel time, scratch bytes);
+  /// nullptr falls back to the installed thread-local registry, if any.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Output of one CliqueRank run.
@@ -62,6 +67,13 @@ struct CliqueRankResult {
 CliqueRankResult RunCliqueRank(const RecordGraph& graph,
                                const PairSpace& pairs,
                                const CliqueRankOptions& options = {});
+
+/// The boosted one-step values M_b of Eq. 12 on the structural pattern of
+/// `trans` (shared by both engines; exposed for property tests and
+/// ablations): with t = M_t[i,j] and per-directed-edge bonus B = (1+b)^α,
+/// M_b[i,j] = B·t / (1 − t + B·t). Zero entries stay zero.
+std::vector<double> CliqueRankBoostedValues(const CsrMatrix& trans,
+                                            const CliqueRankOptions& options);
 
 }  // namespace gter
 

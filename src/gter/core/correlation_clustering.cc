@@ -118,6 +118,8 @@ CorrelationClusteringResult CorrelationCluster(
     const CorrelationClusteringOptions& options) {
   GTER_CHECK(pair_probability.size() == pairs.size());
   GTER_CHECK(options.restarts >= 1);
+  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
+  GTER_TRACE_SCOPE_TO(metrics, "cluster/total");
   VoteGraph graph(num_records, pairs, pair_probability,
                   options.together_threshold);
 
@@ -139,6 +141,14 @@ CorrelationClusteringResult CorrelationCluster(
     }
   }
   best.cluster_of = Densify(best.cluster_of);
+  if (metrics != nullptr) {
+    metrics->AddCounter("cluster/restarts", options.restarts);
+    uint32_t num_clusters = 0;
+    for (uint32_t l : best.cluster_of) {
+      num_clusters = std::max(num_clusters, l + 1);
+    }
+    metrics->SetGauge("cluster/clusters", static_cast<double>(num_clusters));
+  }
   return best;
 }
 

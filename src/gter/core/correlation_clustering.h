@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/metrics.h"
 #include "gter/er/pair_space.h"
 
 namespace gter {
@@ -31,6 +32,8 @@ struct CorrelationClusteringOptions {
   /// Local-move refinement sweeps after pivoting.
   size_t refine_sweeps = 2;
   uint64_t seed = 29;
+  /// Optional observability sink; falls back to the thread-local registry.
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct CorrelationClusteringResult {

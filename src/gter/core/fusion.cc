@@ -6,6 +6,20 @@
 
 namespace gter {
 
+void DeclarePipelineMetrics(MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  for (const char* name :
+       {"dataset/records", "dataset/tokens", "pairspace/pairs",
+        "iter/runs", "iter/sweeps", "iter/converged",
+        "rss/walks_run", "rss/early_stops", "rss/target_hits",
+        "cliquerank/runs", "cliquerank/engine_dense",
+        "cliquerank/engine_masked", "cliquerank/steps",
+        "fusion/rounds", "fusion/matches"}) {
+    registry->DeclareCounter(name);
+  }
+  registry->SetGauge("cliquerank/scratch_bytes", 0.0);
+}
+
 FusionPipeline::FusionPipeline(const Dataset& dataset, FusionConfig config)
     : dataset_(dataset),
       config_(config),
@@ -18,16 +32,26 @@ FusionPipeline::FusionPipeline(const Dataset& dataset, FusionConfig config)
     }
     if (config_.rss.pool == nullptr) config_.rss.pool = config_.pool;
   }
+  if (config_.metrics != nullptr) {
+    if (config_.iter.metrics == nullptr) config_.iter.metrics = config_.metrics;
+    if (config_.cliquerank.metrics == nullptr) {
+      config_.cliquerank.metrics = config_.metrics;
+    }
+    if (config_.rss.metrics == nullptr) config_.rss.metrics = config_.metrics;
+  }
 }
 
 FusionResult FusionPipeline::Run() {
   GTER_CHECK(config_.rounds >= 1);
+  MetricsRegistry* metrics = ResolveMetrics(config_.metrics);
+  GTER_TRACE_SCOPE_TO(metrics, "fusion/total");
   Stopwatch total_watch;
   FusionResult result;
   // §V-C: p(r_i, r_j) is initialized to 1 before CliqueRank derives it.
   result.pair_probability.assign(pairs_.size(), 1.0);
 
   for (size_t round = 1; round <= config_.rounds; ++round) {
+    ScopedTimer round_timer(metrics, "fusion/round");
     FusionRoundStats stats;
     stats.round = round;
 
@@ -59,14 +83,18 @@ FusionResult FusionPipeline::Run() {
     stats.probability_seconds = prob_watch.ElapsedSeconds();
     stats.cumulative_seconds = total_watch.ElapsedSeconds();
     result.round_stats.push_back(stats);
+    if (metrics != nullptr) metrics->AddCounter("fusion/rounds");
 
     if (observer_) observer_(round, result);
   }
 
   result.matches.resize(pairs_.size());
+  size_t matched = 0;
   for (PairId p = 0; p < pairs_.size(); ++p) {
     result.matches[p] = result.pair_probability[p] >= config_.eta;
+    matched += result.matches[p] ? 1 : 0;
   }
+  if (metrics != nullptr) metrics->AddCounter("fusion/matches", matched);
   result.total_seconds = total_watch.ElapsedSeconds();
   return result;
 }

@@ -32,6 +32,10 @@ struct FusionConfig {
   /// already set explicitly; results are bit-identical for any thread
   /// count.
   ThreadPool* pool = nullptr;
+  /// Metrics sink shared by every stage, forwarded like `pool`; nullptr
+  /// falls back to the installed thread-local registry, if any. Purely
+  /// observational — results are identical with or without it.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Timing and quality snapshot after each reinforcement round.
@@ -58,6 +62,11 @@ struct FusionResult {
   /// Σ|Δx| trace of the *first* ITER run (Figure 5).
   std::vector<double> first_iter_trace;
 };
+
+/// Declares the pipeline's well-known counters and gauges at zero so a
+/// `--metrics_out` JSON dump has a stable schema — consumers see
+/// `rss/walks_run` etc. even on runs where that stage never executed.
+void DeclarePipelineMetrics(MetricsRegistry* registry);
 
 /// The unsupervised fusion pipeline. Construction builds the candidate pair
 /// space and the term–pair bipartite graph; Run() then alternates ITER and

@@ -30,6 +30,10 @@ IterResult RunIter(const BipartiteGraph& graph,
   const size_t num_terms = graph.num_terms();
   const size_t num_pairs = graph.num_pairs();
 
+  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
+  GTER_TRACE_SCOPE_TO(metrics, "iter/total");
+  if (metrics != nullptr) metrics->AddCounter("iter/runs");
+
   IterResult result;
   result.term_weights.resize(num_terms);
   result.pair_scores.assign(num_pairs, 0.0);
@@ -49,6 +53,7 @@ IterResult RunIter(const BipartiteGraph& graph,
   ThreadPool* pool = options.pool;
   const size_t grain = options.grain;
   for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
+    ScopedTimer sweep_timer(metrics, "iter/sweep");
     x_prev = x;
 
     // Lines 3–4: s(r_i, r_j) ← Σ_{t shared} x_t.
@@ -80,11 +85,18 @@ IterResult RunIter(const BipartiteGraph& graph,
     double change = 0.0;
     for (size_t t = 0; t < num_terms; ++t) change += std::fabs(x[t] - x_prev[t]);
     if (options.track_convergence) result.update_trace.push_back(change);
+    if (metrics != nullptr) {
+      metrics->AddCounter("iter/sweeps");
+      metrics->Observe("iter/convergence_delta", change);
+    }
     result.iterations = iteration + 1;
     if (change < options.tolerance) {
       result.converged = true;
       break;
     }
+  }
+  if (metrics != nullptr && result.converged) {
+    metrics->AddCounter("iter/converged");
   }
 
   // Final pair scores from the converged weights.

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/metrics.h"
 #include "gter/common/thread_pool.h"
 #include "gter/graph/bipartite_graph.h"
 
@@ -34,6 +35,9 @@ struct IterOptions {
   ThreadPool* pool = nullptr;
   /// Minimum terms/pairs per parallel chunk.
   size_t grain = 256;
+  /// Metrics sink (per-sweep wall time, per-sweep convergence delta);
+  /// nullptr falls back to the installed thread-local registry, if any.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Output of one ITER run.

@@ -46,15 +46,31 @@ PoweredRows PrecomputeRows(const RecordGraph& graph, double alpha,
   return rows;
 }
 
+/// Per-chunk walk statistics, accumulated lock-free and merged into the
+/// registry once per chunk. Collected only when a registry is in play.
+struct WalkStats {
+  uint64_t walks = 0;
+  uint64_t early_stops = 0;
+  uint64_t target_hits = 0;
+  Histogram steps;
+};
+
 /// One rectified walk from `start` toward `target` (Algorithm 3).
 /// Returns 1 on reaching the target within S steps, 0 otherwise.
+/// `stats` (nullable) records the walk's step count and outcome.
 int RandomWalk(const RecordGraph& graph, const PoweredRows& rows,
                RecordId start, RecordId target, const RssOptions& options,
-               Rng* rng) {
+               Rng* rng, WalkStats* stats) {
+  int hit = 0;
+  bool early = false;
+  size_t steps_taken = options.max_steps;
   RecordId cur = start;
   for (size_t step = 0; step < options.max_steps; ++step) {
     auto neigh = graph.Neighbors(cur);
-    if (neigh.empty()) return 0;
+    if (neigh.empty()) {
+      steps_taken = step;
+      break;
+    }
     const auto& powered = rows.powered[cur];
     double total = rows.row_sum[cur];
     // Lines 3–4: boost the edge toward the target, when present.
@@ -81,13 +97,26 @@ int RandomWalk(const RecordGraph& graph, const PoweredRows& rows,
         break;
       }
     }
-    if (next == target) return 1;  // lines 6–7
+    if (next == target) {  // lines 6–7
+      hit = 1;
+      steps_taken = step + 1;
+      break;
+    }
     if (options.early_stop && !graph.HasEdge(next, target)) {
-      return 0;  // lines 8–9: walked out of the target's clique
+      // Lines 8–9: walked out of the target's clique.
+      early = true;
+      steps_taken = step + 1;
+      break;
     }
     cur = next;
   }
-  return 0;
+  if (stats != nullptr) {
+    ++stats->walks;
+    stats->early_stops += early ? 1 : 0;
+    stats->target_hits += hit;
+    stats->steps.Observe(static_cast<double>(steps_taken));
+  }
+  return hit;
 }
 
 }  // namespace
@@ -95,6 +124,8 @@ int RandomWalk(const RecordGraph& graph, const PoweredRows& rows,
 std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
                            const RssOptions& options) {
   GTER_CHECK(options.num_walks >= 2);
+  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
+  GTER_TRACE_SCOPE_TO(metrics, "rss/total");
   PoweredRows rows = PrecomputeRows(graph, options.alpha, options.pool);
   std::vector<double> probability(pairs.size(), 0.0);
   const Rng master(options.seed);
@@ -107,18 +138,28 @@ std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
   // bit-identical for any thread count.
   ParallelFor(options.pool, 0, pairs.size(), options.grain,
               [&](size_t lo, size_t hi) {
+    // Walk stats accumulate per chunk (no locks in the walk loop) and
+    // merge once at chunk end; with no registry nothing is collected.
+    WalkStats chunk_stats;
+    WalkStats* stats = metrics != nullptr ? &chunk_stats : nullptr;
     for (PairId p = lo; p < hi; ++p) {
       const RecordPair& rp = pairs.pair(p);
       Rng rng = master.Fork(p);
       size_t successes = 0;
       for (size_t m = 0; m < forward; ++m) {
-        successes += RandomWalk(graph, rows, rp.a, rp.b, options, &rng);
+        successes += RandomWalk(graph, rows, rp.a, rp.b, options, &rng, stats);
       }
       for (size_t m = 0; m < backward; ++m) {
-        successes += RandomWalk(graph, rows, rp.b, rp.a, options, &rng);
+        successes += RandomWalk(graph, rows, rp.b, rp.a, options, &rng, stats);
       }
       probability[p] = static_cast<double>(successes) /
                        static_cast<double>(options.num_walks);
+    }
+    if (metrics != nullptr) {
+      metrics->AddCounter("rss/walks_run", chunk_stats.walks);
+      metrics->AddCounter("rss/early_stops", chunk_stats.early_stops);
+      metrics->AddCounter("rss/target_hits", chunk_stats.target_hits);
+      metrics->MergeHistogram("rss/steps_per_walk", chunk_stats.steps);
     }
   });
   return probability;

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/metrics.h"
 #include "gter/common/thread_pool.h"
 #include "gter/er/pair_space.h"
 #include "gter/graph/record_graph.h"
@@ -32,6 +33,11 @@ struct RssOptions {
   ThreadPool* pool = nullptr;
   /// Minimum pairs per parallel chunk.
   size_t grain = 32;
+  /// Metrics sink (walks run, early stops, target hits, steps-per-walk
+  /// histogram); nullptr falls back to the installed thread-local
+  /// registry, if any. Collection is per-chunk and lock-free in the hot
+  /// loop; results are unchanged either way.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs RSS over the record graph: estimates the matching probability of

@@ -62,6 +62,8 @@ double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
 BlockingResult LshBlocking(const Dataset& dataset,
                            const LshBlockingOptions& options) {
   GTER_CHECK(options.num_bands >= 1 && options.rows_per_band >= 1);
+  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
+  GTER_TRACE_SCOPE_TO(metrics, "blocking/lsh");
   const bool two_source = dataset.num_sources() == 2;
   MinHasher hasher(options.num_bands * options.rows_per_band, options.seed);
 
@@ -99,12 +101,18 @@ BlockingResult LshBlocking(const Dataset& dataset,
       }
     }
   }
+  if (metrics != nullptr) {
+    metrics->AddCounter("blocking/lsh_pairs", result.pairs.size());
+    metrics->AddCounter("blocking/lsh_buckets", result.buckets);
+  }
   return result;
 }
 
 BlockingResult CanopyBlocking(const Dataset& dataset,
                               const CanopyBlockingOptions& options) {
   GTER_CHECK(options.tight_threshold >= options.loose_threshold);
+  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
+  GTER_TRACE_SCOPE_TO(metrics, "blocking/canopy");
   const bool two_source = dataset.num_sources() == 2;
   auto inverted = dataset.BuildInvertedIndex();
   Rng rng(options.seed);
@@ -160,6 +168,10 @@ BlockingResult CanopyBlocking(const Dataset& dataset,
         }
       }
     }
+  }
+  if (metrics != nullptr) {
+    metrics->AddCounter("blocking/canopy_pairs", result.pairs.size());
+    metrics->AddCounter("blocking/canopies", result.buckets);
   }
   return result;
 }

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/metrics.h"
 #include "gter/er/dataset.h"
 #include "gter/er/ground_truth.h"
 #include "gter/er/pair_space.h"
@@ -50,6 +51,8 @@ struct LshBlockingOptions {
   size_t num_bands = 16;
   size_t rows_per_band = 4;
   uint64_t seed = 0x5EEDF00D;
+  /// Optional observability sink; falls back to the thread-local registry.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of a blocking pass.
@@ -75,6 +78,8 @@ struct CanopyBlockingOptions {
   /// pool (they will not seed further canopies). tight ≥ loose.
   double tight_threshold = 0.5;
   uint64_t seed = 31;
+  /// Optional observability sink; falls back to the thread-local registry.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs canopy blocking with overlap-coefficient cheap similarity.

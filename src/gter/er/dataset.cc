@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gter/common/metrics.h"
 #include "gter/common/status.h"
 
 namespace gter {
@@ -21,6 +22,12 @@ RecordId Dataset::AddRecord(uint32_t source, std::string raw_text,
   std::sort(rec.terms.begin(), rec.terms.end());
   rec.terms.erase(std::unique(rec.terms.begin(), rec.terms.end()),
                   rec.terms.end());
+  if (MetricsRegistry* metrics = MetricsRegistry::Current()) {
+    metrics->AddCounter("dataset/records");
+    metrics->AddCounter("dataset/tokens", rec.tokens.size());
+    // Last write wins — ends up as the final vocabulary size.
+    metrics->SetGauge("dataset/vocabulary", static_cast<double>(vocab_.size()));
+  }
   records_.push_back(std::move(rec));
   return records_.back().id;
 }

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "gter/common/metrics.h"
 #include "gter/common/status.h"
 
 namespace gter {
 
 PairSpace PairSpace::Build(const Dataset& dataset) {
+  GTER_TRACE_SCOPE("pairspace/build");
   PairSpace space;
   const bool two_source = dataset.num_sources() == 2;
   auto inverted = dataset.BuildInvertedIndex();
@@ -26,6 +28,30 @@ PairSpace PairSpace::Build(const Dataset& dataset) {
         space.pairs_.push_back(RecordPair{a, b});
       }
     }
+  }
+  if (MetricsRegistry* metrics = MetricsRegistry::Current()) {
+    metrics->AddCounter("pairspace/pairs", space.pairs_.size());
+  }
+  return space;
+}
+
+PairSpace PairSpace::FromPairs(std::vector<RecordPair> pairs) {
+  for (RecordPair& rp : pairs) {
+    if (rp.a > rp.b) std::swap(rp.a, rp.b);
+  }
+  std::sort(pairs.begin(), pairs.end(), [](RecordPair x, RecordPair y) {
+    return x.a != y.a ? x.a < y.a : x.b < y.b;
+  });
+  PairSpace space;
+  for (const RecordPair& rp : pairs) {
+    if (rp.a == rp.b) continue;
+    uint64_t key = Key(rp.a, rp.b);
+    auto [it, inserted] =
+        space.index_.emplace(key, static_cast<PairId>(space.pairs_.size()));
+    if (inserted) space.pairs_.push_back(rp);
+  }
+  if (MetricsRegistry* metrics = MetricsRegistry::Current()) {
+    metrics->AddCounter("pairspace/pairs", space.pairs_.size());
   }
   return space;
 }

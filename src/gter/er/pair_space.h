@@ -33,6 +33,12 @@ class PairSpace {
   /// Enumerates the candidate pairs of `dataset`.
   static PairSpace Build(const Dataset& dataset);
 
+  /// Builds a pair space from an explicit pair list — the adapter for
+  /// external blockers (LshBlocking/CanopyBlocking output) and for tests
+  /// that need graphs with controlled topology. Pairs are canonicalized to
+  /// a < b, deduplicated, and sorted; self-pairs are dropped.
+  static PairSpace FromPairs(std::vector<RecordPair> pairs);
+
   size_t size() const { return pairs_.size(); }
   const RecordPair& pair(PairId id) const { return pairs_[id]; }
   const std::vector<RecordPair>& pairs() const { return pairs_; }

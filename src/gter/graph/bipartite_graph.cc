@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "gter/common/metrics.h"
 #include "gter/common/status.h"
 #include "gter/text/string_metrics.h"
 
@@ -9,6 +10,7 @@ namespace gter {
 
 BipartiteGraph BipartiteGraph::Build(const Dataset& dataset,
                                      const PairSpace& pairs, PtMode pt_mode) {
+  GTER_TRACE_SCOPE("bipartite/build");
   BipartiteGraph g;
   const size_t num_terms = dataset.vocabulary().size();
   const size_t num_pairs = pairs.size();

@@ -20,6 +20,7 @@
 
 #include "gter/common/flags.h"
 #include "gter/common/logging.h"
+#include "gter/common/metrics.h"
 #include "gter/common/random.h"
 #include "gter/common/status.h"
 #include "gter/common/thread_pool.h"

@@ -59,6 +59,10 @@ class CsrMatrix {
   /// Returns the flat CSR position of entry (r, c), or -1 when absent.
   int64_t PositionOf(size_t r, size_t c) const;
 
+  /// Flat CSR position of the first entry of row `r` (== the position of
+  /// every entry in RowCols(r)/RowValues(r) offset by its index).
+  size_t RowStart(size_t r) const { return row_ptr_[r]; }
+
   /// y = this × x (dense vector).
   std::vector<double> MultiplyVector(const std::vector<double>& x) const;
 

@@ -29,6 +29,20 @@ void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
                           const CsrMatrix& pattern, double* out_values,
                           ThreadPool* pool = nullptr);
 
+/// Fully sparse variant of `ComputeMaskedProduct`: M^{k-1} stays in CSR
+/// form (`prev_values`, parallel to `pattern`'s value array) instead of
+/// being scattered into an n×n dense scratch. Row i is computed Gustavson
+/// style — gather trans-row-i-scaled pattern rows into an O(n) dense
+/// accumulator, read the pattern positions out, zero the touched entries —
+/// so peak extra memory is O(n) per worker chunk rather than O(n²) shared.
+///
+/// Summation order per output entry matches the dense-scratch kernel
+/// (ascending k over trans row i), so the two kernels are bit-identical.
+void ComputeMaskedProductCsr(const CsrMatrix& trans,
+                             const double* prev_values,
+                             const CsrMatrix& pattern, double* out_values,
+                             ThreadPool* pool = nullptr);
+
 /// Scatters CSR `values` (parallel to `pattern`'s value array) into the
 /// dense n×n row-major buffer `dense`, zeroing previous pattern positions
 /// first. Off-pattern entries of `dense` are assumed to already be zero and

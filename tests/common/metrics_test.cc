@@ -1,0 +1,417 @@
+// MetricsRegistry unit tests plus the end-to-end observability contract:
+// a pipeline run with a registry installed emits JSON containing the
+// per-stage timers and counters the CLI's --metrics_out promises. The JSON
+// is checked with a minimal in-test parser, so malformed output (bad
+// escaping, trailing commas, non-numeric values) fails here and not in a
+// downstream dashboard.
+
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gter/common/metrics.h"
+#include "gter/core/fusion.h"
+#include "gter/datagen/datagen.h"
+#include "gter/er/preprocess.h"
+
+namespace gter {
+namespace {
+
+// --- A minimal JSON parser (objects, arrays, strings, numbers) ---------
+
+struct JsonValue {
+  enum Kind { kObject, kArray, kString, kNumber } kind = kNumber;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+
+  bool Has(const std::string& key) const {
+    return kind == kObject && object.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_TRUE(it != object.end()) << "missing key: " << key;
+    static const JsonValue kEmpty;
+    return it == object.end() ? kEmpty : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code =
+                std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16);
+            pos_ += 4;
+            if (code > 0x7F) return false;  // emitter is ASCII-only
+            out->push_back(static_cast<char>(code));
+            break;
+          }
+          default: return false;  // the emitter only produces these
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue child;
+        if (!ParseValue(&child)) return false;
+        out->object.emplace(std::move(key), std::move(child));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue child;
+        if (!ParseValue(&child)) return false;
+        out->array.push_back(std::move(child));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->string);
+    }
+    out->kind = JsonValue::kNumber;
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+// --- Registry unit tests ----------------------------------------------
+
+TEST(MetricsRegistry, CountersGaugesAndPointReads) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.Counter("a/b"), 0u);
+  registry.AddCounter("a/b");
+  registry.AddCounter("a/b", 41);
+  EXPECT_EQ(registry.Counter("a/b"), 42u);
+
+  registry.DeclareCounter("a/declared");
+  EXPECT_EQ(registry.Counter("a/declared"), 0u);
+  registry.AddCounter("a/declared", 5);
+  registry.DeclareCounter("a/declared");  // must not reset
+  EXPECT_EQ(registry.Counter("a/declared"), 5u);
+
+  registry.SetGauge("g/x", 3.5);
+  registry.SetGauge("g/x", 7.25);  // last write wins
+  EXPECT_EQ(registry.Gauge("g/x"), 7.25);
+}
+
+TEST(MetricsRegistry, TimerAggregates) {
+  MetricsRegistry registry;
+  registry.RecordTime("stage/a", 0.5);
+  registry.RecordTime("stage/a", 0.25);
+  TimerStat t = registry.Timer("stage/a");
+  EXPECT_EQ(t.count, 2u);
+  EXPECT_DOUBLE_EQ(t.seconds, 0.75);
+  EXPECT_EQ(registry.Timer("stage/untouched").count, 0u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndMerge) {
+  Histogram h;
+  h.Observe(1.0);  // exactly 1 → bucket kBucketOfOne
+  h.Observe(3.0);  // [2,4) → kBucketOfOne + 1
+  h.Observe(0.0);  // non-positive → bucket 0
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_DOUBLE_EQ(h.sum, 4.0);
+  EXPECT_DOUBLE_EQ(h.min, 0.0);
+  EXPECT_DOUBLE_EQ(h.max, 3.0);
+  EXPECT_EQ(h.buckets[Histogram::kBucketOfOne], 1u);
+  EXPECT_EQ(h.buckets[Histogram::kBucketOfOne + 1], 1u);
+  EXPECT_EQ(h.buckets[0], 1u);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(Histogram::kBucketOfOne),
+                   2.0);
+
+  Histogram other;
+  other.Observe(1024.0);
+  h.Merge(other);
+  EXPECT_EQ(h.count, 4u);
+  EXPECT_DOUBLE_EQ(h.max, 1024.0);
+
+  MetricsRegistry registry;
+  registry.MergeHistogram("dist/x", h);
+  registry.Observe("dist/x", 2.0);
+  EXPECT_EQ(registry.HistogramOf("dist/x").count, 5u);
+}
+
+TEST(MetricsRegistry, ScopedInstallNestsAndRestores) {
+  EXPECT_EQ(MetricsRegistry::Current(), nullptr);
+  MetricsRegistry outer, inner;
+  {
+    ScopedMetricsInstall install_outer(&outer);
+    EXPECT_EQ(MetricsRegistry::Current(), &outer);
+    {
+      ScopedMetricsInstall install_inner(&inner);
+      EXPECT_EQ(MetricsRegistry::Current(), &inner);
+    }
+    EXPECT_EQ(MetricsRegistry::Current(), &outer);
+    EXPECT_EQ(ResolveMetrics(nullptr), &outer);
+    EXPECT_EQ(ResolveMetrics(&inner), &inner);
+  }
+  EXPECT_EQ(MetricsRegistry::Current(), nullptr);
+  EXPECT_EQ(ResolveMetrics(nullptr), nullptr);
+}
+
+TEST(MetricsRegistry, InstallIsPerThread) {
+  MetricsRegistry registry;
+  ScopedMetricsInstall install(&registry);
+  MetricsRegistry* seen = &registry;
+  std::thread other([&] { seen = MetricsRegistry::Current(); });
+  other.join();
+  EXPECT_EQ(seen, nullptr);  // workers do not inherit the installation
+}
+
+TEST(MetricsRegistry, ScopedTimerRecordsOnlyWithRegistry) {
+  { ScopedTimer noop(nullptr, "x/y"); }  // must not crash or allocate
+  MetricsRegistry registry;
+  { GTER_TRACE_SCOPE_TO(&registry, "x/y"); }
+  EXPECT_EQ(registry.Timer("x/y").count, 1u);
+  EXPECT_GE(registry.Timer("x/y").seconds, 0.0);
+  {
+    ScopedMetricsInstall install(&registry);
+    GTER_TRACE_SCOPE("x/y");
+  }
+  EXPECT_EQ(registry.Timer("x/y").count, 2u);
+}
+
+TEST(MetricsRegistry, ConcurrentMutationIsLinearizable) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.AddCounter("shared/counter");
+        registry.Observe("shared/hist", static_cast<double>(i + 1));
+        registry.RecordTime("shared/timer", 1e-9);
+        registry.SetGauge("shared/gauge", static_cast<double>(t));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.Counter("shared/counter"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.HistogramOf("shared/hist").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.Timer("shared/timer").count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsRegistry, ToJsonIsValidAndDeterministic) {
+  MetricsRegistry registry;
+  registry.AddCounter("z/last", 3);
+  registry.AddCounter("a/first", 1);
+  registry.SetGauge("g/bytes", 1.5e6);
+  registry.RecordTime("t/stage", 0.125);
+  registry.Observe("h/dist", 2.0);
+  std::string json = registry.ToJson();
+  EXPECT_EQ(json, registry.ToJson());  // deterministic
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+  ASSERT_EQ(root.kind, JsonValue::kObject);
+  for (const char* section : {"counters", "gauges", "timers", "histograms"}) {
+    ASSERT_TRUE(root.Has(section)) << section;
+  }
+  EXPECT_EQ(root.At("counters").At("a/first").number, 1.0);
+  EXPECT_EQ(root.At("counters").At("z/last").number, 3.0);
+  EXPECT_EQ(root.At("gauges").At("g/bytes").number, 1.5e6);
+  EXPECT_EQ(root.At("timers").At("t/stage").At("count").number, 1.0);
+  EXPECT_EQ(root.At("timers").At("t/stage").At("seconds").number, 0.125);
+  const JsonValue& hist = root.At("histograms").At("h/dist");
+  EXPECT_EQ(hist.At("count").number, 1.0);
+  EXPECT_EQ(hist.At("sum").number, 2.0);
+  ASSERT_EQ(hist.At("buckets").kind, JsonValue::kArray);
+  ASSERT_EQ(hist.At("buckets").array.size(), 1u);  // sparse emission
+  EXPECT_EQ(hist.At("buckets").array[0].At("count").number, 1.0);
+}
+
+TEST(MetricsRegistry, JsonEscapesStrings) {
+  MetricsRegistry registry;
+  registry.AddCounter("weird\"name\\with\nescapes");
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.ToJson()).Parse(&root));
+  EXPECT_TRUE(root.At("counters").Has("weird\"name\\with\nescapes"));
+}
+
+// --- End-to-end: the pipeline emits the promised schema ----------------
+
+TEST(PipelineMetrics, ResolveRunEmitsRequiredKeys) {
+  MetricsRegistry registry;
+  DeclarePipelineMetrics(&registry);
+  ScopedMetricsInstall install(&registry);
+
+  GeneratedDataset data =
+      GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 7);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig config;
+  config.rounds = 2;
+  FusionPipeline pipeline(data.dataset, config);
+  FusionResult result = pipeline.Run();
+  EXPECT_EQ(result.round_stats.size(), 2u);
+
+  std::string json = registry.ToJson();
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(json).Parse(&root)) << json;
+
+  // Stage timers observed on a CliqueRank-mode run.
+  for (const char* timer :
+       {"fusion/total", "fusion/round", "iter/total", "iter/sweep",
+        "cliquerank/total", "pairspace/build", "bipartite/build"}) {
+    ASSERT_TRUE(root.At("timers").Has(timer)) << timer << "\n" << json;
+    EXPECT_GT(root.At("timers").At(timer).At("count").number, 0.0) << timer;
+  }
+  // Counters: live ones count, RSS's stay declared at zero (stable schema).
+  for (const char* counter :
+       {"dataset/records", "dataset/tokens", "pairspace/pairs", "iter/runs",
+        "iter/sweeps", "cliquerank/runs", "fusion/rounds", "fusion/matches",
+        "rss/walks_run", "rss/early_stops", "rss/target_hits"}) {
+    ASSERT_TRUE(root.At("counters").Has(counter)) << counter;
+  }
+  EXPECT_GT(root.At("counters").At("dataset/records").number, 0.0);
+  EXPECT_GT(root.At("counters").At("pairspace/pairs").number, 0.0);
+  EXPECT_EQ(root.At("counters").At("fusion/rounds").number, 2.0);
+  EXPECT_EQ(root.At("counters").At("rss/walks_run").number, 0.0);
+  EXPECT_EQ(root.At("counters").At("cliquerank/runs").number, 2.0);
+  // Exactly one engine per run.
+  EXPECT_EQ(root.At("counters").At("cliquerank/engine_dense").number +
+                root.At("counters").At("cliquerank/engine_masked").number,
+            2.0);
+  EXPECT_GT(root.At("gauges").At("cliquerank/scratch_bytes").number, 0.0);
+  EXPECT_GT(root.At("counters").At("iter/sweeps").number, 0.0);
+  ASSERT_TRUE(root.At("histograms").Has("iter/convergence_delta"));
+  EXPECT_GT(root.At("histograms")
+                .At("iter/convergence_delta")
+                .At("count")
+                .number,
+            0.0);
+}
+
+TEST(PipelineMetrics, RssRunRecordsWalkCounters) {
+  MetricsRegistry registry;
+  ScopedMetricsInstall install(&registry);
+
+  GeneratedDataset data =
+      GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 11);
+  RemoveFrequentTerms(&data.dataset);
+  FusionConfig config;
+  config.rounds = 1;
+  config.use_rss = true;
+  config.rss.num_walks = 10;
+  config.rss.max_steps = 5;
+  FusionPipeline pipeline(data.dataset, config);
+  pipeline.Run();
+
+  EXPECT_GT(registry.Counter("rss/walks_run"), 0u);
+  EXPECT_GT(registry.Timer("rss/total").count, 0u);
+  Histogram steps = registry.HistogramOf("rss/steps_per_walk");
+  EXPECT_EQ(steps.count, registry.Counter("rss/walks_run"));
+  EXPECT_GT(steps.max, 0.0);
+  EXPECT_LE(steps.max, static_cast<double>(config.rss.max_steps));
+}
+
+TEST(PipelineMetrics, WriteMetricsJsonRoundTrips) {
+  MetricsRegistry registry;
+  registry.AddCounter("x/y", 9);
+  std::string path = ::testing::TempDir() + "/metrics_test_out.json";
+  ASSERT_TRUE(WriteMetricsJson(path, registry).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(contents).Parse(&root));
+  EXPECT_EQ(root.At("counters").At("x/y").number, 9.0);
+
+  EXPECT_FALSE(WriteMetricsJson("/nonexistent-dir/x.json", registry).ok());
+}
+
+}  // namespace
+}  // namespace gter

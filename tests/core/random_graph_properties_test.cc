@@ -80,16 +80,60 @@ TEST_P(RandomGraphProperties, CliqueRankEnginesAgreeAndStayBounded) {
 TEST_P(RandomGraphProperties, TransitionRowsAreStochastic) {
   auto [n, vocab, alpha, seed] = GetParam();
   RandomWorld world(n, vocab, 4, seed);
+  // Records with no candidate pair are isolated nodes: their transition row
+  // must be empty (sum exactly 0), every other row must sum to 1.
+  std::vector<size_t> degree(world.ds.size(), 0);
+  for (const RecordPair& rp : world.pairs.pairs()) {
+    ++degree[rp.a];
+    ++degree[rp.b];
+  }
   CsrMatrix mt = world.graph.TransitionMatrix(alpha);
+  ASSERT_EQ(mt.rows(), world.ds.size());
   for (size_t r = 0; r < mt.rows(); ++r) {
     auto values = mt.RowValues(r);
-    if (values.empty()) continue;
     double sum = 0.0;
     for (double v : values) {
       EXPECT_GE(v, 0.0);
       sum += v;
     }
-    EXPECT_NEAR(sum, 1.0, 1e-9);
+    if (degree[r] == 0) {
+      EXPECT_EQ(sum, 0.0) << "isolated node " << r << " has outgoing mass";
+    } else {
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << r;
+    }
+  }
+}
+
+TEST_P(RandomGraphProperties, BoostedValuesStayInUnitInterval) {
+  auto [n, vocab, alpha, seed] = GetParam();
+  (void)alpha;
+  RandomWorld world(n, vocab, 4, seed);
+  if (world.pairs.size() == 0) GTEST_SKIP();
+  // Eq. 12 maps t = M_t[i,j] through B·t/(1−t+B·t) with B = (1+b)^α > 1;
+  // the result must stay in (0,1) whenever t ∈ (0,1), hit 1 exactly when
+  // t = 1, and this must hold for ANY α and either boost realization.
+  Rng rng(seed * 31 + 7);
+  for (BoostMode mode : {BoostMode::kSampled, BoostMode::kExpected}) {
+    CliqueRankOptions options;
+    options.alpha = 1.0 + 3.0 * rng.UniformDouble();  // α ∈ [1, 4]
+    options.boost_mode = mode;
+    options.seed = seed;
+    CsrMatrix trans = world.graph.TransitionMatrix(options.alpha);
+    std::vector<double> boosted = CliqueRankBoostedValues(trans, options);
+    ASSERT_EQ(boosted.size(), trans.nnz());
+    size_t e = 0;
+    for (size_t r = 0; r < trans.rows(); ++r) {
+      for (double t : trans.RowValues(r)) {
+        double v = boosted[e++];
+        if (t == 1.0) {
+          EXPECT_DOUBLE_EQ(v, 1.0);
+        } else {
+          EXPECT_GT(v, 0.0) << "t=" << t;
+          EXPECT_LT(v, 1.0) << "t=" << t;
+          EXPECT_GE(v, t);  // the boost never shrinks a transition
+        }
+      }
+    }
   }
 }
 

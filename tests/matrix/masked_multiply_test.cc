@@ -83,6 +83,42 @@ TEST(MaskedMultiplyTest, ParallelMatchesSequential) {
   for (size_t i = 0; i < seq.size(); ++i) EXPECT_DOUBLE_EQ(seq[i], par[i]);
 }
 
+TEST(MaskedMultiplyTest, CsrGatherMatchesDenseReference) {
+  Fixture f = MakeFixture(25, 0.3, 17);
+  Rng rng(13);
+  std::vector<double> cur(f.pattern.nnz());
+  for (auto& v : cur) v = rng.UniformDouble();
+
+  // Reference through the dense formulation.
+  DenseMatrix m(f.n, f.n, 0.0);
+  ScatterToDense(f.pattern, cur.data(), m.data());
+  DenseMatrix ref = Multiply(f.trans.ToDense(), m.Hadamard(f.pattern.ToDense()));
+
+  std::vector<double> out(f.pattern.nnz(), -1.0);
+  ComputeMaskedProductCsr(f.trans, cur.data(), f.pattern, out.data());
+  size_t pos = 0;
+  for (size_t i = 0; i < f.n; ++i) {
+    for (uint32_t j : f.pattern.RowCols(i)) {
+      EXPECT_NEAR(out[pos], ref(i, j), 1e-12) << i << "," << j;
+      ++pos;
+    }
+  }
+}
+
+TEST(MaskedMultiplyTest, CsrGatherHandlesIsolatedRows) {
+  // Node 2 is isolated; its (empty) pattern row must stay untouched and
+  // gathering across it must not read out of range.
+  CsrMatrix pattern =
+      CsrMatrix::FromTriplets(3, 3, {{0, 1, 1.0}, {1, 0, 1.0}});
+  CsrMatrix trans = CsrMatrix::FromTriplets(3, 3, {{0, 1, 1.0}, {1, 0, 1.0}});
+  std::vector<double> cur = {0.5, 0.5};
+  std::vector<double> out(2, -1.0);
+  ComputeMaskedProductCsr(trans, cur.data(), pattern, out.data());
+  // out[(0,1)] = trans[0,1] · prev[1,1] but (1,1) is off-pattern → 0.
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 0.0);
+}
+
 TEST(MaskedMultiplyTest, ScatterOverwritesPatternPositions) {
   Fixture f = MakeFixture(10, 0.4, 11);
   std::vector<double> ones(f.pattern.nnz(), 1.0);

@@ -1,0 +1,97 @@
+// Randomized round-trip properties of the normalizer/tokenizer over
+// generated noisy strings: normalization must be idempotent, and
+// re-tokenizing the space-joined token stream must be the identity — the
+// invariants every downstream consumer (vocabulary interning, datagen
+// noise, CSV round-trips) silently relies on.
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gter/common/random.h"
+#include "gter/text/normalizer.h"
+#include "gter/text/tokenizer.h"
+
+namespace gter {
+namespace {
+
+/// A noisy string: random-length words over letters/digits, glued with
+/// random separators (spaces, punctuation, control-ish bytes, runs of
+/// whitespace) and random case.
+std::string NoisyString(Rng* rng) {
+  static constexpr char kWordChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  static constexpr char kSeparators[] = " \t\n.,;:!?'\"()-/&#@ ";
+  std::string text;
+  size_t words = rng->NextBounded(8);
+  for (size_t w = 0; w < words; ++w) {
+    size_t sep_run = 1 + rng->NextBounded(3);
+    for (size_t s = 0; s < sep_run; ++s) {
+      text.push_back(kSeparators[rng->NextBounded(sizeof(kSeparators) - 1)]);
+    }
+    size_t len = rng->NextBounded(10);  // empty words exercise separators
+    for (size_t c = 0; c < len; ++c) {
+      text.push_back(kWordChars[rng->NextBounded(sizeof(kWordChars) - 1)]);
+    }
+  }
+  return text;
+}
+
+std::string Join(const std::vector<std::string>& tokens) {
+  std::string joined;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) joined.push_back(' ');
+    joined += tokens[i];
+  }
+  return joined;
+}
+
+TEST(TokenizerRoundtrip, RandomizedNoisyStrings) {
+  Rng rng(20180605);
+  TokenizerOptions options;
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    // Vary the min-length filter across the range the pipelines use.
+    options.min_token_length = 1 + rng.NextBounded(3);
+    std::string text = NoisyString(&rng);
+
+    std::string normalized = Normalize(text, options.normalizer);
+    // Idempotence: normalizing a normalized string changes nothing.
+    EXPECT_EQ(Normalize(normalized, options.normalizer), normalized)
+        << "input: [" << text << "]";
+
+    std::vector<std::string> tokens = Tokenize(text, options);
+    for (const std::string& token : tokens) {
+      ASSERT_FALSE(token.empty());
+      EXPECT_GE(token.size(), options.min_token_length);
+      for (char c : token) {
+        // Lowercased alphanumeric only — punctuation became separators.
+        EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+        EXPECT_FALSE(std::isupper(static_cast<unsigned char>(c)));
+      }
+    }
+
+    // Round trip: the space-joined token stream re-tokenizes to itself.
+    EXPECT_EQ(Tokenize(Join(tokens), options), tokens)
+        << "input: [" << text << "]";
+
+    // Tokenizing the normalized text equals tokenizing the raw text —
+    // tokenization factors through normalization.
+    EXPECT_EQ(Tokenize(normalized, options), tokens);
+  }
+}
+
+TEST(TokenizerRoundtrip, NormalizeIsIdempotentWithoutCollapse) {
+  Rng rng(77);
+  NormalizerOptions options;
+  options.collapse_whitespace = false;
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    std::string text = NoisyString(&rng);
+    std::string once = Normalize(text, options);
+    EXPECT_EQ(Normalize(once, options), once) << "input: [" << text << "]";
+  }
+}
+
+}  // namespace
+}  // namespace gter

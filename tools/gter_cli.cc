@@ -15,6 +15,7 @@
 
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "gter/gter.h"
@@ -69,8 +70,20 @@ int RunResolve(int argc, char** argv) {
   flags.AddString("matches", "matches.csv", "output: matched pairs CSV");
   flags.AddString("weights", "", "output: term weights CSV (optional)");
   flags.AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
+  flags.AddString("metrics_out", "",
+                  "output: pipeline metrics JSON (optional)");
   Status s = flags.Parse(argc, argv);
   if (!s.ok()) return Fail(s);
+
+  // Install the registry before loading so tokenizer/vocabulary and
+  // blocking counters are captured, not just the fusion stages.
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::optional<ScopedMetricsInstall> metrics_install;
+  if (!flags.GetString("metrics_out").empty()) {
+    metrics = std::make_unique<MetricsRegistry>();
+    DeclarePipelineMetrics(metrics.get());
+    metrics_install.emplace(metrics.get());
+  }
 
   auto loaded = LoadDatasetCsv(flags.GetString("in"), "input",
                                static_cast<uint32_t>(flags.GetInt("sources")));
@@ -86,6 +99,7 @@ int RunResolve(int argc, char** argv) {
   config.eta = flags.GetDouble("eta");
   config.cliquerank.alpha = flags.GetDouble("alpha");
   config.cliquerank.max_steps = static_cast<size_t>(flags.GetInt("steps"));
+  config.metrics = metrics.get();
   // Results are bit-identical for any thread count, so --threads only
   // changes wall-clock time.
   int threads = flags.GetInt("threads");
@@ -115,6 +129,12 @@ int RunResolve(int argc, char** argv) {
     if (!write.ok()) return Fail(write);
     std::printf("term weights written to %s\n",
                 flags.GetString("weights").c_str());
+  }
+  if (metrics != nullptr) {
+    write = WriteMetricsJson(flags.GetString("metrics_out"), *metrics);
+    if (!write.ok()) return Fail(write);
+    std::printf("metrics written to %s\n",
+                flags.GetString("metrics_out").c_str());
   }
   return 0;
 }
