@@ -2,8 +2,20 @@
 // masked sparse multiply, string metrics, tokenization, one ITER sweep,
 // PageRank, and the parallel RSS pair loop — the kernels whose cost model
 // DESIGN.md documents.
+//
+// Besides the usual --benchmark_* flags, main() accepts:
+//   --metrics_out=PATH   dump the stage timers the kernels record (the
+//                        input of `gter_cli report` / tools/perf_gate.sh)
+//   --trace_out=PATH     dump a Chrome/Perfetto trace of the run
+//   --log_level=LEVEL    debug|info|warning|error
 
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "gter/gter.h"
 
@@ -212,4 +224,73 @@ BENCHMARK(BM_PageRank);
 }  // namespace
 }  // namespace gter
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the observability flags: gter-specific flags are
+// peeled out of argv (equals-form only) before google-benchmark parses the
+// rest, so --benchmark_filter etc. still work.
+int main(int argc, char** argv) {
+  std::string metrics_out, trace_out;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
+      metrics_out = arg + 14;
+    } else if (std::strncmp(arg, "--trace_out=", 12) == 0) {
+      trace_out = arg + 12;
+    } else if (std::strncmp(arg, "--log_level=", 12) == 0) {
+      gter::LogLevel level;
+      if (!gter::ParseLogLevel(arg + 12, &level)) {
+        std::fprintf(stderr, "unknown --log_level '%s'\n", arg + 12);
+        return 1;
+      }
+      gter::SetLogLevel(level);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+
+  std::unique_ptr<gter::MetricsRegistry> metrics;
+  std::unique_ptr<gter::ScopedMetricsInstall> metrics_install;
+  if (!metrics_out.empty()) {
+    metrics = std::make_unique<gter::MetricsRegistry>();
+    metrics_install = std::make_unique<gter::ScopedMetricsInstall>(
+        metrics.get());
+  }
+  std::unique_ptr<gter::TraceRecorder> trace;
+  std::unique_ptr<gter::ScopedTraceInstall> trace_install;
+  if (!trace_out.empty()) {
+    gter::SetCurrentThreadTraceName("main");
+    trace = std::make_unique<gter::TraceRecorder>();
+    trace_install = std::make_unique<gter::ScopedTraceInstall>(trace.get());
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  if (metrics != nullptr) {
+    metrics_install.reset();
+    gter::Status s = gter::WriteMetricsJson(metrics_out, *metrics);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  if (trace != nullptr) {
+    trace_install.reset();
+    gter::Status s = gter::WriteTraceJson(trace_out, *trace);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu events)\n", trace_out.c_str(),
+                trace->event_count());
+  }
+  return 0;
+}

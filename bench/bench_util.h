@@ -56,15 +56,28 @@ inline double DecisionF1(const Prepared& p, const std::vector<bool>& matches) {
   return EvaluatePairPredictions(p.pairs, matches, p.labels, p.positives).F1();
 }
 
-/// Parses the standard --scale/--seed/--threads flags (plus any the caller
-/// added).
+/// Parses the standard --scale/--seed/--threads/--metrics_out/--trace_out/
+/// --log_level flags (plus any the caller added) and applies --log_level.
 inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
   flags->AddDouble("scale", kDefaultScale, "dataset scale (1.0 = paper size)");
   flags->AddInt("seed", 2018, "generator seed");
   flags->AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
   flags->AddString("metrics_out", "",
                    "output: pipeline metrics JSON (optional)");
+  flags->AddString("trace_out", "",
+                   "output: Chrome/Perfetto trace-event JSON (optional)");
+  flags->AddString("log_level", "",
+                   "minimum log severity (debug|info|warning|error)");
   Status s = flags->Parse(argc, argv);
+  if (s.ok() && !flags->GetString("log_level").empty()) {
+    LogLevel level;
+    if (ParseLogLevel(flags->GetString("log_level"), &level)) {
+      SetLogLevel(level);
+    } else {
+      s = Status::InvalidArgument("unknown --log_level '" +
+                                  flags->GetString("log_level") + "'");
+    }
+  }
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags->Usage().c_str());
@@ -86,32 +99,50 @@ inline ThreadPool* BenchPool(const FlagSet& flags) {
   return pool.get();
 }
 
-/// Installs a MetricsRegistry for the binary's lifetime when --metrics_out
-/// was given, and writes the JSON dump on destruction. Declare one at the
-/// top of main(), after ParseStandardFlags:
+/// Installs a MetricsRegistry (--metrics_out) and/or a TraceRecorder
+/// (--trace_out) for the binary's lifetime and writes the JSON dumps on
+/// destruction. Declare one at the top of main(), after ParseStandardFlags:
 ///
 ///   bench::BenchMetricsScope metrics(flags);
 ///
-/// With the flag empty this is a no-op and the pipeline runs with metrics
-/// fully disabled (the zero-cost path).
+/// With both flags empty this is a no-op and the pipeline runs with
+/// observability fully disabled (the zero-cost path).
 class BenchMetricsScope {
  public:
   explicit BenchMetricsScope(const FlagSet& flags)
-      : path_(flags.GetString("metrics_out")) {
-    if (path_.empty()) return;
-    registry_ = std::make_unique<MetricsRegistry>();
-    DeclarePipelineMetrics(registry_.get());
-    install_ = std::make_unique<ScopedMetricsInstall>(registry_.get());
+      : path_(flags.GetString("metrics_out")),
+        trace_path_(flags.GetString("trace_out")) {
+    if (!path_.empty()) {
+      registry_ = std::make_unique<MetricsRegistry>();
+      DeclarePipelineMetrics(registry_.get());
+      install_ = std::make_unique<ScopedMetricsInstall>(registry_.get());
+    }
+    if (!trace_path_.empty()) {
+      SetCurrentThreadTraceName("main");
+      trace_ = std::make_unique<TraceRecorder>();
+      trace_install_ = std::make_unique<ScopedTraceInstall>(trace_.get());
+    }
   }
 
   ~BenchMetricsScope() {
-    if (registry_ == nullptr) return;
-    install_.reset();
-    Status s = WriteMetricsJson(path_, *registry_);
-    if (s.ok()) {
-      std::printf("metrics written to %s\n", path_.c_str());
-    } else {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    if (registry_ != nullptr) {
+      install_.reset();
+      Status s = WriteMetricsJson(path_, *registry_);
+      if (s.ok()) {
+        std::printf("metrics written to %s\n", path_.c_str());
+      } else {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      }
+    }
+    if (trace_ != nullptr) {
+      trace_install_.reset();
+      Status s = WriteTraceJson(trace_path_, *trace_);
+      if (s.ok()) {
+        std::printf("trace written to %s (%zu events)\n", trace_path_.c_str(),
+                    trace_->event_count());
+      } else {
+        std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      }
     }
   }
 
@@ -119,8 +150,11 @@ class BenchMetricsScope {
 
  private:
   std::string path_;
+  std::string trace_path_;
   std::unique_ptr<MetricsRegistry> registry_;
   std::unique_ptr<ScopedMetricsInstall> install_;
+  std::unique_ptr<TraceRecorder> trace_;
+  std::unique_ptr<ScopedTraceInstall> trace_install_;
 };
 
 inline const std::vector<BenchmarkKind>& AllBenchmarks() {

@@ -1,0 +1,66 @@
+#ifndef GTER_COMMON_JSON_H_
+#define GTER_COMMON_JSON_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// Minimal JSON document model + recursive-descent parser, sized for the
+/// tooling layer: `gter_cli report` reads back the `--metrics_out` and
+/// `--trace_out` files the pipeline emits. Full JSON value grammar
+/// (objects, arrays, strings with escapes, numbers, true/false/null);
+/// object keys are kept in a sorted map (duplicate keys: last one wins).
+/// Not a streaming parser — inputs are whole metric dumps, a few KB.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses one JSON document; trailing non-space input is an error.
+  static Result<JsonValue> Parse(std::string_view text);
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; calling the wrong one for the kind aborts (GTER_CHECK).
+  bool boolean() const;
+  double number() const;
+  const std::string& string() const;
+  const std::vector<JsonValue>& array() const;
+  const std::map<std::string, JsonValue>& object() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// `Find(key)->number()` with a fallback for absent/non-numeric members.
+  double NumberOr(const std::string& key, double fallback) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Reads an entire file into a string (the `gter_cli report` input path).
+Result<std::string> ReadFileToString(const std::string& path);
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_JSON_H_

@@ -1,8 +1,10 @@
 #include "gter/common/logging.h"
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <ctime>
 #include <mutex>
 
 namespace gter {
@@ -30,6 +32,31 @@ const char* Basename(const char* path) {
   return slash != nullptr ? slash + 1 : path;
 }
 
+/// Small process-local thread id (1 = first thread to log), stable for the
+/// thread's lifetime and readable next to the trace's per-thread tracks —
+/// unlike the opaque pthread handle.
+uint64_t ThisThreadLogId() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// UTC wall time as ISO-8601 with milliseconds: 2026-08-05T12:34:56.789Z.
+void FormatTimestamp(char (&buf)[128]) {
+  std::timespec ts{};
+  std::timespec_get(&ts, TIME_UTC);
+  std::tm tm{};
+  gmtime_r(&ts.tv_sec, &tm);
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec,
+                static_cast<int>(ts.tv_nsec / 1000000) % 1000);
+}
+
+char AsciiLower(char c) {
+  return c >= 'A' && c <= 'Z' ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -40,6 +67,24 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+bool ParseLogLevel(const std::string& text, LogLevel* out) {
+  std::string lower;
+  lower.reserve(text.size());
+  for (char c : text) lower.push_back(AsciiLower(c));
+  if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
@@ -47,8 +92,11 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
                g_min_level.load(std::memory_order_relaxed)),
       level_(level) {
   if (enabled_) {
-    stream_ << "[" << LevelName(level_) << " " << Basename(file) << ":"
-            << line << "] ";
+    char timestamp[128];
+    FormatTimestamp(timestamp);
+    stream_ << "[" << timestamp << " " << LevelName(level_) << " "
+            << ThisThreadLogId() << " " << Basename(file) << ":" << line
+            << "] ";
   }
 }
 

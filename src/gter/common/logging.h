@@ -15,6 +15,11 @@ void SetLogLevel(LogLevel level);
 /// Returns the current minimum severity.
 LogLevel GetLogLevel();
 
+/// Parses a `--log_level` flag value (debug|info|warning|warn|error,
+/// case-insensitive). Returns false (and leaves `*out` alone) for anything
+/// else.
+bool ParseLogLevel(const std::string& text, LogLevel* out);
+
 namespace internal {
 
 /// Stream-style single-message logger; flushes on destruction.

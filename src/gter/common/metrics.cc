@@ -1,5 +1,6 @@
 #include "gter/common/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -112,6 +113,36 @@ double Histogram::BucketUpperBound(size_t i) {
   return std::ldexp(1.0, static_cast<int>(i) - kBucketOfOne + 1);
 }
 
+double Histogram::BucketLowerBound(size_t i) {
+  return i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - kBucketOfOne);
+}
+
+double Histogram::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Walk the buckets to the one containing the q·count-th observation and
+  // interpolate linearly inside it: for observations spread uniformly
+  // within a bucket this is exact, and in general the error is bounded by
+  // the bucket's width (a factor of 2 on log-scale buckets).
+  const double target = q * static_cast<double>(count);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (buckets[i] == 0) continue;
+    const double in_bucket = static_cast<double>(buckets[i]);
+    if (cumulative + in_bucket >= target) {
+      const double fraction = (target - cumulative) / in_bucket;
+      const double lo = BucketLowerBound(i);
+      const double hi = BucketUpperBound(i);
+      const double estimate = lo + fraction * (hi - lo);
+      // The exact envelope beats the bucket bounds at the extremes.
+      return std::min(std::max(estimate, min), max);
+    }
+    cumulative += in_bucket;
+  }
+  return max;  // unreachable for a consistent histogram
+}
+
 void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -219,6 +250,12 @@ std::string MetricsRegistry::ToJson() const {
                     AppendDouble(o, h.min);
                     *o += ", \"max\": ";
                     AppendDouble(o, h.max);
+                    *o += ", \"p50\": ";
+                    AppendDouble(o, h.Quantile(0.50));
+                    *o += ", \"p95\": ";
+                    AppendDouble(o, h.Quantile(0.95));
+                    *o += ", \"p99\": ";
+                    AppendDouble(o, h.Quantile(0.99));
                   }
                   *o += ", \"buckets\": [";
                   bool first = true;

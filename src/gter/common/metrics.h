@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "gter/common/status.h"
+#include "gter/common/trace.h"
 
 namespace gter {
 
@@ -57,8 +58,19 @@ struct Histogram {
   void Observe(double value);
   void Merge(const Histogram& other);
 
+  /// Estimated q-quantile (q in [0, 1]), by linear interpolation inside
+  /// the log-scale bucket holding the q·count-th observation, clamped to
+  /// the exact [min, max] envelope — so single-valued histograms are
+  /// exact and the estimation error is bounded by one bucket's width.
+  /// Returns 0 when the histogram is empty.
+  double Quantile(double q) const;
+
   /// Exclusive upper bound of bucket `i` (2^(i-32)).
   static double BucketUpperBound(size_t i);
+
+  /// Inclusive lower bound of bucket `i` (2^(i-33); bucket 0 starts at 0
+  /// because it also absorbs non-positive values).
+  static double BucketLowerBound(size_t i);
 };
 
 /// Thread-safe metrics registry. All methods may be called concurrently.
@@ -138,19 +150,36 @@ inline MetricsRegistry* ResolveMetrics(MetricsRegistry* explicit_registry) {
                                       : MetricsRegistry::Current();
 }
 
-/// RAII stage timer: records elapsed wall time into `registry` under
-/// `name` on destruction. With a null registry the constructor and the
-/// destructor are a single branch each — no clock is read.
+/// RAII stage timer with two sinks: records elapsed wall time into
+/// `registry` under `name`, and — when a `TraceRecorder` is installed —
+/// emits the same interval as a trace span (category "stage", optional
+/// numeric args), off a single shared pair of clock reads so metrics and
+/// traces can never disagree on a stage boundary. With a null registry
+/// and no recorder, constructor and destructor are a pointer test plus
+/// one relaxed atomic load each — no clock is read.
 class ScopedTimer {
  public:
-  ScopedTimer(MetricsRegistry* registry, const char* name)
-      : registry_(registry), name_(name) {
-    if (registry_ != nullptr) start_ = Clock::now();
+  ScopedTimer(MetricsRegistry* registry, const char* name,
+              TraceArg arg0 = TraceArg{}, TraceArg arg1 = TraceArg{})
+      : registry_(registry),
+        recorder_(TraceRecorder::Current()),
+        name_(name),
+        arg0_(arg0),
+        arg1_(arg1) {
+    if (registry_ != nullptr || recorder_ != nullptr) start_ = Clock::now();
   }
   ~ScopedTimer() {
-    if (registry_ == nullptr) return;
-    registry_->RecordTime(
-        name_, std::chrono::duration<double>(Clock::now() - start_).count());
+    if (registry_ == nullptr && recorder_ == nullptr) return;
+    const Clock::time_point end = Clock::now();  // one read, both sinks
+    if (registry_ != nullptr) {
+      registry_->RecordTime(
+          name_, std::chrono::duration<double>(end - start_).count());
+    }
+    if (recorder_ != nullptr) {
+      const uint64_t start_ns = ToNs(start_);
+      recorder_->RecordSpan(name_, "stage", start_ns, ToNs(end) - start_ns,
+                            arg0_, arg1_);
+    }
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -158,8 +187,17 @@ class ScopedTimer {
 
  private:
   using Clock = std::chrono::steady_clock;
+  static uint64_t ToNs(Clock::time_point t) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t.time_since_epoch())
+            .count());
+  }
   MetricsRegistry* registry_;
+  TraceRecorder* recorder_;
   const char* name_;
+  TraceArg arg0_;
+  TraceArg arg1_;
   Clock::time_point start_;
 };
 
@@ -172,15 +210,17 @@ Status WriteMetricsJson(const std::string& path,
 #define GTER_METRICS_CONCAT(a, b) GTER_METRICS_CONCAT_INNER(a, b)
 
 /// Times the enclosing scope into the thread-local current registry (a
-/// no-op when none is installed).
-#define GTER_TRACE_SCOPE(name)                                      \
+/// no-op when none is installed). After the name, optional TraceArgs are
+/// attached to the emitted trace span.
+#define GTER_TRACE_SCOPE(...)                                       \
   ::gter::ScopedTimer GTER_METRICS_CONCAT(gter_trace_, __LINE__)(   \
-      ::gter::MetricsRegistry::Current(), name)
+      ::gter::MetricsRegistry::Current(), __VA_ARGS__)
 
-/// Times the enclosing scope into an explicit registry (nullptr → no-op).
-#define GTER_TRACE_SCOPE_TO(registry, name)                         \
+/// Times the enclosing scope into an explicit registry (nullptr → metrics
+/// no-op; the trace span still fires when a recorder is installed).
+#define GTER_TRACE_SCOPE_TO(registry, ...)                          \
   ::gter::ScopedTimer GTER_METRICS_CONCAT(gter_trace_, __LINE__)(   \
-      registry, name)
+      registry, __VA_ARGS__)
 
 }  // namespace gter
 

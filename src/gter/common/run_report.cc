@@ -1,0 +1,274 @@
+#include "gter/common/run_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+
+#include "gter/common/metrics.h"
+
+namespace gter {
+namespace {
+
+/// Bucket index whose upper bound is `le` (inverse of
+/// Histogram::BucketUpperBound): le = 2^(i - kBucketOfOne + 1), and
+/// frexp(2^k) yields exponent k+1.
+size_t BucketIndexForUpperBound(double le) {
+  int exp = 0;
+  std::frexp(le, &exp);
+  long idx = static_cast<long>(exp) + Histogram::kBucketOfOne - 2;
+  if (idx < 0) return 0;
+  if (idx >= static_cast<long>(Histogram::kNumBuckets)) {
+    return Histogram::kNumBuckets - 1;
+  }
+  return static_cast<size_t>(idx);
+}
+
+/// Rebuilds percentiles from the sparse bucket list for dumps written
+/// before percentiles were emitted inline.
+void ReconstructPercentiles(const JsonValue& hist_json, HistogramSummary* h) {
+  const JsonValue* buckets = hist_json.Find("buckets");
+  if (buckets == nullptr || !buckets->is_array()) return;
+  Histogram rebuilt;
+  rebuilt.count = h->count;
+  rebuilt.sum = h->sum;
+  rebuilt.min = h->min;
+  rebuilt.max = h->max;
+  for (const JsonValue& b : buckets->array()) {
+    if (!b.is_object()) continue;
+    const double le = b.NumberOr("le", 0.0);
+    const double n = b.NumberOr("count", 0.0);
+    if (le <= 0.0 || n <= 0.0) continue;
+    rebuilt.buckets[BucketIndexForUpperBound(le)] +=
+        static_cast<uint64_t>(n);
+  }
+  h->p50 = rebuilt.Quantile(0.50);
+  h->p95 = rebuilt.Quantile(0.95);
+  h->p99 = rebuilt.Quantile(0.99);
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+/// Seconds rendered with a unit that keeps 3-4 significant digits.
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  const double abs = std::fabs(seconds);
+  if (abs >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", seconds);
+  } else if (abs >= 1e-3) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", seconds * 1e3);
+  } else if (abs >= 1e-6) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", seconds * 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ns", seconds * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace
+
+Result<MetricsSnapshot> MetricsSnapshot::FromJson(const JsonValue& root) {
+  if (!root.is_object()) {
+    return Status::InvalidArgument("metrics document is not a JSON object");
+  }
+  MetricsSnapshot snapshot;
+
+  if (const JsonValue* counters = root.Find("counters")) {
+    if (!counters->is_object()) {
+      return Status::InvalidArgument("\"counters\" is not an object");
+    }
+    for (const auto& [name, value] : counters->object()) {
+      if (!value.is_number()) continue;
+      snapshot.counters[name] = static_cast<uint64_t>(value.number());
+    }
+  }
+
+  if (const JsonValue* gauges = root.Find("gauges")) {
+    if (!gauges->is_object()) {
+      return Status::InvalidArgument("\"gauges\" is not an object");
+    }
+    for (const auto& [name, value] : gauges->object()) {
+      if (!value.is_number()) continue;
+      snapshot.gauges[name] = value.number();
+    }
+  }
+
+  if (const JsonValue* timers = root.Find("timers")) {
+    if (!timers->is_object()) {
+      return Status::InvalidArgument("\"timers\" is not an object");
+    }
+    for (const auto& [name, value] : timers->object()) {
+      if (!value.is_object()) continue;
+      TimerSummary t;
+      t.count = static_cast<uint64_t>(value.NumberOr("count", 0.0));
+      t.seconds = value.NumberOr("seconds", 0.0);
+      snapshot.timers[name] = t;
+    }
+  }
+
+  if (const JsonValue* histograms = root.Find("histograms")) {
+    if (!histograms->is_object()) {
+      return Status::InvalidArgument("\"histograms\" is not an object");
+    }
+    for (const auto& [name, value] : histograms->object()) {
+      if (!value.is_object()) continue;
+      HistogramSummary h;
+      h.count = static_cast<uint64_t>(value.NumberOr("count", 0.0));
+      h.sum = value.NumberOr("sum", 0.0);
+      h.min = value.NumberOr("min", 0.0);
+      h.max = value.NumberOr("max", 0.0);
+      if (value.Find("p50") != nullptr) {
+        h.p50 = value.NumberOr("p50", 0.0);
+        h.p95 = value.NumberOr("p95", 0.0);
+        h.p99 = value.NumberOr("p99", 0.0);
+      } else if (h.count > 0) {
+        ReconstructPercentiles(value, &h);
+      }
+      snapshot.histograms[name] = h;
+    }
+  }
+
+  return snapshot;
+}
+
+Result<MetricsSnapshot> MetricsSnapshot::Load(const std::string& path) {
+  Result<std::string> text = ReadFileToString(path);
+  if (!text.ok()) return text.status();
+  Result<JsonValue> doc = JsonValue::Parse(text.value());
+  if (!doc.ok()) {
+    return Status::InvalidArgument(path + ": " + doc.status().message());
+  }
+  return FromJson(doc.value());
+}
+
+std::string FormatRunReport(const MetricsSnapshot& snapshot) {
+  std::string out;
+
+  // Timers ranked by total wall time; percent relative to the largest
+  // total, which for a pipeline run is the whole-run stage.
+  std::vector<std::pair<std::string, TimerSummary>> timers(
+      snapshot.timers.begin(), snapshot.timers.end());
+  std::sort(timers.begin(), timers.end(), [](const auto& a, const auto& b) {
+    if (a.second.seconds != b.second.seconds) {
+      return a.second.seconds > b.second.seconds;
+    }
+    return a.first < b.first;
+  });
+  double denom = 0.0;
+  for (const auto& [name, t] : timers) denom = std::max(denom, t.seconds);
+
+  out += "timers (by total wall time)\n";
+  if (timers.empty()) {
+    out += "  (none)\n";
+  } else {
+    AppendF(&out, "  %-32s %10s %8s %12s %12s\n", "stage", "calls", "%run",
+            "total", "mean/call");
+    for (const auto& [name, t] : timers) {
+      const double pct = denom > 0.0 ? 100.0 * t.seconds / denom : 0.0;
+      AppendF(&out, "  %-32s %10llu %7.1f%% %12s %12s\n", name.c_str(),
+              static_cast<unsigned long long>(t.count), pct,
+              FormatSeconds(t.seconds).c_str(),
+              FormatSeconds(t.MeanSeconds()).c_str());
+    }
+  }
+
+  out += "\ncounters\n";
+  if (snapshot.counters.empty()) {
+    out += "  (none)\n";
+  } else {
+    for (const auto& [name, value] : snapshot.counters) {
+      AppendF(&out, "  %-32s %14llu\n", name.c_str(),
+              static_cast<unsigned long long>(value));
+    }
+  }
+
+  out += "\ngauges\n";
+  if (snapshot.gauges.empty()) {
+    out += "  (none)\n";
+  } else {
+    for (const auto& [name, value] : snapshot.gauges) {
+      AppendF(&out, "  %-32s %14.6g\n", name.c_str(), value);
+    }
+  }
+
+  out += "\nhistograms\n";
+  if (snapshot.histograms.empty()) {
+    out += "  (none)\n";
+  } else {
+    AppendF(&out, "  %-32s %10s %12s %12s %12s %12s\n", "name", "count",
+            "p50", "p95", "p99", "max");
+    for (const auto& [name, h] : snapshot.histograms) {
+      AppendF(&out, "  %-32s %10llu %12.6g %12.6g %12.6g %12.6g\n",
+              name.c_str(), static_cast<unsigned long long>(h.count), h.p50,
+              h.p95, h.p99, h.max);
+    }
+  }
+
+  return out;
+}
+
+PerfDiffResult DiffSnapshots(const MetricsSnapshot& baseline,
+                             const MetricsSnapshot& candidate,
+                             const PerfDiffOptions& options) {
+  PerfDiffResult result;
+  std::string& out = result.report;
+
+  AppendF(&out,
+          "perf diff (mean seconds per call; regression threshold +%.0f%%, "
+          "baseline floor %s)\n",
+          options.regress_ratio * 100.0,
+          FormatSeconds(options.min_seconds).c_str());
+  AppendF(&out, "  %-32s %12s %12s %9s  %s\n", "stage", "baseline",
+          "candidate", "delta", "verdict");
+
+  for (const auto& [name, base] : baseline.timers) {
+    auto it = candidate.timers.find(name);
+    if (it == candidate.timers.end()) {
+      AppendF(&out, "  %-32s %12s %12s %9s  missing in candidate\n",
+              name.c_str(), FormatSeconds(base.MeanSeconds()).c_str(), "-",
+              "-");
+      continue;
+    }
+    const double base_mean = base.MeanSeconds();
+    const double cand_mean = it->second.MeanSeconds();
+    const double ratio =
+        base_mean > 0.0 ? (cand_mean - base_mean) / base_mean : 0.0;
+    const bool gated = base_mean >= options.min_seconds;
+    const bool regressed = gated && ratio > options.regress_ratio;
+    const char* verdict = regressed          ? "REGRESSED"
+                          : !gated           ? "ok (below floor)"
+                          : ratio < -options.regress_ratio ? "improved"
+                                             : "ok";
+    AppendF(&out, "  %-32s %12s %12s %+8.1f%%  %s\n", name.c_str(),
+            FormatSeconds(base_mean).c_str(), FormatSeconds(cand_mean).c_str(),
+            ratio * 100.0, verdict);
+    if (regressed) result.regressions.push_back(name);
+  }
+
+  for (const auto& [name, cand] : candidate.timers) {
+    if (baseline.timers.count(name) != 0) continue;
+    AppendF(&out, "  %-32s %12s %12s %9s  new in candidate\n", name.c_str(),
+            "-", FormatSeconds(cand.MeanSeconds()).c_str(), "-");
+  }
+
+  if (result.regressions.empty()) {
+    out += "verdict: PASS (no timer regressed)\n";
+  } else {
+    AppendF(&out, "verdict: FAIL (%zu timer%s regressed)\n",
+            result.regressions.size(),
+            result.regressions.size() == 1 ? "" : "s");
+  }
+  return result;
+}
+
+}  // namespace gter

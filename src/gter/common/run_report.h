@@ -1,0 +1,94 @@
+#ifndef GTER_COMMON_RUN_REPORT_H_
+#define GTER_COMMON_RUN_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gter/common/json.h"
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// Run-report / perf-regression layer over `--metrics_out` dumps (the
+/// `gter_cli report` subcommand). One file → human-readable per-stage
+/// breakdown; two files → A-vs-B diff with regression thresholds, the CI
+/// perf gate (`tools/perf_gate.sh`).
+
+/// One timer parsed back from a metrics dump.
+struct TimerSummary {
+  uint64_t count = 0;
+  double seconds = 0.0;
+
+  /// Mean seconds per recorded call — the quantity the perf gate compares,
+  /// so adaptive benchmark iteration counts don't skew the diff.
+  double MeanSeconds() const {
+    return count == 0 ? 0.0 : seconds / static_cast<double>(count);
+  }
+};
+
+/// One histogram parsed back from a metrics dump. Percentiles come from the
+/// dump when present (current writers emit them) and are otherwise
+/// reconstructed from the sparse `le` buckets.
+struct HistogramSummary {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// A `--metrics_out` file parsed back into typed sections.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerSummary> timers;
+  std::map<std::string, HistogramSummary> histograms;
+
+  /// Parses a metrics JSON document (the shape `MetricsRegistry::ToJson`
+  /// writes). Unknown sections and members are ignored, so older and newer
+  /// dumps both load.
+  static Result<MetricsSnapshot> FromJson(const JsonValue& root);
+
+  /// Reads and parses one `--metrics_out` file.
+  static Result<MetricsSnapshot> Load(const std::string& path);
+};
+
+/// Human-readable per-stage breakdown of one run: timers ranked by total
+/// wall time with percent-of-run, then counters, gauges, and histogram
+/// percentiles. The percent column is relative to the largest timer total
+/// (for a pipeline run that is the whole-run `fusion/total` stage).
+std::string FormatRunReport(const MetricsSnapshot& snapshot);
+
+/// Thresholds for the A-vs-B perf diff.
+struct PerfDiffOptions {
+  /// A timer regresses when its mean per-call seconds grows by more than
+  /// this fraction over the baseline (0.10 = +10%).
+  double regress_ratio = 0.10;
+  /// Timers whose baseline mean is below this floor are reported but never
+  /// gate — they sit in clock-noise territory.
+  double min_seconds = 1e-4;
+};
+
+/// Outcome of diffing two snapshots.
+struct PerfDiffResult {
+  /// Full diff table plus verdict lines, ready to print.
+  std::string report;
+  /// Names of timers that regressed past the threshold (empty = gate
+  /// passes). Missing-in-candidate timers never regress; timers new in the
+  /// candidate are listed in the report only.
+  std::vector<std::string> regressions;
+};
+
+/// Compares candidate against baseline timer-by-timer on mean per-call
+/// seconds.
+PerfDiffResult DiffSnapshots(const MetricsSnapshot& baseline,
+                             const MetricsSnapshot& candidate,
+                             const PerfDiffOptions& options);
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_RUN_REPORT_H_

@@ -1,9 +1,11 @@
 #include "gter/common/thread_pool.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "gter/common/logging.h"
+#include "gter/common/trace.h"
 
 namespace gter {
 
@@ -13,7 +15,11 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
   workers_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] {
+      // Named track per worker in any trace recorded while this pool lives.
+      SetCurrentThreadTraceName("pool-worker-" + std::to_string(i));
+      WorkerLoop();
+    });
   }
 }
 
@@ -50,7 +56,10 @@ void ThreadPool::RunOneTask(std::unique_lock<std::mutex>* lock) {
   Task task = std::move(tasks_.front());
   tasks_.pop_front();
   lock->unlock();
-  task.fn();
+  {
+    GTER_TRACE_SPAN("pool/task", "pool");
+    task.fn();
+  }
   lock->lock();
   if (--task.group->pending_ == 0) wakeup_.notify_all();
 }

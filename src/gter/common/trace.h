@@ -1,0 +1,182 @@
+#ifndef GTER_COMMON_TRACE_H_
+#define GTER_COMMON_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// Event-level tracing layer (see DESIGN.md §"Tracing").
+///
+/// Where `MetricsRegistry` aggregates (a timer is one `{count, seconds}`
+/// pair per stage), `TraceRecorder` keeps every span: begin/end timestamps
+/// off `steady_clock`, a static name and category, and up to two numeric
+/// arguments (sweep index, fusion round, chunk size, ...). The recorded
+/// timeline exports as Chrome trace-event JSON (`--trace_out`), loadable in
+/// Perfetto (https://ui.perfetto.dev) or `chrome://tracing`, with one track
+/// per thread — so the schedule of RSS chunks and CliqueRank GEMMs across
+/// the ThreadPool is visible, not just their totals.
+///
+/// Contract (mirrors the metrics layer): with no recorder installed, every
+/// instrumentation point is one relaxed atomic load — no clock reads, no
+/// locks, no allocation. Recording is lock-free: each thread appends to its
+/// own pre-allocated buffer and publishes the new size with a release
+/// store; the only mutex is taken once per thread (buffer registration)
+/// and per export.
+///
+/// Span naming convention: the same lowercase `stage/span` slugs the
+/// metrics layer uses (`fusion/round`, `iter/sweep`, `rss/chunk`); the
+/// category is the coarse subsystem (`stage`, `pool`, `rss`, ...).
+
+/// Optional numeric argument attached to a span. `key` must be a string
+/// literal (or otherwise outlive the recorder); a null key means "absent".
+struct TraceArg {
+  const char* key = nullptr;
+  double value = 0.0;
+};
+
+/// One completed span. Name/category must be string literals (the recorder
+/// stores the pointers, not copies — recording never allocates).
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t start_ns = 0;     // steady_clock time_since_epoch
+  uint64_t duration_ns = 0;
+  TraceArg arg0;
+  TraceArg arg1;
+};
+
+namespace internal {
+struct TraceThreadLog;
+}  // namespace internal
+
+/// Collects spans from any number of threads into per-thread buffers.
+/// Thread-safe for concurrent RecordSpan and export; a thread's buffer has
+/// fixed capacity (events past it are counted as dropped, never resized).
+class TraceRecorder {
+ public:
+  /// Default per-thread buffer: 64k events × 64 bytes = 4 MiB per
+  /// recording thread, enough for every bundled workload.
+  static constexpr size_t kDefaultCapacityPerThread = size_t{1} << 16;
+
+  explicit TraceRecorder(
+      size_t capacity_per_thread = kDefaultCapacityPerThread);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Appends one completed span for the calling thread. Lock-free after
+  /// the thread's first call (which registers its buffer under a mutex).
+  /// Timestamps are `steady_clock` nanoseconds as returned by `NowNs()`.
+  void RecordSpan(const char* name, const char* category, uint64_t start_ns,
+                  uint64_t duration_ns, TraceArg arg0 = TraceArg{},
+                  TraceArg arg1 = TraceArg{});
+
+  /// Total spans currently recorded across all threads.
+  size_t event_count() const;
+
+  /// Spans discarded because a thread's buffer was full.
+  uint64_t dropped_events() const;
+
+  /// Serializes the timeline as Chrome trace-event JSON: an object with a
+  /// "traceEvents" array of "X" (complete) events plus "M" (metadata)
+  /// thread-name events; "ts"/"dur" are microseconds relative to recorder
+  /// construction. Safe to call while other threads are still recording
+  /// (their unpublished tail is simply not included).
+  std::string ToChromeJson() const;
+
+  /// The recorder installed by `ScopedTraceInstall`, or nullptr. One
+  /// relaxed atomic load — the whole cost of disabled tracing. Unlike the
+  /// metrics registry this slot is process-global, so ThreadPool workers
+  /// see it too (their spans land on their own tracks).
+  static TraceRecorder* Current();
+
+  /// `steady_clock` time_since_epoch in nanoseconds — the time base every
+  /// recorded span uses.
+  static uint64_t NowNs();
+
+ private:
+  internal::TraceThreadLog* LogForThisThread();
+
+  const size_t capacity_per_thread_;
+  const uint64_t id_;        // process-unique, never reused
+  const uint64_t epoch_ns_;  // NowNs() at construction; export time base
+  mutable std::mutex logs_mutex_;
+  std::vector<std::unique_ptr<internal::TraceThreadLog>> logs_;
+};
+
+/// Installs `recorder` as the process-global current recorder for the
+/// lifetime of the object; restores the previous one on destruction.
+/// Install from the coordinating thread around the run (the CLI/bench
+/// pattern); concurrent installs from different threads are not supported.
+class ScopedTraceInstall {
+ public:
+  explicit ScopedTraceInstall(TraceRecorder* recorder);
+  ~ScopedTraceInstall();
+
+  ScopedTraceInstall(const ScopedTraceInstall&) = delete;
+  ScopedTraceInstall& operator=(const ScopedTraceInstall&) = delete;
+
+ private:
+  TraceRecorder* previous_;
+};
+
+/// Names the calling thread's track in every recorder it subsequently
+/// registers with ("main", "pool-worker-3"). Threads that never call this
+/// are exported as "thread-<tid>".
+void SetCurrentThreadTraceName(std::string name);
+
+/// RAII span recorded into the installed recorder (no-op, no clock read,
+/// when none is installed). Name/category/arg keys must be string literals.
+class ScopedTraceSpan {
+ public:
+  explicit ScopedTraceSpan(const char* name, const char* category = "span",
+                           TraceArg arg0 = TraceArg{},
+                           TraceArg arg1 = TraceArg{})
+      : recorder_(TraceRecorder::Current()),
+        name_(name),
+        category_(category),
+        arg0_(arg0),
+        arg1_(arg1) {
+    if (recorder_ != nullptr) start_ns_ = TraceRecorder::NowNs();
+  }
+  ~ScopedTraceSpan() {
+    if (recorder_ == nullptr) return;
+    recorder_->RecordSpan(name_, category_, start_ns_,
+                          TraceRecorder::NowNs() - start_ns_, arg0_, arg1_);
+  }
+
+  ScopedTraceSpan(const ScopedTraceSpan&) = delete;
+  ScopedTraceSpan& operator=(const ScopedTraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  const char* category_;
+  TraceArg arg0_;
+  TraceArg arg1_;
+  uint64_t start_ns_ = 0;
+};
+
+/// Writes `recorder.ToChromeJson()` to `path` (the `--trace_out` sink).
+Status WriteTraceJson(const std::string& path, const TraceRecorder& recorder);
+
+#define GTER_TRACE_CONCAT_INNER(a, b) a##b
+#define GTER_TRACE_CONCAT(a, b) GTER_TRACE_CONCAT_INNER(a, b)
+
+/// Trace-only span over the enclosing scope (no metrics timer): name, then
+/// optional category and up to two TraceArgs.
+#define GTER_TRACE_SPAN(...)                                     \
+  ::gter::ScopedTraceSpan GTER_TRACE_CONCAT(gter_span_, __LINE__)(__VA_ARGS__)
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_TRACE_H_

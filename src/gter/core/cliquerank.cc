@@ -36,7 +36,8 @@ std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
   for (size_t step = 2; step <= options.max_steps; ++step) {
     masked = m.Hadamard(mn);
     {
-      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/gemm");
+      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/gemm",
+                          TraceArg{"step", static_cast<double>(step)});
       Gemm(mt, masked, &m, options.pool);
     }
     accum.Add(m);
@@ -77,7 +78,8 @@ std::vector<double> RunMasked(const CsrMatrix& trans, const CsrMatrix& pattern,
   // Gustavson gather confined to the pattern (no n×n scratch).
   for (size_t step = 2; step <= options.max_steps; ++step) {
     {
-      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/masked_product");
+      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/masked_product",
+                          TraceArg{"step", static_cast<double>(step)});
       ComputeMaskedProductCsr(trans, cur.data(), pattern, next.data(),
                               options.pool);
     }

@@ -127,6 +127,8 @@ CorrelationClusteringResult CorrelationCluster(
   best.objective = -1e300;
   Rng master(options.seed);
   for (size_t restart = 0; restart < options.restarts; ++restart) {
+    GTER_TRACE_SPAN("cluster/restart", "cluster",
+                    TraceArg{"restart", static_cast<double>(restart)});
     Rng rng = master.Fork(restart);
     std::vector<uint32_t> labels = PivotPass(graph, &rng);
     uint32_t next_cluster = 0;

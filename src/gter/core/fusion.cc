@@ -51,7 +51,8 @@ FusionResult FusionPipeline::Run() {
   result.pair_probability.assign(pairs_.size(), 1.0);
 
   for (size_t round = 1; round <= config_.rounds; ++round) {
-    ScopedTimer round_timer(metrics, "fusion/round");
+    ScopedTimer round_timer(metrics, "fusion/round",
+                            TraceArg{"round", static_cast<double>(round)});
     FusionRoundStats stats;
     stats.round = round;
 

@@ -53,7 +53,8 @@ IterResult RunIter(const BipartiteGraph& graph,
   ThreadPool* pool = options.pool;
   const size_t grain = options.grain;
   for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
-    ScopedTimer sweep_timer(metrics, "iter/sweep");
+    ScopedTimer sweep_timer(metrics, "iter/sweep",
+                            TraceArg{"sweep", static_cast<double>(iteration)});
     x_prev = x;
 
     // Lines 3–4: s(r_i, r_j) ← Σ_{t shared} x_t.

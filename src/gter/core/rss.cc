@@ -138,6 +138,8 @@ std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
   // bit-identical for any thread count.
   ParallelFor(options.pool, 0, pairs.size(), options.grain,
               [&](size_t lo, size_t hi) {
+    GTER_TRACE_SPAN("rss/chunk", "rss",
+                    TraceArg{"pairs", static_cast<double>(hi - lo)});
     // Walk stats accumulate per chunk (no locks in the walk loop) and
     // merge once at chunk end; with no registry nothing is collected.
     WalkStats chunk_stats;

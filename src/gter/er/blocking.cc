@@ -75,6 +75,8 @@ BlockingResult LshBlocking(const Dataset& dataset,
   BlockingResult result;
   std::unordered_set<uint64_t> emitted;
   for (size_t band = 0; band < options.num_bands; ++band) {
+    GTER_TRACE_SPAN("blocking/band", "blocking",
+                    TraceArg{"band", static_cast<double>(band)});
     std::unordered_map<uint64_t, std::vector<RecordId>> buckets;
     for (RecordId r = 0; r < dataset.size(); ++r) {
       if (dataset.record(r).terms.empty()) continue;

@@ -19,12 +19,15 @@
 ///   // result.pair_probability[p] — matching probability in [0, 1]
 
 #include "gter/common/flags.h"
+#include "gter/common/json.h"
 #include "gter/common/logging.h"
 #include "gter/common/metrics.h"
 #include "gter/common/random.h"
+#include "gter/common/run_report.h"
 #include "gter/common/status.h"
 #include "gter/common/thread_pool.h"
 #include "gter/common/timer.h"
+#include "gter/common/trace.h"
 
 #include "gter/text/normalizer.h"
 #include "gter/text/string_metrics.h"

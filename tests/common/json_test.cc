@@ -1,0 +1,109 @@
+// gter::JsonValue parser tests: the full value grammar, escape handling,
+// accessor contracts, and rejection of malformed documents — the parser
+// backing `gter_cli report`.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gter/common/json.h"
+
+namespace gter {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  Result<JsonValue> r = JsonValue::Parse(text);
+  EXPECT_TRUE(r.ok()) << text << "\n" << r.status();
+  return r.ok() ? std::move(r).value() : JsonValue{};
+}
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(MustParse("null").is_null());
+  EXPECT_TRUE(MustParse("true").boolean());
+  EXPECT_FALSE(MustParse("false").boolean());
+  EXPECT_DOUBLE_EQ(MustParse("42").number(), 42.0);
+  EXPECT_DOUBLE_EQ(MustParse("-3.5e2").number(), -350.0);
+  EXPECT_EQ(MustParse("\"hi\"").string(), "hi");
+  EXPECT_DOUBLE_EQ(MustParse("  7  ").number(), 7.0);  // surrounding space
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(MustParse(R"("a\"b\\c\/d")").string(), "a\"b\\c/d");
+  EXPECT_EQ(MustParse(R"("x\n\t\r\b\f")").string(), "x\n\t\r\b\f");
+  EXPECT_EQ(MustParse(R"("\u0041\u00e9")").string(), "A\xC3\xA9");
+}
+
+TEST(JsonParse, NestedContainers) {
+  JsonValue v = MustParse(
+      R"({"timers": {"a/b": {"count": 2, "seconds": 0.5}},
+          "list": [1, "two", null, {"k": true}]})");
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* timers = v.Find("timers");
+  ASSERT_NE(timers, nullptr);
+  const JsonValue* ab = timers->Find("a/b");
+  ASSERT_NE(ab, nullptr);
+  EXPECT_DOUBLE_EQ(ab->NumberOr("count", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ab->NumberOr("seconds", -1.0), 0.5);
+  EXPECT_DOUBLE_EQ(ab->NumberOr("missing", -1.0), -1.0);
+
+  const JsonValue* list = v.Find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_EQ(list->array().size(), 4u);
+  EXPECT_DOUBLE_EQ(list->array()[0].number(), 1.0);
+  EXPECT_EQ(list->array()[1].string(), "two");
+  EXPECT_TRUE(list->array()[2].is_null());
+  EXPECT_TRUE(list->array()[3].Find("k")->boolean());
+
+  EXPECT_EQ(v.Find("nope"), nullptr);
+  EXPECT_EQ(list->Find("k"), nullptr);  // Find on a non-object
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(MustParse("{}").object().empty());
+  EXPECT_TRUE(MustParse("[]").array().empty());
+  EXPECT_TRUE(MustParse("[{}, []]").is_array());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "\"unterminated", "{\"k\" 1}", "{\"k\":}", "tru",
+        "1 2", "{} trailing", "[1 2]", "\"\\q\"", "\"\\u12", "\"\\ud800\"",
+        "--5", "1.2.3", "nan"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(JsonValue::Parse(deep).ok());
+  // A depth comfortably under the limit parses.
+  std::string ok(30, '[');
+  ok += "1";
+  ok += std::string(30, ']');
+  EXPECT_TRUE(JsonValue::Parse(ok).ok());
+}
+
+TEST(JsonParse, DuplicateKeysLastWins) {
+  JsonValue v = MustParse(R"({"k": 1, "k": 2})");
+  EXPECT_DOUBLE_EQ(v.NumberOr("k", 0.0), 2.0);
+}
+
+TEST(ReadFileToString, RoundTripsAndFails) {
+  std::string path = ::testing::TempDir() + "/json_test_file.txt";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"x\": 1}", f);
+  std::fclose(f);
+
+  Result<std::string> text = ReadFileToString(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(text.value(), "{\"x\": 1}");
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(ReadFileToString("/nonexistent-dir/nope.json").ok());
+}
+
+}  // namespace
+}  // namespace gter

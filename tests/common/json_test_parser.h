@@ -1,0 +1,151 @@
+#ifndef GTER_TESTS_COMMON_JSON_TEST_PARSER_H_
+#define GTER_TESTS_COMMON_JSON_TEST_PARSER_H_
+
+// A minimal, independent JSON parser for validating the JSON the library
+// emits (metrics dumps, trace files). Deliberately NOT gter::JsonValue:
+// checking an emitter with the library's own parser would let a matching
+// emitter/parser bug pass silently. Shared by metrics_test and trace_test.
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace testjson {
+
+struct JsonValue {
+  enum Kind { kObject, kArray, kString, kNumber } kind = kNumber;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0.0;
+
+  bool Has(const std::string& key) const {
+    return kind == kObject && object.count(key) > 0;
+  }
+  const JsonValue& At(const std::string& key) const {
+    auto it = object.find(key);
+    EXPECT_TRUE(it != object.end()) << "missing key: " << key;
+    static const JsonValue kEmpty;
+    return it == object.end() ? kEmpty : it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    bool ok = ParseValue(out);
+    SkipSpace();
+    return ok && pos_ == text_.size();
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+            text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            unsigned code =
+                std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16);
+            pos_ += 4;
+            if (code > 0x7F) return false;  // emitters are ASCII-only
+            out->push_back(static_cast<char>(code));
+            break;
+          }
+          default: return false;  // the emitters only produce these
+        }
+      } else {
+        out->push_back(c);
+      }
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      while (true) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue child;
+        if (!ParseValue(&child)) return false;
+        out->object.emplace(std::move(key), std::move(child));
+        if (Consume(',')) continue;
+        return Consume('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      while (true) {
+        JsonValue child;
+        if (!ParseValue(&child)) return false;
+        out->array.push_back(std::move(child));
+        if (Consume(',')) continue;
+        return Consume(']');
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return ParseString(&out->string);
+    }
+    out->kind = JsonValue::kNumber;
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace testjson
+}  // namespace gter
+
+#endif  // GTER_TESTS_COMMON_JSON_TEST_PARSER_H_

@@ -1,5 +1,8 @@
 #include "gter/common/logging.h"
 
+#include <regex>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace gter {
@@ -27,6 +30,40 @@ TEST(LoggingTest, StreamingAtLevelDoesNotCrash) {
   SetLogLevel(LogLevel::kDebug);
   GTER_LOG(Warning) << "visible warning " << 3.14;
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, PrefixHasTimestampLevelThreadAndLocation) {
+  LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  GTER_LOG(Warning) << "formatted message " << 7;
+  std::string output = ::testing::internal::GetCapturedStderr();
+  SetLogLevel(original);
+
+  // [2026-08-05T12:34:56.789Z WARN <tid> logging_test.cc:NN] msg
+  std::regex pattern(
+      R"(^\[\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z WARN \d+ )"
+      R"(logging_test\.cc:\d+\] formatted message 7\n$)");
+  EXPECT_TRUE(std::regex_match(output, pattern)) << output;
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsAllSpellings) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("INFO", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("Warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+
+  level = LogLevel::kDebug;
+  EXPECT_FALSE(ParseLogLevel("verbose", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);  // untouched on failure
 }
 
 }  // namespace

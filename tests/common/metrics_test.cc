@@ -6,9 +6,7 @@
 // downstream dashboard.
 
 #include <atomic>
-#include <cctype>
 #include <cstdio>
-#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -20,140 +18,13 @@
 #include "gter/core/fusion.h"
 #include "gter/datagen/datagen.h"
 #include "gter/er/preprocess.h"
+#include "json_test_parser.h"
 
 namespace gter {
 namespace {
 
-// --- A minimal JSON parser (objects, arrays, strings, numbers) ---------
-
-struct JsonValue {
-  enum Kind { kObject, kArray, kString, kNumber } kind = kNumber;
-  std::map<std::string, JsonValue> object;
-  std::vector<JsonValue> array;
-  std::string string;
-  double number = 0.0;
-
-  bool Has(const std::string& key) const {
-    return kind == kObject && object.count(key) > 0;
-  }
-  const JsonValue& At(const std::string& key) const {
-    auto it = object.find(key);
-    EXPECT_TRUE(it != object.end()) << "missing key: " << key;
-    static const JsonValue kEmpty;
-    return it == object.end() ? kEmpty : it->second;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  bool Parse(JsonValue* out) {
-    bool ok = ParseValue(out);
-    SkipSpace();
-    return ok && pos_ == text_.size();
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-            text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Consume(char c) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != c) return false;
-    ++pos_;
-    return true;
-  }
-
-  bool ParseString(std::string* out) {
-    if (!Consume('"')) return false;
-    out->clear();
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) return false;
-        char e = text_[pos_++];
-        switch (e) {
-          case '"': out->push_back('"'); break;
-          case '\\': out->push_back('\\'); break;
-          case 'n': out->push_back('\n'); break;
-          case 't': out->push_back('\t'); break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) return false;
-            unsigned code =
-                std::stoul(std::string(text_.substr(pos_, 4)), nullptr, 16);
-            pos_ += 4;
-            if (code > 0x7F) return false;  // emitter is ASCII-only
-            out->push_back(static_cast<char>(code));
-            break;
-          }
-          default: return false;  // the emitter only produces these
-        }
-      } else {
-        out->push_back(c);
-      }
-    }
-    return pos_ < text_.size() && text_[pos_++] == '"';
-  }
-
-  bool ParseValue(JsonValue* out) {
-    SkipSpace();
-    if (pos_ >= text_.size()) return false;
-    char c = text_[pos_];
-    if (c == '{') {
-      ++pos_;
-      out->kind = JsonValue::kObject;
-      SkipSpace();
-      if (Consume('}')) return true;
-      while (true) {
-        std::string key;
-        if (!ParseString(&key)) return false;
-        if (!Consume(':')) return false;
-        JsonValue child;
-        if (!ParseValue(&child)) return false;
-        out->object.emplace(std::move(key), std::move(child));
-        if (Consume(',')) continue;
-        return Consume('}');
-      }
-    }
-    if (c == '[') {
-      ++pos_;
-      out->kind = JsonValue::kArray;
-      SkipSpace();
-      if (Consume(']')) return true;
-      while (true) {
-        JsonValue child;
-        if (!ParseValue(&child)) return false;
-        out->array.push_back(std::move(child));
-        if (Consume(',')) continue;
-        return Consume(']');
-      }
-    }
-    if (c == '"') {
-      out->kind = JsonValue::kString;
-      return ParseString(&out->string);
-    }
-    out->kind = JsonValue::kNumber;
-    size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) return false;
-    out->number = std::stod(text_.substr(start, pos_ - start));
-    return true;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
+using testjson::JsonParser;
+using testjson::JsonValue;
 
 // --- Registry unit tests ----------------------------------------------
 
@@ -210,6 +81,74 @@ TEST(MetricsRegistry, HistogramBucketsAndMerge) {
   registry.MergeHistogram("dist/x", h);
   registry.Observe("dist/x", 2.0);
   EXPECT_EQ(registry.HistogramOf("dist/x").count, 5u);
+}
+
+TEST(HistogramQuantile, EmptyEdgeAndSingleValue) {
+  Histogram empty;
+  EXPECT_DOUBLE_EQ(empty.Quantile(0.5), 0.0);
+
+  Histogram single;
+  single.Observe(3.75);
+  // Clamping to the exact [min, max] envelope makes single-valued
+  // histograms exact at every quantile.
+  for (double q : {0.0, 0.01, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(single.Quantile(q), 3.75) << q;
+  }
+
+  Histogram two;
+  two.Observe(1.0);
+  two.Observe(1024.0);
+  EXPECT_DOUBLE_EQ(two.Quantile(0.0), 1.0);    // q<=0 → min
+  EXPECT_DOUBLE_EQ(two.Quantile(1.0), 1024.0); // q>=1 → max
+}
+
+TEST(HistogramQuantile, ExactForUniformValuesInOneBucket) {
+  // 256 values uniformly spaced on [256, 512) land in one base-2 bucket,
+  // where linear interpolation is exact: the q-quantile of the uniform
+  // distribution on [lo, hi) is lo + q·(hi − lo).
+  Histogram h;
+  for (int i = 0; i < 256; ++i) h.Observe(256.0 + i);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 256.0 + 0.50 * 256.0);  // 384
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 256.0 + 0.25 * 256.0);  // 320
+  EXPECT_DOUBLE_EQ(h.Quantile(0.95), 256.0 + 0.95 * 256.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 256.0 + 0.99 * 256.0);
+}
+
+TEST(HistogramQuantile, WalksAcrossBuckets) {
+  // Three observations at 1.0 (bucket [1,2)) and one at 1024: the median
+  // interpolates 2/3 into [1,2), the p99 clamps to max.
+  Histogram h;
+  h.Observe(1.0);
+  h.Observe(1.0);
+  h.Observe(1.0);
+  h.Observe(1024.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.0 + (2.0 / 3.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1024.0);
+  // Monotone in q.
+  double prev = h.Quantile(0.0);
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    double cur = h.Quantile(q);
+    EXPECT_GE(cur, prev) << q;
+    prev = cur;
+  }
+}
+
+TEST(HistogramQuantile, ToJsonEmitsPercentiles) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 256; ++i) registry.Observe("h/d", 256.0 + i);
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(registry.ToJson()).Parse(&root));
+  const JsonValue& hist = root.At("histograms").At("h/d");
+  EXPECT_DOUBLE_EQ(hist.At("p50").number, 384.0);
+  EXPECT_DOUBLE_EQ(hist.At("p95").number, 256.0 + 0.95 * 256.0);
+  EXPECT_DOUBLE_EQ(hist.At("p99").number, 256.0 + 0.99 * 256.0);
+
+  // Empty histograms stay schema-stable: no percentile keys, count 0.
+  MetricsRegistry empty;
+  empty.MergeHistogram("h/empty", Histogram{});
+  JsonValue empty_root;
+  ASSERT_TRUE(JsonParser(empty.ToJson()).Parse(&empty_root));
+  EXPECT_FALSE(empty_root.At("histograms").At("h/empty").Has("p50"));
 }
 
 TEST(MetricsRegistry, ScopedInstallNestsAndRestores) {

@@ -1,0 +1,150 @@
+// Run-report / perf-diff tests: MetricsSnapshot round-trips a real
+// registry dump, the report formats every section, and DiffSnapshots gates
+// on mean-per-call regressions with the floor and threshold semantics the
+// CI perf gate (tools/perf_gate.sh) relies on.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gter/common/json.h"
+#include "gter/common/metrics.h"
+#include "gter/common/run_report.h"
+
+namespace gter {
+namespace {
+
+MetricsSnapshot SnapshotOf(const MetricsRegistry& registry) {
+  Result<JsonValue> doc = JsonValue::Parse(registry.ToJson());
+  EXPECT_TRUE(doc.ok()) << doc.status();
+  Result<MetricsSnapshot> snap = MetricsSnapshot::FromJson(doc.value());
+  EXPECT_TRUE(snap.ok()) << snap.status();
+  return snap.ok() ? std::move(snap).value() : MetricsSnapshot{};
+}
+
+TEST(MetricsSnapshot, RoundTripsRegistryDump) {
+  MetricsRegistry registry;
+  registry.AddCounter("stage/events", 42);
+  registry.SetGauge("stage/bytes", 1.5e6);
+  registry.RecordTime("stage/a", 0.5);
+  registry.RecordTime("stage/a", 0.25);
+  for (int i = 0; i < 256; ++i) registry.Observe("stage/dist", 256.0 + i);
+
+  MetricsSnapshot snap = SnapshotOf(registry);
+  EXPECT_EQ(snap.counters.at("stage/events"), 42u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("stage/bytes"), 1.5e6);
+  EXPECT_EQ(snap.timers.at("stage/a").count, 2u);
+  EXPECT_DOUBLE_EQ(snap.timers.at("stage/a").seconds, 0.75);
+  EXPECT_DOUBLE_EQ(snap.timers.at("stage/a").MeanSeconds(), 0.375);
+  const HistogramSummary& h = snap.histograms.at("stage/dist");
+  EXPECT_EQ(h.count, 256u);
+  EXPECT_DOUBLE_EQ(h.min, 256.0);
+  EXPECT_DOUBLE_EQ(h.max, 511.0);
+  EXPECT_DOUBLE_EQ(h.p50, 384.0);  // dump carries the exact percentiles
+}
+
+TEST(MetricsSnapshot, ReconstructsPercentilesFromBuckets) {
+  // A dump written before percentiles were emitted inline: p50/p95/p99
+  // must be rebuilt from the sparse `le` buckets.
+  const char* old_dump = R"({
+    "timers": {},
+    "histograms": {
+      "h/d": {"count": 256, "sum": 98176, "min": 256, "max": 511,
+              "buckets": [{"le": 512, "count": 256}]}
+    }
+  })";
+  Result<JsonValue> doc = JsonValue::Parse(old_dump);
+  ASSERT_TRUE(doc.ok());
+  Result<MetricsSnapshot> snap = MetricsSnapshot::FromJson(doc.value());
+  ASSERT_TRUE(snap.ok());
+  const HistogramSummary& h = snap.value().histograms.at("h/d");
+  EXPECT_DOUBLE_EQ(h.p50, 384.0);
+  EXPECT_DOUBLE_EQ(h.p95, 256.0 + 0.95 * 256.0);
+}
+
+TEST(MetricsSnapshot, RejectsNonObjectDocuments) {
+  Result<JsonValue> doc = JsonValue::Parse("[1, 2]");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson(doc.value()).ok());
+  EXPECT_FALSE(MetricsSnapshot::Load("/nonexistent-dir/m.json").ok());
+}
+
+TEST(FormatRunReport, ListsEverySection) {
+  MetricsRegistry registry;
+  registry.AddCounter("stage/events", 7);
+  registry.SetGauge("stage/bytes", 64.0);
+  registry.RecordTime("fusion/total", 2.0);
+  registry.RecordTime("iter/sweep", 0.5);
+  registry.Observe("stage/dist", 3.0);
+  std::string report = FormatRunReport(SnapshotOf(registry));
+  for (const char* expected :
+       {"fusion/total", "iter/sweep", "stage/events", "stage/bytes",
+        "stage/dist", "100.0%", "25.0%", "p50"}) {
+    EXPECT_NE(report.find(expected), std::string::npos)
+        << expected << "\n" << report;
+  }
+}
+
+MetricsSnapshot TimersOnly(
+    std::initializer_list<std::pair<const char*, TimerSummary>> timers) {
+  MetricsSnapshot s;
+  for (const auto& [name, t] : timers) s.timers[name] = t;
+  return s;
+}
+
+TEST(DiffSnapshots, FlagsRegressionsPastThreshold) {
+  MetricsSnapshot baseline = TimersOnly({{"fast", {100, 0.02}},
+                                         {"slow", {10, 1.0}},
+                                         {"steady", {10, 1.0}}});
+  MetricsSnapshot candidate = TimersOnly({{"fast", {100, 0.02}},
+                                          {"slow", {10, 1.5}},
+                                          {"steady", {10, 1.04}}});
+  PerfDiffOptions options;  // +10%, 100us floor
+  PerfDiffResult diff = DiffSnapshots(baseline, candidate, options);
+  // slow: mean 0.1 → 0.15 (+50%) regresses; steady: +4% does not.
+  ASSERT_EQ(diff.regressions.size(), 1u);
+  EXPECT_EQ(diff.regressions[0], "slow");
+  EXPECT_NE(diff.report.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(diff.report.find("FAIL"), std::string::npos);
+}
+
+TEST(DiffSnapshots, FloorShieldsNoiseTimers) {
+  // Baseline mean 10us sits under the 100us floor: even a 10x blowup is
+  // reported but never gates.
+  MetricsSnapshot baseline = TimersOnly({{"tiny", {1000, 0.01}}});
+  MetricsSnapshot candidate = TimersOnly({{"tiny", {1000, 0.1}}});
+  PerfDiffResult diff =
+      DiffSnapshots(baseline, candidate, PerfDiffOptions{});
+  EXPECT_TRUE(diff.regressions.empty());
+  EXPECT_NE(diff.report.find("below floor"), std::string::npos);
+
+  // Raising the ratio also shields: +50% passes a 100% threshold.
+  MetricsSnapshot b2 = TimersOnly({{"slow", {10, 1.0}}});
+  MetricsSnapshot c2 = TimersOnly({{"slow", {10, 1.5}}});
+  PerfDiffOptions loose;
+  loose.regress_ratio = 1.0;
+  EXPECT_TRUE(DiffSnapshots(b2, c2, loose).regressions.empty());
+}
+
+TEST(DiffSnapshots, HandlesMissingAndNewTimers) {
+  MetricsSnapshot baseline = TimersOnly({{"gone", {10, 1.0}}});
+  MetricsSnapshot candidate = TimersOnly({{"new", {10, 1.0}}});
+  PerfDiffResult diff =
+      DiffSnapshots(baseline, candidate, PerfDiffOptions{});
+  EXPECT_TRUE(diff.regressions.empty());  // neither direction gates
+  EXPECT_NE(diff.report.find("missing in candidate"), std::string::npos);
+  EXPECT_NE(diff.report.find("new in candidate"), std::string::npos);
+  EXPECT_NE(diff.report.find("PASS"), std::string::npos);
+}
+
+TEST(DiffSnapshots, ImprovementIsNotARegression) {
+  MetricsSnapshot baseline = TimersOnly({{"better", {10, 2.0}}});
+  MetricsSnapshot candidate = TimersOnly({{"better", {10, 1.0}}});
+  PerfDiffResult diff =
+      DiffSnapshots(baseline, candidate, PerfDiffOptions{});
+  EXPECT_TRUE(diff.regressions.empty());
+  EXPECT_NE(diff.report.find("improved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gter

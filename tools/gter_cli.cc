@@ -9,6 +9,13 @@
 //       Resolve a CSV dataset; write matched pairs and term weights.
 //   gter_cli evaluate --in data.csv [--sources 1] [--matches out.csv]
 //       Score a match file against the CSV's ground-truth entity column.
+//   gter_cli report run.json
+//       Print a per-stage breakdown of one --metrics_out file.
+//   gter_cli report baseline.json candidate.json [--regress_ratio 0.10]
+//       Diff two --metrics_out files; exit non-zero when a stage timer
+//       regressed past the threshold (the CI perf gate).
+//
+// Every subcommand takes --log_level=debug|info|warning|error.
 //
 // The CSV interchange format is the one SaveDatasetCsv writes:
 //   entity,source,field...
@@ -28,13 +35,31 @@ int Fail(const Status& status) {
   return 1;
 }
 
+void AddLogLevelFlag(FlagSet* flags) {
+  flags->AddString("log_level", "",
+                   "minimum log severity (debug|info|warning|error)");
+}
+
+Status ApplyLogLevelFlag(const FlagSet& flags) {
+  const std::string& text = flags.GetString("log_level");
+  if (text.empty()) return Status::OK();
+  LogLevel level;
+  if (!ParseLogLevel(text, &level)) {
+    return Status::InvalidArgument("unknown --log_level '" + text + "'");
+  }
+  SetLogLevel(level);
+  return Status::OK();
+}
+
 int RunGenerate(int argc, char** argv) {
   FlagSet flags;
   flags.AddString("kind", "restaurant", "restaurant | product | paper");
   flags.AddDouble("scale", 1.0, "dataset scale (1.0 = paper sizes)");
   flags.AddInt("seed", 2018, "generator seed");
   flags.AddString("out", "dataset.csv", "output CSV path");
+  AddLogLevelFlag(&flags);
   Status s = flags.Parse(argc, argv);
+  if (s.ok()) s = ApplyLogLevelFlag(flags);
   if (!s.ok()) return Fail(s);
 
   BenchmarkKind kind;
@@ -72,7 +97,11 @@ int RunResolve(int argc, char** argv) {
   flags.AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
   flags.AddString("metrics_out", "",
                   "output: pipeline metrics JSON (optional)");
+  flags.AddString("trace_out", "",
+                  "output: Chrome/Perfetto trace-event JSON (optional)");
+  AddLogLevelFlag(&flags);
   Status s = flags.Parse(argc, argv);
+  if (s.ok()) s = ApplyLogLevelFlag(flags);
   if (!s.ok()) return Fail(s);
 
   // Install the registry before loading so tokenizer/vocabulary and
@@ -83,6 +112,14 @@ int RunResolve(int argc, char** argv) {
     metrics = std::make_unique<MetricsRegistry>();
     DeclarePipelineMetrics(metrics.get());
     metrics_install.emplace(metrics.get());
+  }
+  // Likewise the trace recorder, so blocking/band spans are captured too.
+  std::unique_ptr<TraceRecorder> trace;
+  std::optional<ScopedTraceInstall> trace_install;
+  if (!flags.GetString("trace_out").empty()) {
+    SetCurrentThreadTraceName("main");
+    trace = std::make_unique<TraceRecorder>();
+    trace_install.emplace(trace.get());
   }
 
   auto loaded = LoadDatasetCsv(flags.GetString("in"), "input",
@@ -136,6 +173,14 @@ int RunResolve(int argc, char** argv) {
     std::printf("metrics written to %s\n",
                 flags.GetString("metrics_out").c_str());
   }
+  if (trace != nullptr) {
+    trace_install.reset();  // stop recording before export
+    write = WriteTraceJson(flags.GetString("trace_out"), *trace);
+    if (!write.ok()) return Fail(write);
+    std::printf("trace written to %s (%zu events, %llu dropped)\n",
+                flags.GetString("trace_out").c_str(), trace->event_count(),
+                static_cast<unsigned long long>(trace->dropped_events()));
+  }
   return 0;
 }
 
@@ -145,7 +190,9 @@ int RunEvaluate(int argc, char** argv) {
   flags.AddInt("sources", 1, "number of sources (1 or 2)");
   flags.AddString("matches", "matches.csv", "match file to score");
   flags.AddDouble("max_df_ratio", 0.12, "frequent-term removal ratio");
+  AddLogLevelFlag(&flags);
   Status s = flags.Parse(argc, argv);
+  if (s.ok()) s = ApplyLogLevelFlag(flags);
   if (!s.ok()) return Fail(s);
 
   auto loaded = LoadDatasetCsv(flags.GetString("in"), "input",
@@ -172,12 +219,53 @@ int RunEvaluate(int argc, char** argv) {
   return 0;
 }
 
+int RunReport(int argc, char** argv) {
+  FlagSet flags;
+  flags.AddDouble("regress_ratio", 0.10,
+                  "diff: mean-seconds growth that counts as a regression");
+  flags.AddDouble("min_seconds", 1e-4,
+                  "diff: baseline means below this never gate");
+  AddLogLevelFlag(&flags);
+  Status s = flags.Parse(argc, argv);
+  if (s.ok()) s = ApplyLogLevelFlag(flags);
+  if (!s.ok()) return Fail(s);
+
+  const auto& paths = flags.positional();
+  if (paths.empty() || paths.size() > 2) {
+    std::fprintf(stderr,
+                 "usage: gter_cli report <metrics.json> [candidate.json] "
+                 "[--regress_ratio R] [--min_seconds S]\n");
+    return 2;
+  }
+
+  auto baseline = MetricsSnapshot::Load(paths[0]);
+  if (!baseline.ok()) return Fail(baseline.status());
+
+  if (paths.size() == 1) {
+    std::printf("run report for %s\n\n%s", paths[0].c_str(),
+                FormatRunReport(baseline.value()).c_str());
+    return 0;
+  }
+
+  auto candidate = MetricsSnapshot::Load(paths[1]);
+  if (!candidate.ok()) return Fail(candidate.status());
+  PerfDiffOptions options;
+  options.regress_ratio = flags.GetDouble("regress_ratio");
+  options.min_seconds = flags.GetDouble("min_seconds");
+  PerfDiffResult diff =
+      DiffSnapshots(baseline.value(), candidate.value(), options);
+  std::printf("%s vs %s\n%s", paths[0].c_str(), paths[1].c_str(),
+              diff.report.c_str());
+  return diff.regressions.empty() ? 0 : 1;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: gter_cli <generate|resolve|evaluate> [flags]\n"
+               "usage: gter_cli <generate|resolve|evaluate|report> [flags]\n"
                "  generate  synthesize a benchmark dataset to CSV\n"
                "  resolve   run unsupervised resolution on a CSV dataset\n"
-               "  evaluate  score a match file against ground truth\n");
+               "  evaluate  score a match file against ground truth\n"
+               "  report    summarize or diff --metrics_out JSON files\n");
   return 2;
 }
 
@@ -191,5 +279,6 @@ int main(int argc, char** argv) {
   if (command == "generate") return gter::RunGenerate(argc - 1, argv + 1);
   if (command == "resolve") return gter::RunResolve(argc - 1, argv + 1);
   if (command == "evaluate") return gter::RunEvaluate(argc - 1, argv + 1);
+  if (command == "report") return gter::RunReport(argc - 1, argv + 1);
   return gter::Usage();
 }
