@@ -8,6 +8,9 @@
 //                        input of `gter_cli report` / tools/perf_gate.sh)
 //   --trace_out=PATH     dump a Chrome/Perfetto trace of the run
 //   --log_level=LEVEL    debug|info|warning|error
+//   --simd=LEVEL         scalar|avx2|auto — caps the dispatch level the
+//                        kernels may use (per-benchmark "simd" args still
+//                        pin each measurement below that cap)
 
 #include <benchmark/benchmark.h>
 
@@ -30,21 +33,56 @@ DenseMatrix RandomMatrix(size_t n, Rng* rng) {
   return m;
 }
 
+// Pins the SIMD level of the benchmark's "simd" argument (0 = scalar,
+// 1 = avx2) for the benchmark's lifetime, or skips the benchmark when the
+// level exceeds what the CPU/build supports — or what a global --simd=
+// cap allows (so `--simd=scalar` runs produce scalar-only timers, directly
+// diffable against pre-SIMD baselines). Each dispatched kernel is
+// benchmarked at every level so the scalar-vs-SIMD ratio is readable from
+// one bench run.
+std::unique_ptr<ScopedSimdLevel> PinSimdLevel(benchmark::State& state,
+                                              int64_t level_arg) {
+  const SimdLevel level = static_cast<SimdLevel>(level_arg);
+  if (level > ActiveSimdLevel()) {
+    state.SkipWithError("SIMD level unavailable (CPU, build, or --simd cap)");
+    return nullptr;
+  }
+  return std::make_unique<ScopedSimdLevel>(level);
+}
+
+const char* GemmTimerName(SimdLevel level) {
+  return level == SimdLevel::kScalar ? "bench/gemm_scalar" : "bench/gemm_avx2";
+}
+
 void BM_Gemm(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
+  auto pin = PinSimdLevel(state, state.range(1));
+  if (pin == nullptr) return;
   Rng rng(1);
   DenseMatrix a = RandomMatrix(n, &rng);
   DenseMatrix b = RandomMatrix(n, &rng);
   DenseMatrix c;
-  for (auto _ : state) {
-    Gemm(a, b, &c);
-    benchmark::DoNotOptimize(c.data());
+  {
+    ScopedTimer timer(MetricsRegistry::Current(),
+                      GemmTimerName(ActiveSimdLevel()),
+                      TraceArg{"n", static_cast<double>(n)});
+    for (auto _ : state) {
+      Gemm(a, b, &c);
+      benchmark::DoNotOptimize(c.data());
+    }
   }
   state.counters["GFLOPS"] = benchmark::Counter(
       2.0 * n * n * n, benchmark::Counter::kIsIterationInvariantRate,
       benchmark::Counter::kIs1000);
 }
-BENCHMARK(BM_Gemm)->Arg(128)->Arg(256)->Arg(512);
+BENCHMARK(BM_Gemm)
+    ->ArgNames({"n", "simd"})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({256, 0})
+    ->Args({256, 1})
+    ->Args({512, 0})
+    ->Args({512, 1});
 
 void BM_MaskedProduct(benchmark::State& state) {
   // Random graph with n nodes and ~8n edges; the CliqueRank inner kernel.
@@ -78,6 +116,8 @@ void BM_MaskedProductCsr(benchmark::State& state) {
   // Same kernel through the CSR-gather path: no n×n scratch, the previous
   // power stays in CSR form.
   size_t n = static_cast<size_t>(state.range(0));
+  auto pin = PinSimdLevel(state, state.range(1));
+  if (pin == nullptr) return;
   Rng rng(2);
   std::vector<CsrMatrix::Triplet> triplets;
   for (uint32_t i = 0; i < n; ++i) {
@@ -93,22 +133,68 @@ void BM_MaskedProductCsr(benchmark::State& state) {
   CsrMatrix pattern = trans;  // same structure
   std::vector<double> values(pattern.nnz(), 0.5);
   std::vector<double> out(pattern.nnz(), 0.0);
-  for (auto _ : state) {
-    ComputeMaskedProductCsr(trans, values.data(), pattern, out.data());
-    benchmark::DoNotOptimize(out.data());
+  {
+    ScopedTimer timer(MetricsRegistry::Current(),
+                      ActiveSimdLevel() == SimdLevel::kScalar
+                          ? "bench/masked_csr_scalar"
+                          : "bench/masked_csr_avx2",
+                      TraceArg{"n", static_cast<double>(n)});
+    for (auto _ : state) {
+      ComputeMaskedProductCsr(trans, values.data(), pattern, out.data());
+      benchmark::DoNotOptimize(out.data());
+    }
   }
   state.counters["edges"] = static_cast<double>(pattern.nnz());
 }
-BENCHMARK(BM_MaskedProductCsr)->Arg(512)->Arg(2048);
+BENCHMARK(BM_MaskedProductCsr)
+    ->ArgNames({"n", "simd"})
+    ->Args({512, 0})
+    ->Args({512, 1})
+    ->Args({2048, 0})
+    ->Args({2048, 1});
+
+// Batch of restaurant-style field pairs: long enough to exercise the DP /
+// bit-parallel cores, small enough to stay cache-resident. One iteration
+// scores the whole corpus, so per-call overhead does not dominate.
+std::vector<std::pair<std::string, std::string>> LevenshteinCorpus() {
+  std::vector<std::pair<std::string, std::string>> corpus;
+  Rng rng(7);
+  const char* bases[] = {
+      "arnie mortons of chicago 435 s la cienega blvd los angeles",
+      "art s delicatessen 12224 ventura blvd studio city",
+      "panasonic pslx350h turntable with usb output and dust cover",
+      "campanile 624 s la brea ave los angeles california american",
+  };
+  for (const char* base : bases) {
+    for (int v = 0; v < 8; ++v) {
+      std::string noisy = base;
+      for (int edits = 0; edits <= v % 4; ++edits) {
+        size_t pos = rng.NextBounded(noisy.size());
+        noisy[pos] = static_cast<char>('a' + rng.NextBounded(26));
+      }
+      corpus.emplace_back(base, noisy);
+    }
+  }
+  return corpus;
+}
 
 void BM_Levenshtein(benchmark::State& state) {
-  std::string a = "arnie mortons of chicago 435 s la cienega blvd";
-  std::string b = "arnie morton s of chicago 435 s la cienega boulevard";
+  auto pin = PinSimdLevel(state, state.range(0));
+  if (pin == nullptr) return;
+  const auto corpus = LevenshteinCorpus();
+  ScopedTimer timer(MetricsRegistry::Current(),
+                    ActiveSimdLevel() == SimdLevel::kScalar
+                        ? "bench/levenshtein_scalar"
+                        : "bench/levenshtein_avx2");
   for (auto _ : state) {
-    benchmark::DoNotOptimize(LevenshteinDistance(a, b));
+    size_t total = 0;
+    for (const auto& [a, b] : corpus) total += LevenshteinDistance(a, b);
+    benchmark::DoNotOptimize(total);
   }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(corpus.size()));
 }
-BENCHMARK(BM_Levenshtein);
+BENCHMARK(BM_Levenshtein)->ArgNames({"simd"})->Arg(0)->Arg(1);
 
 void BM_JaroWinkler(benchmark::State& state) {
   std::string a = "panasonic pslx350h turntable";
@@ -244,6 +330,13 @@ int main(int argc, char** argv) {
         return 1;
       }
       gter::SetLogLevel(level);
+    } else if (std::strncmp(arg, "--simd=", 7) == 0) {
+      gter::SimdLevel level;
+      if (!gter::ParseSimdLevel(arg + 7, &level)) {
+        std::fprintf(stderr, "unknown --simd '%s'\n", arg + 7);
+        return 1;
+      }
+      gter::SetSimdLevel(level);
     } else {
       passthrough.push_back(argv[i]);
     }
@@ -269,6 +362,7 @@ int main(int argc, char** argv) {
     trace = std::make_unique<gter::TraceRecorder>();
     trace_install = std::make_unique<gter::ScopedTraceInstall>(trace.get());
   }
+  gter::EmitCpuInfo(metrics.get(), trace.get());
 
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

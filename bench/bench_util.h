@@ -7,6 +7,7 @@
 //   --scale   dataset scale (1.0 = the paper's sizes; default below)
 //   --seed    generator seed
 //   --threads worker threads for the parallel hot paths (1 = sequential)
+//   --simd    compute-kernel level: scalar | avx2 | auto
 // and prints a paper-style table to stdout. The default scale is reduced
 // so the whole bench suite completes in minutes on a small machine; pass
 // --scale=1 to reproduce the published dataset sizes.
@@ -56,12 +57,16 @@ inline double DecisionF1(const Prepared& p, const std::vector<bool>& matches) {
   return EvaluatePairPredictions(p.pairs, matches, p.labels, p.positives).F1();
 }
 
-/// Parses the standard --scale/--seed/--threads/--metrics_out/--trace_out/
-/// --log_level flags (plus any the caller added) and applies --log_level.
+/// Parses the standard --scale/--seed/--threads/--simd/--metrics_out/
+/// --trace_out/--log_level flags (plus any the caller added) and applies
+/// --log_level and --simd.
 inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
   flags->AddDouble("scale", kDefaultScale, "dataset scale (1.0 = paper size)");
   flags->AddInt("seed", 2018, "generator seed");
   flags->AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
+  flags->AddString("simd", "auto",
+                   "compute kernels: scalar | avx2 | auto (scalar = the "
+                   "determinism reference path)");
   flags->AddString("metrics_out", "",
                    "output: pipeline metrics JSON (optional)");
   flags->AddString("trace_out", "",
@@ -76,6 +81,15 @@ inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
     } else {
       s = Status::InvalidArgument("unknown --log_level '" +
                                   flags->GetString("log_level") + "'");
+    }
+  }
+  if (s.ok()) {
+    SimdLevel level;
+    if (ParseSimdLevel(flags->GetString("simd"), &level)) {
+      SetSimdLevel(level);
+    } else {
+      s = Status::InvalidArgument("unknown --simd '" +
+                                  flags->GetString("simd") + "'");
     }
   }
   if (!s.ok()) {
@@ -122,6 +136,8 @@ class BenchMetricsScope {
       trace_ = std::make_unique<TraceRecorder>();
       trace_install_ = std::make_unique<ScopedTraceInstall>(trace_.get());
     }
+    // Stamp every metrics dump / trace with the compute path that ran.
+    EmitCpuInfo(registry_.get(), trace_.get());
   }
 
   ~BenchMetricsScope() {

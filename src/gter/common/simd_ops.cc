@@ -1,0 +1,45 @@
+#include "gter/common/simd_ops.h"
+
+namespace gter {
+
+double IndexedSumScalar(const double* values, const uint32_t* idx, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += values[idx[i]];
+  return acc;
+}
+
+double IndexedWeightedSumScalar(const double* weights, const double* values,
+                                const uint32_t* idx, size_t n) {
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) acc += weights[idx[i]] * values[idx[i]];
+  return acc;
+}
+
+IndexedSumFn ResolveIndexedSum(SimdLevel level) {
+#if GTER_HAVE_AVX2
+  if (level >= SimdLevel::kAvx2) return internal::IndexedSumAvx2;
+#else
+  (void)level;
+#endif
+  return IndexedSumScalar;
+}
+
+IndexedWeightedSumFn ResolveIndexedWeightedSum(SimdLevel level) {
+#if GTER_HAVE_AVX2
+  if (level >= SimdLevel::kAvx2) return internal::IndexedWeightedSumAvx2;
+#else
+  (void)level;
+#endif
+  return IndexedWeightedSumScalar;
+}
+
+double IndexedSum(const double* values, const uint32_t* idx, size_t n) {
+  return ResolveIndexedSum(ActiveSimdLevel())(values, idx, n);
+}
+
+double IndexedWeightedSum(const double* weights, const double* values,
+                          const uint32_t* idx, size_t n) {
+  return ResolveIndexedWeightedSum(ActiveSimdLevel())(weights, values, idx, n);
+}
+
+}  // namespace gter

@@ -1,0 +1,50 @@
+#ifndef GTER_COMMON_SIMD_OPS_H_
+#define GTER_COMMON_SIMD_OPS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "gter/common/cpu.h"
+
+namespace gter {
+
+/// Dispatched gather-reduce primitives — the inner loops of the ITER
+/// propagation sweeps (and any other adjacency-list accumulation). Each has
+/// a scalar twin that accumulates strictly left-to-right (the exact
+/// pre-SIMD summation) and an AVX2 twin using gathers with multi-
+/// accumulator unrolling, whose reassociated sum agrees with the scalar
+/// one to ≤1e-12 relative error (see DESIGN.md §"SIMD dispatch &
+/// determinism contract"). For a fixed SIMD level both are pure functions
+/// of their inputs — results never depend on thread count or call site.
+
+/// Σ_i values[idx[i]].
+double IndexedSum(const double* values, const uint32_t* idx, size_t n);
+
+/// Σ_i weights[idx[i]] · values[idx[i]] (both arrays share the index).
+double IndexedWeightedSum(const double* weights, const double* values,
+                          const uint32_t* idx, size_t n);
+
+/// Scalar reference twins (always available; what `--simd=scalar` runs).
+double IndexedSumScalar(const double* values, const uint32_t* idx, size_t n);
+double IndexedWeightedSumScalar(const double* weights, const double* values,
+                                const uint32_t* idx, size_t n);
+
+/// Function-pointer resolution for hot loops that want to pay the level
+/// check once per stage instead of once per call.
+using IndexedSumFn = double (*)(const double*, const uint32_t*, size_t);
+using IndexedWeightedSumFn = double (*)(const double*, const double*,
+                                        const uint32_t*, size_t);
+IndexedSumFn ResolveIndexedSum(SimdLevel level);
+IndexedWeightedSumFn ResolveIndexedWeightedSum(SimdLevel level);
+
+namespace internal {
+#if GTER_HAVE_AVX2
+double IndexedSumAvx2(const double* values, const uint32_t* idx, size_t n);
+double IndexedWeightedSumAvx2(const double* weights, const double* values,
+                              const uint32_t* idx, size_t n);
+#endif
+}  // namespace internal
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_SIMD_OPS_H_

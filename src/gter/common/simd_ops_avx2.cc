@@ -1,0 +1,81 @@
+// AVX2 twins of the gather-reduce primitives. This translation unit is the
+// only place the simd_ops kernels use VEX instructions; it is compiled with
+// -mavx2 -mfma and only ever called after the CPUID check in cpu.cc, so the
+// rest of the library keeps the project-wide baseline ISA.
+
+#include "gter/common/simd_ops.h"
+
+#if GTER_HAVE_AVX2
+
+#include <immintrin.h>
+
+namespace gter {
+namespace internal {
+
+namespace {
+
+/// Lane-0..3 + lane-4..7 style horizontal sum of one accumulator vector:
+/// ((v0+v2) + (v1+v3)) — fixed order, independent of call site.
+inline double HorizontalSum(__m256d v) {
+  __m128d lo = _mm256_castpd256_pd128(v);
+  __m128d hi = _mm256_extractf128_pd(v, 1);
+  __m128d pair = _mm_add_pd(lo, hi);          // {v0+v2, v1+v3}
+  __m128d swap = _mm_unpackhi_pd(pair, pair);  // {v1+v3, v1+v3}
+  return _mm_cvtsd_f64(_mm_add_sd(pair, swap));
+}
+
+}  // namespace
+
+double IndexedSumAvx2(const double* values, const uint32_t* idx, size_t n) {
+  // Two independent accumulator chains hide gather latency; the combine
+  // order (acc0+acc1, then lanes, then the scalar tail) is fixed, so the
+  // result is deterministic for a given input.
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    __m128i i1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i + 4));
+    acc0 = _mm256_add_pd(acc0, _mm256_i32gather_pd(values, i0, 8));
+    acc1 = _mm256_add_pd(acc1, _mm256_i32gather_pd(values, i1, 8));
+  }
+  if (i + 4 <= n) {
+    __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc0 = _mm256_add_pd(acc0, _mm256_i32gather_pd(values, i0, 8));
+    i += 4;
+  }
+  double acc = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += values[idx[i]];
+  return acc;
+}
+
+double IndexedWeightedSumAvx2(const double* weights, const double* values,
+                              const uint32_t* idx, size_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    __m128i i1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i + 4));
+    acc0 = _mm256_fmadd_pd(_mm256_i32gather_pd(weights, i0, 8),
+                           _mm256_i32gather_pd(values, i0, 8), acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_i32gather_pd(weights, i1, 8),
+                           _mm256_i32gather_pd(values, i1, 8), acc1);
+  }
+  if (i + 4 <= n) {
+    __m128i i0 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    acc0 = _mm256_fmadd_pd(_mm256_i32gather_pd(weights, i0, 8),
+                           _mm256_i32gather_pd(values, i0, 8), acc0);
+    i += 4;
+  }
+  double acc = HorizontalSum(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += weights[idx[i]] * values[idx[i]];
+  return acc;
+}
+
+}  // namespace internal
+}  // namespace gter
+
+#endif  // GTER_HAVE_AVX2

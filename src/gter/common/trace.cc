@@ -132,6 +132,11 @@ size_t TraceRecorder::event_count() const {
   return total;
 }
 
+void TraceRecorder::AddProcessLabel(std::string label) {
+  std::lock_guard<std::mutex> lock(logs_mutex_);
+  process_labels_.push_back(std::move(label));
+}
+
 uint64_t TraceRecorder::dropped_events() const {
   std::lock_guard<std::mutex> lock(logs_mutex_);
   uint64_t total = 0;
@@ -154,6 +159,19 @@ std::string TraceRecorder::ToChromeJson() const {
   out +=
       "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": 1, \"tid\": 0, "
       "\"args\": {\"name\": \"gter\"}}";
+
+  if (!process_labels_.empty()) {
+    // Chrome's process_labels metadata takes one comma-joined string.
+    comma();
+    out +=
+        "{\"ph\": \"M\", \"name\": \"process_labels\", \"pid\": 1, "
+        "\"tid\": 0, \"args\": {\"labels\": \"";
+    for (size_t i = 0; i < process_labels_.size(); ++i) {
+      if (i != 0) out += ", ";
+      AppendEscaped(&out, process_labels_[i]);
+    }
+    out += "\"}}";
+  }
 
   for (const auto& log : logs_) {
     comma();

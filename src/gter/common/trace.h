@@ -86,6 +86,13 @@ class TraceRecorder {
   /// Spans discarded because a thread's buffer was full.
   uint64_t dropped_events() const;
 
+  /// Attaches a process-level label exported as an "M" (metadata)
+  /// `process_labels` event — the channel run context rides on (active
+  /// SIMD level, detected CPU features, ...). Labels show next to the
+  /// process name in Perfetto. Thread-safe; duplicates are kept in call
+  /// order.
+  void AddProcessLabel(std::string label);
+
   /// Serializes the timeline as Chrome trace-event JSON: an object with a
   /// "traceEvents" array of "X" (complete) events plus "M" (metadata)
   /// thread-name events; "ts"/"dur" are microseconds relative to recorder
@@ -111,6 +118,7 @@ class TraceRecorder {
   const uint64_t epoch_ns_;  // NowNs() at construction; export time base
   mutable std::mutex logs_mutex_;
   std::vector<std::unique_ptr<internal::TraceThreadLog>> logs_;
+  std::vector<std::string> process_labels_;  // guarded by logs_mutex_
 };
 
 /// Installs `recorder` as the process-global current recorder for the

@@ -1,24 +1,65 @@
 #include "gter/core/iter.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "gter/common/random.h"
+#include "gter/common/simd_ops.h"
 #include "gter/common/status.h"
 
 namespace gter {
 namespace {
 
-void Normalize(std::vector<double>* x, IterNormalization kind) {
+// Chunk width for the parallel reductions (convergence delta, L2 norm).
+// Chunk boundaries are a function of this constant alone — never of the
+// thread count — and partials are combined serially in chunk order, so the
+// reduced value is bit-identical whether the pool has 0 or 64 workers.
+constexpr size_t kReduceChunk = 4096;
+
+/// Σ_i f(x[i]) over [0, n) via fixed-width chunks; `f` must be pure.
+template <typename PerElement>
+double ChunkedSum(ThreadPool* pool, size_t n, PerElement f) {
+  const size_t num_chunks = (n + kReduceChunk - 1) / kReduceChunk;
+  if (num_chunks <= 1) {
+    double acc = 0.0;
+    for (size_t i = 0; i < n; ++i) acc += f(i);
+    return acc;
+  }
+  std::vector<double> partial(num_chunks, 0.0);
+  ParallelFor(pool, 0, num_chunks, /*grain=*/1, [&](size_t lo, size_t hi) {
+    for (size_t chunk = lo; chunk < hi; ++chunk) {
+      const size_t begin = chunk * kReduceChunk;
+      const size_t end = std::min(begin + kReduceChunk, n);
+      double acc = 0.0;
+      for (size_t i = begin; i < end; ++i) acc += f(i);
+      partial[chunk] = acc;
+    }
+  });
+  double total = 0.0;
+  for (double p : partial) total += p;
+  return total;
+}
+
+void Normalize(std::vector<double>* x, IterNormalization kind,
+               ThreadPool* pool, size_t grain) {
   if (kind == IterNormalization::kLogistic) {
     // x/(1+x) is the division-safe form of the paper's 1/(1 + 1/x).
-    for (double& v : *x) v = v / (1.0 + v);
+    // Elementwise, so the parallel version is trivially bit-identical.
+    ParallelFor(pool, 0, x->size(), grain, [&](size_t lo, size_t hi) {
+      for (size_t i = lo; i < hi; ++i) {
+        (*x)[i] = (*x)[i] / (1.0 + (*x)[i]);
+      }
+    });
     return;
   }
-  double norm_sq = 0.0;
-  for (double v : *x) norm_sq += v * v;
+  const double* v = x->data();
+  double norm_sq =
+      ChunkedSum(pool, x->size(), [v](size_t i) { return v[i] * v[i]; });
   if (norm_sq <= 0.0) return;
-  double inv = 1.0 / std::sqrt(norm_sq);
-  for (double& v : *x) v *= inv;
+  const double inv = 1.0 / std::sqrt(norm_sq);
+  ParallelFor(pool, 0, x->size(), grain, [&](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) (*x)[i] *= inv;
+  });
 }
 
 }  // namespace
@@ -49,7 +90,12 @@ IterResult RunIter(const BipartiteGraph& graph,
   // Both sweeps are gather-style — every output element reads only from the
   // previous phase's vector and accumulates its own adjacency in storage
   // order — so the parallel chunks are independent and bit-identical to the
-  // serial sweep.
+  // serial sweep. The accumulations run through the dispatched gather-reduce
+  // primitives: resolved once here, on the calling thread, so a level change
+  // mid-run can never mix kernels within one sweep.
+  const IndexedSumFn indexed_sum = ResolveIndexedSum(ActiveSimdLevel());
+  const IndexedWeightedSumFn weighted_sum =
+      ResolveIndexedWeightedSum(ActiveSimdLevel());
   ThreadPool* pool = options.pool;
   const size_t grain = options.grain;
   for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
@@ -60,9 +106,8 @@ IterResult RunIter(const BipartiteGraph& graph,
     // Lines 3–4: s(r_i, r_j) ← Σ_{t shared} x_t.
     ParallelFor(pool, 0, num_pairs, grain, [&](size_t lo, size_t hi) {
       for (PairId p = lo; p < hi; ++p) {
-        double acc = 0.0;
-        for (TermId t : graph.TermsOfPair(p)) acc += x[t];
-        s[p] = acc;
+        auto terms = graph.TermsOfPair(p);
+        s[p] = indexed_sum(x.data(), terms.data(), terms.size());
       }
     });
 
@@ -74,17 +119,19 @@ IterResult RunIter(const BipartiteGraph& graph,
           x[t] = 0.0;
           continue;
         }
-        double acc = 0.0;
-        for (PairId p : adjacent) acc += edge_probability[p] * s[p];
-        x[t] = acc / graph.Pt(t);
+        x[t] = weighted_sum(edge_probability.data(), s.data(), adjacent.data(),
+                            adjacent.size()) /
+               graph.Pt(t);
       }
     });
 
     // Line 7: normalization keeps the additive rule bounded.
-    Normalize(&x, options.normalization);
+    Normalize(&x, options.normalization, pool, grain);
 
-    double change = 0.0;
-    for (size_t t = 0; t < num_terms; ++t) change += std::fabs(x[t] - x_prev[t]);
+    const double* xp = x.data();
+    const double* xq = x_prev.data();
+    double change = ChunkedSum(
+        pool, num_terms, [xp, xq](size_t i) { return std::fabs(xp[i] - xq[i]); });
     if (options.track_convergence) result.update_trace.push_back(change);
     if (metrics != nullptr) {
       metrics->AddCounter("iter/sweeps");
@@ -103,9 +150,8 @@ IterResult RunIter(const BipartiteGraph& graph,
   // Final pair scores from the converged weights.
   ParallelFor(pool, 0, num_pairs, grain, [&](size_t lo, size_t hi) {
     for (PairId p = lo; p < hi; ++p) {
-      double acc = 0.0;
-      for (TermId t : graph.TermsOfPair(p)) acc += x[t];
-      s[p] = acc;
+      auto terms = graph.TermsOfPair(p);
+      s[p] = indexed_sum(x.data(), terms.data(), terms.size());
     }
   });
   return result;

@@ -18,6 +18,7 @@
 ///   // result.matches[p] — decision for candidate pair p
 ///   // result.pair_probability[p] — matching probability in [0, 1]
 
+#include "gter/common/cpu.h"
 #include "gter/common/flags.h"
 #include "gter/common/json.h"
 #include "gter/common/logging.h"

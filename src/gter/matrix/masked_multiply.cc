@@ -2,7 +2,9 @@
 
 #include <vector>
 
+#include "gter/common/cpu.h"
 #include "gter/common/status.h"
+#include "gter/matrix/matrix_simd.h"
 
 namespace gter {
 
@@ -11,6 +13,13 @@ void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
                           ThreadPool* pool) {
   GTER_CHECK(trans.rows() == pattern.rows());
   GTER_CHECK(trans.cols() == pattern.rows());
+#if GTER_HAVE_AVX2
+  if (ActiveSimdLevel() >= SimdLevel::kAvx2) {
+    internal::MaskedProductDenseAvx2(trans, prev_dense, pattern, out_values,
+                                     pool);
+    return;
+  }
+#endif
   const size_t n = pattern.cols();
   ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo, size_t hi) {
     for (size_t i = lo; i < hi; ++i) {
@@ -38,6 +47,13 @@ void ComputeMaskedProductCsr(const CsrMatrix& trans,
                              ThreadPool* pool) {
   GTER_CHECK(trans.rows() == pattern.rows());
   GTER_CHECK(trans.cols() == pattern.rows());
+#if GTER_HAVE_AVX2
+  if (ActiveSimdLevel() >= SimdLevel::kAvx2) {
+    internal::MaskedProductCsrAvx2(trans, prev_values, pattern, out_values,
+                                   pool);
+    return;
+  }
+#endif
   const size_t n = pattern.cols();
   ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo, size_t hi) {
     // Dense row accumulator, reused (and re-zeroed) across the chunk's

@@ -1,0 +1,116 @@
+// AVX2 twins of the masked-product kernels. Both carry a stricter contract
+// than the packed GEMM: outputs are BIT-IDENTICAL to their scalar twins
+// (and hence to each other — cliquerank_differential_test asserts the two
+// masked kernels agree with ASSERT_EQ). The dense variant achieves this by
+// vectorizing ACROSS output entries — each lane runs the exact scalar
+// per-entry recurrence (separate mul then add, ascending k, no FMA). The
+// CSR variant vectorizes only the multiply of the Gustavson scatter (exact
+// per lane) and the position read-out (a copy); the adds into the dense
+// accumulator stay scalar in the original order.
+
+#include "gter/matrix/matrix_simd.h"
+
+#if GTER_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace gter {
+namespace internal {
+
+void MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
+                            const CsrMatrix& pattern, double* out_values,
+                            ThreadPool* pool) {
+  const size_t n = pattern.cols();
+  ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
+                                                        size_t hi) {
+    for (size_t i = lo; i < hi; ++i) {
+      auto pat_cols = pattern.RowCols(i);
+      if (pat_cols.empty()) continue;
+      auto t_cols = trans.RowCols(i);
+      auto t_vals = trans.RowValues(i);
+      const size_t base = pattern.RowStart(i);
+      size_t e = 0;
+      for (; e + 4 <= pat_cols.size(); e += 4) {
+        const __m128i cols = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(pat_cols.data() + e));
+        __m256d acc = _mm256_setzero_pd();
+        for (size_t p = 0; p < t_cols.size(); ++p) {
+          const double* prev_row =
+              prev_dense + static_cast<size_t>(t_cols[p]) * n;
+          const __m256d v = _mm256_i32gather_pd(prev_row, cols, 8);
+          // mul + add (not fmadd): each lane reproduces the scalar
+          // `acc += w * prev[k·n + j]` bit for bit.
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(t_vals[p]), v));
+        }
+        _mm256_storeu_pd(out_values + base + e, acc);
+      }
+      for (; e < pat_cols.size(); ++e) {
+        const size_t j = pat_cols[e];
+        double acc = 0.0;
+        for (size_t p = 0; p < t_cols.size(); ++p) {
+          acc += t_vals[p] * prev_dense[static_cast<size_t>(t_cols[p]) * n + j];
+        }
+        out_values[base + e] = acc;
+      }
+    }
+  });
+}
+
+void MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
+                          const CsrMatrix& pattern, double* out_values,
+                          ThreadPool* pool) {
+  const size_t n = pattern.cols();
+  ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
+                                                        size_t hi) {
+    std::vector<double> acc(n, 0.0);
+    for (size_t i = lo; i < hi; ++i) {
+      auto pat_cols = pattern.RowCols(i);
+      if (pat_cols.empty()) continue;
+      auto t_cols = trans.RowCols(i);
+      auto t_vals = trans.RowValues(i);
+      for (size_t p = 0; p < t_cols.size(); ++p) {
+        const size_t k = t_cols[p];
+        const __m256d w = _mm256_set1_pd(t_vals[p]);
+        auto prev_cols = pattern.RowCols(k);
+        const double* pv = prev_values + pattern.RowStart(k);
+        size_t e = 0;
+        alignas(32) double prod[4];
+        for (; e + 4 <= prev_cols.size(); e += 4) {
+          // The products are exact per lane; the adds scatter to distinct
+          // columns (pattern rows have unique sorted cols), so doing them
+          // scalar keeps the accumulator bit-identical to the scalar twin.
+          _mm256_store_pd(prod, _mm256_mul_pd(w, _mm256_loadu_pd(pv + e)));
+          acc[prev_cols[e + 0]] += prod[0];
+          acc[prev_cols[e + 1]] += prod[1];
+          acc[prev_cols[e + 2]] += prod[2];
+          acc[prev_cols[e + 3]] += prod[3];
+        }
+        for (; e < prev_cols.size(); ++e) {
+          acc[prev_cols[e]] += t_vals[p] * pv[e];
+        }
+      }
+      const size_t base = pattern.RowStart(i);
+      size_t e = 0;
+      for (; e + 4 <= pat_cols.size(); e += 4) {
+        const __m128i cols = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(pat_cols.data() + e));
+        _mm256_storeu_pd(out_values + base + e,
+                         _mm256_i32gather_pd(acc.data(), cols, 8));
+      }
+      for (; e < pat_cols.size(); ++e) {
+        out_values[base + e] = acc[pat_cols[e]];
+      }
+      for (size_t p = 0; p < t_cols.size(); ++p) {
+        for (uint32_t c : pattern.RowCols(t_cols[p])) acc[c] = 0.0;
+      }
+    }
+  });
+}
+
+}  // namespace internal
+}  // namespace gter
+
+#endif  // GTER_HAVE_AVX2

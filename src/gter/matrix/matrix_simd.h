@@ -1,0 +1,43 @@
+#ifndef GTER_MATRIX_MATRIX_SIMD_H_
+#define GTER_MATRIX_MATRIX_SIMD_H_
+
+// Internal declarations of the AVX2 matrix kernels (gemm_avx2.cc,
+// masked_multiply_avx2.cc). Only the dispatchers in gemm.cc and
+// masked_multiply.cc include this; the public API stays in gemm.h /
+// masked_multiply.h.
+
+#include "gter/common/cpu.h"
+#include "gter/common/thread_pool.h"
+#include "gter/matrix/csr_matrix.h"
+#include "gter/matrix/dense_matrix.h"
+
+namespace gter {
+namespace internal {
+
+#if GTER_HAVE_AVX2
+
+/// BLIS-style packed GEMM: C += A×B with B packed into kc×8 panels, A into
+/// 4-row micropanels, and a register-blocked 4×8 FMA microkernel.
+/// `c` must already hold the desired initial value (the dispatcher zeroes
+/// it). Parallelized over 64-row blocks of A via `pool`.
+void GemmPackedAvx2(const DenseMatrix& a, const DenseMatrix& b,
+                    DenseMatrix* c, ThreadPool* pool);
+
+/// AVX2 twin of ComputeMaskedProduct: 4 pattern entries per vector, the
+/// k-reduction per entry kept in scalar order (mul then add per step), so
+/// outputs are bit-identical to the scalar kernel.
+void MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
+                            const CsrMatrix& pattern, double* out_values,
+                            ThreadPool* pool);
+
+/// AVX2 twin of ComputeMaskedProductCsr; same bit-identical contract.
+void MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
+                          const CsrMatrix& pattern, double* out_values,
+                          ThreadPool* pool);
+
+#endif  // GTER_HAVE_AVX2
+
+}  // namespace internal
+}  // namespace gter
+
+#endif  // GTER_MATRIX_MATRIX_SIMD_H_

@@ -16,8 +16,22 @@ namespace gter {
 /// edit counts.
 
 /// Levenshtein edit distance (insert/delete/substitute, unit costs).
-/// O(|a|·|b|) time, O(min(|a|,|b|)) space.
+/// Dispatches on the active SIMD level: `--simd=scalar` pins the classic
+/// row DP (`LevenshteinDistanceDp`), anything above runs Myers' bit-parallel
+/// algorithm (`LevenshteinDistanceMyers`). The two return identical
+/// distances by construction — Myers computes the same DP, 64 cells per
+/// word — which the "simd"-labelled property tests enforce over randomized
+/// byte strings.
 size_t LevenshteinDistance(std::string_view a, std::string_view b);
+
+/// Classic row DP: O(|a|·|b|) time, O(min(|a|,|b|)) space. The scalar
+/// reference implementation.
+size_t LevenshteinDistanceDp(std::string_view a, std::string_view b);
+
+/// Myers/Hyyrö bit-parallel edit distance: O(|a|·⌈|b|/64⌉) time. Matches
+/// bytes (so it agrees with the DP on any input, UTF-8 included — both
+/// count byte edits).
+size_t LevenshteinDistanceMyers(std::string_view a, std::string_view b);
 
 /// 1 - distance / max(|a|, |b|); 1.0 for two empty strings.
 double LevenshteinSimilarity(std::string_view a, std::string_view b);
@@ -28,6 +42,17 @@ double JaroSimilarity(std::string_view a, std::string_view b);
 /// Jaro–Winkler similarity with prefix scale (default 0.1, max prefix 4).
 double JaroWinklerSimilarity(std::string_view a, std::string_view b,
                              double prefix_scale = 0.1);
+
+/// Batched Jaro–Winkler: out[j] = JaroWinklerSimilarity(a, b[j]). One
+/// internal match-flag scratch is reused across the whole batch, replacing
+/// the two `vector<bool>` allocations the per-call entry point pays per
+/// comparison. Results are bit-identical to the per-call function; this is
+/// what the token-set metrics (Monge–Elkan, SoftTFIDF) and pair scoring
+/// call in their best-match inner loops. `out` is resized to b.size().
+void JaroWinklerSimilarityBatch(std::string_view a,
+                                const std::vector<std::string>& b,
+                                std::vector<double>* out,
+                                double prefix_scale = 0.1);
 
 /// Token-set Jaccard similarity |A∩B| / |A∪B|; 1.0 for two empty sets.
 /// Token vectors MUST be sorted and deduplicated (Dataset stores them so).

@@ -1,0 +1,426 @@
+// SIMD-vs-scalar differential tests for the dispatched compute core:
+// packed GEMM (≤1e-12 relative, FMA-reassociated), the masked-product
+// kernels (bitwise — they share the scalar summation order), the
+// gather-reduce primitives behind the ITER sweeps, the batched
+// Jaro-Winkler (bitwise), the end-to-end RunIter, and the dispatch
+// machinery itself. AVX2-dependent cases GTEST_SKIP on machines or builds
+// without the level, so the suite passes everywhere.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gter/common/cpu.h"
+#include "gter/common/metrics.h"
+#include "gter/common/random.h"
+#include "gter/common/simd_ops.h"
+#include "gter/common/thread_pool.h"
+#include "gter/common/trace.h"
+#include "gter/core/iter.h"
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+#include "gter/graph/bipartite_graph.h"
+#include "gter/matrix/csr_matrix.h"
+#include "gter/matrix/gemm.h"
+#include "gter/matrix/masked_multiply.h"
+#include "gter/text/string_metrics.h"
+
+namespace gter {
+namespace {
+
+bool Avx2Available() { return DetectSimdLevel() >= SimdLevel::kAvx2; }
+
+// ---------------------------------------------------------------------------
+// Dispatch machinery.
+
+TEST(SimdDispatch, ParseSimdLevel) {
+  SimdLevel level;
+  ASSERT_TRUE(ParseSimdLevel("scalar", &level));
+  EXPECT_EQ(level, SimdLevel::kScalar);
+  ASSERT_TRUE(ParseSimdLevel("avx2", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx2);
+  ASSERT_TRUE(ParseSimdLevel("auto", &level));
+  EXPECT_EQ(level, DetectSimdLevel());
+  EXPECT_FALSE(ParseSimdLevel("sse9", &level));
+  EXPECT_FALSE(ParseSimdLevel("", &level));
+}
+
+TEST(SimdDispatch, LevelNamesRoundTrip) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, ScopedLevelRestores) {
+  const SimdLevel before = ActiveSimdLevel();
+  {
+    ScopedSimdLevel scoped(SimdLevel::kScalar);
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  }
+  EXPECT_EQ(ActiveSimdLevel(), before);
+}
+
+TEST(SimdDispatch, SetSimdLevelClampsToDetected) {
+  const SimdLevel before = ActiveSimdLevel();
+  SetSimdLevel(SimdLevel::kAvx2);
+  // Requesting avx2 on a scalar-only machine degrades instead of crashing.
+  EXPECT_LE(ActiveSimdLevel(), DetectSimdLevel());
+  SetSimdLevel(before);
+}
+
+TEST(SimdDispatch, CpuFeaturesSane) {
+  const CpuFeatures& f = DetectCpuFeatures();
+#if defined(__x86_64__) || defined(_M_X64)
+  EXPECT_TRUE(f.sse2);  // x86-64 baseline
+#endif
+  // avx2 without avx would mean the XGETBV OS check is wrong.
+  if (f.avx2) {
+    EXPECT_TRUE(f.avx);
+  }
+  EXPECT_FALSE(CpuFeatureString().empty());
+}
+
+TEST(SimdDispatch, EmitCpuInfoRecordsGaugesAndTraceLabel) {
+  MetricsRegistry metrics;
+  TraceRecorder trace;
+  EmitCpuInfo(&metrics, &trace);
+  const CpuFeatures& f = DetectCpuFeatures();
+  EXPECT_EQ(metrics.Gauge("cpu/avx2"), f.avx2 ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.Gauge("cpu/fma"), f.fma ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.Gauge("simd/level"),
+            static_cast<double>(ActiveSimdLevel()));
+  const std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("process_labels"), std::string::npos);
+  EXPECT_NE(json.find("simd="), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Gather-reduce primitives (the ITER sweep inner loops).
+
+class IndexedSumDifferential : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(IndexedSumDifferential, Avx2MatchesScalarWithinTolerance) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2";
+  const size_t n = GetParam();
+  Rng rng(n * 7 + 1);
+  std::vector<double> values(1000);
+  std::vector<double> weights(1000);
+  for (double& v : values) v = rng.UniformDouble(-1.0, 1.0);
+  for (double& w : weights) w = rng.UniformDouble(0.0, 1.0);
+  std::vector<uint32_t> idx(n);
+  for (uint32_t& i : idx) i = static_cast<uint32_t>(rng.NextBounded(1000));
+
+  const IndexedSumFn simd_sum = ResolveIndexedSum(SimdLevel::kAvx2);
+  const IndexedWeightedSumFn simd_wsum =
+      ResolveIndexedWeightedSum(SimdLevel::kAvx2);
+  ASSERT_NE(simd_sum, &IndexedSumScalar);
+
+  const double ref = IndexedSumScalar(values.data(), idx.data(), n);
+  const double got = simd_sum(values.data(), idx.data(), n);
+  EXPECT_NEAR(got, ref, 1e-12 * std::max(1.0, std::fabs(ref))) << "n=" << n;
+
+  const double wref =
+      IndexedWeightedSumScalar(weights.data(), values.data(), idx.data(), n);
+  const double wgot = simd_wsum(weights.data(), values.data(), idx.data(), n);
+  EXPECT_NEAR(wgot, wref, 1e-12 * std::max(1.0, std::fabs(wref))) << "n=" << n;
+}
+
+// Sizes cover the scalar tail (<4), one vector, the unroll-by-8 main loop,
+// and every remainder class mod 8.
+INSTANTIATE_TEST_SUITE_P(Sizes, IndexedSumDifferential,
+                         ::testing::Values(0, 1, 3, 4, 5, 7, 8, 9, 12, 15, 16,
+                                           33, 100, 1000));
+
+TEST(IndexedSum, ScalarResolutionIsTheReferenceFunction) {
+  EXPECT_EQ(ResolveIndexedSum(SimdLevel::kScalar), &IndexedSumScalar);
+  EXPECT_EQ(ResolveIndexedWeightedSum(SimdLevel::kScalar),
+            &IndexedWeightedSumScalar);
+}
+
+// ---------------------------------------------------------------------------
+// Packed GEMM.
+
+DenseMatrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  DenseMatrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->UniformDouble(-1.0, 1.0);
+  }
+  return m;
+}
+
+void ExpectGemmClose(const DenseMatrix& ref, const DenseMatrix& got) {
+  ASSERT_EQ(ref.rows(), got.rows());
+  ASSERT_EQ(ref.cols(), got.cols());
+  for (size_t r = 0; r < ref.rows(); ++r) {
+    for (size_t c = 0; c < ref.cols(); ++c) {
+      const double tolerance =
+          1e-12 * std::max(1.0, std::fabs(ref(r, c)));
+      ASSERT_NEAR(got(r, c), ref(r, c), tolerance) << "at (" << r << ", " << c
+                                                   << ")";
+    }
+  }
+}
+
+// (m, k, n) shapes straddling every packing edge: the 4-row micropanel, the
+// 8-column panel, the 64-row MC block, and the 256-deep KC slab.
+class GemmDifferential
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, size_t>> {};
+
+TEST_P(GemmDifferential, PackedAvx2MatchesScalarWithinTolerance) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2";
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 131 + k * 17 + n);
+  DenseMatrix a = RandomMatrix(m, k, &rng);
+  DenseMatrix b = RandomMatrix(k, n, &rng);
+
+  DenseMatrix ref, got;
+  {
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    Gemm(a, b, &ref);
+  }
+  {
+    ScopedSimdLevel avx2(SimdLevel::kAvx2);
+    Gemm(a, b, &got);
+  }
+  ExpectGemmClose(ref, got);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmDifferential,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 7),
+                      std::make_tuple(4, 8, 8), std::make_tuple(5, 9, 17),
+                      std::make_tuple(63, 64, 65), std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 257, 9), std::make_tuple(70, 31, 70),
+                      std::make_tuple(130, 300, 66)));
+
+TEST(GemmSimd, SparseRowsSurviveThePanelSkip) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2";
+  // Rows 0-3 all zero, row 4 dense: the all-zero micropanel must be
+  // skipped without corrupting C, and the mixed panel must still compute.
+  Rng rng(5);
+  DenseMatrix a(9, 300, 0.0);
+  for (size_t c = 0; c < 300; ++c) a(4, c) = rng.UniformDouble(-1.0, 1.0);
+  for (size_t c = 0; c < 300; c += 3) a(8, c) = rng.UniformDouble(-1.0, 1.0);
+  DenseMatrix b = RandomMatrix(300, 33, &rng);
+  DenseMatrix ref, got;
+  {
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    Gemm(a, b, &ref);
+  }
+  {
+    ScopedSimdLevel avx2(SimdLevel::kAvx2);
+    Gemm(a, b, &got);
+  }
+  ExpectGemmClose(ref, got);
+  for (size_t c = 0; c < 33; ++c) ASSERT_EQ(got(0, c), 0.0);
+}
+
+TEST(GemmSimd, PackedKernelIsThreadCountInvariant) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2";
+  Rng rng(9);
+  DenseMatrix a = RandomMatrix(150, 90, &rng);
+  DenseMatrix b = RandomMatrix(90, 70, &rng);
+  ScopedSimdLevel avx2(SimdLevel::kAvx2);
+  DenseMatrix serial, parallel;
+  Gemm(a, b, &serial);
+  ThreadPool pool(4);
+  Gemm(a, b, &parallel, &pool);
+  // Row blocks are computed independently with a fixed k-order, so the
+  // pool changes nothing — bit for bit.
+  EXPECT_EQ(serial.MaxAbsDiff(parallel), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Masked-product kernels: bitwise contract.
+
+CsrMatrix ErdosRenyiCsr(size_t n, size_t edges_per_node, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<CsrMatrix::Triplet> triplets;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (size_t e = 0; e < edges_per_node; ++e) {
+      uint32_t j = static_cast<uint32_t>(rng.NextBounded(n));
+      if (j == i) continue;
+      triplets.push_back({i, j, rng.OpenUniformDouble()});
+      triplets.push_back({j, i, rng.OpenUniformDouble()});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, triplets);
+}
+
+class MaskedProductDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MaskedProductDifferential, Avx2MatchesScalarBitwise) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2";
+  const uint64_t seed = GetParam();
+  const size_t n = 400;
+  CsrMatrix trans = ErdosRenyiCsr(n, 6, seed);
+  trans.NormalizeRows();
+  CsrMatrix pattern = trans;  // same structure
+  Rng rng(seed + 99);
+  std::vector<double> prev(pattern.nnz());
+  for (double& v : prev) v = rng.OpenUniformDouble();
+  std::vector<double> dense(n * n, 0.0);
+  ScatterToDense(pattern, prev.data(), dense.data());
+
+  std::vector<double> ref_dense(pattern.nnz()), got_dense(pattern.nnz());
+  std::vector<double> ref_csr(pattern.nnz()), got_csr(pattern.nnz());
+  {
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    ComputeMaskedProduct(trans, dense.data(), pattern, ref_dense.data());
+    ComputeMaskedProductCsr(trans, prev.data(), pattern, ref_csr.data());
+  }
+  {
+    ScopedSimdLevel avx2(SimdLevel::kAvx2);
+    ComputeMaskedProduct(trans, dense.data(), pattern, got_dense.data());
+    ComputeMaskedProductCsr(trans, prev.data(), pattern, got_csr.data());
+  }
+  // The AVX2 twins preserve the scalar per-entry summation order exactly
+  // (no FMA, lane == entry), so equality is exact, keeping the existing
+  // dense-vs-CSR ASSERT_EQ contract intact at every dispatch level.
+  for (size_t e = 0; e < pattern.nnz(); ++e) {
+    ASSERT_EQ(got_dense[e], ref_dense[e]) << "dense kernel entry " << e;
+    ASSERT_EQ(got_csr[e], ref_csr[e]) << "csr kernel entry " << e;
+    ASSERT_EQ(got_csr[e], got_dense[e]) << "cross-kernel entry " << e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaskedProductDifferential,
+                         ::testing::Values(11, 12, 13));
+
+// ---------------------------------------------------------------------------
+// RunIter end-to-end.
+
+struct IterWorld {
+  Dataset ds{"test"};
+  PairSpace pairs;
+  BipartiteGraph graph;
+  std::vector<double> probability;
+
+  /// Synthetic records of random tokens: adjacency sizes vary, so both the
+  /// gather-reduce tails and main loops run. Scale `num_records`/`vocab`
+  /// up to push num_terms past one reduction chunk (4096).
+  explicit IterWorld(uint64_t seed, size_t num_records = 60,
+                     size_t vocab = 150) {
+    Rng rng(seed);
+    for (size_t r = 0; r < num_records; ++r) {
+      std::string text;
+      const size_t k = 2 + rng.NextBounded(10);
+      for (size_t t = 0; t < k; ++t) {
+        if (!text.empty()) text += ' ';
+        text += 't';
+        text += std::to_string(rng.NextBounded(vocab));
+      }
+      ds.AddRecord(0, text);
+    }
+    pairs = PairSpace::Build(ds);
+    graph = BipartiteGraph::Build(ds, pairs);
+    probability.resize(pairs.size());
+    for (double& p : probability) p = rng.UniformDouble();
+  }
+};
+
+TEST(IterSimd, SimdRunMatchesScalarRunWithinTolerance) {
+  if (!Avx2Available()) GTEST_SKIP() << "no AVX2";
+  IterWorld world(42);
+  IterOptions options;
+  options.max_iterations = 30;
+  IterResult ref, got;
+  {
+    ScopedSimdLevel scalar(SimdLevel::kScalar);
+    ref = RunIter(world.graph, world.probability, options);
+  }
+  {
+    ScopedSimdLevel avx2(SimdLevel::kAvx2);
+    got = RunIter(world.graph, world.probability, options);
+  }
+  ASSERT_EQ(ref.term_weights.size(), got.term_weights.size());
+  for (size_t t = 0; t < ref.term_weights.size(); ++t) {
+    EXPECT_NEAR(got.term_weights[t], ref.term_weights[t], 1e-10) << t;
+  }
+  for (size_t p = 0; p < ref.pair_scores.size(); ++p) {
+    EXPECT_NEAR(got.pair_scores[p], ref.pair_scores[p], 1e-10) << p;
+  }
+}
+
+TEST(IterSimd, PoolRunIsBitIdenticalAtEveryLevel) {
+  IterWorld world(7);
+  IterOptions serial_options;
+  serial_options.max_iterations = 20;
+  IterOptions pool_options = serial_options;
+  ThreadPool pool(4);
+  pool_options.pool = &pool;
+  for (SimdLevel level : {SimdLevel::kScalar, DetectSimdLevel()}) {
+    ScopedSimdLevel scoped(level);
+    IterResult serial = RunIter(world.graph, world.probability,
+                                serial_options);
+    IterResult parallel = RunIter(world.graph, world.probability,
+                                  pool_options);
+    // Sweeps are gather-style and the chunked reductions have fixed
+    // boundaries, so thread count changes nothing — bit for bit.
+    EXPECT_EQ(serial.term_weights, parallel.term_weights)
+        << "level " << SimdLevelName(level);
+    EXPECT_EQ(serial.pair_scores, parallel.pair_scores)
+        << "level " << SimdLevelName(level);
+    EXPECT_EQ(serial.iterations, parallel.iterations);
+  }
+}
+
+TEST(IterSimd, L2NormalizationParallelReductionIsDeterministic) {
+  IterWorld world(13);
+  IterOptions options;
+  options.normalization = IterNormalization::kL2;
+  options.max_iterations = 15;
+  ThreadPool pool(3);
+  IterResult serial = RunIter(world.graph, world.probability, options);
+  options.pool = &pool;
+  IterResult parallel = RunIter(world.graph, world.probability, options);
+  EXPECT_EQ(serial.term_weights, parallel.term_weights);
+}
+
+TEST(IterSimd, MultiChunkReductionsAreThreadCountInvariant) {
+  // Enough distinct terms that the convergence-delta / L2-norm reductions
+  // span several 4096-wide chunks — the parallel partial-sum path proper.
+  IterWorld world(29, /*num_records=*/1200, /*vocab=*/12000);
+  ASSERT_GT(world.graph.num_terms(), 4096u);
+  IterOptions options;
+  options.normalization = IterNormalization::kL2;
+  options.max_iterations = 3;
+  options.tolerance = 0.0;
+  IterResult serial = RunIter(world.graph, world.probability, options);
+  ThreadPool pool(5);
+  options.pool = &pool;
+  IterResult parallel = RunIter(world.graph, world.probability, options);
+  EXPECT_EQ(serial.term_weights, parallel.term_weights);
+  EXPECT_EQ(serial.pair_scores, parallel.pair_scores);
+}
+
+// ---------------------------------------------------------------------------
+// Batched Jaro-Winkler.
+
+TEST(JaroWinklerBatch, BitIdenticalToPerCallEntryPoint) {
+  const std::vector<std::string> candidates = {
+      "",           "arnie",     "arnie mortons", "morton arnies",
+      "campanile",  "champagne", "panasonic",     "pansonic",
+      "x",          "arnie mortons of chicago 435 s la cienega blvd"};
+  std::vector<double> batch;
+  for (const char* query :
+       {"arnie mortons", "campanile", "", "z", "panasonic pslx350h"}) {
+    JaroWinklerSimilarityBatch(query, candidates, &batch);
+    ASSERT_EQ(batch.size(), candidates.size());
+    for (size_t j = 0; j < candidates.size(); ++j) {
+      ASSERT_EQ(batch[j], JaroWinklerSimilarity(query, candidates[j]))
+          << "query '" << query << "' candidate " << j;
+    }
+  }
+}
+
+TEST(JaroWinklerBatch, EmptyCandidateList) {
+  std::vector<double> out(3, -1.0);
+  JaroWinklerSimilarityBatch("abc", {}, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace gter

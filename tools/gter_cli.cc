@@ -6,7 +6,10 @@
 //       Synthesize a benchmark dataset (with ground truth) to CSV.
 //   gter_cli resolve --in data.csv [--sources 1] [--eta 0.98]
 //                    [--rounds 5] [--matches out.csv] [--weights w.csv]
+//                    [--simd scalar|avx2|auto]
 //       Resolve a CSV dataset; write matched pairs and term weights.
+//       --simd=scalar pins the scalar reference kernels (bit-reproducible
+//       against pre-SIMD runs); auto picks the best level CPUID reports.
 //   gter_cli evaluate --in data.csv [--sources 1] [--matches out.csv]
 //       Score a match file against the CSV's ground-truth entity column.
 //   gter_cli report run.json
@@ -95,6 +98,9 @@ int RunResolve(int argc, char** argv) {
   flags.AddString("matches", "matches.csv", "output: matched pairs CSV");
   flags.AddString("weights", "", "output: term weights CSV (optional)");
   flags.AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
+  flags.AddString("simd", "auto",
+                  "compute kernels: scalar | avx2 | auto (scalar is the "
+                  "determinism reference)");
   flags.AddString("metrics_out", "",
                   "output: pipeline metrics JSON (optional)");
   flags.AddString("trace_out", "",
@@ -103,6 +109,13 @@ int RunResolve(int argc, char** argv) {
   Status s = flags.Parse(argc, argv);
   if (s.ok()) s = ApplyLogLevelFlag(flags);
   if (!s.ok()) return Fail(s);
+
+  SimdLevel simd_level;
+  if (!ParseSimdLevel(flags.GetString("simd"), &simd_level)) {
+    return Fail(Status::InvalidArgument("unknown --simd '" +
+                                        flags.GetString("simd") + "'"));
+  }
+  SetSimdLevel(simd_level);
 
   // Install the registry before loading so tokenizer/vocabulary and
   // blocking counters are captured, not just the fusion stages.
@@ -121,6 +134,8 @@ int RunResolve(int argc, char** argv) {
     trace = std::make_unique<TraceRecorder>();
     trace_install.emplace(trace.get());
   }
+  // Record which compute path produced this run in both sinks.
+  EmitCpuInfo(metrics.get(), trace.get());
 
   auto loaded = LoadDatasetCsv(flags.GetString("in"), "input",
                                static_cast<uint32_t>(flags.GetInt("sources")));

@@ -8,7 +8,7 @@
 # never gate (noise floor), so short sub-benchmarks can't flake the gate.
 #
 # Usage:
-#   tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio]
+#   tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd]
 #
 #   build-dir      CMake build directory holding bench/bench_micro and
 #                  tools/gter_cli (e.g. `build`).
@@ -22,6 +22,11 @@
 #                  (+50%): generous because the checked-in baseline was
 #                  recorded on one specific machine; tighten it when the
 #                  baseline is regenerated on the machine running the gate.
+#   simd           Dispatch level the gate run uses: auto (default), avx2,
+#                  or scalar. The gate normally runs the SIMD path (what
+#                  production runs); pass `scalar` to compare a candidate
+#                  against a pre-SIMD baseline like for like — scalar-only
+#                  timers are recorded and the *_avx2 bench variants skip.
 #
 # Wired into ctest behind -DGTER_PERF_GATE=ON with label `perf`:
 #   cmake -B build -S . -DGTER_PERF_GATE=ON && cmake --build build -j
@@ -30,9 +35,10 @@
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:?usage: tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio]}"
+build_dir="${1:?usage: tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd]}"
 baseline="${2:-${repo_root}/BENCH_baseline.json}"
 ratio="${3:-0.5}"
+simd="${4:-auto}"
 
 bench="${build_dir}/bench/bench_micro"
 cli="${build_dir}/tools/gter_cli"
@@ -54,7 +60,7 @@ trap 'rm -f "${candidate}"' EXIT
 # like for like.
 echo "perf_gate: running ${bench}" >&2
 if ! "${bench}" --metrics_out="${candidate}" --benchmark_min_time=0.05 \
-    > /dev/null; then
+    --simd="${simd}" > /dev/null; then
   echo "perf_gate: bench_micro failed" >&2
   exit 2
 fi
