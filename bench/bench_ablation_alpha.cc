@@ -30,7 +30,7 @@ void Run(double scale, uint64_t seed) {
     Prepared p = Prepare(kind, scale, seed);
     BipartiteGraph bipartite = BipartiteGraph::Build(p.dataset(), p.pairs);
     IterResult iter =
-        RunIter(bipartite, std::vector<double>(p.pairs.size(), 1.0));
+        RunIter(bipartite, std::vector<double>(p.pairs.size(), 1.0)).value();
     RecordGraph graph =
         RecordGraph::Build(p.dataset().size(), p.pairs, iter.pair_scores);
     ctxs.push_back({std::move(p), std::move(graph)});
@@ -42,7 +42,7 @@ void Run(double scale, uint64_t seed) {
       CliqueRankOptions options;
       options.alpha = alpha;
       CliqueRankResult result =
-          RunCliqueRank(ctx.graph, ctx.p.pairs, options);
+          RunCliqueRank(ctx.graph, ctx.p.pairs, options).value();
       std::vector<bool> matches(ctx.p.pairs.size());
       for (PairId pid = 0; pid < ctx.p.pairs.size(); ++pid) {
         matches[pid] = result.pair_probability[pid] >= 0.98;

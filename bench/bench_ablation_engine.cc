@@ -26,7 +26,7 @@ void Run(double scale, uint64_t seed) {
     Prepared p = Prepare(kind, scale, seed);
     BipartiteGraph bipartite = BipartiteGraph::Build(p.dataset(), p.pairs);
     IterResult iter =
-        RunIter(bipartite, std::vector<double>(p.pairs.size(), 1.0));
+        RunIter(bipartite, std::vector<double>(p.pairs.size(), 1.0)).value();
     RecordGraph graph =
         RecordGraph::Build(p.dataset().size(), p.pairs, iter.pair_scores);
 
@@ -35,8 +35,10 @@ void Run(double scale, uint64_t seed) {
     CliqueRankOptions masked_options;
     masked_options.engine = CliqueRankEngine::kMaskedSparse;
 
-    CliqueRankResult dense = RunCliqueRank(graph, p.pairs, dense_options);
-    CliqueRankResult masked = RunCliqueRank(graph, p.pairs, masked_options);
+    CliqueRankResult dense =
+        RunCliqueRank(graph, p.pairs, dense_options).value();
+    CliqueRankResult masked =
+        RunCliqueRank(graph, p.pairs, masked_options).value();
 
     double max_diff = 0.0;
     for (PairId pid = 0; pid < p.pairs.size(); ++pid) {

@@ -30,7 +30,7 @@ void Run(double scale, uint64_t seed) {
     FusionConfig config;
     config.rounds = 3;
     FusionPipeline pipeline(p.dataset(), config);
-    FusionResult result = pipeline.Run();
+    FusionResult result = pipeline.Run().value();
     ctxs.push_back({std::move(p), std::move(result.pair_probability)});
   }
 

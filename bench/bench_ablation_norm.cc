@@ -28,15 +28,17 @@ void Run(double scale, uint64_t seed) {
       BipartiteGraph graph = BipartiteGraph::Build(p.dataset(), p.pairs);
       IterOptions iter_options;
       iter_options.normalization = norm;
-      IterResult iter = RunIter(
-          graph, std::vector<double>(p.pairs.size(), 1.0), iter_options);
+      IterResult iter =
+          RunIter(graph, std::vector<double>(p.pairs.size(), 1.0),
+                  iter_options)
+              .value();
       round1[d] = ScoreF1(p, iter.pair_scores);
 
       FusionConfig config;
       config.iter.normalization = norm;
       config.rounds = 3;
       FusionPipeline pipeline(p.dataset(), config);
-      fused[d] = DecisionF1(p, pipeline.Run().matches);
+      fused[d] = DecisionF1(p, pipeline.Run().value().matches);
     }
     std::printf("%-28s %14.3f %14.3f %14.3f\n",
                 (std::string(name) + " (ITER sweep-F1)").c_str(), round1[0],

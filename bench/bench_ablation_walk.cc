@@ -27,7 +27,7 @@ void Run(double scale, uint64_t seed) {
     Prepared p = Prepare(kind, scale, seed);
     BipartiteGraph bipartite = BipartiteGraph::Build(p.dataset(), p.pairs);
     IterResult iter =
-        RunIter(bipartite, std::vector<double>(p.pairs.size(), 1.0));
+        RunIter(bipartite, std::vector<double>(p.pairs.size(), 1.0)).value();
     RecordGraph graph =
         RecordGraph::Build(p.dataset().size(), p.pairs, iter.pair_scores);
     ctxs.push_back({std::move(p), std::move(graph)});
@@ -39,7 +39,7 @@ void Run(double scale, uint64_t seed) {
       options.use_boost = boost;
       options.boost_mode = mode;
       CliqueRankResult result =
-          RunCliqueRank(ctx.graph, ctx.p.pairs, options);
+          RunCliqueRank(ctx.graph, ctx.p.pairs, options).value();
       std::vector<bool> matches(ctx.p.pairs.size());
       for (PairId pid = 0; pid < ctx.p.pairs.size(); ++pid) {
         matches[pid] = result.pair_probability[pid] >= 0.98;
@@ -67,7 +67,7 @@ void Run(double scale, uint64_t seed) {
       options.early_stop = early_stop;
       options.num_walks = 100;
       auto probability =
-          RunRss(restaurant.graph, restaurant.p.pairs, options);
+          RunRss(restaurant.graph, restaurant.p.pairs, options).value();
       std::vector<bool> matches(restaurant.p.pairs.size());
       for (PairId pid = 0; pid < restaurant.p.pairs.size(); ++pid) {
         matches[pid] = probability[pid] >= 0.98;

@@ -19,7 +19,7 @@ void Run(double scale, uint64_t seed, size_t points) {
     Prepared p = Prepare(kind, scale, seed);
     BipartiteGraph graph = BipartiteGraph::Build(p.dataset(), p.pairs);
     IterResult iter =
-        RunIter(graph, std::vector<double>(p.pairs.size(), 1.0));
+        RunIter(graph, std::vector<double>(p.pairs.size(), 1.0)).value();
     auto oracle = OracleTermScores(graph, p.pairs, p.truth());
 
     struct Entry {

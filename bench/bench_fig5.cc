@@ -21,7 +21,8 @@ void Run(double scale, uint64_t seed, size_t iterations) {
     options.max_iterations = iterations;
     options.tolerance = 0.0;  // run all iterations for the full trace
     IterResult result =
-        RunIter(graph, std::vector<double>(p.pairs.size(), 1.0), options);
+        RunIter(graph, std::vector<double>(p.pairs.size(), 1.0), options)
+            .value();
     traces.push_back(result.update_trace);
   }
 

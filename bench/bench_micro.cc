@@ -15,7 +15,6 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
-#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -261,16 +260,16 @@ void BM_Rss(benchmark::State& state) {
   RssOptions options;
   options.num_walks = 20;
   ThreadPool pool(threads);
-  if (threads > 1) options.pool = &pool;
+  ExecContext ctx;
+  if (threads > 1) ctx.pool = &pool;
 
   // Determinism contract: the parallel run must match the serial run bit
   // for bit before we time anything.
-  RssOptions serial = options;
-  serial.pool = nullptr;
-  GTER_CHECK(RunRss(graph, pairs, options) == RunRss(graph, pairs, serial));
+  GTER_CHECK(RunRss(graph, pairs, options, ctx).value() ==
+             RunRss(graph, pairs, options).value());
 
   for (auto _ : state) {
-    auto p = RunRss(graph, pairs, options);
+    auto p = RunRss(graph, pairs, options, ctx).value();
     benchmark::DoNotOptimize(p.data());
   }
   state.counters["pairs"] = static_cast<double>(pairs.size());
@@ -289,9 +288,10 @@ void BM_IterSweepParallel(benchmark::State& state) {
   options.max_iterations = 1;  // cost of one sweep
   options.tolerance = 0.0;
   ThreadPool pool(threads);
-  if (threads > 1) options.pool = &pool;
+  ExecContext ctx;
+  if (threads > 1) ctx.pool = &pool;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(RunIter(graph, probability, options));
+    benchmark::DoNotOptimize(RunIter(graph, probability, options, ctx));
   }
   state.counters["bipartite_edges"] = static_cast<double>(graph.num_edges());
 }
@@ -318,25 +318,13 @@ int main(int argc, char** argv) {
   std::vector<char*> passthrough;
   passthrough.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--metrics_out=", 14) == 0) {
-      metrics_out = arg + 14;
-    } else if (std::strncmp(arg, "--trace_out=", 12) == 0) {
-      trace_out = arg + 12;
-    } else if (std::strncmp(arg, "--log_level=", 12) == 0) {
-      gter::LogLevel level;
-      if (!gter::ParseLogLevel(arg + 12, &level)) {
-        std::fprintf(stderr, "unknown --log_level '%s'\n", arg + 12);
+    gter::Status flag_status;
+    if (gter::ConsumeCommonStageFlag(argv[i], &metrics_out, &trace_out,
+                                     &flag_status)) {
+      if (!flag_status.ok()) {
+        std::fprintf(stderr, "%s\n", flag_status.ToString().c_str());
         return 1;
       }
-      gter::SetLogLevel(level);
-    } else if (std::strncmp(arg, "--simd=", 7) == 0) {
-      gter::SimdLevel level;
-      if (!gter::ParseSimdLevel(arg + 7, &level)) {
-        std::fprintf(stderr, "unknown --simd '%s'\n", arg + 7);
-        return 1;
-      }
-      gter::SetSimdLevel(level);
     } else {
       passthrough.push_back(argv[i]);
     }

@@ -29,23 +29,23 @@ void Run(uint64_t seed) {
     iter_options.tolerance = 0.0;
     std::vector<double> uniform(p.pairs.size(), 1.0);
     Stopwatch iter_watch;
-    IterResult iter = RunIter(bipartite, uniform, iter_options);
+    IterResult iter = RunIter(bipartite, uniform, iter_options).value();
     double iter_ms = iter_watch.ElapsedMillis();
 
     // Converged similarities for the graph stages.
-    iter = RunIter(bipartite, uniform);
+    iter = RunIter(bipartite, uniform).value();
     RecordGraph graph =
         RecordGraph::Build(p.dataset().size(), p.pairs, iter.pair_scores);
 
     Stopwatch cr_watch;
-    RunCliqueRank(graph, p.pairs, {});
+    RunCliqueRank(graph, p.pairs, {}).value();
     double cr_s = cr_watch.ElapsedSeconds();
 
     // RSS estimate from a reduced-walk probe (per-edge independent).
     RssOptions probe;
     probe.num_walks = 4;
     Stopwatch rss_watch;
-    RunRss(graph, p.pairs, probe);
+    RunRss(graph, p.pairs, probe).value();
     double rss_s = rss_watch.ElapsedSeconds() * (100.0 / 4.0);
 
     std::printf("%7.2f %8zu %12zu %12zu %14.1f %14.2f %14.1f\n", scale,

@@ -148,7 +148,7 @@ void Run(double scale, uint64_t seed, double crowd_error) {
     for (size_t d = 0; d < prepared.size(); ++d) {
       FusionConfig config;  // α=20, S=20, η=0.98, 5 rounds — §VII-C
       FusionPipeline pipeline(prepared[d].dataset(), config);
-      FusionResult result = pipeline.Run();
+      FusionResult result = pipeline.Run().value();
       row.f1[d] = DecisionF1(prepared[d], result.matches);
     }
     rows.push_back(row);

@@ -15,7 +15,8 @@ namespace gter {
 namespace bench {
 namespace {
 
-void Run(double scale, uint64_t seed, bool full_rss, ThreadPool* pool) {
+void Run(double scale, uint64_t seed, bool full_rss,
+         const ExecContext& ctx) {
   std::printf("Table III: efficiency of ITER+CliqueRank (scale=%.2f)\n",
               scale);
   Rule(76);
@@ -35,9 +36,8 @@ void Run(double scale, uint64_t seed, bool full_rss, ThreadPool* pool) {
     col.edges = p.pairs.size();
 
     FusionConfig config;  // 5 rounds, α=20, S=20
-    config.pool = pool;
     FusionPipeline pipeline(p.dataset(), config);
-    FusionResult result = pipeline.Run();
+    FusionResult result = pipeline.Run(ctx).value();
     col.total_s = result.total_seconds;
     for (const FusionRoundStats& stats : result.round_stats) {
       col.iter_s += stats.iter_seconds;
@@ -49,10 +49,9 @@ void Run(double scale, uint64_t seed, bool full_rss, ThreadPool* pool) {
     RecordGraph graph =
         RecordGraph::Build(p.dataset().size(), p.pairs, result.pair_scores);
     RssOptions rss_options;  // M=100 walks, S=20 — §VI-B defaults
-    rss_options.pool = pool;
     if (full_rss || p.pairs.size() <= 1500) {
       Stopwatch watch;
-      RunRss(graph, p.pairs, rss_options);
+      RunRss(graph, p.pairs, rss_options, ctx).value();
       col.rss_s = watch.ElapsedSeconds() * 5;  // 5 fusion rounds
     } else {
       // Walks are per-edge independent, so a run with proportionally fewer
@@ -62,7 +61,7 @@ void Run(double scale, uint64_t seed, bool full_rss, ThreadPool* pool) {
       probe.num_walks = std::max<size_t>(
           2, rss_options.num_walks * 1500 / p.pairs.size());
       Stopwatch watch;
-      RunRss(graph, p.pairs, probe);
+      RunRss(graph, p.pairs, probe, ctx).value();
       double fraction = static_cast<double>(probe.num_walks) /
                         static_cast<double>(rss_options.num_walks);
       col.rss_s = watch.ElapsedSeconds() / fraction * 5;
@@ -108,6 +107,6 @@ int main(int argc, char** argv) {
   gter::bench::BenchMetricsScope metrics_scope(flags);
   gter::bench::Run(flags.GetDouble("scale"),
                    static_cast<uint64_t>(flags.GetInt("seed")),
-                   flags.GetBool("full_rss"), gter::bench::BenchPool(flags));
+                   flags.GetBool("full_rss"), gter::bench::BenchContext(flags));
   return 0;
 }

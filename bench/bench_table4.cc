@@ -23,11 +23,11 @@ void Run(double scale, uint64_t seed) {
     Prepared p = Prepare(kind, scale, seed);
     BipartiteGraph graph = BipartiteGraph::Build(p.dataset(), p.pairs);
     IterResult iter =
-        RunIter(graph, std::vector<double>(p.pairs.size(), 1.0));
+        RunIter(graph, std::vector<double>(p.pairs.size(), 1.0)).value();
     FusionConfig config;
     config.rounds = 3;
     FusionPipeline pipeline(p.dataset(), config);
-    FusionResult fused = pipeline.Run();
+    FusionResult fused = pipeline.Run().value();
     TwIdfPageRankScorer pagerank;
     pagerank.Score(p.dataset(), p.pairs);
     auto oracle = OracleTermScores(graph, p.pairs, p.truth());

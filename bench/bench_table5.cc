@@ -34,7 +34,7 @@ void Run(double scale, uint64_t seed, size_t rounds) {
           time_s[d].push_back(
               snapshot.round_stats.back().cumulative_seconds);
         });
-    pipeline.Run();
+    pipeline.Run().value();
   }
 
   for (size_t r = 0; r < rounds; ++r) {

@@ -57,41 +57,15 @@ inline double DecisionF1(const Prepared& p, const std::vector<bool>& matches) {
   return EvaluatePairPredictions(p.pairs, matches, p.labels, p.positives).F1();
 }
 
-/// Parses the standard --scale/--seed/--threads/--simd/--metrics_out/
-/// --trace_out/--log_level flags (plus any the caller added) and applies
+/// Parses the standard --scale/--seed flags plus the shared stage flags
+/// from common_flags.h (plus any the caller added), and applies
 /// --log_level and --simd.
 inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
   flags->AddDouble("scale", kDefaultScale, "dataset scale (1.0 = paper size)");
   flags->AddInt("seed", 2018, "generator seed");
-  flags->AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
-  flags->AddString("simd", "auto",
-                   "compute kernels: scalar | avx2 | auto (scalar = the "
-                   "determinism reference path)");
-  flags->AddString("metrics_out", "",
-                   "output: pipeline metrics JSON (optional)");
-  flags->AddString("trace_out", "",
-                   "output: Chrome/Perfetto trace-event JSON (optional)");
-  flags->AddString("log_level", "",
-                   "minimum log severity (debug|info|warning|error)");
+  AddCommonStageFlags(flags);
   Status s = flags->Parse(argc, argv);
-  if (s.ok() && !flags->GetString("log_level").empty()) {
-    LogLevel level;
-    if (ParseLogLevel(flags->GetString("log_level"), &level)) {
-      SetLogLevel(level);
-    } else {
-      s = Status::InvalidArgument("unknown --log_level '" +
-                                  flags->GetString("log_level") + "'");
-    }
-  }
-  if (s.ok()) {
-    SimdLevel level;
-    if (ParseSimdLevel(flags->GetString("simd"), &level)) {
-      SetSimdLevel(level);
-    } else {
-      s = Status::InvalidArgument("unknown --simd '" +
-                                  flags->GetString("simd") + "'");
-    }
-  }
+  if (s.ok()) s = ApplyCommonStageFlags(*flags);
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n%s", s.ToString().c_str(),
                  flags->Usage().c_str());
@@ -103,14 +77,15 @@ inline bool ParseStandardFlags(int argc, char** argv, FlagSet* flags) {
 /// Pool for --threads, or nullptr for the sequential path. Every stage is
 /// bit-identical for any thread count, so results match --threads=1 runs.
 inline ThreadPool* BenchPool(const FlagSet& flags) {
-  int threads = flags.GetInt("threads");
-  if (threads == 1) return nullptr;
-  static std::unique_ptr<ThreadPool> pool;
-  if (!pool) {
-    pool = std::make_unique<ThreadPool>(
-        threads <= 0 ? 0 : static_cast<size_t>(threads));
-  }
+  static std::unique_ptr<ThreadPool> pool =
+      MakeThreadPool(flags.GetInt("threads"));
   return pool.get();
+}
+
+/// ExecContext over BenchPool: the standard context for a bench binary's
+/// stage calls (ambient metrics/trace from BenchMetricsScope, no cancel).
+inline ExecContext BenchContext(const FlagSet& flags) {
+  return ExecContext::WithPool(BenchPool(flags));
 }
 
 /// Installs a MetricsRegistry (--metrics_out) and/or a TraceRecorder

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     LshBlockingOptions options;
     options.num_bands = bands;
     options.rows_per_band = rows;
-    BlockingResult lsh = LshBlocking(dataset, options);
+    BlockingResult lsh = LshBlocking(dataset, options).value();
     std::printf("LSH %2zu bands x %zu rows:  %6zu pairs, recall %.3f\n",
                 bands, rows, lsh.pairs.size(),
                 BlockingRecall(dataset, generated.truth, lsh.pairs));
@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
   FusionConfig config;
   config.rounds = 3;
   FusionPipeline pipeline(dataset, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
   auto labels = LabelPairs(pipeline.pairs(), generated.truth);
   Confusion c = EvaluatePairPredictions(
       pipeline.pairs(), result.matches, labels,

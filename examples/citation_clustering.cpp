@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
   FusionConfig config;
   config.rounds = 3;
   FusionPipeline pipeline(citations, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
 
   // The paper's metric: per-pair decision quality.
   auto labels = LabelPairs(pipeline.pairs(), generated.truth);
@@ -59,8 +59,10 @@ int main(int argc, char** argv) {
   // Correlation clustering outvotes isolated false links instead of
   // propagating them — the recommended way to turn probabilities into
   // clusters on clique-heavy data.
-  CorrelationClusteringResult corr = CorrelationCluster(
-      citations.size(), pipeline.pairs(), result.pair_probability);
+  CorrelationClusteringResult corr =
+      CorrelationCluster(citations.size(), pipeline.pairs(),
+                         result.pair_probability)
+          .value();
   ClusterEvaluation corr_eval =
       EvaluateClustering(corr.cluster_of, generated.truth);
   std::printf(

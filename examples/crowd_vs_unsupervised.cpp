@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   {
     FusionConfig config;
     FusionPipeline pipeline(dataset, config);
-    FusionResult result = pipeline.Run();
+    FusionResult result = pipeline.Run().value();
     std::printf("%-18s %8.3f %12s\n", "ITER+CliqueRank",
                 f1_of(result.matches), "0");
   }

@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
   FusionConfig config;
   config.rounds = 3;
   FusionPipeline pipeline(catalog, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
 
   auto labels = LabelPairs(pipeline.pairs(), generated.truth);
   Confusion confusion = EvaluatePairPredictions(

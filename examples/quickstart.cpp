@@ -36,7 +36,7 @@ int main() {
   //    (alpha=20, S=20, eta=0.98, 5 reinforcement rounds).
   FusionConfig config;
   FusionPipeline pipeline(dataset, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
 
   // 4. Matching decisions come straight from the matching probability —
   //    no threshold tuning.

@@ -161,8 +161,15 @@ class ScopedTimer {
  public:
   ScopedTimer(MetricsRegistry* registry, const char* name,
               TraceArg arg0 = TraceArg{}, TraceArg arg1 = TraceArg{})
+      : ScopedTimer(registry, TraceRecorder::Current(), name, arg0, arg1) {}
+
+  /// Explicit-recorder overload for context-carried sinks (ExecContext):
+  /// both sinks are resolved by the caller, no thread-local/global reads.
+  ScopedTimer(MetricsRegistry* registry, TraceRecorder* recorder,
+              const char* name, TraceArg arg0 = TraceArg{},
+              TraceArg arg1 = TraceArg{})
       : registry_(registry),
-        recorder_(TraceRecorder::Current()),
+        recorder_(recorder),
         name_(name),
         arg0_(arg0),
         arg1_(arg1) {

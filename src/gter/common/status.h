@@ -19,6 +19,8 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kOutOfRange = 5,
   kInternal = 6,
+  kCancelled = 7,
+  kDeadlineExceeded = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -55,6 +57,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gter/common/metrics.h"
 #include "gter/common/random.h"
 #include "gter/common/status.h"
+#include "gter/common/thread_pool.h"
 #include "gter/common/timer.h"
 #include "gter/matrix/dense_matrix.h"
 #include "gter/matrix/gemm.h"
@@ -13,11 +15,14 @@
 namespace gter {
 namespace {
 
-std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
-                             const std::vector<double>& m1_values,
-                             const CliqueRankOptions& options,
-                             const PairSpace& pairs,
-                             MetricsRegistry* metrics) {
+Result<std::vector<double>> RunDense(const CsrMatrix& trans,
+                                     const CsrMatrix& pattern,
+                                     const std::vector<double>& m1_values,
+                                     const CliqueRankOptions& options,
+                                     const PairSpace& pairs,
+                                     MetricsRegistry* metrics,
+                                     TraceRecorder* recorder,
+                                     const ExecContext& ctx) {
   const size_t n = pattern.rows();
   DenseMatrix mt = trans.ToDense();
   DenseMatrix mn = pattern.ToDense();
@@ -34,11 +39,12 @@ std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
   }
   DenseMatrix masked;
   for (size_t step = 2; step <= options.max_steps; ++step) {
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     masked = m.Hadamard(mn);
     {
-      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/gemm",
-                          TraceArg{"step", static_cast<double>(step)});
-      Gemm(mt, masked, &m, options.pool);
+      ScopedTimer gemm_timer(metrics, recorder, "cliquerank/gemm",
+                             TraceArg{"step", static_cast<double>(step)});
+      GTER_RETURN_IF_ERROR(Gemm(mt, masked, &m, ctx));
     }
     accum.Add(m);
   }
@@ -47,7 +53,7 @@ std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
   }
 
   std::vector<double> probability(pairs.size(), 0.0);
-  ParallelFor(options.pool, 0, pairs.size(), /*grain=*/256,
+  ParallelFor(ctx.pool, 0, pairs.size(), /*grain=*/256,
               [&](size_t lo, size_t hi) {
     for (PairId p = lo; p < hi; ++p) {
       const RecordPair& rp = pairs.pair(p);
@@ -58,11 +64,14 @@ std::vector<double> RunDense(const CsrMatrix& trans, const CsrMatrix& pattern,
   return probability;
 }
 
-std::vector<double> RunMasked(const CsrMatrix& trans, const CsrMatrix& pattern,
-                              const std::vector<double>& m1_values,
-                              const CliqueRankOptions& options,
-                              const PairSpace& pairs,
-                              MetricsRegistry* metrics) {
+Result<std::vector<double>> RunMasked(const CsrMatrix& trans,
+                                      const CsrMatrix& pattern,
+                                      const std::vector<double>& m1_values,
+                                      const CliqueRankOptions& options,
+                                      const PairSpace& pairs,
+                                      MetricsRegistry* metrics,
+                                      TraceRecorder* recorder,
+                                      const ExecContext& ctx) {
   const size_t n = pattern.rows();
   std::vector<double> cur = m1_values;
   std::vector<double> accum = cur;
@@ -77,14 +86,16 @@ std::vector<double> RunMasked(const CsrMatrix& trans, const CsrMatrix& pattern,
   // The iterate lives on the CSR pattern for the whole run; each step is a
   // Gustavson gather confined to the pattern (no n×n scratch).
   for (size_t step = 2; step <= options.max_steps; ++step) {
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     {
-      GTER_TRACE_SCOPE_TO(metrics, "cliquerank/masked_product",
-                          TraceArg{"step", static_cast<double>(step)});
-      ComputeMaskedProductCsr(trans, cur.data(), pattern, next.data(),
-                              options.pool);
+      ScopedTimer product_timer(metrics, recorder, "cliquerank/masked_product",
+                                TraceArg{"step", static_cast<double>(step)});
+      GTER_RETURN_IF_ERROR(
+          ComputeMaskedProductCsr(trans, cur.data(), pattern, next.data(),
+                                  ctx));
     }
     cur.swap(next);
-    ParallelFor(options.pool, 0, cur.size(), /*grain=*/4096,
+    ParallelFor(ctx.pool, 0, cur.size(), /*grain=*/4096,
                 [&](size_t lo, size_t hi) {
       for (size_t e = lo; e < hi; ++e) accum[e] += cur[e];
     });
@@ -94,7 +105,7 @@ std::vector<double> RunMasked(const CsrMatrix& trans, const CsrMatrix& pattern,
   }
 
   std::vector<double> probability(pairs.size(), 0.0);
-  ParallelFor(options.pool, 0, pairs.size(), /*grain=*/256,
+  ParallelFor(ctx.pool, 0, pairs.size(), /*grain=*/256,
               [&](size_t lo, size_t hi) {
     for (PairId p = lo; p < hi; ++p) {
       const RecordPair& rp = pairs.pair(p);
@@ -141,13 +152,16 @@ std::vector<double> CliqueRankBoostedValues(const CsrMatrix& trans,
   return values;
 }
 
-CliqueRankResult RunCliqueRank(const RecordGraph& graph,
-                               const PairSpace& pairs,
-                               const CliqueRankOptions& options) {
+Result<CliqueRankResult> RunCliqueRank(const RecordGraph& graph,
+                                       const PairSpace& pairs,
+                                       const CliqueRankOptions& options,
+                                       const ExecContext& ctx) {
   GTER_CHECK(options.max_steps >= 1);
   GTER_CHECK(graph.num_nodes() > 0);
-  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
-  GTER_TRACE_SCOPE_TO(metrics, "cliquerank/total");
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  TraceRecorder* recorder = ctx.trace_or_ambient();
+  ScopedTimer total_timer(metrics, recorder, "cliquerank/total");
   Stopwatch watch;
   CsrMatrix trans = graph.TransitionMatrix(options.alpha);
   CsrMatrix pattern = graph.AdjacencyMatrix();
@@ -169,10 +183,14 @@ CliqueRankResult RunCliqueRank(const RecordGraph& graph,
 
   CliqueRankResult result;
   result.engine_used = engine;
-  result.pair_probability =
+  Result<std::vector<double>> probability =
       engine == CliqueRankEngine::kDense
-          ? RunDense(trans, pattern, m1, options, pairs, metrics)
-          : RunMasked(trans, pattern, m1, options, pairs, metrics);
+          ? RunDense(trans, pattern, m1, options, pairs, metrics, recorder,
+                     ctx)
+          : RunMasked(trans, pattern, m1, options, pairs, metrics, recorder,
+                      ctx);
+  GTER_RETURN_IF_ERROR(probability.status());
+  result.pair_probability = std::move(probability).value();
   result.seconds = watch.ElapsedSeconds();
   return result;
 }

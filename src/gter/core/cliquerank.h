@@ -5,8 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "gter/common/metrics.h"
-#include "gter/common/thread_pool.h"
+#include "gter/common/exec_context.h"
 #include "gter/er/pair_space.h"
 #include "gter/graph/record_graph.h"
 #include "gter/matrix/csr_matrix.h"
@@ -47,11 +46,6 @@ struct CliqueRankOptions {
   CliqueRankEngine engine = CliqueRankEngine::kAuto;
   /// kAuto switches to the dense engine above this edge density.
   double dense_density_threshold = 0.25;
-  /// Worker pool for the matrix kernels (nullptr → sequential).
-  ThreadPool* pool = nullptr;
-  /// Metrics sink (engine chosen, per-step kernel time, scratch bytes);
-  /// nullptr falls back to the installed thread-local registry, if any.
-  MetricsRegistry* metrics = nullptr;
 };
 
 /// Output of one CliqueRank run.
@@ -64,9 +58,14 @@ struct CliqueRankResult {
 };
 
 /// Runs CliqueRank over the record graph built from ITER's similarities.
-CliqueRankResult RunCliqueRank(const RecordGraph& graph,
-                               const PairSpace& pairs,
-                               const CliqueRankOptions& options = {});
+/// Matrix kernels run on `ctx.pool` at `ctx.simd_level()`; metrics (engine
+/// chosen, per-step kernel time, scratch bytes) go to `ctx.metrics` with
+/// ambient fallback. Cancellation is polled at entry and once per matrix
+/// step in both engines.
+Result<CliqueRankResult> RunCliqueRank(
+    const RecordGraph& graph, const PairSpace& pairs,
+    const CliqueRankOptions& options = {},
+    const ExecContext& ctx = DefaultExecContext());
 
 /// The boosted one-step values M_b of Eq. 12 on the structural pattern of
 /// `trans` (shared by both engines; exposed for property tests and

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "gter/common/metrics.h"
 #include "gter/common/random.h"
 #include "gter/common/status.h"
 
@@ -112,14 +113,15 @@ std::vector<uint32_t> Densify(const std::vector<uint32_t>& labels) {
 
 }  // namespace
 
-CorrelationClusteringResult CorrelationCluster(
+Result<CorrelationClusteringResult> CorrelationCluster(
     size_t num_records, const PairSpace& pairs,
     const std::vector<double>& pair_probability,
-    const CorrelationClusteringOptions& options) {
+    const CorrelationClusteringOptions& options, const ExecContext& ctx) {
   GTER_CHECK(pair_probability.size() == pairs.size());
   GTER_CHECK(options.restarts >= 1);
-  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
-  GTER_TRACE_SCOPE_TO(metrics, "cluster/total");
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  ScopedTimer total_timer(metrics, ctx.trace_or_ambient(), "cluster/total");
   VoteGraph graph(num_records, pairs, pair_probability,
                   options.together_threshold);
 
@@ -127,6 +129,7 @@ CorrelationClusteringResult CorrelationCluster(
   best.objective = -1e300;
   Rng master(options.seed);
   for (size_t restart = 0; restart < options.restarts; ++restart) {
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     GTER_TRACE_SPAN("cluster/restart", "cluster",
                     TraceArg{"restart", static_cast<double>(restart)});
     Rng rng = master.Fork(restart);

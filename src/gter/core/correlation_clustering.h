@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "gter/common/metrics.h"
+#include "gter/common/exec_context.h"
 #include "gter/er/pair_space.h"
 
 namespace gter {
@@ -32,8 +32,6 @@ struct CorrelationClusteringOptions {
   /// Local-move refinement sweeps after pivoting.
   size_t refine_sweeps = 2;
   uint64_t seed = 29;
-  /// Optional observability sink; falls back to the thread-local registry.
-  MetricsRegistry* metrics = nullptr;
 };
 
 struct CorrelationClusteringResult {
@@ -47,10 +45,13 @@ struct CorrelationClusteringResult {
 /// Clusters `num_records` records given per-candidate-pair probabilities.
 /// Pairs absent from `pairs` are treated as "apart" votes of weight 0 —
 /// they never pull records together but do not penalize separation.
-CorrelationClusteringResult CorrelationCluster(
+/// Metrics go to `ctx.metrics` with ambient fallback; cancellation is
+/// polled at entry and once per restart.
+Result<CorrelationClusteringResult> CorrelationCluster(
     size_t num_records, const PairSpace& pairs,
     const std::vector<double>& pair_probability,
-    const CorrelationClusteringOptions& options = {});
+    const CorrelationClusteringOptions& options = {},
+    const ExecContext& ctx = DefaultExecContext());
 
 }  // namespace gter
 

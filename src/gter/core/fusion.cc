@@ -24,34 +24,30 @@ FusionPipeline::FusionPipeline(const Dataset& dataset, FusionConfig config)
     : dataset_(dataset),
       config_(config),
       pairs_(PairSpace::Build(dataset)),
-      bipartite_(BipartiteGraph::Build(dataset, pairs_, config.pt_mode)) {
-  if (config_.pool != nullptr) {
-    if (config_.iter.pool == nullptr) config_.iter.pool = config_.pool;
-    if (config_.cliquerank.pool == nullptr) {
-      config_.cliquerank.pool = config_.pool;
-    }
-    if (config_.rss.pool == nullptr) config_.rss.pool = config_.pool;
-  }
-  if (config_.metrics != nullptr) {
-    if (config_.iter.metrics == nullptr) config_.iter.metrics = config_.metrics;
-    if (config_.cliquerank.metrics == nullptr) {
-      config_.cliquerank.metrics = config_.metrics;
-    }
-    if (config_.rss.metrics == nullptr) config_.rss.metrics = config_.metrics;
-  }
-}
+      bipartite_(BipartiteGraph::Build(dataset, pairs_, config.pt_mode)) {}
 
-FusionResult FusionPipeline::Run() {
+Result<FusionResult> FusionPipeline::Run(const ExecContext& ctx) {
   GTER_CHECK(config_.rounds >= 1);
-  MetricsRegistry* metrics = ResolveMetrics(config_.metrics);
-  GTER_TRACE_SCOPE_TO(metrics, "fusion/total");
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  TraceRecorder* recorder = ctx.trace_or_ambient();
+  ScopedTimer total_timer(metrics, recorder, "fusion/total");
   Stopwatch total_watch;
-  FusionResult result;
+  // The run accumulates into partial_, so a cancelled run leaves everything
+  // completed so far readable through partial().
+  partial_ = FusionResult();
+  FusionResult& result = partial_;
+  // A cancelled stage unwinds here; stamp the elapsed time onto the
+  // partial result before propagating the status.
+  auto fail = [&](Status status) {
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return Result<FusionResult>(std::move(status));
+  };
   // §V-C: p(r_i, r_j) is initialized to 1 before CliqueRank derives it.
   result.pair_probability.assign(pairs_.size(), 1.0);
 
   for (size_t round = 1; round <= config_.rounds; ++round) {
-    ScopedTimer round_timer(metrics, "fusion/round",
+    if (Status s = ctx.CheckCancel(); !s.ok()) return fail(std::move(s));
+    ScopedTimer round_timer(metrics, recorder, "fusion/round",
                             TraceArg{"round", static_cast<double>(round)});
     FusionRoundStats stats;
     stats.round = round;
@@ -62,8 +58,10 @@ FusionResult FusionPipeline::Run() {
     // randomly-initialized run).
     iter_options.track_convergence =
         config_.iter.track_convergence && round == 1;
-    IterResult iter = RunIter(bipartite_, result.pair_probability,
-                              iter_options);
+    Result<IterResult> iter_run =
+        RunIter(bipartite_, result.pair_probability, iter_options, ctx);
+    if (!iter_run.ok()) return fail(iter_run.status());
+    IterResult iter = std::move(iter_run).value();
     stats.iter_seconds = iter_watch.ElapsedSeconds();
     stats.iter_iterations = iter.iterations;
     if (round == 1 && iter_options.track_convergence) {
@@ -76,10 +74,15 @@ FusionResult FusionPipeline::Run() {
     RecordGraph graph =
         RecordGraph::Build(dataset_.size(), pairs_, result.pair_scores);
     if (config_.use_rss) {
-      result.pair_probability = RunRss(graph, pairs_, config_.rss);
+      Result<std::vector<double>> rss =
+          RunRss(graph, pairs_, config_.rss, ctx);
+      if (!rss.ok()) return fail(rss.status());
+      result.pair_probability = std::move(rss).value();
     } else {
-      CliqueRankResult cr = RunCliqueRank(graph, pairs_, config_.cliquerank);
-      result.pair_probability = std::move(cr.pair_probability);
+      Result<CliqueRankResult> cr =
+          RunCliqueRank(graph, pairs_, config_.cliquerank, ctx);
+      if (!cr.ok()) return fail(cr.status());
+      result.pair_probability = std::move(cr).value().pair_probability;
     }
     stats.probability_seconds = prob_watch.ElapsedSeconds();
     stats.cumulative_seconds = total_watch.ElapsedSeconds();
@@ -97,7 +100,7 @@ FusionResult FusionPipeline::Run() {
   }
   if (metrics != nullptr) metrics->AddCounter("fusion/matches", matched);
   result.total_seconds = total_watch.ElapsedSeconds();
-  return result;
+  return std::move(partial_);
 }
 
 }  // namespace gter

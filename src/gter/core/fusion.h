@@ -5,6 +5,8 @@
 #include <memory>
 #include <vector>
 
+#include "gter/common/exec_context.h"
+#include "gter/common/metrics.h"
 #include "gter/core/cliquerank.h"
 #include "gter/core/iter.h"
 #include "gter/core/rss.h"
@@ -27,15 +29,6 @@ struct FusionConfig {
   bool use_rss = false;
   RssOptions rss;
   PtMode pt_mode = PtMode::kPaper;
-  /// Worker pool shared by every stage (nullptr → sequential). Forwarded
-  /// into `iter.pool`, `cliquerank.pool`, and `rss.pool` unless those are
-  /// already set explicitly; results are bit-identical for any thread
-  /// count.
-  ThreadPool* pool = nullptr;
-  /// Metrics sink shared by every stage, forwarded like `pool`; nullptr
-  /// falls back to the installed thread-local registry, if any. Purely
-  /// observational — results are identical with or without it.
-  MetricsRegistry* metrics = nullptr;
 };
 
 /// Timing and quality snapshot after each reinforcement round.
@@ -89,8 +82,21 @@ class FusionPipeline {
     observer_ = std::move(observer);
   }
 
-  /// Runs the configured number of reinforcement rounds.
-  FusionResult Run();
+  /// Runs the configured number of reinforcement rounds. Every stage
+  /// executes on `ctx` (worker pool, metrics/trace sinks, SIMD level,
+  /// cancellation); results are bit-identical for any thread count.
+  ///
+  /// Cancellation is polled at every round boundary and inside every
+  /// stage, so a tripped token unwinds within one stage-internal step.
+  /// On `Cancelled`/`DeadlineExceeded`, `partial()` holds everything the
+  /// run completed (round_stats for finished rounds, the last finished
+  /// stage's vectors, total_seconds) — the anytime-resolution contract.
+  Result<FusionResult> Run(const ExecContext& ctx = DefaultExecContext());
+
+  /// State accumulated by the last Run(): meaningful after a cancelled
+  /// run; moved-from (empty) after a successful one, whose value Run()
+  /// returned.
+  const FusionResult& partial() const { return partial_; }
 
   const PairSpace& pairs() const { return pairs_; }
   const BipartiteGraph& bipartite() const { return bipartite_; }
@@ -102,6 +108,7 @@ class FusionPipeline {
   PairSpace pairs_;
   BipartiteGraph bipartite_;
   RoundObserver observer_;
+  FusionResult partial_;
 };
 
 }  // namespace gter

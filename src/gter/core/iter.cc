@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gter/common/metrics.h"
 #include "gter/common/random.h"
 #include "gter/common/simd_ops.h"
 #include "gter/common/status.h"
+#include "gter/common/thread_pool.h"
 
 namespace gter {
 namespace {
@@ -64,15 +66,18 @@ void Normalize(std::vector<double>* x, IterNormalization kind,
 
 }  // namespace
 
-IterResult RunIter(const BipartiteGraph& graph,
-                   const std::vector<double>& edge_probability,
-                   const IterOptions& options) {
+Result<IterResult> RunIter(const BipartiteGraph& graph,
+                           const std::vector<double>& edge_probability,
+                           const IterOptions& options,
+                           const ExecContext& ctx) {
   GTER_CHECK(edge_probability.size() == graph.num_pairs());
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
   const size_t num_terms = graph.num_terms();
   const size_t num_pairs = graph.num_pairs();
 
-  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
-  GTER_TRACE_SCOPE_TO(metrics, "iter/total");
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  TraceRecorder* recorder = ctx.trace_or_ambient();
+  ScopedTimer total_timer(metrics, recorder, "iter/total");
   if (metrics != nullptr) metrics->AddCounter("iter/runs");
 
   IterResult result;
@@ -93,13 +98,16 @@ IterResult RunIter(const BipartiteGraph& graph,
   // serial sweep. The accumulations run through the dispatched gather-reduce
   // primitives: resolved once here, on the calling thread, so a level change
   // mid-run can never mix kernels within one sweep.
-  const IndexedSumFn indexed_sum = ResolveIndexedSum(ActiveSimdLevel());
+  const IndexedSumFn indexed_sum = ResolveIndexedSum(ctx.simd_level());
   const IndexedWeightedSumFn weighted_sum =
-      ResolveIndexedWeightedSum(ActiveSimdLevel());
-  ThreadPool* pool = options.pool;
+      ResolveIndexedWeightedSum(ctx.simd_level());
+  ThreadPool* pool = ctx.pool;
   const size_t grain = options.grain;
   for (size_t iteration = 0; iteration < options.max_iterations; ++iteration) {
-    ScopedTimer sweep_timer(metrics, "iter/sweep",
+    // One cancellation poll per sweep: the natural Algorithm 1 boundary —
+    // frequent enough for prompt unwinding, far off the inner hot loops.
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+    ScopedTimer sweep_timer(metrics, recorder, "iter/sweep",
                             TraceArg{"sweep", static_cast<double>(iteration)});
     x_prev = x;
 

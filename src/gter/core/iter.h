@@ -5,8 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "gter/common/metrics.h"
-#include "gter/common/thread_pool.h"
+#include "gter/common/exec_context.h"
 #include "gter/graph/bipartite_graph.h"
 
 namespace gter {
@@ -29,15 +28,8 @@ struct IterOptions {
   uint64_t seed = 42;
   /// Record Σ|Δx| per sweep (the Figure 5 trace).
   bool track_convergence = false;
-  /// Worker pool for the propagation sweeps (nullptr → sequential). Each
-  /// term/pair accumulates over its own adjacency in a fixed order, so
-  /// results are bit-identical for any thread count.
-  ThreadPool* pool = nullptr;
   /// Minimum terms/pairs per parallel chunk.
   size_t grain = 256;
-  /// Metrics sink (per-sweep wall time, per-sweep convergence delta);
-  /// nullptr falls back to the installed thread-local registry, if any.
-  MetricsRegistry* metrics = nullptr;
 };
 
 /// Output of one ITER run.
@@ -56,9 +48,17 @@ struct IterResult {
 /// matching probability p(r_i, r_j) used as the pair→term edge weight of
 /// Eq. 6 — pass a vector of 1.0 for the first fusion round (§V-C), or the
 /// CliqueRank output in later rounds.
-IterResult RunIter(const BipartiteGraph& graph,
-                   const std::vector<double>& edge_probability,
-                   const IterOptions& options = {});
+///
+/// Execution (worker pool, metrics/trace sinks, SIMD level, cancellation)
+/// comes from `ctx`. The propagation sweeps are parallelized over
+/// `ctx.pool`; each term/pair accumulates over its own adjacency in a
+/// fixed order, so results are bit-identical for any thread count.
+/// Cancellation is polled at entry and once per sweep; a tripped token
+/// yields `Cancelled`/`DeadlineExceeded` instead of a result.
+Result<IterResult> RunIter(const BipartiteGraph& graph,
+                           const std::vector<double>& edge_probability,
+                           const IterOptions& options = {},
+                           const ExecContext& ctx = DefaultExecContext());
 
 }  // namespace gter
 

@@ -4,6 +4,7 @@
 
 #include "gter/common/random.h"
 #include "gter/common/status.h"
+#include "gter/common/thread_pool.h"
 
 namespace gter {
 namespace {
@@ -16,10 +17,11 @@ double Norm2(const std::vector<double>& v) {
 
 }  // namespace
 
-IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
-                                   const std::vector<double>& edge_probability,
-                                   const IterMatrixOptions& options) {
+Result<IterMatrixResult> RunIterMatrixForm(
+    const BipartiteGraph& graph, const std::vector<double>& edge_probability,
+    const IterMatrixOptions& options, const ExecContext& ctx) {
   GTER_CHECK(edge_probability.size() == graph.num_pairs());
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
   const size_t num_terms = graph.num_terms();
   const size_t num_pairs = graph.num_pairs();
 
@@ -35,7 +37,7 @@ IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
   // order, so the parallel sweeps stay bit-identical to the serial ones.
   std::vector<double> x(num_terms);
   auto apply = [&](const std::vector<double>& y, std::vector<double>* out) {
-    ParallelFor(options.pool, 0, num_terms, options.grain,
+    ParallelFor(ctx.pool, 0, num_terms, options.grain,
                 [&](size_t lo, size_t hi) {
       for (TermId t = lo; t < hi; ++t) {
         double acc = 0.0;
@@ -45,7 +47,7 @@ IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
         x[t] = acc / graph.Pt(t);
       }
     });
-    ParallelFor(options.pool, 0, num_pairs, options.grain,
+    ParallelFor(ctx.pool, 0, num_pairs, options.grain,
                 [&](size_t lo, size_t hi) {
       for (PairId p = lo; p < hi; ++p) {
         double acc = 0.0;
@@ -65,6 +67,7 @@ IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
 
   std::vector<double> next(num_pairs, 0.0);
   for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     apply(y, &next);
     double next_norm = Norm2(next);
     result.iterations = iter + 1;
@@ -96,7 +99,7 @@ IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
   result.residual = std::sqrt(residual_sq);
 
   result.pair_scores = y;
-  ParallelFor(options.pool, 0, num_terms, options.grain,
+  ParallelFor(ctx.pool, 0, num_terms, options.grain,
               [&](size_t lo, size_t hi) {
     for (TermId t = lo; t < hi; ++t) {
       double acc = 0.0;

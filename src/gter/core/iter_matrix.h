@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "gter/common/thread_pool.h"
+#include "gter/common/exec_context.h"
 #include "gter/graph/bipartite_graph.h"
 
 namespace gter {
@@ -26,9 +26,6 @@ struct IterMatrixOptions {
   /// this.
   double tolerance = 1e-12;
   uint64_t seed = 42;
-  /// Worker pool for the M·y applications (nullptr → sequential); results
-  /// are bit-identical for any thread count.
-  ThreadPool* pool = nullptr;
   /// Minimum terms/pairs per parallel chunk.
   size_t grain = 256;
 };
@@ -48,9 +45,13 @@ struct IterMatrixResult {
 
 /// Runs the power iteration on M = Sᵀ D⁻¹ S C built from `graph` and the
 /// per-pair edge probabilities C (the CliqueRank output, or all-ones).
-IterMatrixResult RunIterMatrixForm(const BipartiteGraph& graph,
-                                   const std::vector<double>& edge_probability,
-                                   const IterMatrixOptions& options = {});
+/// The M·y applications are parallelized over `ctx.pool` (bit-identical
+/// for any thread count); cancellation is polled at entry and once per
+/// power iteration.
+Result<IterMatrixResult> RunIterMatrixForm(
+    const BipartiteGraph& graph, const std::vector<double>& edge_probability,
+    const IterMatrixOptions& options = {},
+    const ExecContext& ctx = DefaultExecContext());
 
 }  // namespace gter
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "gter/common/metrics.h"
 #include "gter/common/random.h"
 #include "gter/common/status.h"
+#include "gter/common/thread_pool.h"
 
 namespace gter {
 namespace {
@@ -121,12 +123,15 @@ int RandomWalk(const RecordGraph& graph, const PoweredRows& rows,
 
 }  // namespace
 
-std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
-                           const RssOptions& options) {
+Result<std::vector<double>> RunRss(const RecordGraph& graph,
+                                   const PairSpace& pairs,
+                                   const RssOptions& options,
+                                   const ExecContext& ctx) {
   GTER_CHECK(options.num_walks >= 2);
-  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
-  GTER_TRACE_SCOPE_TO(metrics, "rss/total");
-  PoweredRows rows = PrecomputeRows(graph, options.alpha, options.pool);
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  ScopedTimer total_timer(metrics, ctx.trace_or_ambient(), "rss/total");
+  PoweredRows rows = PrecomputeRows(graph, options.alpha, ctx.pool);
   std::vector<double> probability(pairs.size(), 0.0);
   const Rng master(options.seed);
   // Odd walk counts give the extra walk to the forward direction; every
@@ -136,7 +141,7 @@ std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
   // Each pair forks its own RNG stream off the (const, shared) master and
   // writes only probability[p], so chunks are independent and the result is
   // bit-identical for any thread count.
-  ParallelFor(options.pool, 0, pairs.size(), options.grain,
+  ParallelFor(ctx.pool, 0, pairs.size(), options.grain,
               [&](size_t lo, size_t hi) {
     GTER_TRACE_SPAN("rss/chunk", "rss",
                     TraceArg{"pairs", static_cast<double>(hi - lo)});
@@ -145,6 +150,10 @@ std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
     WalkStats chunk_stats;
     WalkStats* stats = metrics != nullptr ? &chunk_stats : nullptr;
     for (PairId p = lo; p < hi; ++p) {
+      // Each pair is num_walks × max_steps of walking, so poll here: with
+      // no token this is one pointer test; a tripped token abandons the
+      // rest of the chunk (reported after the join).
+      if (ctx.cancelled()) break;
       const RecordPair& rp = pairs.pair(p);
       Rng rng = master.Fork(p);
       size_t successes = 0;
@@ -164,6 +173,7 @@ std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
       metrics->MergeHistogram("rss/steps_per_walk", chunk_stats.steps);
     }
   });
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
   return probability;
 }
 

@@ -5,8 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "gter/common/metrics.h"
-#include "gter/common/thread_pool.h"
+#include "gter/common/exec_context.h"
 #include "gter/er/pair_space.h"
 #include "gter/graph/record_graph.h"
 
@@ -27,17 +26,8 @@ struct RssOptions {
   /// (Algorithm 3, lines 8–9).
   bool early_stop = true;
   uint64_t seed = 7;
-  /// Worker pool for the pair loop (nullptr → sequential). Each pair draws
-  /// from its own forked RNG stream, so results are bit-identical for any
-  /// thread count.
-  ThreadPool* pool = nullptr;
   /// Minimum pairs per parallel chunk.
   size_t grain = 32;
-  /// Metrics sink (walks run, early stops, target hits, steps-per-walk
-  /// histogram); nullptr falls back to the installed thread-local
-  /// registry, if any. Collection is per-chunk and lock-free in the hot
-  /// loop; results are unchanged either way.
-  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs RSS over the record graph: estimates the matching probability of
@@ -46,8 +36,17 @@ struct RssOptions {
 /// edge has zero weight still get their walks (via uniform fallback rows).
 /// Complexity O(M·S·Σdeg) per edge set — the paper's motivation for
 /// CliqueRank.
-std::vector<double> RunRss(const RecordGraph& graph, const PairSpace& pairs,
-                           const RssOptions& options = {});
+///
+/// The pair loop is parallelized over `ctx.pool`; each pair draws from its
+/// own forked RNG stream, so results are bit-identical for any thread
+/// count. Metrics (walks run, early stops, target hits, steps-per-walk
+/// histogram) go to `ctx.metrics`, falling back to the installed
+/// thread-local registry. Cancellation is polled at entry and before every
+/// pair's walk batch (each batch is num_walks × max_steps of work).
+Result<std::vector<double>> RunRss(
+    const RecordGraph& graph, const PairSpace& pairs,
+    const RssOptions& options = {},
+    const ExecContext& ctx = DefaultExecContext());
 
 }  // namespace gter
 

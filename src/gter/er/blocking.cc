@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "gter/common/metrics.h"
 #include "gter/common/random.h"
 #include "gter/common/status.h"
 
@@ -59,11 +60,13 @@ double MinHasher::EstimateJaccard(const std::vector<uint64_t>& a,
   return static_cast<double>(equal) / static_cast<double>(a.size());
 }
 
-BlockingResult LshBlocking(const Dataset& dataset,
-                           const LshBlockingOptions& options) {
+Result<BlockingResult> LshBlocking(const Dataset& dataset,
+                                   const LshBlockingOptions& options,
+                                   const ExecContext& ctx) {
   GTER_CHECK(options.num_bands >= 1 && options.rows_per_band >= 1);
-  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
-  GTER_TRACE_SCOPE_TO(metrics, "blocking/lsh");
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  ScopedTimer total_timer(metrics, ctx.trace_or_ambient(), "blocking/lsh");
   const bool two_source = dataset.num_sources() == 2;
   MinHasher hasher(options.num_bands * options.rows_per_band, options.seed);
 
@@ -75,6 +78,9 @@ BlockingResult LshBlocking(const Dataset& dataset,
   BlockingResult result;
   std::unordered_set<uint64_t> emitted;
   for (size_t band = 0; band < options.num_bands; ++band) {
+    // One poll per band: each band hashes the full dataset, the natural
+    // unit of progress for this stage.
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     GTER_TRACE_SPAN("blocking/band", "blocking",
                     TraceArg{"band", static_cast<double>(band)});
     std::unordered_map<uint64_t, std::vector<RecordId>> buckets;
@@ -110,11 +116,13 @@ BlockingResult LshBlocking(const Dataset& dataset,
   return result;
 }
 
-BlockingResult CanopyBlocking(const Dataset& dataset,
-                              const CanopyBlockingOptions& options) {
+Result<BlockingResult> CanopyBlocking(const Dataset& dataset,
+                                      const CanopyBlockingOptions& options,
+                                      const ExecContext& ctx) {
   GTER_CHECK(options.tight_threshold >= options.loose_threshold);
-  MetricsRegistry* metrics = ResolveMetrics(options.metrics);
-  GTER_TRACE_SCOPE_TO(metrics, "blocking/canopy");
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  ScopedTimer total_timer(metrics, ctx.trace_or_ambient(), "blocking/canopy");
   const bool two_source = dataset.num_sources() == 2;
   auto inverted = dataset.BuildInvertedIndex();
   Rng rng(options.seed);
@@ -130,6 +138,9 @@ BlockingResult CanopyBlocking(const Dataset& dataset,
   std::vector<uint32_t> touched;
   for (uint32_t center : pool) {
     if (removed[center]) continue;
+    // One poll per canopy seeded: a canopy sweeps the inverted index, the
+    // natural unit of progress for this stage.
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     removed[center] = true;
     // Cheap similarity of every record against the center in one inverted-
     // index sweep: overlap coefficient = |A∩B| / min(|A|,|B|).

@@ -5,7 +5,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "gter/common/metrics.h"
+#include "gter/common/exec_context.h"
 #include "gter/er/dataset.h"
 #include "gter/er/ground_truth.h"
 #include "gter/er/pair_space.h"
@@ -51,8 +51,6 @@ struct LshBlockingOptions {
   size_t num_bands = 16;
   size_t rows_per_band = 4;
   uint64_t seed = 0x5EEDF00D;
-  /// Optional observability sink; falls back to the thread-local registry.
-  MetricsRegistry* metrics = nullptr;
 };
 
 /// Result of a blocking pass.
@@ -64,9 +62,12 @@ struct BlockingResult {
   size_t buckets = 0;
 };
 
-/// Runs MinHash-LSH blocking over the dataset's term sets.
-BlockingResult LshBlocking(const Dataset& dataset,
-                           const LshBlockingOptions& options = {});
+/// Runs MinHash-LSH blocking over the dataset's term sets. Metrics go to
+/// `ctx.metrics` with ambient fallback; cancellation is polled at entry
+/// and once per band.
+Result<BlockingResult> LshBlocking(
+    const Dataset& dataset, const LshBlockingOptions& options = {},
+    const ExecContext& ctx = DefaultExecContext());
 
 /// Options for canopy blocking (McCallum, Nigam & Ungar): a cheap
 /// similarity (token overlap through the inverted index) partitions
@@ -78,13 +79,14 @@ struct CanopyBlockingOptions {
   /// pool (they will not seed further canopies). tight ≥ loose.
   double tight_threshold = 0.5;
   uint64_t seed = 31;
-  /// Optional observability sink; falls back to the thread-local registry.
-  MetricsRegistry* metrics = nullptr;
 };
 
 /// Runs canopy blocking with overlap-coefficient cheap similarity.
-BlockingResult CanopyBlocking(const Dataset& dataset,
-                              const CanopyBlockingOptions& options = {});
+/// Metrics go to `ctx.metrics` with ambient fallback; cancellation is
+/// polled at entry and once per canopy center.
+Result<BlockingResult> CanopyBlocking(
+    const Dataset& dataset, const CanopyBlockingOptions& options = {},
+    const ExecContext& ctx = DefaultExecContext());
 
 /// Recall of a blocking result against the ground-truth matching pairs
 /// (cross-source only for two-source data): the fraction of true matches

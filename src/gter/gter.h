@@ -14,11 +14,17 @@
 ///       gter::GenerateBenchmark(gter::BenchmarkKind::kRestaurant);
 ///   gter::RemoveFrequentTerms(&data.dataset);
 ///   gter::FusionPipeline pipeline(data.dataset, gter::FusionConfig{});
-///   gter::FusionResult result = pipeline.Run();
+///   gter::FusionResult result = pipeline.Run().value();
 ///   // result.matches[p] — decision for candidate pair p
 ///   // result.pair_probability[p] — matching probability in [0, 1]
+///
+/// Stage entry points take a gter::ExecContext (worker pool, metrics and
+/// trace sinks, SIMD level, cancellation token); the default context runs
+/// sequentially with ambient observability and no cancellation.
 
+#include "gter/common/common_flags.h"
 #include "gter/common/cpu.h"
+#include "gter/common/exec_context.h"
 #include "gter/common/flags.h"
 #include "gter/common/json.h"
 #include "gter/common/logging.h"

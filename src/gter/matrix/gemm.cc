@@ -5,6 +5,7 @@
 
 #include "gter/common/cpu.h"
 #include "gter/common/status.h"
+#include "gter/common/thread_pool.h"
 #include "gter/matrix/matrix_simd.h"
 
 namespace gter {
@@ -50,27 +51,36 @@ void GemmRows(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
 
 }  // namespace
 
-void Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
-          ThreadPool* pool) {
+Status Gemm(const DenseMatrix& a, const DenseMatrix& b, DenseMatrix* c,
+            const ExecContext& ctx) {
   GTER_CHECK(a.cols() == b.rows());
   // `*c` is zero-initialized before `a`/`b` are read, so aliasing an input
   // would silently compute garbage.
   GTER_CHECK(c != &a && c != &b);
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
   *c = DenseMatrix(a.rows(), b.cols(), 0.0);
 #if GTER_HAVE_AVX2
-  if (ActiveSimdLevel() >= SimdLevel::kAvx2) {
-    internal::GemmPackedAvx2(a, b, c, pool);
-    return;
+  if (ctx.simd_level() >= SimdLevel::kAvx2) {
+    return internal::GemmPackedAvx2(a, b, c, ctx);
   }
 #endif
-  ParallelFor(pool, 0, a.rows(), /*grain=*/16,
-              [&](size_t lo, size_t hi) { GemmRows(a, b, c, lo, hi); });
+  ParallelFor(ctx.pool, 0, a.rows(), /*grain=*/16, [&](size_t lo, size_t hi) {
+    // Workers cannot return a Status mid-ParallelFor; they poll once per
+    // row block and skip the remaining work, and the entry point reports
+    // the trip after the join. Skipped blocks leave zeros in *c, which the
+    // error return marks as unspecified.
+    if (ctx.cancelled()) return;
+    GemmRows(a, b, c, lo, hi);
+  });
+  return ctx.CheckCancel();
 }
 
 DenseMatrix Multiply(const DenseMatrix& a, const DenseMatrix& b,
-                     ThreadPool* pool) {
+                     const ExecContext& ctx) {
+  ExecContext no_cancel = ctx;
+  no_cancel.cancel = nullptr;
   DenseMatrix c;
-  Gemm(a, b, &c, pool);
+  GTER_CHECK_OK(Gemm(a, b, &c, no_cancel));
   return c;
 }
 

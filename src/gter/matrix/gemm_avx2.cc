@@ -17,6 +17,8 @@
 #include <cstring>
 #include <vector>
 
+#include "gter/common/thread_pool.h"
+
 namespace gter {
 namespace internal {
 namespace {
@@ -108,27 +110,29 @@ void PackA(const DenseMatrix& a, size_t i0, size_t mc, size_t k0, size_t kc,
 
 }  // namespace
 
-void GemmPackedAvx2(const DenseMatrix& a, const DenseMatrix& b,
-                    DenseMatrix* c, ThreadPool* pool) {
+Status GemmPackedAvx2(const DenseMatrix& a, const DenseMatrix& b,
+                      DenseMatrix* c, const ExecContext& ctx) {
   const size_t m = a.rows();
   const size_t k_dim = a.cols();
   const size_t n = b.cols();
-  if (m == 0 || n == 0 || k_dim == 0) return;
+  if (m == 0 || n == 0 || k_dim == 0) return Status::OK();
 
   const size_t num_col_panels = (n + kNr - 1) / kNr;
   const size_t num_row_blocks = (m + kMc - 1) / kMc;
   std::vector<double> packed_b(kKc * num_col_panels * kNr);
 
   for (size_t k0 = 0; k0 < k_dim; k0 += kKc) {
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     const size_t kc = std::min(kKc, k_dim - k0);
     PackB(b, k0, kc, packed_b.data());
 
-    ParallelFor(pool, 0, num_row_blocks, /*grain=*/1, [&](size_t blk_lo,
-                                                          size_t blk_hi) {
+    ParallelFor(ctx.pool, 0, num_row_blocks, /*grain=*/1, [&](size_t blk_lo,
+                                                              size_t blk_hi) {
       std::vector<double> packed_a(kMc * kKc);
       std::vector<unsigned char> panel_nonzero(kMc / kMr);
       double acc[kMr * kNr];
       for (size_t blk = blk_lo; blk < blk_hi; ++blk) {
+        if (ctx.cancelled()) return;  // skip; reported after the join
         const size_t i0 = blk * kMc;
         const size_t mc = std::min(kMc, m - i0);
         PackA(a, i0, mc, k0, kc, packed_a.data(), panel_nonzero.data());
@@ -165,6 +169,7 @@ void GemmPackedAvx2(const DenseMatrix& a, const DenseMatrix& b,
       }
     });
   }
+  return ctx.CheckCancel();
 }
 
 }  // namespace internal

@@ -4,24 +4,27 @@
 
 #include "gter/common/cpu.h"
 #include "gter/common/status.h"
+#include "gter/common/thread_pool.h"
 #include "gter/matrix/matrix_simd.h"
 
 namespace gter {
 
-void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
-                          const CsrMatrix& pattern, double* out_values,
-                          ThreadPool* pool) {
+Status ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
+                            const CsrMatrix& pattern, double* out_values,
+                            const ExecContext& ctx) {
   GTER_CHECK(trans.rows() == pattern.rows());
   GTER_CHECK(trans.cols() == pattern.rows());
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
 #if GTER_HAVE_AVX2
-  if (ActiveSimdLevel() >= SimdLevel::kAvx2) {
-    internal::MaskedProductDenseAvx2(trans, prev_dense, pattern, out_values,
-                                     pool);
-    return;
+  if (ctx.simd_level() >= SimdLevel::kAvx2) {
+    return internal::MaskedProductDenseAvx2(trans, prev_dense, pattern,
+                                            out_values, ctx);
   }
 #endif
   const size_t n = pattern.cols();
-  ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo, size_t hi) {
+  ParallelFor(ctx.pool, 0, pattern.rows(), /*grain=*/8,
+              [&](size_t lo, size_t hi) {
+    if (ctx.cancelled()) return;  // skip the chunk; reported after the join
     for (size_t i = lo; i < hi; ++i) {
       auto pat_cols = pattern.RowCols(i);
       if (pat_cols.empty()) continue;
@@ -39,23 +42,26 @@ void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
       }
     }
   });
+  return ctx.CheckCancel();
 }
 
-void ComputeMaskedProductCsr(const CsrMatrix& trans,
-                             const double* prev_values,
-                             const CsrMatrix& pattern, double* out_values,
-                             ThreadPool* pool) {
+Status ComputeMaskedProductCsr(const CsrMatrix& trans,
+                               const double* prev_values,
+                               const CsrMatrix& pattern, double* out_values,
+                               const ExecContext& ctx) {
   GTER_CHECK(trans.rows() == pattern.rows());
   GTER_CHECK(trans.cols() == pattern.rows());
+  GTER_RETURN_IF_ERROR(ctx.CheckCancel());
 #if GTER_HAVE_AVX2
-  if (ActiveSimdLevel() >= SimdLevel::kAvx2) {
-    internal::MaskedProductCsrAvx2(trans, prev_values, pattern, out_values,
-                                   pool);
-    return;
+  if (ctx.simd_level() >= SimdLevel::kAvx2) {
+    return internal::MaskedProductCsrAvx2(trans, prev_values, pattern,
+                                          out_values, ctx);
   }
 #endif
   const size_t n = pattern.cols();
-  ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo, size_t hi) {
+  ParallelFor(ctx.pool, 0, pattern.rows(), /*grain=*/8,
+              [&](size_t lo, size_t hi) {
+    if (ctx.cancelled()) return;
     // Dense row accumulator, reused (and re-zeroed) across the chunk's
     // rows — the only dense state of the sparse engine.
     std::vector<double> acc(n, 0.0);
@@ -85,6 +91,7 @@ void ComputeMaskedProductCsr(const CsrMatrix& trans,
       }
     }
   });
+  return ctx.CheckCancel();
 }
 
 void ScatterToDense(const CsrMatrix& pattern, const double* values,

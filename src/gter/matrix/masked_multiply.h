@@ -1,7 +1,7 @@
 #ifndef GTER_MATRIX_MASKED_MULTIPLY_H_
 #define GTER_MATRIX_MASKED_MULTIPLY_H_
 
-#include "gter/common/thread_pool.h"
+#include "gter/common/exec_context.h"
 #include "gter/matrix/csr_matrix.h"
 
 namespace gter {
@@ -25,9 +25,13 @@ namespace gter {
 ///
 /// Cost: Σ_{(i,j)∈pattern} nnz(trans row i) — linear in pattern edges times
 /// average degree, vs. n³ for the dense product.
-void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
-                          const CsrMatrix& pattern, double* out_values,
-                          ThreadPool* pool = nullptr);
+///
+/// Parallelized over row chunks via `ctx.pool`, dispatched at
+/// `ctx.simd_level()`, polled per row chunk; on cancellation returns early
+/// with `out_values` partially written.
+Status ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
+                            const CsrMatrix& pattern, double* out_values,
+                            const ExecContext& ctx = DefaultExecContext());
 
 /// Fully sparse variant of `ComputeMaskedProduct`: M^{k-1} stays in CSR
 /// form (`prev_values`, parallel to `pattern`'s value array) instead of
@@ -38,10 +42,10 @@ void ComputeMaskedProduct(const CsrMatrix& trans, const double* prev_dense,
 ///
 /// Summation order per output entry matches the dense-scratch kernel
 /// (ascending k over trans row i), so the two kernels are bit-identical.
-void ComputeMaskedProductCsr(const CsrMatrix& trans,
-                             const double* prev_values,
-                             const CsrMatrix& pattern, double* out_values,
-                             ThreadPool* pool = nullptr);
+Status ComputeMaskedProductCsr(const CsrMatrix& trans,
+                               const double* prev_values,
+                               const CsrMatrix& pattern, double* out_values,
+                               const ExecContext& ctx = DefaultExecContext());
 
 /// Scatters CSR `values` (parallel to `pattern`'s value array) into the
 /// dense n×n row-major buffer `dense`, zeroing previous pattern positions

@@ -17,15 +17,18 @@
 #include <cstdint>
 #include <vector>
 
+#include "gter/common/thread_pool.h"
+
 namespace gter {
 namespace internal {
 
-void MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
-                            const CsrMatrix& pattern, double* out_values,
-                            ThreadPool* pool) {
+Status MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
+                              const CsrMatrix& pattern, double* out_values,
+                              const ExecContext& ctx) {
   const size_t n = pattern.cols();
-  ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
-                                                        size_t hi) {
+  ParallelFor(ctx.pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
+                                                            size_t hi) {
+    if (ctx.cancelled()) return;
     for (size_t i = lo; i < hi; ++i) {
       auto pat_cols = pattern.RowCols(i);
       if (pat_cols.empty()) continue;
@@ -57,14 +60,16 @@ void MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
       }
     }
   });
+  return ctx.CheckCancel();
 }
 
-void MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
-                          const CsrMatrix& pattern, double* out_values,
-                          ThreadPool* pool) {
+Status MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
+                            const CsrMatrix& pattern, double* out_values,
+                            const ExecContext& ctx) {
   const size_t n = pattern.cols();
-  ParallelFor(pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
-                                                        size_t hi) {
+  ParallelFor(ctx.pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
+                                                            size_t hi) {
+    if (ctx.cancelled()) return;
     std::vector<double> acc(n, 0.0);
     for (size_t i = lo; i < hi; ++i) {
       auto pat_cols = pattern.RowCols(i);
@@ -108,6 +113,7 @@ void MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
       }
     }
   });
+  return ctx.CheckCancel();
 }
 
 }  // namespace internal

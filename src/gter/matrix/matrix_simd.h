@@ -7,7 +7,7 @@
 // masked_multiply.h.
 
 #include "gter/common/cpu.h"
-#include "gter/common/thread_pool.h"
+#include "gter/common/exec_context.h"
 #include "gter/matrix/csr_matrix.h"
 #include "gter/matrix/dense_matrix.h"
 
@@ -19,21 +19,22 @@ namespace internal {
 /// BLIS-style packed GEMM: C += A×B with B packed into kc×8 panels, A into
 /// 4-row micropanels, and a register-blocked 4×8 FMA microkernel.
 /// `c` must already hold the desired initial value (the dispatcher zeroes
-/// it). Parallelized over 64-row blocks of A via `pool`.
-void GemmPackedAvx2(const DenseMatrix& a, const DenseMatrix& b,
-                    DenseMatrix* c, ThreadPool* pool);
+/// it). Parallelized over 64-row blocks of A via `ctx.pool`, cancellation
+/// polled per row block.
+Status GemmPackedAvx2(const DenseMatrix& a, const DenseMatrix& b,
+                      DenseMatrix* c, const ExecContext& ctx);
 
 /// AVX2 twin of ComputeMaskedProduct: 4 pattern entries per vector, the
 /// k-reduction per entry kept in scalar order (mul then add per step), so
 /// outputs are bit-identical to the scalar kernel.
-void MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
-                            const CsrMatrix& pattern, double* out_values,
-                            ThreadPool* pool);
+Status MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
+                              const CsrMatrix& pattern, double* out_values,
+                              const ExecContext& ctx);
 
 /// AVX2 twin of ComputeMaskedProductCsr; same bit-identical contract.
-void MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
-                          const CsrMatrix& pattern, double* out_values,
-                          ThreadPool* pool);
+Status MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
+                            const CsrMatrix& pattern, double* out_values,
+                            const ExecContext& ctx);
 
 #endif  // GTER_HAVE_AVX2
 

@@ -265,7 +265,7 @@ TEST(PipelineMetrics, ResolveRunEmitsRequiredKeys) {
   FusionConfig config;
   config.rounds = 2;
   FusionPipeline pipeline(data.dataset, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
   EXPECT_EQ(result.round_stats.size(), 2u);
 
   std::string json = registry.ToJson();
@@ -318,7 +318,7 @@ TEST(PipelineMetrics, RssRunRecordsWalkCounters) {
   config.rss.num_walks = 10;
   config.rss.max_steps = 5;
   FusionPipeline pipeline(data.dataset, config);
-  pipeline.Run();
+  pipeline.Run().value();
 
   EXPECT_GT(registry.Counter("rss/walks_run"), 0u);
   EXPECT_GT(registry.Timer("rss/total").count, 0u);

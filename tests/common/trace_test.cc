@@ -306,7 +306,7 @@ TEST(PipelineTrace, FusionRunEmitsStageSpans) {
     FusionConfig config;
     config.rounds = 2;
     FusionPipeline pipeline(data.dataset, config);
-    pipeline.Run();
+    pipeline.Run().value();
   }
   size_t rounds = 0, sweeps = 0, totals = 0;
   double max_round_arg = 0.0;

@@ -13,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "gter/common/random.h"
+#include "gter/common/thread_pool.h"
 #include "gter/core/cliquerank.h"
 #include "gter/er/pair_space.h"
 #include "gter/graph/record_graph.h"
@@ -70,8 +71,10 @@ TEST_P(CliqueRankEngineDifferential, DenseAndMaskedAgree) {
     CliqueRankOptions masked = dense;
     masked.engine = CliqueRankEngine::kMaskedSparse;
 
-    CliqueRankResult rd = RunCliqueRank(world.graph, world.pairs, dense);
-    CliqueRankResult rm = RunCliqueRank(world.graph, world.pairs, masked);
+    CliqueRankResult rd =
+        RunCliqueRank(world.graph, world.pairs, dense).value();
+    CliqueRankResult rm =
+        RunCliqueRank(world.graph, world.pairs, masked).value();
     ASSERT_EQ(rd.engine_used, CliqueRankEngine::kDense);
     ASSERT_EQ(rm.engine_used, CliqueRankEngine::kMaskedSparse);
     ASSERT_EQ(rd.pair_probability.size(), world.pairs.size());
@@ -164,7 +167,7 @@ TEST(MaskedKernelDifferential, CsrGatherIsThreadCountInvariant) {
   ThreadPool pool(4);
   std::vector<double> parallel(pattern.nnz(), 0.0);
   ComputeMaskedProductCsr(trans, prev.data(), pattern, parallel.data(),
-                          &pool);
+                          ExecContext::WithPool(&pool));
   for (size_t e = 0; e < pattern.nnz(); ++e) {
     ASSERT_EQ(serial[e], parallel[e]) << "entry " << e;
   }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gter/common/thread_pool.h"
 #include "gter/core/rss.h"
 
 namespace gter {
@@ -41,7 +42,7 @@ struct TwoCliques {
 TEST(CliqueRankTest, SeparatesCliquesFromBridge) {
   TwoCliques f;
   RecordGraph graph = f.Graph();
-  CliqueRankResult result = RunCliqueRank(graph, f.pairs, {});
+  CliqueRankResult result = RunCliqueRank(graph, f.pairs, {}).value();
   EXPECT_GT(result.pair_probability[f.pairs.Find(0, 1)], 0.9);
   EXPECT_GT(result.pair_probability[f.pairs.Find(4, 5)], 0.9);
   EXPECT_LT(result.pair_probability[f.pairs.Find(2, 3)],
@@ -53,7 +54,7 @@ TEST(CliqueRankTest, ProbabilitiesClampedToUnitInterval) {
   RecordGraph graph = f.Graph();
   CliqueRankOptions options;
   options.max_steps = 40;  // long accumulation would exceed 1 unclamped
-  CliqueRankResult result = RunCliqueRank(graph, f.pairs, options);
+  CliqueRankResult result = RunCliqueRank(graph, f.pairs, options).value();
   for (double p : result.pair_probability) {
     EXPECT_GE(p, 0.0);
     EXPECT_LE(p, 1.0);
@@ -67,8 +68,8 @@ TEST(CliqueRankTest, DenseAndMaskedEnginesAgree) {
   dense_opts.engine = CliqueRankEngine::kDense;
   CliqueRankOptions masked_opts;
   masked_opts.engine = CliqueRankEngine::kMaskedSparse;
-  auto dense = RunCliqueRank(graph, f.pairs, dense_opts);
-  auto masked = RunCliqueRank(graph, f.pairs, masked_opts);
+  auto dense = RunCliqueRank(graph, f.pairs, dense_opts).value();
+  auto masked = RunCliqueRank(graph, f.pairs, masked_opts).value();
   ASSERT_EQ(dense.pair_probability.size(), masked.pair_probability.size());
   for (PairId p = 0; p < f.pairs.size(); ++p) {
     EXPECT_NEAR(dense.pair_probability[p], masked.pair_probability[p], 1e-9);
@@ -83,10 +84,10 @@ TEST(CliqueRankTest, AutoEngineSelectsByDensity) {
   CliqueRankOptions options;
   options.engine = CliqueRankEngine::kAuto;
   options.dense_density_threshold = 0.25;
-  auto result = RunCliqueRank(graph, f.pairs, options);
+  auto result = RunCliqueRank(graph, f.pairs, options).value();
   EXPECT_EQ(result.engine_used, CliqueRankEngine::kDense);
   options.dense_density_threshold = 0.9;
-  result = RunCliqueRank(graph, f.pairs, options);
+  result = RunCliqueRank(graph, f.pairs, options).value();
   EXPECT_EQ(result.engine_used, CliqueRankEngine::kMaskedSparse);
 }
 
@@ -96,7 +97,7 @@ TEST(CliqueRankTest, SingleStepEqualsBoostedTransition) {
   CliqueRankOptions options;
   options.max_steps = 1;
   options.use_boost = false;  // then M¹ = M_t exactly
-  auto result = RunCliqueRank(graph, f.pairs, options);
+  auto result = RunCliqueRank(graph, f.pairs, options).value();
   CsrMatrix mt = graph.TransitionMatrix(options.alpha);
   for (PairId p = 0; p < f.pairs.size(); ++p) {
     const RecordPair& rp = f.pairs.pair(p);
@@ -112,8 +113,8 @@ TEST(CliqueRankTest, ExpectedBoostModeIsDeterministicAcrossSeeds) {
   a.boost_mode = b.boost_mode = BoostMode::kExpected;
   a.seed = 1;
   b.seed = 999;
-  auto ra = RunCliqueRank(graph, f.pairs, a);
-  auto rb = RunCliqueRank(graph, f.pairs, b);
+  auto ra = RunCliqueRank(graph, f.pairs, a).value();
+  auto rb = RunCliqueRank(graph, f.pairs, b).value();
   EXPECT_EQ(ra.pair_probability, rb.pair_probability);
 }
 
@@ -122,8 +123,8 @@ TEST(CliqueRankTest, SampledBoostIsDeterministicInSeed) {
   RecordGraph graph = f.Graph();
   CliqueRankOptions options;
   options.seed = 42;
-  auto a = RunCliqueRank(graph, f.pairs, options);
-  auto b = RunCliqueRank(graph, f.pairs, options);
+  auto a = RunCliqueRank(graph, f.pairs, options).value();
+  auto b = RunCliqueRank(graph, f.pairs, options).value();
   EXPECT_EQ(a.pair_probability, b.pair_probability);
 }
 
@@ -138,8 +139,8 @@ TEST(CliqueRankTest, BoostLiftsBigCliqueProbability) {
   with_boost.max_steps = 5;
   CliqueRankOptions no_boost = with_boost;
   no_boost.use_boost = false;
-  auto pb = RunCliqueRank(graph, pairs, with_boost);
-  auto pp = RunCliqueRank(graph, pairs, no_boost);
+  auto pb = RunCliqueRank(graph, pairs, with_boost).value();
+  auto pp = RunCliqueRank(graph, pairs, no_boost).value();
   double mean_b = 0.0, mean_p = 0.0;
   for (PairId p = 0; p < pairs.size(); ++p) {
     mean_b += pb.pair_probability[p];
@@ -155,8 +156,8 @@ TEST(CliqueRankTest, AgreesWithRssOnCliqueStructure) {
   RecordGraph graph = f.Graph();
   RssOptions rss_options;
   rss_options.num_walks = 400;
-  auto rss = RunRss(graph, f.pairs, rss_options);
-  auto cr = RunCliqueRank(graph, f.pairs, {});
+  auto rss = RunRss(graph, f.pairs, rss_options).value();
+  auto cr = RunCliqueRank(graph, f.pairs, {}).value();
   PairId in_clique = f.pairs.Find(0, 1);
   PairId bridge = f.pairs.Find(2, 3);
   EXPECT_GT(rss[in_clique], rss[bridge]);
@@ -170,7 +171,7 @@ TEST(CliqueRankTest, PairOfIsolatedRecords) {
   PairSpace pairs = PairSpace::Build(ds);
   std::vector<double> sims(pairs.size(), 0.7);
   RecordGraph graph = RecordGraph::Build(ds.size(), pairs, sims);
-  auto result = RunCliqueRank(graph, pairs, {});
+  auto result = RunCliqueRank(graph, pairs, {}).value();
   EXPECT_GT(result.pair_probability[0], 0.9);
 }
 
@@ -178,10 +179,9 @@ TEST(CliqueRankTest, ParallelPoolMatchesSequential) {
   TwoCliques f;
   RecordGraph graph = f.Graph();
   ThreadPool pool(4);
-  CliqueRankOptions seq, par;
-  par.pool = &pool;
-  auto a = RunCliqueRank(graph, f.pairs, seq);
-  auto b = RunCliqueRank(graph, f.pairs, par);
+  auto a = RunCliqueRank(graph, f.pairs, {}).value();
+  auto b =
+      RunCliqueRank(graph, f.pairs, {}, ExecContext::WithPool(&pool)).value();
   for (PairId p = 0; p < f.pairs.size(); ++p) {
     EXPECT_NEAR(a.pair_probability[p], b.pair_probability[p], 1e-12);
   }

@@ -38,7 +38,7 @@ TEST(CorrelationClusteringTest, RecoversTwoCleanCliques) {
   for (RecordId a = 3; a < 6; ++a) {
     for (RecordId b = a + 1; b < 6; ++b) f.Set(a, b, 1.0);
   }
-  auto result = CorrelationCluster(6, f.pairs, f.probability);
+  auto result = CorrelationCluster(6, f.pairs, f.probability).value();
   EXPECT_EQ(result.cluster_of[0], result.cluster_of[1]);
   EXPECT_EQ(result.cluster_of[0], result.cluster_of[2]);
   EXPECT_EQ(result.cluster_of[3], result.cluster_of[4]);
@@ -70,7 +70,7 @@ TEST(CorrelationClusteringTest, SingleFalseLinkIsOutvoted) {
   EXPECT_EQ(closure[0], closure[7]);
 
   // Correlation clustering: two clusters.
-  auto result = CorrelationCluster(8, f.pairs, f.probability);
+  auto result = CorrelationCluster(8, f.pairs, f.probability).value();
   EXPECT_EQ(result.cluster_of[0], result.cluster_of[3]);
   EXPECT_EQ(result.cluster_of[4], result.cluster_of[7]);
   EXPECT_NE(result.cluster_of[0], result.cluster_of[4]);
@@ -78,7 +78,7 @@ TEST(CorrelationClusteringTest, SingleFalseLinkIsOutvoted) {
 
 TEST(CorrelationClusteringTest, AllApartWhenNoPositiveVotes) {
   Fixture f(5);  // all probabilities 0
-  auto result = CorrelationCluster(5, f.pairs, f.probability);
+  auto result = CorrelationCluster(5, f.pairs, f.probability).value();
   std::set<uint32_t> distinct(result.cluster_of.begin(),
                               result.cluster_of.end());
   EXPECT_EQ(distinct.size(), 5u);
@@ -88,7 +88,7 @@ TEST(CorrelationClusteringTest, ObjectiveMatchesHandCount) {
   Fixture f(3);
   f.Set(0, 1, 1.0);  // together-vote
   // (0,2) and (1,2) stay 0 → apart-votes.
-  auto result = CorrelationCluster(3, f.pairs, f.probability);
+  auto result = CorrelationCluster(3, f.pairs, f.probability).value();
   // Optimal: {0,1},{2} → agreement on all 3 pairs → objective 3.
   EXPECT_DOUBLE_EQ(result.objective, 3.0);
   EXPECT_EQ(result.cluster_of[0], result.cluster_of[1]);
@@ -101,8 +101,8 @@ TEST(CorrelationClusteringTest, DeterministicInSeed) {
   for (auto& p : f.probability) p = rng.Bernoulli(0.3) ? 1.0 : 0.0;
   CorrelationClusteringOptions options;
   options.seed = 77;
-  auto a = CorrelationCluster(10, f.pairs, f.probability, options);
-  auto b = CorrelationCluster(10, f.pairs, f.probability, options);
+  auto a = CorrelationCluster(10, f.pairs, f.probability, options).value();
+  auto b = CorrelationCluster(10, f.pairs, f.probability, options).value();
   EXPECT_EQ(a.cluster_of, b.cluster_of);
   EXPECT_DOUBLE_EQ(a.objective, b.objective);
 }
@@ -110,7 +110,7 @@ TEST(CorrelationClusteringTest, DeterministicInSeed) {
 TEST(CorrelationClusteringTest, LabelsAreDense) {
   Fixture f(7);
   f.Set(2, 5, 1.0);
-  auto result = CorrelationCluster(7, f.pairs, f.probability);
+  auto result = CorrelationCluster(7, f.pairs, f.probability).value();
   uint32_t max_label = 0;
   for (uint32_t l : result.cluster_of) max_label = std::max(max_label, l);
   std::set<uint32_t> distinct(result.cluster_of.begin(),
@@ -128,12 +128,12 @@ TEST(CorrelationClusteringTest, BeatsClosureOnCitationBenchmark) {
   config.rounds = 2;
   config.cliquerank.max_steps = 10;
   FusionPipeline pipeline(data.dataset, config);
-  FusionResult fused = pipeline.Run();
+  FusionResult fused = pipeline.Run().value();
 
   ResolutionResult closure =
       ResolveFromMatches(data.dataset, pipeline.pairs(), fused.matches);
   auto corr = CorrelationCluster(data.dataset.size(), pipeline.pairs(),
-                                 fused.pair_probability);
+                                 fused.pair_probability).value();
 
   double f1_closure =
       EvaluateClustering(closure.cluster_of, data.truth).pairwise_f1;

@@ -22,7 +22,7 @@ TEST(FusionTest, ResolvesSmallRestaurantBenchmarkWell) {
   auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.15, 3);
   RemoveFrequentTerms(&data.dataset);
   FusionPipeline pipeline(data.dataset, FastConfig());
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
 
   auto labels = LabelPairs(pipeline.pairs(), data.truth);
   Confusion c = EvaluatePairPredictions(pipeline.pairs(), result.matches,
@@ -35,7 +35,7 @@ TEST(FusionTest, OutputShapesAreConsistent) {
   auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
   RemoveFrequentTerms(&data.dataset);
   FusionPipeline pipeline(data.dataset, FastConfig());
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
   EXPECT_EQ(result.pair_scores.size(), pipeline.pairs().size());
   EXPECT_EQ(result.pair_probability.size(), pipeline.pairs().size());
   EXPECT_EQ(result.matches.size(), pipeline.pairs().size());
@@ -52,7 +52,7 @@ TEST(FusionTest, RoundStatsAreRecordedAndCumulative) {
   FusionConfig config = FastConfig();
   config.rounds = 4;
   FusionPipeline pipeline(data.dataset, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
   ASSERT_EQ(result.round_stats.size(), 4u);
   for (size_t r = 0; r < 4; ++r) {
     EXPECT_EQ(result.round_stats[r].round, r + 1);
@@ -75,7 +75,7 @@ TEST(FusionTest, ObserverFiresOncePerRound) {
     seen.push_back(round);
     EXPECT_EQ(snapshot.pair_probability.size(), pipeline.pairs().size());
   });
-  pipeline.Run();
+  pipeline.Run().value();
   EXPECT_EQ(seen, (std::vector<size_t>{1, 2, 3}));
 }
 
@@ -85,7 +85,7 @@ TEST(FusionTest, FirstIterTraceRecordedWhenRequested) {
   FusionConfig config = FastConfig();
   config.iter.track_convergence = true;
   FusionPipeline pipeline(data.dataset, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
   EXPECT_FALSE(result.first_iter_trace.empty());
 }
 
@@ -106,7 +106,7 @@ TEST(FusionTest, ReinforcementImprovesOverFirstRound) {
         BestF1Threshold(snapshot.pair_probability, labels, positives);
     f1_by_round.push_back(sweep.f1);
   });
-  pipeline.Run();
+  pipeline.Run().value();
   ASSERT_EQ(f1_by_round.size(), 3u);
   EXPECT_GE(f1_by_round.back(), f1_by_round.front() - 0.02);
 }
@@ -118,8 +118,8 @@ TEST(FusionTest, EtaThresholdControlsMatches) {
   strict.eta = 0.999;
   FusionConfig loose = FastConfig();
   loose.eta = 0.5;
-  FusionResult rs = FusionPipeline(data.dataset, strict).Run();
-  FusionResult rl = FusionPipeline(data.dataset, loose).Run();
+  FusionResult rs = FusionPipeline(data.dataset, strict).Run().value();
+  FusionResult rl = FusionPipeline(data.dataset, loose).Run().value();
   size_t strict_matches = std::count(rs.matches.begin(), rs.matches.end(), true);
   size_t loose_matches = std::count(rl.matches.begin(), rl.matches.end(), true);
   EXPECT_LE(strict_matches, loose_matches);
@@ -133,7 +133,7 @@ TEST(FusionTest, RssBackendProducesComparableDecisions) {
   config.use_rss = true;
   config.rss.num_walks = 100;
   FusionPipeline pipeline(data.dataset, config);
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
   auto labels = LabelPairs(pipeline.pairs(), data.truth);
   Confusion c = EvaluatePairPredictions(pipeline.pairs(), result.matches,
                                         labels,
@@ -145,7 +145,7 @@ TEST(FusionTest, ResolveFromMatchesBuildsClusters) {
   auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 5);
   RemoveFrequentTerms(&data.dataset);
   FusionPipeline pipeline(data.dataset, FastConfig());
-  FusionResult result = pipeline.Run();
+  FusionResult result = pipeline.Run().value();
   ResolutionResult res =
       ResolveFromMatches(data.dataset, pipeline.pairs(), result.matches);
   EXPECT_EQ(res.cluster_of.size(), data.dataset.size());

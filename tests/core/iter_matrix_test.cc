@@ -34,7 +34,7 @@ struct Fixture {
 
 TEST(IterMatrixTest, ConvergesToEigenvector) {
   Fixture f;
-  IterMatrixResult result = RunIterMatrixForm(f.graph, f.Uniform());
+  IterMatrixResult result = RunIterMatrixForm(f.graph, f.Uniform()).value();
   EXPECT_TRUE(result.converged);
   EXPECT_GT(result.eigenvalue, 0.0);
   // Theorem 1: the stationary y is the principal eigenvector — residual
@@ -44,7 +44,7 @@ TEST(IterMatrixTest, ConvergesToEigenvector) {
 
 TEST(IterMatrixTest, StationaryVectorIsUnitNorm) {
   Fixture f;
-  IterMatrixResult result = RunIterMatrixForm(f.graph, f.Uniform());
+  IterMatrixResult result = RunIterMatrixForm(f.graph, f.Uniform()).value();
   double norm_sq = 0.0;
   for (double v : result.pair_scores) norm_sq += v * v;
   EXPECT_NEAR(norm_sq, 1.0, 1e-9);
@@ -55,8 +55,8 @@ TEST(IterMatrixTest, SeedDoesNotChangeStationarySolution) {
   IterMatrixOptions a, b;
   a.seed = 1;
   b.seed = 424242;
-  IterMatrixResult ra = RunIterMatrixForm(f.graph, f.Uniform(), a);
-  IterMatrixResult rb = RunIterMatrixForm(f.graph, f.Uniform(), b);
+  IterMatrixResult ra = RunIterMatrixForm(f.graph, f.Uniform(), a).value();
+  IterMatrixResult rb = RunIterMatrixForm(f.graph, f.Uniform(), b).value();
   for (PairId p = 0; p < f.pairs.size(); ++p) {
     EXPECT_NEAR(ra.pair_scores[p], rb.pair_scores[p], 1e-8);
   }
@@ -72,10 +72,10 @@ TEST(IterMatrixTest, AgreesWithSweepImplementationOnRanking) {
   BipartiteGraph graph = BipartiteGraph::Build(data.dataset, pairs);
   std::vector<double> uniform(pairs.size(), 1.0);
 
-  IterMatrixResult matrix = RunIterMatrixForm(graph, uniform);
+  IterMatrixResult matrix = RunIterMatrixForm(graph, uniform).value();
   IterOptions sweep_options;
   sweep_options.normalization = IterNormalization::kL2;
-  IterResult sweep = RunIter(graph, uniform, sweep_options);
+  IterResult sweep = RunIter(graph, uniform, sweep_options).value();
 
   EXPECT_GT(SpearmanRho(matrix.pair_scores, sweep.pair_scores), 0.95);
   // Compare term rankings over terms that participate in pairs.
@@ -92,14 +92,14 @@ TEST(IterMatrixTest, EdgeProbabilityReweightsSpectrum) {
   Fixture f;
   // Zeroing all probabilities collapses M to the zero matrix.
   std::vector<double> zeros(f.pairs.size(), 0.0);
-  IterMatrixResult dead = RunIterMatrixForm(f.graph, zeros);
+  IterMatrixResult dead = RunIterMatrixForm(f.graph, zeros).value();
   EXPECT_DOUBLE_EQ(dead.eigenvalue, 0.0);
 
   // Keeping only the anchor1 pair concentrates the eigenvector on it.
   std::vector<double> only(f.pairs.size(), 0.0);
   PairId anchor_pair = f.pairs.Find(0, 1);
   only[anchor_pair] = 1.0;
-  IterMatrixResult focused = RunIterMatrixForm(f.graph, only);
+  IterMatrixResult focused = RunIterMatrixForm(f.graph, only).value();
   for (PairId p = 0; p < f.pairs.size(); ++p) {
     EXPECT_GE(focused.pair_scores[anchor_pair] + 1e-12,
               focused.pair_scores[p]);
@@ -112,7 +112,7 @@ TEST(IterMatrixTest, EmptyGraphHandled) {
   ds.AddRecord(0, "y");
   PairSpace pairs = PairSpace::Build(ds);
   BipartiteGraph graph = BipartiteGraph::Build(ds, pairs);
-  IterMatrixResult result = RunIterMatrixForm(graph, {});
+  IterMatrixResult result = RunIterMatrixForm(graph, {}).value();
   EXPECT_TRUE(result.pair_scores.empty());
 }
 

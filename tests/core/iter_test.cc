@@ -38,14 +38,14 @@ std::vector<double> UniformProbability(const PairSpace& pairs) {
 
 TEST(IterTest, ConvergesOnSmallGraph) {
   Fixture f;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs)).value();
   EXPECT_TRUE(result.converged);
   EXPECT_LT(result.iterations, 100u);
 }
 
 TEST(IterTest, DiscriminativeTermsOutweighNoise) {
   Fixture f;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs)).value();
   double anchor1 = result.term_weights[f.ds.vocabulary().Lookup("anchor1")];
   double anchor2 = result.term_weights[f.ds.vocabulary().Lookup("anchor2")];
   double noise = result.term_weights[f.ds.vocabulary().Lookup("noise")];
@@ -55,7 +55,7 @@ TEST(IterTest, DiscriminativeTermsOutweighNoise) {
 
 TEST(IterTest, MatchingPairsScoreHigherThanNonMatching) {
   Fixture f;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs)).value();
   double match_01 = result.pair_scores[f.pairs.Find(0, 1)];
   double match_23 = result.pair_scores[f.pairs.Find(2, 3)];
   double nonmatch = result.pair_scores[f.pairs.Find(0, 2)];
@@ -65,7 +65,7 @@ TEST(IterTest, MatchingPairsScoreHigherThanNonMatching) {
 
 TEST(IterTest, WeightsLieInUnitIntervalUnderLogistic) {
   Fixture f;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs)).value();
   for (double x : result.term_weights) {
     EXPECT_GE(x, 0.0);
     EXPECT_LT(x, 1.0);
@@ -74,7 +74,7 @@ TEST(IterTest, WeightsLieInUnitIntervalUnderLogistic) {
 
 TEST(IterTest, PairScoreIsSumOfSharedTermWeights) {
   Fixture f;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs)).value();
   for (PairId p = 0; p < f.pairs.size(); ++p) {
     double expected = 0.0;
     for (TermId t : f.graph.TermsOfPair(p)) {
@@ -88,8 +88,8 @@ TEST(IterTest, DeterministicInSeed) {
   Fixture f;
   IterOptions options;
   options.seed = 99;
-  IterResult a = RunIter(f.graph, UniformProbability(f.pairs), options);
-  IterResult b = RunIter(f.graph, UniformProbability(f.pairs), options);
+  IterResult a = RunIter(f.graph, UniformProbability(f.pairs), options).value();
+  IterResult b = RunIter(f.graph, UniformProbability(f.pairs), options).value();
   EXPECT_EQ(a.term_weights, b.term_weights);
 }
 
@@ -101,8 +101,8 @@ TEST(IterTest, ConvergesFromDifferentInitializations) {
   o1.seed = 1;
   o2.seed = 123456;
   o1.tolerance = o2.tolerance = 1e-12;
-  IterResult a = RunIter(f.graph, UniformProbability(f.pairs), o1);
-  IterResult b = RunIter(f.graph, UniformProbability(f.pairs), o2);
+  IterResult a = RunIter(f.graph, UniformProbability(f.pairs), o1).value();
+  IterResult b = RunIter(f.graph, UniformProbability(f.pairs), o2).value();
   for (size_t t = 0; t < a.term_weights.size(); ++t) {
     EXPECT_NEAR(a.term_weights[t], b.term_weights[t], 1e-6);
   }
@@ -115,8 +115,8 @@ TEST(IterTest, EdgeProbabilityDemotesPunishedTerms) {
   std::vector<double> probability(f.pairs.size(), 0.0);
   probability[f.pairs.Find(0, 1)] = 1.0;
   probability[f.pairs.Find(2, 3)] = 1.0;
-  IterResult with_p = RunIter(f.graph, probability);
-  IterResult uniform = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult with_p = RunIter(f.graph, probability).value();
+  IterResult uniform = RunIter(f.graph, UniformProbability(f.pairs)).value();
   TermId noise = f.ds.vocabulary().Lookup("noise");
   TermId anchor = f.ds.vocabulary().Lookup("anchor1");
   double ratio_with = with_p.term_weights[anchor] /
@@ -130,7 +130,7 @@ TEST(IterTest, TrackConvergenceRecordsDecreasingTail) {
   Fixture f;
   IterOptions options;
   options.track_convergence = true;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs), options);
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs), options).value();
   ASSERT_EQ(result.update_trace.size(), result.iterations);
   // The final update must be below tolerance (that is why it stopped).
   EXPECT_LT(result.update_trace.back(), options.tolerance);
@@ -144,12 +144,12 @@ TEST(IterTest, L2NormalizationVariant) {
   Fixture f;
   IterOptions options;
   options.normalization = IterNormalization::kL2;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs), options);
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs), options).value();
   double norm_sq = 0.0;
   for (double x : result.term_weights) norm_sq += x * x;
   EXPECT_NEAR(norm_sq, 1.0, 1e-9);
   // The ranking must agree with the logistic variant.
-  IterResult logistic = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult logistic = RunIter(f.graph, UniformProbability(f.pairs)).value();
   TermId anchor = f.ds.vocabulary().Lookup("anchor1");
   TermId noise = f.ds.vocabulary().Lookup("noise");
   EXPECT_GT(result.term_weights[anchor], result.term_weights[noise]);
@@ -158,7 +158,7 @@ TEST(IterTest, L2NormalizationVariant) {
 
 TEST(IterTest, LearnedRankingCorrelatesWithOracle) {
   Fixture f;
-  IterResult result = RunIter(f.graph, UniformProbability(f.pairs));
+  IterResult result = RunIter(f.graph, UniformProbability(f.pairs)).value();
   auto oracle = OracleTermScores(f.graph, f.pairs, f.truth);
   // Restrict to terms that participate in some pair.
   std::vector<double> learned, truth_scores;

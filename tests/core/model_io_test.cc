@@ -27,7 +27,7 @@ struct Fixture {
     config.rounds = 2;
     config.cliquerank.max_steps = 10;
     FusionPipeline pipeline(data.dataset, config);
-    result = pipeline.Run();
+    result = pipeline.Run().value();
     pairs = pipeline.pairs();
   }
 };

@@ -68,8 +68,8 @@ TEST_P(RandomGraphProperties, CliqueRankEnginesAgreeAndStayBounded) {
   CliqueRankOptions masked = dense;
   masked.engine = CliqueRankEngine::kMaskedSparse;
 
-  auto rd = RunCliqueRank(world.graph, world.pairs, dense);
-  auto rm = RunCliqueRank(world.graph, world.pairs, masked);
+  auto rd = RunCliqueRank(world.graph, world.pairs, dense).value();
+  auto rm = RunCliqueRank(world.graph, world.pairs, masked).value();
   for (PairId p = 0; p < world.pairs.size(); ++p) {
     EXPECT_NEAR(rd.pair_probability[p], rm.pair_probability[p], 1e-9);
     EXPECT_GE(rd.pair_probability[p], 0.0);
@@ -146,8 +146,8 @@ TEST_P(RandomGraphProperties, RssProbabilitiesValidAndSeedStable) {
   options.alpha = alpha;
   options.num_walks = 20;
   options.max_steps = 6;
-  auto a = RunRss(world.graph, world.pairs, options);
-  auto b = RunRss(world.graph, world.pairs, options);
+  auto a = RunRss(world.graph, world.pairs, options).value();
+  auto b = RunRss(world.graph, world.pairs, options).value();
   EXPECT_EQ(a, b);
   for (double p : a) {
     EXPECT_GE(p, 0.0);
@@ -168,7 +168,8 @@ TEST_P(RandomGraphProperties, IterConvergesOnRandomBipartiteGraphs) {
   options.tolerance = 1e-3;
   options.max_iterations = 300;
   IterResult result =
-      RunIter(graph, std::vector<double>(world.pairs.size(), 1.0), options);
+      RunIter(graph, std::vector<double>(world.pairs.size(), 1.0), options)
+          .value();
   EXPECT_TRUE(result.converged);
   for (double x : result.term_weights) {
     EXPECT_GE(x, 0.0);

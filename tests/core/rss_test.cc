@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "gter/common/thread_pool.h"
+
 namespace gter {
 namespace {
 
@@ -52,7 +54,7 @@ TEST(RssTest, WithinCliqueProbabilityHigh) {
   TwoCliques f;
   RssOptions options;
   options.num_walks = 200;
-  auto p = RunRss(f.graph, f.pairs, options);
+  auto p = RunRss(f.graph, f.pairs, options).value();
   EXPECT_GT(p[f.pairs.Find(0, 1)], 0.9);
   EXPECT_GT(p[f.pairs.Find(4, 5)], 0.9);
 }
@@ -61,7 +63,7 @@ TEST(RssTest, BridgeProbabilityLow) {
   TwoCliques f;
   RssOptions options;
   options.num_walks = 200;
-  auto p = RunRss(f.graph, f.pairs, options);
+  auto p = RunRss(f.graph, f.pairs, options).value();
   EXPECT_LT(p[f.pairs.Find(2, 3)], 0.5);
   EXPECT_LT(p[f.pairs.Find(2, 3)], p[f.pairs.Find(0, 1)]);
 }
@@ -71,8 +73,8 @@ TEST(RssTest, ProbabilitiesAreValidAndDeterministic) {
   RssOptions options;
   options.num_walks = 50;
   options.seed = 11;
-  auto a = RunRss(f.graph, f.pairs, options);
-  auto b = RunRss(f.graph, f.pairs, options);
+  auto a = RunRss(f.graph, f.pairs, options).value();
+  auto b = RunRss(f.graph, f.pairs, options).value();
   EXPECT_EQ(a, b);
   for (double v : a) {
     EXPECT_GE(v, 0.0);
@@ -96,8 +98,8 @@ TEST(RssTest, BoostHelpsLargeCliques) {
   RssOptions no_boost = with_boost;
   no_boost.use_boost = false;
 
-  auto p_boost = RunRss(graph, pairs, with_boost);
-  auto p_plain = RunRss(graph, pairs, no_boost);
+  auto p_boost = RunRss(graph, pairs, with_boost).value();
+  auto p_plain = RunRss(graph, pairs, no_boost).value();
   double mean_boost = 0.0, mean_plain = 0.0;
   for (PairId p = 0; p < pairs.size(); ++p) {
     mean_boost += p_boost[p];
@@ -115,8 +117,8 @@ TEST(RssTest, EarlyStopSuppressesEscapedWalks) {
   with_stop.num_walks = 200;
   RssOptions no_stop = with_stop;
   no_stop.early_stop = false;
-  auto p_stop = RunRss(f.graph, f.pairs, with_stop);
-  auto p_free = RunRss(f.graph, f.pairs, no_stop);
+  auto p_stop = RunRss(f.graph, f.pairs, with_stop).value();
+  auto p_free = RunRss(f.graph, f.pairs, no_stop).value();
   // Without early stop the surfer may wander out and back, so cross-clique
   // probability can only grow.
   EXPECT_LE(p_stop[f.pairs.Find(2, 3)], p_free[f.pairs.Find(2, 3)] + 0.05);
@@ -129,8 +131,8 @@ TEST(RssTest, MoreStepsNeverReduceReachability) {
   few.max_steps = 1;
   RssOptions many = few;
   many.max_steps = 20;
-  auto p_few = RunRss(f.graph, f.pairs, few);
-  auto p_many = RunRss(f.graph, f.pairs, many);
+  auto p_few = RunRss(f.graph, f.pairs, few).value();
+  auto p_many = RunRss(f.graph, f.pairs, many).value();
   double sum_few = 0.0, sum_many = 0.0;
   for (PairId p = 0; p < f.pairs.size(); ++p) {
     sum_few += p_few[p];
@@ -153,7 +155,7 @@ TEST(RssTest, OddWalkCountRunsEveryWalk) {
   options.num_walks = 9;
   options.max_steps = 5;
   options.use_boost = false;  // keeps mid-range probabilities in play
-  auto p = RunRss(graph, pairs, options);
+  auto p = RunRss(graph, pairs, options).value();
   bool saw_fractional = false;
   for (double v : p) {
     double scaled = v * 9.0;
@@ -169,18 +171,18 @@ TEST(RssTest, BitIdenticalAcrossThreadCounts) {
   ThreadPool pool1(1);
   ThreadPool pool8(8);
   for (uint64_t seed : {3u, 11u, 2018u}) {
-    RssOptions serial;
-    serial.num_walks = 50;
-    serial.seed = seed;
-    serial.grain = 1;  // force chunking even on this tiny pair space
-    RssOptions one_thread = serial;
-    one_thread.pool = &pool1;
-    RssOptions eight_threads = serial;
-    eight_threads.pool = &pool8;
+    RssOptions options;
+    options.num_walks = 50;
+    options.seed = seed;
+    options.grain = 1;  // force chunking even on this tiny pair space
 
-    auto p_serial = RunRss(f.graph, f.pairs, serial);
-    auto p_one = RunRss(f.graph, f.pairs, one_thread);
-    auto p_eight = RunRss(f.graph, f.pairs, eight_threads);
+    auto p_serial = RunRss(f.graph, f.pairs, options).value();
+    auto p_one =
+        RunRss(f.graph, f.pairs, options, ExecContext::WithPool(&pool1))
+            .value();
+    auto p_eight =
+        RunRss(f.graph, f.pairs, options, ExecContext::WithPool(&pool8))
+            .value();
     EXPECT_EQ(p_serial, p_one) << "seed " << seed;
     EXPECT_EQ(p_serial, p_eight) << "seed " << seed;
   }
@@ -193,7 +195,7 @@ TEST(RssTest, IsolatedPairStillDefined) {
   PairSpace pairs = PairSpace::Build(ds);
   std::vector<double> sims(pairs.size(), 0.5);
   RecordGraph graph = RecordGraph::Build(ds.size(), pairs, sims);
-  auto p = RunRss(graph, pairs, {});
+  auto p = RunRss(graph, pairs, {}).value();
   // The two records are each other's only neighbor → always reached.
   EXPECT_DOUBLE_EQ(p[0], 1.0);
 }

@@ -84,7 +84,7 @@ TEST(LshBlockingTest, HighRecallOnRestaurantMatches) {
   LshBlockingOptions options;
   options.num_bands = 32;
   options.rows_per_band = 2;
-  BlockingResult result = LshBlocking(data.dataset, options);
+  BlockingResult result = LshBlocking(data.dataset, options).value();
   EXPECT_GT(BlockingRecall(data.dataset, data.truth, result.pairs), 0.9);
   // And it must not devolve into all-pairs.
   size_t n = data.dataset.size();
@@ -94,7 +94,7 @@ TEST(LshBlockingTest, HighRecallOnRestaurantMatches) {
 TEST(LshBlockingTest, CrossSourceOnlyForTwoSourceData) {
   auto data = GenerateBenchmark(BenchmarkKind::kProduct, 0.1, 3);
   RemoveFrequentTerms(&data.dataset);
-  BlockingResult result = LshBlocking(data.dataset, {});
+  BlockingResult result = LshBlocking(data.dataset, {}).value();
   for (const RecordPair& rp : result.pairs) {
     EXPECT_NE(data.dataset.record(rp.a).source,
               data.dataset.record(rp.b).source);
@@ -104,7 +104,7 @@ TEST(LshBlockingTest, CrossSourceOnlyForTwoSourceData) {
 TEST(LshBlockingTest, PairsAreOrderedAndUnique) {
   auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.15, 9);
   RemoveFrequentTerms(&data.dataset);
-  BlockingResult result = LshBlocking(data.dataset, {});
+  BlockingResult result = LshBlocking(data.dataset, {}).value();
   std::set<std::pair<RecordId, RecordId>> seen;
   for (const RecordPair& rp : result.pairs) {
     EXPECT_LT(rp.a, rp.b);
@@ -120,10 +120,12 @@ TEST(LshBlockingTest, MoreBandsNeverLowerRecall) {
   few.rows_per_band = 4;
   LshBlockingOptions many = few;
   many.num_bands = 32;
-  double recall_few = BlockingRecall(
-      data.dataset, data.truth, LshBlocking(data.dataset, few).pairs);
-  double recall_many = BlockingRecall(
-      data.dataset, data.truth, LshBlocking(data.dataset, many).pairs);
+  double recall_few =
+      BlockingRecall(data.dataset, data.truth,
+                     LshBlocking(data.dataset, few).value().pairs);
+  double recall_many =
+      BlockingRecall(data.dataset, data.truth,
+                     LshBlocking(data.dataset, many).value().pairs);
   EXPECT_GE(recall_many + 1e-12, recall_few);
 }
 
@@ -133,7 +135,7 @@ TEST(CanopyBlockingTest, HighRecallWithFarFewerPairs) {
   CanopyBlockingOptions options;
   options.loose_threshold = 0.15;
   options.tight_threshold = 0.6;
-  BlockingResult result = CanopyBlocking(data.dataset, options);
+  BlockingResult result = CanopyBlocking(data.dataset, options).value();
   EXPECT_GT(BlockingRecall(data.dataset, data.truth, result.pairs), 0.9);
   size_t n = data.dataset.size();
   EXPECT_LT(result.pairs.size(), n * (n - 1) / 4);
@@ -148,17 +150,19 @@ TEST(CanopyBlockingTest, LooserThresholdNeverLowersRecall) {
   tight.tight_threshold = 0.8;
   CanopyBlockingOptions loose = tight;
   loose.loose_threshold = 0.1;
-  double r_tight = BlockingRecall(data.dataset, data.truth,
-                                  CanopyBlocking(data.dataset, tight).pairs);
-  double r_loose = BlockingRecall(data.dataset, data.truth,
-                                  CanopyBlocking(data.dataset, loose).pairs);
+  double r_tight =
+      BlockingRecall(data.dataset, data.truth,
+                     CanopyBlocking(data.dataset, tight).value().pairs);
+  double r_loose =
+      BlockingRecall(data.dataset, data.truth,
+                     CanopyBlocking(data.dataset, loose).value().pairs);
   EXPECT_GE(r_loose + 1e-12, r_tight);
 }
 
 TEST(CanopyBlockingTest, CrossSourceOnlyForTwoSourceData) {
   auto data = GenerateBenchmark(BenchmarkKind::kProduct, 0.08, 3);
   RemoveFrequentTerms(&data.dataset);
-  BlockingResult result = CanopyBlocking(data.dataset, {});
+  BlockingResult result = CanopyBlocking(data.dataset, {}).value();
   for (const RecordPair& rp : result.pairs) {
     EXPECT_NE(data.dataset.record(rp.a).source,
               data.dataset.record(rp.b).source);
@@ -169,7 +173,7 @@ TEST(CanopyBlockingTest, EveryRecordEndsInSomeCanopy) {
   auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.1, 13);
   RemoveFrequentTerms(&data.dataset);
   // Number of canopies is at most the number of records and at least 1.
-  BlockingResult result = CanopyBlocking(data.dataset, {});
+  BlockingResult result = CanopyBlocking(data.dataset, {}).value();
   EXPECT_GE(result.buckets, 1u);
   EXPECT_LE(result.buckets, data.dataset.size());
 }

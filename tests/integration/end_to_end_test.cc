@@ -36,7 +36,7 @@ TEST(EndToEndTest, FusionBeatsJaccardOnRestaurant) {
   config.rounds = 3;
   config.cliquerank.max_steps = 15;
   FusionPipeline fusion(p.data.dataset, config);
-  FusionResult result = fusion.Run();
+  FusionResult result = fusion.Run().value();
   double fusion_f1 =
       EvaluatePairPredictions(p.pairs, result.matches, p.labels, p.positives)
           .F1();
@@ -53,7 +53,7 @@ TEST(EndToEndTest, FusionBeatsUnsupervisedBaselinesOnPaper) {
   config.rounds = 3;
   config.cliquerank.max_steps = 15;
   FusionPipeline fusion(p.data.dataset, config);
-  FusionResult result = fusion.Run();
+  FusionResult result = fusion.Run().value();
   double fusion_f1 =
       EvaluatePairPredictions(p.pairs, result.matches, p.labels, p.positives)
           .F1();
@@ -82,7 +82,8 @@ TEST(EndToEndTest, ItersTermRankingBeatsPageRankOnSpearman) {
   // ties at 0 and 1, which dilutes any rank correlation).
   Pipeline p(BenchmarkKind::kPaper, 0.15, 42);
   BipartiteGraph graph = BipartiteGraph::Build(p.data.dataset, p.pairs);
-  IterResult iter = RunIter(graph, std::vector<double>(p.pairs.size(), 1.0));
+  IterResult iter =
+      RunIter(graph, std::vector<double>(p.pairs.size(), 1.0)).value();
   TwIdfPageRankScorer pagerank;
   pagerank.Score(p.data.dataset, p.pairs);
   auto oracle = OracleTermScores(graph, p.pairs, p.data.truth);
@@ -106,7 +107,8 @@ TEST(EndToEndTest, IterSeparatesDiscriminativeFromNoiseTermsOnRestaurant) {
   // whose pairs never match (oracle score 0).
   Pipeline p(BenchmarkKind::kRestaurant, 0.2, 42);
   BipartiteGraph graph = BipartiteGraph::Build(p.data.dataset, p.pairs);
-  IterResult iter = RunIter(graph, std::vector<double>(p.pairs.size(), 1.0));
+  IterResult iter =
+      RunIter(graph, std::vector<double>(p.pairs.size(), 1.0)).value();
   auto oracle = OracleTermScores(graph, p.pairs, p.data.truth);
   double sum_disc = 0.0, sum_noise = 0.0;
   size_t n_disc = 0, n_noise = 0;
@@ -134,7 +136,7 @@ TEST(EndToEndTest, UniversalEtaWorksAcrossDomains) {
     config.rounds = 2;
     config.cliquerank.max_steps = 10;
     FusionPipeline fusion(p.data.dataset, config);
-    FusionResult result = fusion.Run();
+    FusionResult result = fusion.Run().value();
     double f1 =
         EvaluatePairPredictions(p.pairs, result.matches, p.labels, p.positives)
             .F1();

@@ -1,6 +1,7 @@
 #include "gter/matrix/gemm.h"
 
 #include "gter/common/random.h"
+#include "gter/common/thread_pool.h"
 
 #include <gtest/gtest.h>
 
@@ -80,8 +81,8 @@ TEST(GemmTest, ParallelMatchesSequential) {
   DenseMatrix a = RandomMatrix(64, 64, &rng);
   DenseMatrix b = RandomMatrix(64, 64, &rng);
   ThreadPool pool(4);
-  DenseMatrix with_pool = Multiply(a, b, &pool);
-  DenseMatrix without = Multiply(a, b, nullptr);
+  DenseMatrix with_pool = Multiply(a, b, ExecContext::WithPool(&pool));
+  DenseMatrix without = Multiply(a, b);
   EXPECT_DOUBLE_EQ(with_pool.MaxAbsDiff(without), 0.0);
 }
 

@@ -1,6 +1,7 @@
 #include "gter/matrix/masked_multiply.h"
 
 #include "gter/common/random.h"
+#include "gter/common/thread_pool.h"
 #include "gter/matrix/gemm.h"
 
 #include <gtest/gtest.h>
@@ -75,11 +76,13 @@ TEST(MaskedMultiplyTest, ParallelMatchesSequential) {
   ScatterToDense(f.pattern, cur.data(), scratch.data());
 
   std::vector<double> seq(f.pattern.nnz(), 0.0);
-  ComputeMaskedProduct(f.trans, scratch.data(), f.pattern, seq.data(),
-                       nullptr);
+  GTER_CHECK_OK(
+      ComputeMaskedProduct(f.trans, scratch.data(), f.pattern, seq.data()));
   ThreadPool pool(4);
   std::vector<double> par(f.pattern.nnz(), 0.0);
-  ComputeMaskedProduct(f.trans, scratch.data(), f.pattern, par.data(), &pool);
+  GTER_CHECK_OK(ComputeMaskedProduct(f.trans, scratch.data(), f.pattern,
+                                     par.data(),
+                                     ExecContext::WithPool(&pool)));
   for (size_t i = 0; i < seq.size(); ++i) EXPECT_DOUBLE_EQ(seq[i], par[i]);
 }
 

@@ -226,7 +226,7 @@ TEST(GemmSimd, PackedKernelIsThreadCountInvariant) {
   DenseMatrix serial, parallel;
   Gemm(a, b, &serial);
   ThreadPool pool(4);
-  Gemm(a, b, &parallel, &pool);
+  Gemm(a, b, &parallel, ExecContext::WithPool(&pool));
   // Row blocks are computed independently with a fixed k-order, so the
   // pool changes nothing — bit for bit.
   EXPECT_EQ(serial.MaxAbsDiff(parallel), 0.0);
@@ -329,11 +329,11 @@ TEST(IterSimd, SimdRunMatchesScalarRunWithinTolerance) {
   IterResult ref, got;
   {
     ScopedSimdLevel scalar(SimdLevel::kScalar);
-    ref = RunIter(world.graph, world.probability, options);
+    ref = RunIter(world.graph, world.probability, options).value();
   }
   {
     ScopedSimdLevel avx2(SimdLevel::kAvx2);
-    got = RunIter(world.graph, world.probability, options);
+    got = RunIter(world.graph, world.probability, options).value();
   }
   ASSERT_EQ(ref.term_weights.size(), got.term_weights.size());
   for (size_t t = 0; t < ref.term_weights.size(); ++t) {
@@ -346,17 +346,16 @@ TEST(IterSimd, SimdRunMatchesScalarRunWithinTolerance) {
 
 TEST(IterSimd, PoolRunIsBitIdenticalAtEveryLevel) {
   IterWorld world(7);
-  IterOptions serial_options;
-  serial_options.max_iterations = 20;
-  IterOptions pool_options = serial_options;
+  IterOptions options;
+  options.max_iterations = 20;
   ThreadPool pool(4);
-  pool_options.pool = &pool;
   for (SimdLevel level : {SimdLevel::kScalar, DetectSimdLevel()}) {
     ScopedSimdLevel scoped(level);
-    IterResult serial = RunIter(world.graph, world.probability,
-                                serial_options);
-    IterResult parallel = RunIter(world.graph, world.probability,
-                                  pool_options);
+    IterResult serial =
+        RunIter(world.graph, world.probability, options).value();
+    IterResult parallel = RunIter(world.graph, world.probability, options,
+                                  ExecContext::WithPool(&pool))
+                              .value();
     // Sweeps are gather-style and the chunked reductions have fixed
     // boundaries, so thread count changes nothing — bit for bit.
     EXPECT_EQ(serial.term_weights, parallel.term_weights)
@@ -373,9 +372,10 @@ TEST(IterSimd, L2NormalizationParallelReductionIsDeterministic) {
   options.normalization = IterNormalization::kL2;
   options.max_iterations = 15;
   ThreadPool pool(3);
-  IterResult serial = RunIter(world.graph, world.probability, options);
-  options.pool = &pool;
-  IterResult parallel = RunIter(world.graph, world.probability, options);
+  IterResult serial = RunIter(world.graph, world.probability, options).value();
+  IterResult parallel = RunIter(world.graph, world.probability, options,
+                                ExecContext::WithPool(&pool))
+                            .value();
   EXPECT_EQ(serial.term_weights, parallel.term_weights);
 }
 
@@ -388,10 +388,11 @@ TEST(IterSimd, MultiChunkReductionsAreThreadCountInvariant) {
   options.normalization = IterNormalization::kL2;
   options.max_iterations = 3;
   options.tolerance = 0.0;
-  IterResult serial = RunIter(world.graph, world.probability, options);
+  IterResult serial = RunIter(world.graph, world.probability, options).value();
   ThreadPool pool(5);
-  options.pool = &pool;
-  IterResult parallel = RunIter(world.graph, world.probability, options);
+  IterResult parallel = RunIter(world.graph, world.probability, options,
+                                ExecContext::WithPool(&pool))
+                            .value();
   EXPECT_EQ(serial.term_weights, parallel.term_weights);
   EXPECT_EQ(serial.pair_scores, parallel.pair_scores);
 }

@@ -6,10 +6,14 @@
 //       Synthesize a benchmark dataset (with ground truth) to CSV.
 //   gter_cli resolve --in data.csv [--sources 1] [--eta 0.98]
 //                    [--rounds 5] [--matches out.csv] [--weights w.csv]
-//                    [--simd scalar|avx2|auto]
+//                    [--simd scalar|avx2|auto] [--deadline_ms N]
 //       Resolve a CSV dataset; write matched pairs and term weights.
 //       --simd=scalar pins the scalar reference kernels (bit-reproducible
 //       against pre-SIMD runs); auto picks the best level CPUID reports.
+//       Ctrl-C (or an elapsed --deadline_ms) cancels the run at the next
+//       stage boundary: the partial results seen so far are reported,
+//       --metrics_out/--trace_out are still written, and the exit code
+//       is 3 (vs 0 success, 1 failure, 2 usage).
 //   gter_cli evaluate --in data.csv [--sources 1] [--matches out.csv]
 //       Score a match file against the CSV's ground-truth entity column.
 //   gter_cli report run.json
@@ -23,6 +27,7 @@
 // The CSV interchange format is the one SaveDatasetCsv writes:
 //   entity,source,field...
 
+#include <csignal>
 #include <cstdio>
 #include <memory>
 #include <optional>
@@ -33,25 +38,21 @@
 namespace gter {
 namespace {
 
+// 0 success, 1 failure, 2 usage, 3 cancelled / deadline exceeded.
+constexpr int kExitCancelled = 3;
+
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
 }
 
-void AddLogLevelFlag(FlagSet* flags) {
-  flags->AddString("log_level", "",
-                   "minimum log severity (debug|info|warning|error)");
-}
+// Tripped by the SIGINT handler while resolve runs; the pipeline polls it
+// at every stage boundary. CancelToken::Cancel is a relaxed atomic store,
+// so it is async-signal-safe.
+CancelToken* g_resolve_cancel = nullptr;
 
-Status ApplyLogLevelFlag(const FlagSet& flags) {
-  const std::string& text = flags.GetString("log_level");
-  if (text.empty()) return Status::OK();
-  LogLevel level;
-  if (!ParseLogLevel(text, &level)) {
-    return Status::InvalidArgument("unknown --log_level '" + text + "'");
-  }
-  SetLogLevel(level);
-  return Status::OK();
+void HandleInterrupt(int) {
+  if (g_resolve_cancel != nullptr) g_resolve_cancel->Cancel();
 }
 
 int RunGenerate(int argc, char** argv) {
@@ -97,25 +98,12 @@ int RunResolve(int argc, char** argv) {
   flags.AddDouble("max_df_ratio", 0.12, "frequent-term removal ratio");
   flags.AddString("matches", "matches.csv", "output: matched pairs CSV");
   flags.AddString("weights", "", "output: term weights CSV (optional)");
-  flags.AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
-  flags.AddString("simd", "auto",
-                  "compute kernels: scalar | avx2 | auto (scalar is the "
-                  "determinism reference)");
-  flags.AddString("metrics_out", "",
-                  "output: pipeline metrics JSON (optional)");
-  flags.AddString("trace_out", "",
-                  "output: Chrome/Perfetto trace-event JSON (optional)");
-  AddLogLevelFlag(&flags);
+  flags.AddInt("deadline_ms", 0,
+               "cancel the run after this many milliseconds (0 = none)");
+  AddCommonStageFlags(&flags);
   Status s = flags.Parse(argc, argv);
-  if (s.ok()) s = ApplyLogLevelFlag(flags);
+  if (s.ok()) s = ApplyCommonStageFlags(flags);
   if (!s.ok()) return Fail(s);
-
-  SimdLevel simd_level;
-  if (!ParseSimdLevel(flags.GetString("simd"), &simd_level)) {
-    return Fail(Status::InvalidArgument("unknown --simd '" +
-                                        flags.GetString("simd") + "'"));
-  }
-  SetSimdLevel(simd_level);
 
   // Install the registry before loading so tokenizer/vocabulary and
   // blocking counters are captured, not just the fusion stages.
@@ -151,52 +139,81 @@ int RunResolve(int argc, char** argv) {
   config.eta = flags.GetDouble("eta");
   config.cliquerank.alpha = flags.GetDouble("alpha");
   config.cliquerank.max_steps = static_cast<size_t>(flags.GetInt("steps"));
-  config.metrics = metrics.get();
+
   // Results are bit-identical for any thread count, so --threads only
   // changes wall-clock time.
-  int threads = flags.GetInt("threads");
-  std::unique_ptr<ThreadPool> pool;
-  if (threads != 1) {
-    pool = std::make_unique<ThreadPool>(
-        threads <= 0 ? 0 : static_cast<size_t>(threads));
-    config.pool = pool.get();
+  std::unique_ptr<ThreadPool> pool = MakeThreadPool(flags.GetInt("threads"));
+
+  CancelToken cancel;
+  if (flags.GetInt("deadline_ms") > 0) {
+    cancel.SetTimeout(static_cast<double>(flags.GetInt("deadline_ms")) /
+                      1000.0);
   }
+  ExecContext ctx;
+  ctx.pool = pool.get();
+  ctx.metrics = metrics.get();
+  ctx.trace = trace.get();
+  ctx.cancel = &cancel;
+
+  // Ctrl-C trips the token; the next stage-boundary poll unwinds the run.
+  g_resolve_cancel = &cancel;
+  auto previous_handler = std::signal(SIGINT, HandleInterrupt);
+
   FusionPipeline pipeline(dataset, config);
-  FusionResult result = pipeline.Run();
+  Result<FusionResult> run = pipeline.Run(ctx);
 
-  size_t matched = 0;
-  for (bool m : result.matches) matched += m;
-  std::printf("resolved %zu records: %zu candidate pairs, %zu matches "
-              "(%.1fs)\n",
-              dataset.size(), pipeline.pairs().size(), matched,
-              result.total_seconds);
+  std::signal(SIGINT, previous_handler);
+  g_resolve_cancel = nullptr;
 
-  Status write = SaveMatches(flags.GetString("matches"), pipeline.pairs(),
-                             result);
-  if (!write.ok()) return Fail(write);
-  std::printf("matches written to %s\n", flags.GetString("matches").c_str());
-  if (!flags.GetString("weights").empty()) {
-    write = SaveTermWeights(flags.GetString("weights"), dataset,
-                            result.term_weights);
+  const bool cancelled = !run.ok() && IsCancellation(run.status());
+  if (!run.ok() && !cancelled) return Fail(run.status());
+  const FusionResult& result = run.ok() ? run.value() : pipeline.partial();
+
+  if (cancelled) {
+    std::printf("interrupted (%s): %zu of %zu rounds completed (%.1fs); "
+                "match decisions were not reached\n",
+                StatusCodeToString(run.status().code()),
+                result.round_stats.size(), config.rounds,
+                result.total_seconds);
+  } else {
+    size_t matched = 0;
+    for (bool m : result.matches) matched += m;
+    std::printf("resolved %zu records: %zu candidate pairs, %zu matches "
+                "(%.1fs)\n",
+                dataset.size(), pipeline.pairs().size(), matched,
+                result.total_seconds);
+    Status write = SaveMatches(flags.GetString("matches"), pipeline.pairs(),
+                               result);
+    if (!write.ok()) return Fail(write);
+    std::printf("matches written to %s\n", flags.GetString("matches").c_str());
+  }
+  // Term weights from the last completed ITER run are valid even on a
+  // cancelled run (they exist once round 1's ITER finished).
+  if (!flags.GetString("weights").empty() && !result.term_weights.empty()) {
+    Status write = SaveTermWeights(flags.GetString("weights"), dataset,
+                                   result.term_weights);
     if (!write.ok()) return Fail(write);
     std::printf("term weights written to %s\n",
                 flags.GetString("weights").c_str());
   }
+  // The observability dumps are written for cancelled runs too — a
+  // partial trace of a run someone Ctrl-C'd is exactly what they want to
+  // look at next.
   if (metrics != nullptr) {
-    write = WriteMetricsJson(flags.GetString("metrics_out"), *metrics);
+    Status write = WriteMetricsJson(flags.GetString("metrics_out"), *metrics);
     if (!write.ok()) return Fail(write);
     std::printf("metrics written to %s\n",
                 flags.GetString("metrics_out").c_str());
   }
   if (trace != nullptr) {
     trace_install.reset();  // stop recording before export
-    write = WriteTraceJson(flags.GetString("trace_out"), *trace);
+    Status write = WriteTraceJson(flags.GetString("trace_out"), *trace);
     if (!write.ok()) return Fail(write);
     std::printf("trace written to %s (%zu events, %llu dropped)\n",
                 flags.GetString("trace_out").c_str(), trace->event_count(),
                 static_cast<unsigned long long>(trace->dropped_events()));
   }
-  return 0;
+  return cancelled ? kExitCancelled : 0;
 }
 
 int RunEvaluate(int argc, char** argv) {

