@@ -1,0 +1,225 @@
+// bench_loadgen: concurrent load generator for gterd.
+//
+// Drives N concurrent connections, each issuing a fixed number of
+// requests (a resolve / pair_score / stats mix), and reports throughput
+// and latency percentiles:
+//
+//   loadgen: 16 conns x 250 reqs: 4000 ok, 0 errors, 0 deadline_exceeded
+//   qps 12345.6  p50 0.41 ms  p95 1.02 ms  p99 2.31 ms
+//
+// Modes:
+//   --port=0 (default) self-hosts: generates a dataset at --scale, trains
+//     a ResolutionService, starts a GterdServer on an ephemeral loopback
+//     port, and hammers it — the perf-gate configuration, hermetic in one
+//     process.
+//   --port=N targets an already-running gterd (--host to point off-box).
+//     Queries are built from a stats() probe, so no dataset is needed.
+//
+// Exit code: 0 when every request got a well-formed response (deadline
+// errors are valid responses), 1 on any transport/protocol error.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace gter {
+namespace {
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  uint64_t ok = 0;
+  uint64_t deadline = 0;  // Cancelled / DeadlineExceeded responses
+  uint64_t errors = 0;    // transport or malformed-frame failures
+};
+
+/// One connection's request loop. `texts` drives resolve queries; when
+/// empty (external mode without record texts) the mix degrades to
+/// pair_score + stats.
+void RunWorker(const std::string& host, uint16_t port, uint64_t requests,
+               int64_t deadline_ms, uint64_t num_records,
+               const std::vector<std::string>* texts, uint64_t seed,
+               WorkerResult* out) {
+  auto connected = GterdClient::Connect(host, port);
+  if (!connected.ok()) {
+    out->errors += requests;
+    return;
+  }
+  GterdClient client = std::move(connected).value();
+  Rng rng(seed);
+  out->latencies_ms.reserve(requests);
+  for (uint64_t i = 0; i < requests; ++i) {
+    JsonValue params = JsonValue::MakeObject();
+    std::string method;
+    const uint64_t kind = i % 4;
+    if (kind < 2 && texts != nullptr && !texts->empty()) {
+      method = "resolve";
+      params.Set("text", JsonValue::MakeString(
+                             (*texts)[rng.NextBounded(texts->size())]));
+    } else if (kind < 3 && num_records >= 2) {
+      method = "pair_score";
+      params.Set("a", JsonValue::MakeNumber(static_cast<double>(
+                          rng.NextBounded(num_records))));
+      params.Set("b", JsonValue::MakeNumber(static_cast<double>(
+                          rng.NextBounded(num_records))));
+    } else {
+      method = "stats";
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto response = client.Call(method, std::move(params), deadline_ms);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    out->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+    if (response.ok()) {
+      ++out->ok;
+    } else if (IsCancellation(response.status())) {
+      ++out->deadline;
+    } else {
+      ++out->errors;
+      if (response.status().code() == StatusCode::kIOError) return;
+    }
+  }
+}
+
+double Percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(p * (sorted.size() - 1) + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.AddString("host", "127.0.0.1", "gterd address (external mode)");
+  flags.AddInt("port", 0, "gterd port; 0 self-hosts an in-process server");
+  flags.AddInt("connections", 16, "concurrent connections");
+  flags.AddInt("requests", 250, "requests per connection");
+  flags.AddInt("deadline_ms", 0, "per-request deadline (0 = none)");
+  flags.AddString("kind", "restaurant",
+                  "self-host dataset kind: restaurant | product | paper");
+  if (!bench::ParseStandardFlags(argc, argv, &flags)) return 2;
+  bench::BenchMetricsScope metrics(flags);
+
+  const auto connections = static_cast<size_t>(flags.GetInt("connections"));
+  const auto requests = static_cast<uint64_t>(flags.GetInt("requests"));
+  const int64_t deadline_ms = flags.GetInt("deadline_ms");
+  std::string host = flags.GetString("host");
+  auto port = static_cast<uint16_t>(flags.GetInt("port"));
+
+  // Self-host state (kept alive for the run when --port=0).
+  std::unique_ptr<ResolutionService> service;
+  std::unique_ptr<GterdServer> server;
+  std::vector<std::string> texts;
+  uint64_t num_records = 0;
+
+  if (port == 0) {
+    host = "127.0.0.1";
+    BenchmarkKind kind;
+    const std::string& name = flags.GetString("kind");
+    if (name == "restaurant") {
+      kind = BenchmarkKind::kRestaurant;
+    } else if (name == "product") {
+      kind = BenchmarkKind::kProduct;
+    } else if (name == "paper") {
+      kind = BenchmarkKind::kPaper;
+    } else {
+      std::fprintf(stderr, "unknown --kind '%s'\n", name.c_str());
+      return 2;
+    }
+    GeneratedDataset data =
+        GenerateBenchmark(kind, flags.GetDouble("scale"),
+                          static_cast<uint64_t>(flags.GetInt("seed")));
+    RemoveFrequentTerms(&data.dataset);
+    num_records = data.dataset.size();
+    texts.reserve(num_records);
+    for (const Record& r : data.dataset.records()) {
+      texts.push_back(r.raw_text);
+    }
+    std::fprintf(stderr, "loadgen: training on %llu records...\n",
+                 static_cast<unsigned long long>(num_records));
+    auto built = ResolutionService::Create(
+        std::move(data.dataset), ResolutionServiceOptions{},
+        bench::BenchContext(flags));
+    if (!built.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   built.status().ToString().c_str());
+      return 1;
+    }
+    service = std::move(built).value();
+    auto started = GterdServer::Start(service.get(), GterdServerOptions{},
+                                      bench::BenchContext(flags));
+    if (!started.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    server = std::move(started).value();
+    port = server->port();
+  } else {
+    // Probe the target so pair_score draws valid record ids.
+    auto probe = GterdClient::Connect(host, port);
+    if (!probe.ok()) {
+      std::fprintf(stderr, "loadgen: %s\n",
+                   probe.status().ToString().c_str());
+      return 1;
+    }
+    auto stats = probe.value().Call("stats", JsonValue::MakeObject());
+    if (!stats.ok()) {
+      std::fprintf(stderr, "loadgen: stats probe: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    num_records =
+        static_cast<uint64_t>(stats.value().NumberOr("records", 0.0));
+  }
+
+  std::vector<WorkerResult> results(connections);
+  std::vector<std::thread> workers;
+  workers.reserve(connections);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t c = 0; c < connections; ++c) {
+    workers.emplace_back(RunWorker, host, port, requests, deadline_ms,
+                         num_records, texts.empty() ? nullptr : &texts,
+                         static_cast<uint64_t>(flags.GetInt("seed")) + c,
+                         &results[c]);
+  }
+  for (auto& w : workers) w.join();
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
+  uint64_t ok = 0, deadline = 0, errors = 0;
+  std::vector<double> latencies;
+  for (const WorkerResult& r : results) {
+    ok += r.ok;
+    deadline += r.deadline;
+    errors += r.errors;
+    latencies.insert(latencies.end(), r.latencies_ms.begin(),
+                     r.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const double qps =
+      wall_seconds > 0.0 ? static_cast<double>(latencies.size()) / wall_seconds
+                         : 0.0;
+
+  std::printf("loadgen: %zu conns x %llu reqs: %llu ok, %llu errors, "
+              "%llu deadline_exceeded\n",
+              connections, static_cast<unsigned long long>(requests),
+              static_cast<unsigned long long>(ok),
+              static_cast<unsigned long long>(errors),
+              static_cast<unsigned long long>(deadline));
+  std::printf("qps %.1f  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n", qps,
+              Percentile(latencies, 0.50), Percentile(latencies, 0.95),
+              Percentile(latencies, 0.99));
+  return errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gter
+
+int main(int argc, char** argv) { return gter::Run(argc, argv); }

@@ -1,7 +1,8 @@
 #include "gter/common/flags.h"
 
-#include <cstdlib>
 #include <sstream>
+
+#include "gter/common/parse_number.h"
 
 namespace gter {
 
@@ -33,21 +34,22 @@ Status FlagSet::SetFromString(const std::string& name,
     return Status::InvalidArgument("unknown flag --" + name);
   }
   Value& v = it->second.value;
-  char* end = nullptr;
   if (std::holds_alternative<int64_t>(v)) {
-    int64_t parsed = std::strtoll(text.c_str(), &end, 10);
-    if (end == text.c_str() || *end != '\0') {
+    // Checked parse: "99999999999999999999999" is an error, not a silent
+    // clamp to INT64_MAX (strtoll's ERANGE behaviour).
+    auto parsed = ParseInt64(text);
+    if (!parsed.ok()) {
       return Status::InvalidArgument("flag --" + name +
                                      " expects an integer, got '" + text + "'");
     }
-    v = parsed;
+    v = parsed.value();
   } else if (std::holds_alternative<double>(v)) {
-    double parsed = std::strtod(text.c_str(), &end);
-    if (end == text.c_str() || *end != '\0') {
+    auto parsed = ParseDouble(text);
+    if (!parsed.ok()) {
       return Status::InvalidArgument("flag --" + name +
                                      " expects a number, got '" + text + "'");
     }
-    v = parsed;
+    v = parsed.value();
   } else if (std::holds_alternative<bool>(v)) {
     if (text == "true" || text == "1") {
       v = true;
@@ -64,8 +66,20 @@ Status FlagSet::SetFromString(const std::string& name,
 }
 
 Status FlagSet::Parse(int argc, char** argv) {
+  bool flags_done = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (flags_done) {
+      positional_.push_back(arg);
+      continue;
+    }
+    // `--` ends flag parsing: everything after it is positional, so
+    // positional arguments that themselves start with "--" (paths, raw
+    // request lines) are representable.
+    if (arg == "--") {
+      flags_done = true;
+      continue;
+    }
     if (arg.rfind("--", 0) != 0) {
       positional_.push_back(arg);
       continue;

@@ -13,7 +13,9 @@ namespace gter {
 /// Minimal command-line flag parser for the bench/example binaries.
 /// Accepted syntaxes: `--name=value`, `--name value`, and `--bool_flag`
 /// (implies true). Unknown flags are an error; positional arguments are
-/// collected in `positional()`.
+/// collected in `positional()`. A bare `--` ends flag parsing — every
+/// later argument is positional even when it starts with "--". Numeric
+/// values are parsed strictly (full consumption, overflow is an error).
 class FlagSet {
  public:
   /// Registers a flag with its default value. `help` is shown by Usage().

@@ -1,9 +1,58 @@
 #include "gter/common/json.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
+#include "gter/common/parse_number.h"
+
 namespace gter {
+
+JsonValue JsonValue::MakeNull() { return JsonValue(); }
+
+JsonValue JsonValue::MakeBool(bool value) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string value) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(value);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::MakeObject() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+JsonValue& JsonValue::Set(std::string key, JsonValue value) {
+  GTER_CHECK(kind_ == Kind::kObject);
+  object_[std::move(key)] = std::move(value);
+  return *this;
+}
+
+void JsonValue::Append(JsonValue value) {
+  GTER_CHECK(kind_ == Kind::kArray);
+  array_.push_back(std::move(value));
+}
 
 bool JsonValue::boolean() const {
   GTER_CHECK(kind_ == Kind::kBool);
@@ -223,6 +272,100 @@ class JsonParser {
   std::string_view text_;
   size_t pos_ = 0;
 };
+
+namespace {
+
+void AppendJsonEscaped(std::string* out, const std::string& text) {
+  out->push_back('"');
+  for (unsigned char c : text) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+// Doubles up to 2^53 hold integers exactly; inside that range an integral
+// value prints as a plain integer (ids, counts) rather than 4.0e+00.
+constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+
+void AppendJsonNumber(std::string* out, double value) {
+  if (!std::isfinite(value)) {
+    *out += "null";  // JSON has no inf/nan
+    return;
+  }
+  if (value == std::floor(value) && std::fabs(value) <= kMaxExactInteger) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    *out += buf;
+    return;
+  }
+  *out += FormatDouble(value);
+}
+
+}  // namespace
+
+void JsonValue::SerializeTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      AppendJsonNumber(out, number_);
+      break;
+    case Kind::kString:
+      AppendJsonEscaped(out, string_);
+      break;
+    case Kind::kArray: {
+      out->push_back('[');
+      bool first = true;
+      for (const JsonValue& v : array_) {
+        if (!first) out->push_back(',');
+        first = false;
+        v.SerializeTo(out);
+      }
+      out->push_back(']');
+      break;
+    }
+    case Kind::kObject: {
+      out->push_back('{');
+      bool first = true;
+      for (const auto& [key, v] : object_) {
+        if (!first) out->push_back(',');
+        first = false;
+        AppendJsonEscaped(out, key);
+        out->push_back(':');
+        v.SerializeTo(out);
+      }
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
 
 Result<JsonValue> JsonValue::Parse(std::string_view text) {
   JsonValue value;

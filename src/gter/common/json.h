@@ -11,18 +11,28 @@
 
 namespace gter {
 
-/// Minimal JSON document model + recursive-descent parser, sized for the
-/// tooling layer: `gter_cli report` reads back the `--metrics_out` and
-/// `--trace_out` files the pipeline emits. Full JSON value grammar
-/// (objects, arrays, strings with escapes, numbers, true/false/null);
-/// object keys are kept in a sorted map (duplicate keys: last one wins).
-/// Not a streaming parser — inputs are whole metric dumps, a few KB.
+/// Minimal JSON document model + recursive-descent parser + compact
+/// writer, sized for the tooling and serving layers: `gter_cli report`
+/// reads back the `--metrics_out`/`--trace_out` files the pipeline emits,
+/// and `gterd` speaks newline-delimited JSON built and serialized through
+/// this type. Full JSON value grammar (objects, arrays, strings with
+/// escapes, numbers, true/false/null); object keys are kept in a sorted
+/// map (duplicate keys: last one wins). Not a streaming parser — inputs
+/// are whole documents: metric dumps or single wire frames.
 class JsonValue {
  public:
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
   /// Parses one JSON document; trailing non-space input is an error.
   static Result<JsonValue> Parse(std::string_view text);
+
+  /// Builder factories for the writer path.
+  static JsonValue MakeNull();
+  static JsonValue MakeBool(bool value);
+  static JsonValue MakeNumber(double value);
+  static JsonValue MakeString(std::string value);
+  static JsonValue MakeArray();
+  static JsonValue MakeObject();
 
   JsonValue() = default;
 
@@ -46,6 +56,26 @@ class JsonValue {
 
   /// `Find(key)->number()` with a fallback for absent/non-numeric members.
   double NumberOr(const std::string& key, double fallback) const;
+
+  /// Object member insert/overwrite; this value must be an object.
+  /// Returns *this for chaining.
+  JsonValue& Set(std::string key, JsonValue value);
+
+  /// Array element append; this value must be an array.
+  void Append(JsonValue value);
+
+  /// Compact single-line serialization (no insignificant whitespace, keys
+  /// in sorted order). Strings escape `"`, `\`, and all control bytes, LF
+  /// included — one document never spans lines, which is what makes the
+  /// newline-delimited wire protocol frameable. Integral numbers within
+  /// the exact-double range print without an exponent or decimal point;
+  /// other numbers print with %.17g, so Parse(Serialize(v)) reproduces
+  /// every finite value bitwise. Non-finite numbers serialize as null
+  /// (JSON has no inf/nan).
+  std::string Serialize() const;
+
+  /// Appends Serialize() to `out` (the writer's workhorse form).
+  void SerializeTo(std::string* out) const;
 
  private:
   friend class JsonParser;

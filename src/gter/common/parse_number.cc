@@ -1,0 +1,86 @@
+#include "gter/common/parse_number.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace gter {
+namespace {
+
+Status NumberError(std::string_view text, const char* what) {
+  return Status::InvalidArgument(std::string(what) + ": '" +
+                                 std::string(text) + "'");
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  // strtoll needs NUL termination; inputs here are short tokens.
+  std::string buf(text);
+  if (buf.empty()) return NumberError(text, "empty integer");
+  errno = 0;
+  char* end = nullptr;
+  int64_t value = std::strtoll(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str()) {
+    return NumberError(text, "malformed integer");
+  }
+  if (errno == ERANGE) {
+    return NumberError(text, "integer out of range");
+  }
+  return value;
+}
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  std::string buf(text);
+  if (buf.empty()) return NumberError(text, "empty integer");
+  // strtoull "accepts" a leading minus by negating modulo 2^64 — reject it
+  // before it can wrap ("-1" must not become 18446744073709551615).
+  if (buf[0] == '-') return NumberError(text, "negative unsigned integer");
+  errno = 0;
+  char* end = nullptr;
+  uint64_t value = std::strtoull(buf.c_str(), &end, 10);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str()) {
+    return NumberError(text, "malformed integer");
+  }
+  if (errno == ERANGE) {
+    return NumberError(text, "integer out of range");
+  }
+  return value;
+}
+
+Result<uint32_t> ParseUint32(std::string_view text) {
+  auto wide = ParseUint64(text);
+  if (!wide.ok()) return wide.status();
+  if (wide.value() > std::numeric_limits<uint32_t>::max()) {
+    return NumberError(text, "integer out of range");
+  }
+  return static_cast<uint32_t>(wide.value());
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  std::string buf(text);
+  if (buf.empty()) return NumberError(text, "empty number");
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || end == buf.c_str()) {
+    return NumberError(text, "malformed number");
+  }
+  // ERANGE covers both directions; only overflow (±HUGE_VAL) is a lie about
+  // the input. Underflow returns the nearest denormal (or zero), which is
+  // exactly what a %.17g dump of a denormal should load back as.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return NumberError(text, "number out of range");
+  }
+  return value;
+}
+
+std::string FormatDouble(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+}  // namespace gter

@@ -1,0 +1,49 @@
+#ifndef GTER_COMMON_PARSE_NUMBER_H_
+#define GTER_COMMON_PARSE_NUMBER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// Strict, checked text ↔ number conversions for every I/O boundary in the
+/// library (flag parsing, CSV model files, the wire protocol). The strtol
+/// family alone is a trap at such boundaries: with a null end pointer
+/// "abc" parses as 0, "12x" as 12, and out-of-range inputs silently clamp
+/// (strtoll) or wrap (strtoull given a leading '-'). These helpers reject
+/// all of that with InvalidArgument instead of guessing.
+///
+/// Contract common to all three parsers:
+///  * the entire input must be consumed — no trailing characters;
+///  * the empty string is an error;
+///  * out-of-range magnitudes are an error, never a clamp. For doubles
+///    only *overflow* errors; gradual underflow to a denormal (or zero)
+///    is a faithful nearest representation and is accepted, so every
+///    value FormatDouble emits loads back.
+
+/// Parses a base-10 signed integer.
+Result<int64_t> ParseInt64(std::string_view text);
+
+/// Parses a base-10 unsigned integer. A leading '-' is an error (strtoull
+/// would silently wrap it to a huge positive value).
+Result<uint64_t> ParseUint64(std::string_view text);
+
+/// ParseUint64 restricted to the uint32_t range (record ids, source
+/// indices, entity ids).
+Result<uint32_t> ParseUint32(std::string_view text);
+
+/// Parses a double (strtod grammar: decimal/scientific, inf/nan).
+/// Overflow is an error; underflow is not (see above).
+Result<double> ParseDouble(std::string_view text);
+
+/// Round-trippable decimal form of `value`: %.17g guarantees
+/// ParseDouble(FormatDouble(v)) == v bitwise for every finite double
+/// (std::to_string's fixed 6 digits does not).
+std::string FormatDouble(double value);
+
+}  // namespace gter
+
+#endif  // GTER_COMMON_PARSE_NUMBER_H_

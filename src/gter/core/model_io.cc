@@ -1,7 +1,6 @@
 #include "gter/core/model_io.h"
 
-#include <cstdlib>
-
+#include "gter/common/parse_number.h"
 #include "gter/er/csv.h"
 
 namespace gter {
@@ -15,8 +14,10 @@ Status SaveTermWeights(const std::string& path, const Dataset& dataset,
   rows.push_back({"term", "weight"});
   for (TermId t = 0; t < term_weights.size(); ++t) {
     if (term_weights[t] == 0.0) continue;
+    // %.17g, not std::to_string: 6 significant digits would make
+    // save→load→resolve diverge from the in-memory run.
     rows.push_back({dataset.vocabulary().TermOf(t),
-                    std::to_string(term_weights[t])});
+                    FormatDouble(term_weights[t])});
   }
   return WriteCsvFile(path, rows);
 }
@@ -37,7 +38,12 @@ Result<std::vector<double>> LoadTermWeights(const std::string& path,
       return Status::NotFound("term '" + data[i][0] +
                               "' not in the dataset vocabulary");
     }
-    weights[t] = std::strtod(data[i][1].c_str(), nullptr);
+    auto weight = ParseDouble(data[i][1]);
+    if (!weight.ok()) {
+      return Status::InvalidArgument("term weight row " + std::to_string(i) +
+                                     ": " + weight.status().message());
+    }
+    weights[t] = weight.value();
   }
   return weights;
 }
@@ -54,7 +60,7 @@ Status SaveMatches(const std::string& path, const PairSpace& pairs,
     if (!result.matches[p]) continue;
     const RecordPair& rp = pairs.pair(p);
     rows.push_back({std::to_string(rp.a), std::to_string(rp.b),
-                    std::to_string(result.pair_probability[p])});
+                    FormatDouble(result.pair_probability[p])});
   }
   return WriteCsvFile(path, rows);
 }
@@ -70,11 +76,14 @@ Result<std::vector<bool>> LoadMatches(const std::string& path,
       return Status::InvalidArgument("malformed match row " +
                                      std::to_string(i));
     }
-    RecordId a = static_cast<RecordId>(std::strtoul(data[i][0].c_str(),
-                                                    nullptr, 10));
-    RecordId b = static_cast<RecordId>(std::strtoul(data[i][1].c_str(),
-                                                    nullptr, 10));
-    PairId p = pairs.Find(a, b);
+    auto a = ParseUint32(data[i][0]);
+    auto b = ParseUint32(data[i][1]);
+    if (!a.ok() || !b.ok()) {
+      return Status::InvalidArgument(
+          "match row " + std::to_string(i) + ": " +
+          (a.ok() ? b.status().message() : a.status().message()));
+    }
+    PairId p = pairs.Find(a.value(), b.value());
     if (p == kInvalidPairId) {
       return Status::NotFound("pair (" + data[i][0] + "," + data[i][1] +
                               ") not in the candidate space");

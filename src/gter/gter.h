@@ -103,4 +103,9 @@
 #include "gter/core/resolver.h"
 #include "gter/core/rss.h"
 
+#include "gter/server/client.h"
+#include "gter/server/protocol.h"
+#include "gter/server/server.h"
+#include "gter/server/service.h"
+
 #endif  // GTER_GTER_H_

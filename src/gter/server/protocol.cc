@@ -1,0 +1,61 @@
+#include "gter/server/protocol.h"
+
+#include <cmath>
+
+namespace gter {
+
+Result<GterdRequest> ParseGterdRequest(std::string_view line) {
+  auto parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) return parsed.status();
+  JsonValue& frame = parsed.value();
+  if (!frame.is_object()) {
+    return Status::InvalidArgument("request frame must be a JSON object");
+  }
+  GterdRequest request;
+  if (const JsonValue* id = frame.Find("id")) request.id = *id;
+  const JsonValue* method = frame.Find("method");
+  if (method == nullptr || !method->is_string()) {
+    return Status::InvalidArgument("request needs a string 'method'");
+  }
+  request.method = method->string();
+  if (const JsonValue* params = frame.Find("params")) {
+    if (!params->is_object()) {
+      return Status::InvalidArgument("'params' must be an object");
+    }
+    request.params = *params;
+  }
+  if (const JsonValue* deadline = frame.Find("deadline_ms")) {
+    if (!deadline->is_number() || deadline->number() < 0 ||
+        deadline->number() != std::floor(deadline->number())) {
+      return Status::InvalidArgument(
+          "'deadline_ms' must be a non-negative integer");
+    }
+    request.deadline_ms = static_cast<int64_t>(deadline->number());
+  }
+  return request;
+}
+
+std::string FormatGterdResponse(const JsonValue& id, JsonValue result) {
+  JsonValue frame = JsonValue::MakeObject();
+  frame.Set("id", id);
+  frame.Set("ok", JsonValue::MakeBool(true));
+  frame.Set("result", std::move(result));
+  std::string out = frame.Serialize();
+  out.push_back('\n');
+  return out;
+}
+
+std::string FormatGterdError(const JsonValue& id, const Status& status) {
+  JsonValue error = JsonValue::MakeObject();
+  error.Set("code", JsonValue::MakeString(StatusCodeToString(status.code())));
+  error.Set("message", JsonValue::MakeString(status.message()));
+  JsonValue frame = JsonValue::MakeObject();
+  frame.Set("id", id);
+  frame.Set("ok", JsonValue::MakeBool(false));
+  frame.Set("error", std::move(error));
+  std::string out = frame.Serialize();
+  out.push_back('\n');
+  return out;
+}
+
+}  // namespace gter

@@ -1,0 +1,54 @@
+#ifndef GTER_SERVER_PROTOCOL_H_
+#define GTER_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "gter/common/json.h"
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// The gterd wire protocol (DESIGN.md §5): newline-delimited JSON over
+/// TCP. One request per line, one response line per request; responses
+/// carry the request's `id` back, so a client may pipeline requests and
+/// match responses out of order.
+///
+/// Request frame:
+///   {"id": <any JSON value>, "method": "<name>", "params": {...},
+///    "deadline_ms": <positive integer, optional>}
+/// Response frames:
+///   {"id": <echoed>, "ok": true, "result": {...}}
+///   {"id": <echoed or null>, "ok": false,
+///    "error": {"code": "<StatusCodeToString name>", "message": "..."}}
+
+/// One parsed request frame.
+struct GterdRequest {
+  /// Echoed verbatim in the response; null when the client sent none.
+  JsonValue id;
+  std::string method;
+  /// Method parameters; an empty object when the frame had none.
+  JsonValue params = JsonValue::MakeObject();
+  /// Per-request deadline in milliseconds; 0 means "use the server
+  /// default". Armed on a CancelToken when the request is admitted, so it
+  /// covers queue time as well as execution.
+  int64_t deadline_ms = 0;
+};
+
+/// Parses one request line. InvalidArgument on malformed JSON, a
+/// non-object frame, a missing/non-string `method`, a non-object
+/// `params`, or a non-integral/negative `deadline_ms`.
+Result<GterdRequest> ParseGterdRequest(std::string_view line);
+
+/// Success response frame, newline-terminated.
+std::string FormatGterdResponse(const JsonValue& id, JsonValue result);
+
+/// Error response frame, newline-terminated. The wire error code is
+/// StatusCodeToString(status.code()) — the stable names shared with the
+/// rest of the library ("InvalidArgument", "DeadlineExceeded", ...).
+std::string FormatGterdError(const JsonValue& id, const Status& status);
+
+}  // namespace gter
+
+#endif  // GTER_SERVER_PROTOCOL_H_

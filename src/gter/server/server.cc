@@ -1,0 +1,368 @@
+#include "gter/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "gter/common/logging.h"
+
+namespace gter {
+namespace {
+
+constexpr uint64_t kListenId = 0;
+constexpr uint64_t kWakeId = 1;
+
+}  // namespace
+
+GterdServer::GterdServer(ResolutionService* service,
+                         GterdServerOptions options, const ExecContext& ctx)
+    : service_(service),
+      options_(std::move(options)),
+      base_ctx_(ctx),
+      pool_(ctx.pool != nullptr ? ctx.pool : ThreadPool::Default()) {}
+
+Result<std::unique_ptr<GterdServer>> GterdServer::Start(
+    ResolutionService* service, GterdServerOptions options,
+    const ExecContext& ctx) {
+  std::unique_ptr<GterdServer> server(
+      new GterdServer(service, std::move(options), ctx));
+  GTER_RETURN_IF_ERROR(server->Init());
+  server->loop_thread_ = std::thread([raw = server.get()] { raw->Loop(); });
+  return server;
+}
+
+Status GterdServer::Init() {
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(listen_fd_, SOMAXCONN) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (wake_fd_ < 0) {
+    return Status::IOError(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") +
+                           std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = kListenId;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(listen): ") +
+                           std::strerror(errno));
+  }
+  ev.events = EPOLLIN;
+  ev.data.u64 = kWakeId;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(wake): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+GterdServer::~GterdServer() { Stop(); }
+
+void GterdServer::Stop() {
+  if (stopped_) return;
+  // Init() may have failed before the loop thread existed.
+  if (loop_thread_.joinable()) {
+    stopping_.store(true, std::memory_order_release);
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+    loop_thread_.join();
+  }
+  stopped_ = true;
+  // The loop is gone: we are the only thread touching conns_. Cancel
+  // whatever is still running, then wait for the workers to unwind before
+  // closing the fds they signal through.
+  for (auto& [id, conn] : conns_) {
+    if (conn->session != nullptr) conn->session->CancelInFlight();
+  }
+  pool_->Wait(&requests_);
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.clear();
+  }
+  for (auto& [id, conn] : conns_) {
+    if (conn->fd >= 0) close(conn->fd);
+  }
+  conns_.clear();
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+}
+
+void GterdServer::Loop() {
+  epoll_event events[64];
+  while (!stopping_.load(std::memory_order_acquire)) {
+    int n = epoll_wait(epoll_fd_, events, 64, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      GTER_LOG(Error) << "gterd: epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t id = events[i].data.u64;
+      if (id == kListenId) {
+        AcceptNew();
+      } else if (id == kWakeId) {
+        uint64_t drained;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        DrainCompletions();
+      } else {
+        HandleConnEvent(id, events[i].events);
+      }
+    }
+  }
+}
+
+void GterdServer::AcceptNew() {
+  while (true) {
+    int fd = accept4(listen_fd_, nullptr, nullptr,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      GTER_LOG(Warning) << "gterd: accept4: " << std::strerror(errno);
+      return;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->id = id;
+    conn->session = std::make_unique<Session>(this, id);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = id;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      GTER_LOG(Warning) << "gterd: epoll_ctl(conn): " << std::strerror(errno);
+      close(fd);
+      continue;
+    }
+    conns_.emplace(id, std::move(conn));
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void GterdServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // already closed this wakeup
+  Connection* conn = it->second.get();
+
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    conn->session->CancelInFlight();
+    CloseConnection(conn_id);
+    return;
+  }
+
+  if ((events & EPOLLIN) != 0 && !conn->closing) {
+    char buf[16384];
+    while (true) {
+      ssize_t n = recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->read_buffer.append(buf, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        // Orderly disconnect. Anything still executing for this client is
+        // abandoned work: trip its tokens so it unwinds as Cancelled.
+        conn->session->CancelInFlight();
+        CloseConnection(conn_id);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      conn->session->CancelInFlight();
+      CloseConnection(conn_id);
+      return;
+    }
+    if (!conn->session->ConsumeFrames(&conn->read_buffer,
+                                      &conn->write_buffer)) {
+      conn->closing = true;
+      conn->read_buffer.clear();
+    } else if (conn->read_buffer.size() > options_.max_frame_bytes) {
+      // No newline within the frame budget: the stream cannot be re-synced.
+      conn->write_buffer.append(FormatGterdError(
+          JsonValue::MakeNull(),
+          Status::InvalidArgument(
+              "request frame exceeds " +
+              std::to_string(options_.max_frame_bytes) + " bytes")));
+      conn->closing = true;
+      conn->read_buffer.clear();
+    }
+  }
+  FlushWrites(conn);  // may erase the connection
+}
+
+void GterdServer::FlushWrites(Connection* conn) {
+  while (!conn->write_buffer.empty()) {
+    ssize_t n = send(conn->fd, conn->write_buffer.data(),
+                     conn->write_buffer.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->write_buffer.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    conn->session->CancelInFlight();
+    CloseConnection(conn->id);
+    return;
+  }
+  const bool want_write = !conn->write_buffer.empty();
+  if (want_write != conn->write_registered) {
+    epoll_event ev{};
+    ev.events = want_write ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.u64 = conn->id;
+    epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->write_registered = want_write;
+  }
+  if (conn->closing && conn->write_buffer.empty()) {
+    // Error frame (if any) is on the wire; in-flight work is moot.
+    conn->session->CancelInFlight();
+    CloseConnection(conn->id);
+  }
+}
+
+void GterdServer::CloseConnection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, it->second->fd, nullptr);
+  close(it->second->fd);
+  conns_.erase(it);
+}
+
+bool GterdServer::Session::ConsumeFrames(std::string* read_buffer,
+                                         std::string* out) {
+  size_t start = 0;
+  bool keep_open = true;
+  while (keep_open) {
+    const size_t nl = read_buffer->find('\n', start);
+    if (nl == std::string::npos) break;
+    std::string_view line(read_buffer->data() + start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;  // blank keep-alive lines are ignored
+    if (line.size() > server_->options_.max_frame_bytes) {
+      out->append(FormatGterdError(
+          JsonValue::MakeNull(),
+          Status::InvalidArgument(
+              "request frame exceeds " +
+              std::to_string(server_->options_.max_frame_bytes) + " bytes")));
+      keep_open = false;
+      break;
+    }
+    auto parsed = ParseGterdRequest(line);
+    if (!parsed.ok()) {
+      // A malformed frame is still a *framed* frame — answer with an error
+      // and keep the connection; the stream is intact.
+      out->append(FormatGterdError(JsonValue::MakeNull(), parsed.status()));
+      continue;
+    }
+    auto state = std::make_shared<RequestState>();
+    in_flight_.push_back(state);
+    server_->Dispatch(conn_id_, std::move(parsed).value(), std::move(state));
+  }
+  read_buffer->erase(0, start);
+  // Opportunistic prune so a long-lived connection's list stays bounded.
+  std::erase_if(in_flight_, [](const std::shared_ptr<RequestState>& s) {
+    return s->done.load(std::memory_order_acquire);
+  });
+  return keep_open;
+}
+
+void GterdServer::Session::CancelInFlight() {
+  for (const auto& state : in_flight_) state->cancel.Cancel();
+  in_flight_.clear();
+}
+
+void GterdServer::Dispatch(uint64_t conn_id, GterdRequest request,
+                           std::shared_ptr<RequestState> state) {
+  // Armed before queueing: the deadline covers time spent waiting for a
+  // worker, so an overloaded server answers DeadlineExceeded instead of
+  // serving stale work.
+  const int64_t deadline_ms = request.deadline_ms > 0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
+  if (deadline_ms > 0) state->cancel.SetTimeout(deadline_ms * 1e-3);
+  Status submitted = pool_->Submit(
+      &requests_,
+      [this, conn_id, request = std::move(request), state]() mutable {
+        ExecContext rctx = base_ctx_;
+        rctx.cancel = &state->cancel;
+        Result<JsonValue> result = service_->Handle(request, rctx);
+        std::string response =
+            result.ok()
+                ? FormatGterdResponse(request.id, std::move(result).value())
+                : FormatGterdError(request.id, result.status());
+        state->done.store(true, std::memory_order_release);
+        PostResponse(conn_id, std::move(response));
+      });
+  if (!submitted.ok()) {
+    // Pool shutting down: the server is being torn down with it; the
+    // connection will be closed without a response.
+    state->done.store(true, std::memory_order_release);
+  }
+}
+
+void GterdServer::PostResponse(uint64_t conn_id, std::string response) {
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    completions_.emplace_back(conn_id, std::move(response));
+  }
+  uint64_t one = 1;
+  [[maybe_unused]] ssize_t n = write(wake_fd_, &one, sizeof(one));
+}
+
+void GterdServer::DrainCompletions() {
+  std::vector<std::pair<uint64_t, std::string>> batch;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex_);
+    batch.swap(completions_);
+  }
+  for (auto& [conn_id, response] : batch) {
+    auto it = conns_.find(conn_id);
+    if (it == conns_.end()) continue;  // client left before the answer
+    it->second->write_buffer.append(response);
+    FlushWrites(it->second.get());  // may erase the connection
+  }
+}
+
+}  // namespace gter

@@ -1,0 +1,173 @@
+#ifndef GTER_SERVER_SERVER_H_
+#define GTER_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gter/common/exec_context.h"
+#include "gter/common/status.h"
+#include "gter/common/thread_pool.h"
+#include "gter/server/service.h"
+
+namespace gter {
+
+/// Options for GterdServer::Start.
+struct GterdServerOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (read it back with
+  /// port() — the test/bench self-hosting path).
+  uint16_t port = 0;
+  /// Address to bind. The daemon is a trusted-network component; the
+  /// default keeps it loopback-only.
+  std::string bind_address = "127.0.0.1";
+  /// A request line longer than this closes the connection (after an
+  /// InvalidArgument error frame): the line is unframeable, so the stream
+  /// cannot be resynchronized.
+  size_t max_frame_bytes = 1 << 20;
+  /// Deadline applied to requests that do not carry their own
+  /// `deadline_ms`; 0 means no deadline.
+  int64_t default_deadline_ms = 0;
+};
+
+/// The gterd network front end: one epoll event-loop thread owning all
+/// sockets, with request execution handed to a ThreadPool.
+///
+/// Structure (DESIGN.md §5):
+///  * `Connection` — socket-level state: the fd and its read/write byte
+///    buffers. Touched only by the event-loop thread.
+///  * `Session` — protocol-level state riding on a connection: splits the
+///    read buffer into newline-delimited frames, parses them, admits
+///    requests, and tracks the CancelTokens of requests still in flight so
+///    a dropped connection cancels its work.
+///  * Workers never touch a Connection: a finished request posts its
+///    serialized response to a completion queue and signals the loop via
+///    an eventfd; the loop copies it into the connection's write buffer.
+///
+/// Deadlines: a request's CancelToken is armed when the request is
+/// admitted (before it is queued), so `deadline_ms` covers queue time as
+/// well as execution, and a request scheduled after its deadline answers
+/// DeadlineExceeded rather than being silently dropped.
+class GterdServer {
+ public:
+  /// Binds, listens, and starts the event-loop thread. `service` must
+  /// outlive the server, as must everything `ctx` points at; requests run
+  /// on `ctx.pool` (the process-default pool when null) and inherit the
+  /// context's observability sinks.
+  static Result<std::unique_ptr<GterdServer>> Start(
+      ResolutionService* service, GterdServerOptions options,
+      const ExecContext& ctx = DefaultExecContext());
+
+  /// Stops the loop, cancels in-flight requests, waits for workers, and
+  /// closes every socket. Idempotent; also run by the destructor.
+  void Stop();
+
+  ~GterdServer();
+
+  GterdServer(const GterdServer&) = delete;
+  GterdServer& operator=(const GterdServer&) = delete;
+
+  /// The bound port (resolves the ephemeral-port case).
+  uint16_t port() const { return port_; }
+
+  /// Connections accepted over the server's lifetime.
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Per-request shared state: the cancel token lives here so it outlives
+  /// both the owning Session (connection may drop mid-request) and the
+  /// worker (session may cancel after completion, harmlessly).
+  struct RequestState {
+    CancelToken cancel;
+    std::atomic<bool> done{false};
+  };
+
+  class Session {
+   public:
+    Session(GterdServer* server, uint64_t conn_id)
+        : server_(server), conn_id_(conn_id) {}
+
+    /// Consumes every complete frame in `*read_buffer`, appending
+    /// immediate (parse-error) responses to `*out` and dispatching valid
+    /// requests. Returns false when the connection must close after its
+    /// write buffer drains (unframeable oversized line).
+    bool ConsumeFrames(std::string* read_buffer, std::string* out);
+
+    /// Trips the cancel token of every request still in flight (client
+    /// disconnected or server stopping).
+    void CancelInFlight();
+
+   private:
+    GterdServer* server_;
+    uint64_t conn_id_;
+    std::vector<std::shared_ptr<RequestState>> in_flight_;
+  };
+
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string read_buffer;
+    std::string write_buffer;
+    /// EPOLLOUT currently registered (write buffer was not drainable).
+    bool write_registered = false;
+    /// Close once the write buffer drains; stop reading.
+    bool closing = false;
+    std::unique_ptr<Session> session;
+  };
+
+  GterdServer(ResolutionService* service, GterdServerOptions options,
+              const ExecContext& ctx);
+
+  Status Init();
+  void Loop();
+  void AcceptNew();
+  void HandleConnEvent(uint64_t conn_id, uint32_t events);
+  /// send() until EAGAIN or empty; (de)registers EPOLLOUT as needed and
+  /// closes `closing` connections whose buffer drained.
+  void FlushWrites(Connection* conn);
+  void CloseConnection(uint64_t conn_id);
+
+  /// Arms the deadline and queues the request on the pool.
+  void Dispatch(uint64_t conn_id, GterdRequest request,
+                std::shared_ptr<RequestState> state);
+  /// Worker-side: enqueue a serialized response and wake the loop.
+  void PostResponse(uint64_t conn_id, std::string response);
+  /// Loop-side: move queued responses into their connections' write
+  /// buffers.
+  void DrainCompletions();
+
+  ResolutionService* service_;
+  GterdServerOptions options_;
+  ExecContext base_ctx_;
+  ThreadPool* pool_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread loop_thread_;
+  std::atomic<bool> stopping_{false};
+  bool stopped_ = false;
+
+  // Loop-thread-only (Stop() touches it after joining the loop).
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
+  uint64_t next_conn_id_ = 2;  // 0 = listen socket, 1 = wake eventfd
+
+  TaskGroup requests_;
+  std::mutex completion_mutex_;
+  std::vector<std::pair<uint64_t, std::string>> completions_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+
+  friend class Session;
+};
+
+}  // namespace gter
+
+#endif  // GTER_SERVER_SERVER_H_

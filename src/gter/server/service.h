@@ -1,0 +1,119 @@
+#ifndef GTER_SERVER_SERVICE_H_
+#define GTER_SERVER_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "gter/common/exec_context.h"
+#include "gter/common/json.h"
+#include "gter/core/fusion.h"
+#include "gter/er/dataset.h"
+#include "gter/er/pair_space.h"
+#include "gter/server/protocol.h"
+
+namespace gter {
+
+/// Options for building a ResolutionService.
+struct ResolutionServiceOptions {
+  /// Fusion configuration for the startup training run.
+  FusionConfig fusion;
+  /// Tokenizer applied to query/ingested text; must match the one the
+  /// dataset was built with so query terms intern identically.
+  TokenizerOptions tokenizer;
+};
+
+/// The long-lived resolution model behind gterd: a dataset, the fusion
+/// pipeline's learned term weights and match decisions (computed once at
+/// startup), the clique (cluster) structure those matches imply, and an
+/// inverted index for online scoring. Request handlers are thread-safe:
+/// reads (pair_score, resolve, stats) take a shared lock, add_record takes
+/// an exclusive one.
+///
+/// Online scoring uses the fusion model's own similarity: s(q, r) =
+/// Σ_{t ∈ q ∩ r} x_t over the learned term weights — the same quantity
+/// ITER assigns to candidate pairs, evaluated against arbitrary query
+/// text through the inverted index in O(Σ_t |postings(t)|).
+///
+/// add_record ingests a new record into the vocabulary, the inverted
+/// index, and a fresh singleton clique. It does not re-run fusion — newly
+/// interned terms carry zero weight until the next training run
+/// (incremental re-ITER is the ROADMAP's next arc); the record is still
+/// immediately visible to resolve/pair_score through the terms it shares
+/// with the trained vocabulary.
+class ResolutionService {
+ public:
+  /// Builds the service: takes ownership of `dataset` (already
+  /// preprocessed) and runs the fusion pipeline on it under `ctx`.
+  /// Propagates the pipeline's error (including Cancelled /
+  /// DeadlineExceeded) on failure.
+  static Result<std::unique_ptr<ResolutionService>> Create(
+      Dataset dataset, ResolutionServiceOptions options,
+      const ExecContext& ctx = DefaultExecContext());
+
+  /// Dispatches one parsed request. Called from worker threads; `ctx`
+  /// carries the per-request CancelToken (deadline) and observability
+  /// sinks. Handler errors come back as statuses, which the protocol
+  /// layer maps onto wire error codes:
+  ///   unknown method            -> NotFound
+  ///   bad/missing params        -> InvalidArgument
+  ///   record id out of range    -> OutOfRange
+  ///   tripped deadline/cancel   -> DeadlineExceeded / Cancelled
+  ///
+  /// Methods: pair_score(a, b), resolve(text[, top_k]),
+  /// add_record(text[, source]), stats(), and debug_sleep(ms) — a
+  /// diagnostic that idles cooperatively, polling cancellation every
+  /// millisecond (what the deadline/disconnect tests lean on).
+  Result<JsonValue> Handle(const GterdRequest& request,
+                           const ExecContext& ctx);
+
+  size_t num_records() const;
+
+ private:
+  ResolutionService(Dataset dataset, ResolutionServiceOptions options);
+
+  /// Runs fusion and builds the serving indexes (called once by Create).
+  Status Train(const ExecContext& ctx);
+
+  Result<JsonValue> PairScore(const JsonValue& params,
+                              const ExecContext& ctx) const;
+  Result<JsonValue> Resolve(const JsonValue& params,
+                            const ExecContext& ctx) const;
+  Result<JsonValue> AddRecord(const JsonValue& params);
+  JsonValue Stats() const;
+
+  /// Σ_{t ∈ a ∩ b} x_t over two sorted term lists (mu_ held).
+  double SharedTermWeight(const std::vector<TermId>& a,
+                          const std::vector<TermId>& b) const;
+
+  mutable std::shared_mutex mu_;
+  Dataset dataset_;
+  ResolutionServiceOptions options_;
+
+  // The trained model (guarded by mu_; term_weights_ is resized, zero
+  // padded, when add_record grows the vocabulary).
+  std::vector<double> term_weights_;
+  PairSpace pairs_;
+  std::vector<double> pair_scores_;
+  std::vector<double> pair_probability_;
+  std::vector<bool> matches_;
+  size_t matched_count_ = 0;
+  double train_seconds_ = 0.0;
+
+  // Clique structure and the online-scoring indexes.
+  std::vector<uint32_t> cluster_of_;                // by RecordId
+  std::vector<std::vector<RecordId>> cluster_members_;  // by cluster id
+  std::vector<std::vector<RecordId>> inverted_;     // by TermId, sorted
+
+  // Request counters for stats (atomic: bumped outside the lock).
+  std::atomic<uint64_t> requests_total_{0};
+  std::atomic<uint64_t> requests_failed_{0};
+  std::atomic<uint64_t> records_added_{0};
+};
+
+}  // namespace gter
+
+#endif  // GTER_SERVER_SERVICE_H_

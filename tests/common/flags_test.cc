@@ -1,5 +1,7 @@
 #include "gter/common/flags.h"
 
+#include <cstdint>
+
 #include <gtest/gtest.h>
 
 namespace gter {
@@ -103,6 +105,50 @@ TEST(FlagsTest, PositionalArgumentsCollected) {
   ASSERT_EQ(flags.positional().size(), 2u);
   EXPECT_EQ(flags.positional()[0], "input.csv");
   EXPECT_EQ(flags.positional()[1], "out");
+}
+
+TEST(FlagsTest, IntOverflowIsAnErrorNotAClamp) {
+  // strtoll used to saturate at INT64_MAX with errno ignored — the flag
+  // silently became 9223372036854775807.
+  FlagSet flags;
+  flags.AddInt("count", 0, "");
+  std::vector<std::string> args = {"prog",
+                                   "--count=99999999999999999999999"};
+  auto argv = MakeArgv(args);
+  Status s = flags.Parse(static_cast<int>(argv.size()), argv.data());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlagsTest, DoubleOverflowIsAnError) {
+  FlagSet flags;
+  flags.AddDouble("alpha", 0.0, "");
+  std::vector<std::string> args = {"prog", "--alpha=1e999"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagsTest, NegativeAndBoundaryIntsStillParse) {
+  FlagSet flags;
+  flags.AddInt("count", 0, "");
+  std::vector<std::string> args = {"prog", "--count=-9223372036854775808"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetInt("count"), INT64_MIN);
+}
+
+TEST(FlagsTest, DoubleDashEndsFlagParsing) {
+  FlagSet flags;
+  flags.AddInt("count", 1, "");
+  std::vector<std::string> args = {"prog", "--count=3", "--",
+                                   "--count=9", "--not-a-flag", "plain"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(flags.GetInt("count"), 3);
+  ASSERT_EQ(flags.positional().size(), 3u);
+  EXPECT_EQ(flags.positional()[0], "--count=9");
+  EXPECT_EQ(flags.positional()[1], "--not-a-flag");
+  EXPECT_EQ(flags.positional()[2], "plain");
 }
 
 TEST(FlagsTest, UsageListsFlagsAndDefaults) {

@@ -1,8 +1,9 @@
-// gter::JsonValue parser tests: the full value grammar, escape handling,
-// accessor contracts, and rejection of malformed documents — the parser
-// backing `gter_cli report`.
+// gter::JsonValue tests: the full value grammar, escape handling, accessor
+// contracts, rejection of malformed documents, and the writer path
+// (builder factories + Serialize) that frames gterd's NDJSON responses.
 
 #include <cstdio>
+#include <limits>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -88,6 +89,67 @@ TEST(JsonParse, RejectsExcessiveNesting) {
 TEST(JsonParse, DuplicateKeysLastWins) {
   JsonValue v = MustParse(R"({"k": 1, "k": 2})");
   EXPECT_DOUBLE_EQ(v.NumberOr("k", 0.0), 2.0);
+}
+
+TEST(JsonWrite, BuilderAndSerialize) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("name", JsonValue::MakeString("gterd"));
+  obj.Set("count", JsonValue::MakeNumber(3));
+  obj.Set("on", JsonValue::MakeBool(true));
+  obj.Set("none", JsonValue::MakeNull());
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::MakeNumber(1));
+  arr.Append(JsonValue::MakeNumber(2.5));
+  obj.Set("xs", std::move(arr));
+  EXPECT_EQ(obj.Serialize(),
+            R"({"count":3,"name":"gterd","none":null,"on":true,"xs":[1,2.5]})");
+}
+
+TEST(JsonWrite, SerializeParseRoundTrip) {
+  JsonValue original = MustParse(
+      R"({"a": [1, 2.5, true, null, "s"], "b": {"nested": {"deep": -0.125}},)"
+      R"( "c": ""})");
+  auto back = JsonValue::Parse(original.Serialize());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().Serialize(), original.Serialize());
+}
+
+TEST(JsonWrite, EscapesKeepOutputSingleLine) {
+  // NDJSON framing requires that no serialized frame contains a raw
+  // newline — every control byte must be escaped.
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("text", JsonValue::MakeString("a\nb\rc\td\"e\\f\x01g"));
+  std::string wire = obj.Serialize();
+  EXPECT_EQ(wire.find('\n'), std::string::npos);
+  EXPECT_EQ(wire.find('\r'), std::string::npos);
+  EXPECT_NE(wire.find("\\n"), std::string::npos);
+  EXPECT_NE(wire.find("\\u0001"), std::string::npos);
+  auto back = JsonValue::Parse(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().Find("text")->string(), "a\nb\rc\td\"e\\f\x01g");
+}
+
+TEST(JsonWrite, NumbersUseExactIntegersAndRoundTrippableDoubles) {
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::MakeNumber(9007199254740992.0));  // 2^53: integral
+  arr.Append(JsonValue::MakeNumber(1.0 / 3.0));
+  arr.Append(JsonValue::MakeNumber(-0.0));
+  std::string wire = arr.Serialize();
+  auto back = JsonValue::Parse(wire);
+  ASSERT_TRUE(back.ok()) << wire;
+  EXPECT_EQ(back.value().array()[0].number(), 9007199254740992.0);
+  EXPECT_EQ(back.value().array()[1].number(), 1.0 / 3.0);
+  // Integral values in the exact range print without an exponent.
+  EXPECT_NE(wire.find("9007199254740992"), std::string::npos);
+  EXPECT_EQ(wire.find("9.0071992547409920e"), std::string::npos);
+}
+
+TEST(JsonWrite, NonFiniteNumbersSerializeAsNull) {
+  JsonValue arr = JsonValue::MakeArray();
+  arr.Append(JsonValue::MakeNumber(std::numeric_limits<double>::infinity()));
+  arr.Append(
+      JsonValue::MakeNumber(std::numeric_limits<double>::quiet_NaN()));
+  EXPECT_EQ(arr.Serialize(), "[null,null]");
 }
 
 TEST(ReadFileToString, RoundTripsAndFails) {

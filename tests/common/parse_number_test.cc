@@ -1,0 +1,116 @@
+#include "gter/common/parse_number.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "gter/common/random.h"
+
+namespace gter {
+namespace {
+
+TEST(ParseInt64Test, ParsesValidIntegers) {
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  EXPECT_EQ(ParseInt64("-42").value(), -42);
+  EXPECT_EQ(ParseInt64("9223372036854775807").value(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(ParseInt64("-9223372036854775808").value(),
+            std::numeric_limits<int64_t>::min());
+}
+
+TEST(ParseInt64Test, OverflowIsAnErrorNotAClamp) {
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());
+  EXPECT_FALSE(ParseInt64("-9223372036854775809").ok());
+  EXPECT_FALSE(ParseInt64("99999999999999999999999").ok());
+}
+
+TEST(ParseInt64Test, RejectsJunk) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("x12").ok());
+  EXPECT_FALSE(ParseInt64("1 2").ok());
+  EXPECT_FALSE(ParseInt64("-").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+}
+
+TEST(ParseUint64Test, RejectsNegativeInsteadOfWrapping) {
+  // strtoull alone would "parse" -1 as 18446744073709551615.
+  EXPECT_FALSE(ParseUint64("-1").ok());
+  EXPECT_FALSE(ParseUint64("-0").ok());
+  EXPECT_EQ(ParseUint64("18446744073709551615").value(),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_FALSE(ParseUint64("18446744073709551616").ok());
+}
+
+TEST(ParseUint32Test, EnforcesTheNarrowRange) {
+  EXPECT_EQ(ParseUint32("4294967295").value(),
+            std::numeric_limits<uint32_t>::max());
+  EXPECT_FALSE(ParseUint32("4294967296").ok());
+  EXPECT_FALSE(ParseUint32("-1").ok());
+  EXPECT_FALSE(ParseUint32("3.0").ok());
+}
+
+TEST(ParseDoubleTest, ParsesValidNumbers) {
+  EXPECT_EQ(ParseDouble("0.5").value(), 0.5);
+  EXPECT_EQ(ParseDouble("-1e10").value(), -1e10);
+  EXPECT_EQ(ParseDouble("3").value(), 3.0);
+}
+
+TEST(ParseDoubleTest, OverflowErrorsButUnderflowLoads) {
+  EXPECT_FALSE(ParseDouble("1e999").ok());
+  EXPECT_FALSE(ParseDouble("-1e999").ok());
+  // Denormals must load back (FormatDouble emits them); underflow-to-zero
+  // is likewise accepted.
+  auto denormal = ParseDouble("4.9406564584124654e-324");
+  ASSERT_TRUE(denormal.ok());
+  EXPECT_EQ(denormal.value(), std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(ParseDouble("1e-9999").value(), 0.0);
+}
+
+TEST(ParseDoubleTest, RejectsJunk) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("0.5x").ok());
+  EXPECT_FALSE(ParseDouble("1,5").ok());
+}
+
+TEST(FormatDoubleTest, RoundTripsBitwise) {
+  const double cases[] = {0.0,
+                          -0.0,
+                          1.0 / 3.0,
+                          0.1,
+                          1e300,
+                          -1e-300,
+                          std::numeric_limits<double>::denorm_min(),
+                          std::numeric_limits<double>::max(),
+                          std::numeric_limits<double>::min()};
+  for (double value : cases) {
+    auto back = ParseDouble(FormatDouble(value));
+    ASSERT_TRUE(back.ok()) << FormatDouble(value);
+    double reparsed = back.value();
+    EXPECT_EQ(std::memcmp(&value, &reparsed, sizeof(double)), 0)
+        << FormatDouble(value);
+  }
+}
+
+TEST(FormatDoubleTest, RandomizedBitwiseRoundTrip) {
+  // %.17g must reproduce any finite double exactly — the property the
+  // model I/O round-trip (ITER weights, pair scores) rests on.
+  Rng rng(2018);
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t bits = rng.Next();
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    if (!std::isfinite(value)) continue;
+    auto back = ParseDouble(FormatDouble(value));
+    ASSERT_TRUE(back.ok()) << FormatDouble(value);
+    double reparsed = back.value();
+    ASSERT_EQ(std::memcmp(&value, &reparsed, sizeof(double)), 0)
+        << FormatDouble(value);
+  }
+}
+
+}  // namespace
+}  // namespace gter

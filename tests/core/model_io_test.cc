@@ -1,6 +1,7 @@
 #include "gter/core/model_io.h"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 
 #include <gtest/gtest.h>
@@ -39,9 +40,47 @@ TEST(ModelIoTest, TermWeightsRoundTrip) {
   auto loaded = LoadTermWeights(path, f.data.dataset);
   ASSERT_TRUE(loaded.ok());
   ASSERT_EQ(loaded.value().size(), f.result.term_weights.size());
+  // Bitwise, not approximate: %.17g emission + strict parsing make
+  // save→load the identity, so a reloaded model resolves identically.
   for (TermId t = 0; t < f.result.term_weights.size(); ++t) {
-    EXPECT_NEAR(loaded.value()[t], f.result.term_weights[t], 1e-6);
+    double expected = f.result.term_weights[t];
+    double actual = loaded.value()[t];
+    ASSERT_EQ(std::memcmp(&actual, &expected, sizeof(double)), 0)
+        << "term " << t;
   }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, ExtremeWeightsRoundTripBitwise) {
+  // std::to_string's fixed 6 decimals used to flatten these: a denormal
+  // and 1e-300 both became "0.000000", 1/3 lost 11 significant digits.
+  Dataset ds("tiny");
+  ds.AddRecord(0, "alpha beta gamma delta epsilon");
+  std::vector<double> weights = {1.0 / 3.0, 5e-324, 1e300, -1e-300,
+                                 0.1 + 0.2};
+  ASSERT_EQ(weights.size(), ds.vocabulary().size());
+  std::string path = TempPath("gter_extreme_weights_test.csv");
+  ASSERT_TRUE(SaveTermWeights(path, ds, weights).ok());
+  auto loaded = LoadTermWeights(path, ds);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (size_t t = 0; t < weights.size(); ++t) {
+    double actual = loaded.value()[t];
+    ASSERT_EQ(std::memcmp(&actual, &weights[t], sizeof(double)), 0)
+        << "term " << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ModelIoTest, MalformedWeightRejectedOnLoad) {
+  Dataset ds("tiny");
+  ds.AddRecord(0, "alpha beta");
+  std::string path = TempPath("gter_malformed_weight_test.csv");
+  ASSERT_TRUE(WriteCsvFile(path, {{"term", "weight"},
+                                  {"alpha", "0.5junk"}})
+                  .ok());
+  auto loaded = LoadTermWeights(path, ds);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,98 @@
+#include "gter/server/protocol.h"
+
+#include <gtest/gtest.h>
+
+namespace gter {
+namespace {
+
+TEST(ProtocolTest, ParsesMinimalRequest) {
+  auto r = ParseGterdRequest(R"({"method": "stats"})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().method, "stats");
+  EXPECT_TRUE(r.value().id.is_null());
+  EXPECT_TRUE(r.value().params.is_object());
+  EXPECT_TRUE(r.value().params.object().empty());
+  EXPECT_EQ(r.value().deadline_ms, 0);
+}
+
+TEST(ProtocolTest, ParsesFullRequest) {
+  auto r = ParseGterdRequest(
+      R"({"id": 7, "method": "resolve", "params": {"text": "x"},)"
+      R"( "deadline_ms": 250})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().id.number(), 7.0);
+  EXPECT_EQ(r.value().method, "resolve");
+  EXPECT_EQ(r.value().params.Find("text")->string(), "x");
+  EXPECT_EQ(r.value().deadline_ms, 250);
+}
+
+TEST(ProtocolTest, IdMayBeAnyJsonValue) {
+  auto r = ParseGterdRequest(R"({"id": "abc-123", "method": "stats"})");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().id.string(), "abc-123");
+}
+
+TEST(ProtocolTest, RejectsMalformedJson) {
+  EXPECT_EQ(ParseGterdRequest("{nope").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseGterdRequest("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, RejectsNonObjectFrame) {
+  EXPECT_FALSE(ParseGterdRequest("42").ok());
+  EXPECT_FALSE(ParseGterdRequest("[1,2]").ok());
+  EXPECT_FALSE(ParseGterdRequest("\"stats\"").ok());
+}
+
+TEST(ProtocolTest, RejectsMissingOrNonStringMethod) {
+  EXPECT_FALSE(ParseGterdRequest(R"({"id": 1})").ok());
+  EXPECT_FALSE(ParseGterdRequest(R"({"method": 5})").ok());
+}
+
+TEST(ProtocolTest, RejectsNonObjectParams) {
+  EXPECT_FALSE(ParseGterdRequest(R"({"method": "m", "params": [1]})").ok());
+}
+
+TEST(ProtocolTest, RejectsBadDeadline) {
+  EXPECT_FALSE(
+      ParseGterdRequest(R"({"method": "m", "deadline_ms": -5})").ok());
+  EXPECT_FALSE(
+      ParseGterdRequest(R"({"method": "m", "deadline_ms": 1.5})").ok());
+  EXPECT_FALSE(
+      ParseGterdRequest(R"({"method": "m", "deadline_ms": "soon"})").ok());
+}
+
+TEST(ProtocolTest, ResponseFramesAreNewlineTerminatedSingleLines) {
+  JsonValue result = JsonValue::MakeObject();
+  result.Set("x", JsonValue::MakeString("line1\nline2"));
+  std::string frame =
+      FormatGterdResponse(JsonValue::MakeNumber(3), std::move(result));
+  ASSERT_FALSE(frame.empty());
+  EXPECT_EQ(frame.back(), '\n');
+  // The embedded newline must be escaped: exactly one framing newline.
+  EXPECT_EQ(frame.find('\n'), frame.size() - 1);
+
+  auto parsed = JsonValue::Parse(frame);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().Find("id")->number(), 3.0);
+  EXPECT_TRUE(parsed.value().Find("ok")->boolean());
+  EXPECT_EQ(parsed.value().Find("result")->Find("x")->string(),
+            "line1\nline2");
+}
+
+TEST(ProtocolTest, ErrorFrameCarriesStableCodeName) {
+  std::string frame = FormatGterdError(
+      JsonValue::MakeNull(), Status::DeadlineExceeded("too slow"));
+  auto parsed = JsonValue::Parse(frame);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed.value().Find("ok")->boolean());
+  EXPECT_TRUE(parsed.value().Find("id")->is_null());
+  const JsonValue* error = parsed.value().Find("error");
+  ASSERT_NE(error, nullptr);
+  EXPECT_EQ(error->Find("code")->string(), "DeadlineExceeded");
+  EXPECT_EQ(error->Find("message")->string(), "too slow");
+}
+
+}  // namespace
+}  // namespace gter

@@ -1,0 +1,353 @@
+// gterd end-to-end tests: real sockets against an ephemeral-port server.
+//
+// These cover the network layer's contract — framing, error mapping,
+// deadlines, disconnect cancellation, concurrency — not resolution
+// quality, which has its own suites.
+
+#include "gter/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gter/server/client.h"
+
+namespace gter {
+namespace {
+
+using std::chrono::steady_clock;
+
+double SecondsSince(steady_clock::time_point start) {
+  return std::chrono::duration<double>(steady_clock::now() - start).count();
+}
+
+/// A tiny five-record dataset (two duplicate pairs and a singleton), the
+/// trained service, and a listening server on an ephemeral loopback port.
+struct ServerFixture {
+  std::unique_ptr<ResolutionService> service;
+  std::unique_ptr<GterdServer> server;
+
+  explicit ServerFixture(GterdServerOptions options = {}) {
+    Dataset dataset("server-test");
+    dataset.AddRecord(0, "golden dragon szechuan pasadena 8185551234");
+    dataset.AddRecord(0, "golden dragon szechuan pasadena 8185551234");
+    dataset.AddRecord(0, "blue lagoon seafood grill marina 3105559876");
+    dataset.AddRecord(0, "blue lagoon seafood grill marina 3105559876");
+    dataset.AddRecord(0, "taco fiesta cantina downtown 2135550000");
+    auto built = ResolutionService::Create(std::move(dataset),
+                                           ResolutionServiceOptions{});
+    EXPECT_TRUE(built.ok()) << built.status().ToString();
+    service = std::move(built).value();
+    auto started = GterdServer::Start(service.get(), options);
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    server = std::move(started).value();
+  }
+
+  GterdClient Connect() {
+    auto client = GterdClient::Connect("127.0.0.1", server->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+};
+
+TEST(GterdServerTest, StatsReflectsTrainedModel) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  auto stats = client.Call("stats", JsonValue::MakeObject());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().NumberOr("records", -1), 5.0);
+  EXPECT_GT(stats.value().NumberOr("candidate_pairs", -1), 0.0);
+  EXPECT_GE(stats.value().NumberOr("requests_total", -1), 1.0);
+}
+
+TEST(GterdServerTest, PairScoreServesModelValuesForCandidatePairs) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("a", JsonValue::MakeNumber(0));
+  params.Set("b", JsonValue::MakeNumber(1));
+  auto r = client.Call("pair_score", std::move(params));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Records 0 and 1 are identical: they share terms, so they are in the
+  // candidate space with a positive score.
+  EXPECT_TRUE(r.value().Find("in_candidate_space")->boolean());
+  EXPECT_GT(r.value().NumberOr("score", -1), 0.0);
+}
+
+TEST(GterdServerTest, PairScoreOutOfRangeId) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("a", JsonValue::MakeNumber(0));
+  params.Set("b", JsonValue::MakeNumber(999));
+  auto r = client.Call("pair_score", std::move(params));
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(GterdServerTest, UnknownMethodIsNotFound) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  auto r = client.Call("frobnicate", JsonValue::MakeObject());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GterdServerTest, MissingParamsAreInvalidArgument) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  EXPECT_EQ(client.Call("pair_score", JsonValue::MakeObject()).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client.Call("resolve", JsonValue::MakeObject()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GterdServerTest, ResolveFindsTheMatchingRecord) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("text", JsonValue::MakeString("golden dragon pasadena"));
+  auto r = client.Call("resolve", std::move(params));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const JsonValue* best = r.value().Find("best");
+  ASSERT_NE(best, nullptr);
+  ASSERT_FALSE(best->is_null());
+  const double record = best->NumberOr("record", -1);
+  EXPECT_TRUE(record == 0.0 || record == 1.0);
+  // The clique always contains the best match itself.
+  const JsonValue* clique = r.value().Find("clique");
+  ASSERT_NE(clique, nullptr);
+  bool found = false;
+  for (const JsonValue& member : clique->array()) {
+    if (member.number() == record) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GterdServerTest, AddRecordIsImmediatelyResolvable) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  JsonValue add = JsonValue::MakeObject();
+  add.Set("text",
+          JsonValue::MakeString("zanzibar mango treehouse 5105551111"));
+  auto added = client.Call("add_record", std::move(add));
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value().NumberOr("record", -1), 5.0);
+
+  JsonValue query = JsonValue::MakeObject();
+  query.Set("text", JsonValue::MakeString("zanzibar treehouse"));
+  auto resolved = client.Call("resolve", std::move(query));
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_EQ(resolved.value().Find("best")->NumberOr("record", -1), 5.0);
+}
+
+TEST(GterdServerTest, MalformedJsonAnswersErrorAndKeepsConnection) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  ASSERT_TRUE(client.SendRaw("{this is not json").ok());
+  auto frame = client.ReadResponseFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame.value().Find("ok")->boolean());
+  EXPECT_TRUE(frame.value().Find("id")->is_null());
+  EXPECT_EQ(frame.value().Find("error")->Find("code")->string(),
+            "InvalidArgument");
+  // The line framing survived: the same connection still serves requests.
+  auto stats = client.Call("stats", JsonValue::MakeObject());
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+}
+
+TEST(GterdServerTest, BlankAndCrlfLinesAreTolerated) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  ASSERT_TRUE(client.SendRaw("").ok());  // blank keep-alive line
+  ASSERT_TRUE(client.SendRaw("{\"id\": 9, \"method\": \"stats\"}\r").ok());
+  auto frame = client.ReadResponseFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame.value().Find("id")->number(), 9.0);
+  EXPECT_TRUE(frame.value().Find("ok")->boolean());
+}
+
+TEST(GterdServerTest, PipelinedRequestsEachGetAResponse) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  ASSERT_TRUE(client
+                  .SendRaw("{\"id\": 101, \"method\": \"stats\"}\n"
+                           "{\"id\": 102, \"method\": \"stats\"}")
+                  .ok());
+  double seen = 0;
+  for (int i = 0; i < 2; ++i) {
+    auto frame = client.ReadResponseFrame();
+    ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+    EXPECT_TRUE(frame.value().Find("ok")->boolean());
+    seen += frame.value().Find("id")->number();
+  }
+  EXPECT_EQ(seen, 203.0);  // both ids answered, in whatever order
+}
+
+TEST(GterdServerTest, OversizedFrameAnswersErrorThenCloses) {
+  GterdServerOptions options;
+  options.max_frame_bytes = 256;
+  ServerFixture fx(options);
+  GterdClient client = fx.Connect();
+  ASSERT_TRUE(client.SendRaw(std::string(1024, 'a')).ok());
+  auto frame = client.ReadResponseFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame.value().Find("ok")->boolean());
+  EXPECT_EQ(frame.value().Find("error")->Find("code")->string(),
+            "InvalidArgument");
+  // The stream is unframeable past this point: the server closes it.
+  EXPECT_EQ(client.ReadResponseFrame().status().code(), StatusCode::kIOError);
+}
+
+TEST(GterdServerTest, OversizedFrameWithoutNewlineAlsoCloses) {
+  GterdServerOptions options;
+  options.max_frame_bytes = 256;
+  ServerFixture fx(options);
+  // Raw socket: GterdClient::SendRaw always appends the framing newline,
+  // and this test is about a line that never gets one.
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fx.server->port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string blob(4096, 'b');
+  ASSERT_EQ(send(fd, blob.data(), blob.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(blob.size()));
+  // The server answers one InvalidArgument error frame, then closes.
+  std::string received;
+  char chunk[1024];
+  while (true) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;  // EOF: server closed after the error frame
+    received.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  ASSERT_FALSE(received.empty());
+  ASSERT_EQ(received.back(), '\n');
+  auto frame = JsonValue::Parse(
+      std::string_view(received).substr(0, received.size() - 1));
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_FALSE(frame.value().Find("ok")->boolean());
+  EXPECT_EQ(frame.value().Find("error")->Find("code")->string(),
+            "InvalidArgument");
+}
+
+TEST(GterdServerTest, DeadlineExpiredReturnsDeadlineExceeded) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("ms", JsonValue::MakeNumber(30000));
+  const auto start = steady_clock::now();
+  auto r = client.Call("debug_sleep", std::move(params), /*deadline_ms=*/50);
+  // The request is answered (not dropped), with the deadline code, long
+  // before the requested sleep would have finished.
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(SecondsSince(start), 10.0);
+}
+
+TEST(GterdServerTest, ServerDefaultDeadlineApplies) {
+  GterdServerOptions options;
+  options.default_deadline_ms = 50;
+  ServerFixture fx(options);
+  GterdClient client = fx.Connect();
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("ms", JsonValue::MakeNumber(30000));
+  auto r = client.Call("debug_sleep", std::move(params));
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(GterdServerTest, MidRequestDisconnectCancelsInFlightWork) {
+  ServerFixture fx;
+  const auto start = steady_clock::now();
+  {
+    GterdClient client = fx.Connect();
+    ASSERT_TRUE(
+        client
+            .SendRaw(
+                R"({"id": 1, "method": "debug_sleep", "params": {"ms": 60000}})")
+            .ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Client vanishes mid-request.
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  // If the disconnect did not cancel the sleep, Stop() would block on the
+  // worker for the remaining ~60s and the test would time out.
+  fx.server->Stop();
+  EXPECT_LT(SecondsSince(start), 30.0);
+}
+
+TEST(GterdServerTest, SixteenConcurrentConnectionsZeroProtocolErrors) {
+  ServerFixture fx;
+  constexpr int kConnections = 16;
+  constexpr int kRequests = 50;
+  std::atomic<int> ok{0};
+  std::atomic<int> errors{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kConnections);
+  for (int c = 0; c < kConnections; ++c) {
+    workers.emplace_back([&fx, &ok, &errors, c] {
+      auto connected = GterdClient::Connect("127.0.0.1", fx.server->port());
+      if (!connected.ok()) {
+        errors += kRequests;
+        return;
+      }
+      GterdClient client = std::move(connected).value();
+      for (int i = 0; i < kRequests; ++i) {
+        Result<JsonValue> r = Status::Internal("unset");
+        switch ((c + i) % 3) {
+          case 0:
+            r = client.Call("stats", JsonValue::MakeObject());
+            break;
+          case 1: {
+            JsonValue params = JsonValue::MakeObject();
+            params.Set("a", JsonValue::MakeNumber(i % 5));
+            params.Set("b", JsonValue::MakeNumber((i + 1) % 5));
+            r = client.Call("pair_score", std::move(params));
+            break;
+          }
+          default: {
+            JsonValue params = JsonValue::MakeObject();
+            params.Set("text",
+                       JsonValue::MakeString("blue lagoon seafood grill"));
+            r = client.Call("resolve", std::move(params));
+            break;
+          }
+        }
+        if (r.ok()) {
+          ++ok;
+        } else {
+          ++errors;
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(ok.load(), kConnections * kRequests);
+  EXPECT_GE(fx.server->connections_accepted(), 16u);
+}
+
+TEST(GterdServerTest, StopWithIdleConnectionsDoesNotHang) {
+  ServerFixture fx;
+  GterdClient a = fx.Connect();
+  GterdClient b = fx.Connect();
+  auto warm = a.Call("stats", JsonValue::MakeObject());
+  ASSERT_TRUE(warm.ok());
+  fx.server->Stop();
+  // The open sockets observe the shutdown as EOF.
+  EXPECT_EQ(b.Call("stats", JsonValue::MakeObject()).status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace gter

@@ -21,6 +21,9 @@
 //   gter_cli report baseline.json candidate.json [--regress_ratio 0.10]
 //       Diff two --metrics_out files; exit non-zero when a stage timer
 //       regressed past the threshold (the CI perf gate).
+//   gter_cli client [--host H] [--port P] <method> [params-json]
+//       Send one request to a running gterd and print the JSON result.
+//       Exit 3 when the server answers Cancelled/DeadlineExceeded.
 //
 // Every subcommand takes --log_level=debug|info|warning|error.
 //
@@ -291,13 +294,60 @@ int RunReport(int argc, char** argv) {
   return diff.regressions.empty() ? 0 : 1;
 }
 
+int RunClient(int argc, char** argv) {
+  FlagSet flags;
+  flags.AddString("host", "127.0.0.1", "gterd address");
+  flags.AddInt("port", 7421, "gterd port");
+  flags.AddInt("deadline_ms", 0, "per-request deadline (0 = none)");
+  AddLogLevelFlag(&flags);
+  Status s = flags.Parse(argc, argv);
+  if (s.ok()) s = ApplyLogLevelFlag(flags);
+  if (!s.ok()) return Fail(s);
+
+  const auto& args = flags.positional();
+  if (args.empty() || args.size() > 2) {
+    std::fprintf(
+        stderr,
+        "usage: gter_cli client [--host H] [--port P] [--deadline_ms D] "
+        "<method> [params-json]\n"
+        "e.g.   gter_cli client --port 7421 stats\n"
+        "       gter_cli client resolve '{\"text\": \"fenix cafe lodge\"}'\n"
+        "       gter_cli client pair_score '{\"a\": 3, \"b\": 17}'\n");
+    return 2;
+  }
+  JsonValue params = JsonValue::MakeObject();
+  if (args.size() == 2) {
+    auto parsed = JsonValue::Parse(args[1]);
+    if (!parsed.ok()) return Fail(parsed.status());
+    if (!parsed.value().is_object()) {
+      return Fail(Status::InvalidArgument("params must be a JSON object"));
+    }
+    params = std::move(parsed).value();
+  }
+
+  auto client =
+      GterdClient::Connect(flags.GetString("host"),
+                           static_cast<uint16_t>(flags.GetInt("port")));
+  if (!client.ok()) return Fail(client.status());
+  auto response = client.value().Call(args[0], std::move(params),
+                                      flags.GetInt("deadline_ms"));
+  if (!response.ok()) {
+    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
+    return IsCancellation(response.status()) ? kExitCancelled : 1;
+  }
+  std::printf("%s\n", response.value().Serialize().c_str());
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
-               "usage: gter_cli <generate|resolve|evaluate|report> [flags]\n"
+               "usage: gter_cli <generate|resolve|evaluate|report|client> "
+               "[flags]\n"
                "  generate  synthesize a benchmark dataset to CSV\n"
                "  resolve   run unsupervised resolution on a CSV dataset\n"
                "  evaluate  score a match file against ground truth\n"
-               "  report    summarize or diff --metrics_out JSON files\n");
+               "  report    summarize or diff --metrics_out JSON files\n"
+               "  client    send one request to a running gterd\n");
   return 2;
 }
 
@@ -312,5 +362,6 @@ int main(int argc, char** argv) {
   if (command == "resolve") return gter::RunResolve(argc - 1, argv + 1);
   if (command == "evaluate") return gter::RunEvaluate(argc - 1, argv + 1);
   if (command == "report") return gter::RunReport(argc - 1, argv + 1);
+  if (command == "client") return gter::RunClient(argc - 1, argv + 1);
   return gter::Usage();
 }

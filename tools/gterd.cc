@@ -1,0 +1,129 @@
+// gterd: the long-lived resolution daemon.
+//
+// Loads a CSV dataset, runs the fusion pipeline once at startup, and then
+// serves resolution queries over newline-delimited JSON on TCP (protocol:
+// DESIGN.md §5). Each request runs on the worker pool under its own
+// CancelToken, so per-request deadlines cover queue time and a dropped
+// connection cancels its in-flight work.
+//
+//   gterd --in data.csv [--sources 1] [--port 7421] [--bind 127.0.0.1]
+//         [--eta 0.98] [--rounds 5] [--alpha 20] [--steps 20]
+//         [--max_df_ratio 0.12] [--default_deadline_ms 0]
+//         [--threads 0] [--simd auto] [--metrics_out m.json]
+//
+// SIGINT/SIGTERM shuts the daemon down cleanly: stop accepting, cancel
+// in-flight requests, wait for workers, exit 0.
+
+#include <csignal>
+#include <cstdio>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "gter/gter.h"
+
+namespace gter {
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+
+void HandleSignal(int) { g_shutdown.store(true, std::memory_order_relaxed); }
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "gterd: error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Run(int argc, char** argv) {
+  FlagSet flags;
+  flags.AddString("in", "dataset.csv", "input CSV (entity,source,field...)");
+  flags.AddInt("sources", 1, "number of sources (1 or 2)");
+  flags.AddInt("port", 7421, "TCP port (0 = ephemeral, printed at startup)");
+  flags.AddString("bind", "127.0.0.1", "bind address");
+  flags.AddDouble("eta", 0.98, "matching probability threshold");
+  flags.AddInt("rounds", 5, "ITER/CliqueRank reinforcement rounds");
+  flags.AddDouble("alpha", 20.0, "transition exponent");
+  flags.AddInt("steps", 20, "random-walk steps S");
+  flags.AddDouble("max_df_ratio", 0.12, "frequent-term removal ratio");
+  flags.AddInt("default_deadline_ms", 0,
+               "deadline for requests without their own (0 = none)");
+  flags.AddInt("max_frame_bytes", 1 << 20, "request line size limit");
+  AddCommonStageFlags(&flags);
+  Status s = flags.Parse(argc, argv);
+  if (s.ok()) s = ApplyCommonStageFlags(flags);
+  if (!s.ok()) return Fail(s);
+
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::optional<ScopedMetricsInstall> metrics_install;
+  if (!flags.GetString("metrics_out").empty()) {
+    metrics = std::make_unique<MetricsRegistry>();
+    DeclarePipelineMetrics(metrics.get());
+    metrics_install.emplace(metrics.get());
+  }
+
+  auto loaded = LoadDatasetCsv(flags.GetString("in"), "input",
+                               static_cast<uint32_t>(flags.GetInt("sources")));
+  if (!loaded.ok()) return Fail(loaded.status());
+  auto [dataset, truth] = std::move(loaded).value();
+
+  ResolutionServiceOptions service_options;
+  PreprocessOptions preprocess;
+  preprocess.max_df_ratio = flags.GetDouble("max_df_ratio");
+  RemoveFrequentTerms(&dataset, preprocess);
+  service_options.fusion.rounds =
+      static_cast<size_t>(flags.GetInt("rounds"));
+  service_options.fusion.eta = flags.GetDouble("eta");
+  service_options.fusion.cliquerank.alpha = flags.GetDouble("alpha");
+  service_options.fusion.cliquerank.max_steps =
+      static_cast<size_t>(flags.GetInt("steps"));
+
+  std::unique_ptr<ThreadPool> pool = MakeThreadPool(flags.GetInt("threads"));
+  ExecContext ctx;
+  ctx.pool = pool.get();
+  ctx.metrics = metrics.get();
+
+  const size_t num_records = dataset.size();
+  std::fprintf(stderr, "gterd: training on %zu records...\n", num_records);
+  auto service =
+      ResolutionService::Create(std::move(dataset), service_options, ctx);
+  if (!service.ok()) return Fail(service.status());
+
+  GterdServerOptions server_options;
+  server_options.port = static_cast<uint16_t>(flags.GetInt("port"));
+  server_options.bind_address = flags.GetString("bind");
+  server_options.default_deadline_ms = flags.GetInt("default_deadline_ms");
+  server_options.max_frame_bytes =
+      static_cast<size_t>(flags.GetInt("max_frame_bytes"));
+  auto server =
+      GterdServer::Start(service.value().get(), server_options, ctx);
+  if (!server.ok()) return Fail(server.status());
+
+  // Printed on stdout (and flushed) so scripts can scrape the bound port
+  // when --port=0.
+  std::printf("gterd listening on %s:%u\n",
+              server_options.bind_address.c_str(),
+              server.value()->port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_shutdown.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "gterd: shutting down\n");
+  server.value()->Stop();
+
+  if (metrics != nullptr) {
+    Status write = WriteMetricsJson(flags.GetString("metrics_out"), *metrics);
+    if (!write.ok()) return Fail(write);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gter
+
+int main(int argc, char** argv) { return gter::Run(argc, argv); }

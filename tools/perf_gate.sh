@@ -8,7 +8,8 @@
 # never gate (noise floor), so short sub-benchmarks can't flake the gate.
 #
 # Usage:
-#   tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd]
+#   tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd] \
+#                      [loadgen-conns]
 #
 #   build-dir      CMake build directory holding bench/bench_micro and
 #                  tools/gter_cli (e.g. `build`).
@@ -27,6 +28,14 @@
 #                  production runs); pass `scalar` to compare a candidate
 #                  against a pre-SIMD baseline like for like — scalar-only
 #                  timers are recorded and the *_avx2 bench variants skip.
+#   loadgen-conns  When > 0, additionally run bench/bench_loadgen against a
+#                  self-hosted gterd with this many concurrent connections
+#                  and gate on ZERO protocol errors (bench_loadgen exits
+#                  non-zero if any request fails). This is a correctness
+#                  gate, not a latency gate: the qps/percentile numbers are
+#                  printed for the log but never diffed against a baseline,
+#                  so it cannot flake on a slow machine. Default 0 (off).
+#                  Also settable via the PERF_GATE_LOADGEN env var.
 #
 # Wired into ctest behind -DGTER_PERF_GATE=ON with label `perf`:
 #   cmake -B build -S . -DGTER_PERF_GATE=ON && cmake --build build -j
@@ -42,10 +51,11 @@
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:?usage: tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd]}"
+build_dir="${1:?usage: tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd] [loadgen-conns]}"
 baseline="${2:-${repo_root}/BENCH_baseline.json}"
 ratio="${3:-0.5}"
 simd="${4:-auto}"
+loadgen_conns="${5:-${PERF_GATE_LOADGEN:-0}}"
 
 bench="${build_dir}/bench/bench_micro"
 cli="${build_dir}/tools/gter_cli"
@@ -73,3 +83,19 @@ if ! "${bench}" --metrics_out="${candidate}" --benchmark_min_time=0.05 \
 fi
 
 "${cli}" report "${baseline}" "${candidate}" --regress_ratio="${ratio}"
+gate_status=$?
+
+if [[ "${loadgen_conns}" -gt 0 ]]; then
+  loadgen="${build_dir}/bench/bench_loadgen"
+  if [[ ! -x "${loadgen}" ]]; then
+    echo "perf_gate: missing binary ${loadgen}" >&2
+    exit 2
+  fi
+  echo "perf_gate: running ${loadgen} --connections=${loadgen_conns}" >&2
+  if ! "${loadgen}" --connections="${loadgen_conns}" --requests=200; then
+    echo "perf_gate: bench_loadgen reported protocol errors" >&2
+    exit 1
+  fi
+fi
+
+exit "${gate_status}"
