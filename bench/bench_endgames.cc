@@ -1,0 +1,88 @@
+// Endgame bench: wall time and clustering quality of every registered
+// clustering endgame over the three synthetic families. Fusion trains the
+// pairwise probabilities once per family (that cost is reported separately
+// and amortizes over endgames); each clusterer then re-partitions the same
+// graph — the production shape after `resolve --clusterer=` landed.
+//
+// Timing protocol: each endgame runs `--reps` times on the trained graph
+// and the minimum wall time is reported (clustering is deterministic, so
+// min isolates scheduler noise rather than hiding variance).
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+namespace gter {
+namespace bench {
+namespace {
+
+void Run(const FlagSet& flags) {
+  const double scale = flags.GetDouble("scale");
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  const size_t reps = static_cast<size_t>(flags.GetInt("reps"));
+  ExecContext ctx = BenchContext(flags);
+
+  std::printf("Clustering endgames (scale=%.2f, reps=%zu)\n", scale, reps);
+
+  for (BenchmarkKind kind : AllBenchmarks()) {
+    Prepared p = Prepare(kind, scale, seed);
+    FusionConfig config;
+    config.rounds = 3;
+    FusionPipeline pipeline(p.dataset(), config);
+    FusionResult result = pipeline.Run(ctx).value();
+
+    std::printf("\n%s: %zu records, %zu pairs (fusion %.2fs)\n",
+                BenchmarkName(kind).c_str(), p.dataset().size(),
+                p.pairs.size(), result.total_seconds);
+    Rule(72);
+    std::printf("%-22s %8s %8s %8s %9s %12s\n", "clusterer", "prec",
+                "recall", "f1", "clusters", "min_ms");
+    Rule(72);
+
+    ClusterProblem problem;
+    problem.num_records = p.dataset().size();
+    problem.pairs = &p.pairs;
+    problem.pair_probability = &result.pair_probability;
+    problem.eta = config.eta;
+    std::vector<uint32_t> source_of;
+    if (p.dataset().num_sources() > 1) {
+      source_of.reserve(p.dataset().size());
+      for (const Record& r : p.dataset().records()) {
+        source_of.push_back(r.source);
+      }
+      problem.source_of = &source_of;
+    }
+
+    for (ClustererKind ck : AllClustererKinds()) {
+      std::unique_ptr<Clusterer> clusterer = MakeClusterer(ck);
+      double best_seconds = 0.0;
+      Clustering clustering;
+      for (size_t rep = 0; rep < reps; ++rep) {
+        Stopwatch watch;
+        clustering = clusterer->Cluster(problem, ctx).value();
+        const double seconds = watch.ElapsedSeconds();
+        best_seconds = rep == 0 ? seconds : std::min(best_seconds, seconds);
+      }
+      ClusterEvaluation eval = EvaluateClustering(clustering.cluster_of,
+                                                  p.truth());
+      std::printf("%-22s %8.4f %8.4f %8.4f %9zu %12.3f\n",
+                  ClustererKindName(ck), eval.pairwise_precision,
+                  eval.pairwise_recall, eval.pairwise_f1,
+                  clustering.num_clusters, best_seconds * 1e3);
+    }
+    Rule(72);
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gter
+
+int main(int argc, char** argv) {
+  gter::FlagSet flags;
+  flags.AddInt("reps", 5, "timed repetitions per endgame (min is reported)");
+  if (!gter::bench::ParseStandardFlags(argc, argv, &flags)) return 1;
+  gter::bench::BenchMetricsScope metrics_scope(flags);
+  gter::bench::Run(flags);
+  return 0;
+}

@@ -1,0 +1,434 @@
+#include "gter/core/clusterer.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <utility>
+
+#include "gter/common/metrics.h"
+#include "gter/common/status.h"
+#include "gter/graph/union_find.h"
+
+namespace gter {
+namespace {
+
+constexpr uint32_t kUnset = static_cast<uint32_t>(-1);
+/// Edge-scan batch between cancellation polls.
+constexpr size_t kPollBatch = 8192;
+
+void ValidateProblem(const ClusterProblem& problem) {
+  GTER_CHECK(problem.pairs != nullptr);
+  GTER_CHECK(problem.pair_probability != nullptr);
+  GTER_CHECK(problem.pair_probability->size() == problem.pairs->size());
+  GTER_CHECK(problem.source_of == nullptr || problem.source_of->empty() ||
+             problem.source_of->size() == problem.num_records);
+}
+
+size_t CountClusters(const std::vector<uint32_t>& labels) {
+  uint32_t next = 0;
+  for (uint32_t l : labels) next = std::max(next, l + 1);
+  return next;
+}
+
+Clustering FinishClustering(std::vector<uint32_t> labels,
+                            MetricsRegistry* metrics) {
+  Clustering out;
+  out.cluster_of = std::move(labels);
+  out.num_clusters = CountClusters(out.cluster_of);
+  if (metrics != nullptr) {
+    metrics->AddCounter("cluster/endgame_runs");
+    metrics->SetGauge("cluster/clusters",
+                      static_cast<double>(out.num_clusters));
+  }
+  return out;
+}
+
+/// Transitive closure of p ≥ η edges — exactly ResolveFromMatches.
+class ConnectedComponentsClusterer : public Clusterer {
+ public:
+  std::string name() const override { return "connected_components"; }
+
+  Result<Clustering> Cluster(const ClusterProblem& problem,
+                             const ExecContext& ctx) const override {
+    ValidateProblem(problem);
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+    MetricsRegistry* metrics = ctx.metrics_or_ambient();
+    ScopedTimer timer(metrics, ctx.trace_or_ambient(), "cluster/total");
+    UnionFind uf(problem.num_records);
+    const PairSpace& pairs = *problem.pairs;
+    for (PairId p = 0; p < pairs.size(); ++p) {
+      if (p % kPollBatch == 0) GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+      if ((*problem.pair_probability)[p] >= problem.eta) {
+        uf.Union(pairs.pair(p).a, pairs.pair(p).b);
+      }
+    }
+    return FinishClustering(uf.ComponentLabels(), metrics);
+  }
+};
+
+/// Correlation clustering routed through the interface. Delegates to
+/// CorrelationCluster verbatim (the differential suite pins the output
+/// bitwise against the direct call), with the together-threshold tracking
+/// the problem's η.
+class CorrelationClusterer : public Clusterer {
+ public:
+  explicit CorrelationClusterer(CorrelationClusteringOptions options)
+      : options_(options) {}
+
+  std::string name() const override { return "correlation"; }
+
+  Result<Clustering> Cluster(const ClusterProblem& problem,
+                             const ExecContext& ctx) const override {
+    ValidateProblem(problem);
+    CorrelationClusteringOptions options = options_;
+    options.together_threshold = problem.eta;
+    Result<CorrelationClusteringResult> run =
+        CorrelationCluster(problem.num_records, *problem.pairs,
+                           *problem.pair_probability, options, ctx);
+    if (!run.ok()) return run.status();
+    Clustering out;
+    out.cluster_of = std::move(run).value().cluster_of;
+    out.num_clusters = CountClusters(out.cluster_of);
+    MetricsRegistry* metrics = ctx.metrics_or_ambient();
+    if (metrics != nullptr) metrics->AddCounter("cluster/endgame_runs");
+    return out;
+  }
+
+ private:
+  CorrelationClusteringOptions options_;
+};
+
+// ---------------------------------------------------------------------------
+// The clean-clean bipartite matching family (Papadakis et al.). All five
+// variants share one skeleton: restrict the p ≥ η edges to cross-source
+// ones, optionally reduce them to per-record best edges, then build a
+// matching greedily by weight. Every record ends up with ≤ 1 partner, so
+// the bipartite contract holds by construction.
+
+enum class MatchingReduce {
+  kAll,              // unique mapping: greedy over every eligible edge
+  kRowBest,          // proposals from source-0 records only
+  kColumnBest,       // proposals from source-1 records only
+  kAnyBest,          // union of every record's best edge
+  kMutualBest,       // reciprocity: both endpoints name each other best
+  kStrictMutualBest  // reciprocity with no weight ties at either endpoint
+};
+
+class MatchingClusterer : public Clusterer {
+ public:
+  MatchingClusterer(std::string name, MatchingReduce reduce)
+      : name_(std::move(name)), reduce_(reduce) {}
+
+  std::string name() const override { return name_; }
+
+  Result<Clustering> Cluster(const ClusterProblem& problem,
+                             const ExecContext& ctx) const override {
+    ValidateProblem(problem);
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+    MetricsRegistry* metrics = ctx.metrics_or_ambient();
+    ScopedTimer timer(metrics, ctx.trace_or_ambient(), "cluster/total");
+    const PairSpace& pairs = *problem.pairs;
+    const std::vector<double>& prob = *problem.pair_probability;
+    const std::vector<uint32_t>* sources =
+        (problem.source_of != nullptr && !problem.source_of->empty())
+            ? problem.source_of
+            : nullptr;
+
+    // Eligible edges: above threshold, cross-source when sources are known.
+    std::vector<PairId> eligible;
+    for (PairId p = 0; p < pairs.size(); ++p) {
+      if (p % kPollBatch == 0) GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+      if (prob[p] < problem.eta) continue;
+      const RecordPair& rp = pairs.pair(p);
+      if (sources != nullptr && (*sources)[rp.a] == (*sources)[rp.b]) continue;
+      eligible.push_back(p);
+    }
+
+    // Best eligible edge per record: highest weight, then smallest
+    // neighbor id. `ambiguous` marks records whose maximum is tied.
+    std::vector<PairId> best(problem.num_records, kInvalidPairId);
+    std::vector<char> ambiguous(problem.num_records, 0);
+    auto offer = [&](RecordId r, RecordId neighbor, PairId p) {
+      if (best[r] == kInvalidPairId) {
+        best[r] = p;
+        return;
+      }
+      const double held = prob[best[r]];
+      if (prob[p] > held) {
+        best[r] = p;
+        ambiguous[r] = 0;
+      } else if (prob[p] == held) {
+        ambiguous[r] = 1;
+        const RecordPair& held_pair = pairs.pair(best[r]);
+        RecordId held_neighbor = held_pair.a == r ? held_pair.b : held_pair.a;
+        if (neighbor < held_neighbor) best[r] = p;
+      }
+    };
+    size_t scanned = 0;
+    for (PairId p : eligible) {
+      if (++scanned % kPollBatch == 0) GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+      const RecordPair& rp = pairs.pair(p);
+      offer(rp.a, rp.b, p);
+      offer(rp.b, rp.a, p);
+    }
+
+    // Reduce to the variant's candidate edge set.
+    std::vector<PairId> candidates;
+    auto side_best = [&](uint32_t side) {
+      // Single-source problems have no row/column distinction: every
+      // record proposes (row and column assignment coincide).
+      for (RecordId r = 0; r < problem.num_records; ++r) {
+        if (best[r] == kInvalidPairId) continue;
+        if (sources != nullptr && (*sources)[r] != side) continue;
+        candidates.push_back(best[r]);
+      }
+    };
+    switch (reduce_) {
+      case MatchingReduce::kAll:
+        candidates = eligible;
+        break;
+      case MatchingReduce::kRowBest:
+        side_best(0);
+        break;
+      case MatchingReduce::kColumnBest:
+        side_best(sources != nullptr ? 1 : 0);
+        break;
+      case MatchingReduce::kAnyBest:
+        for (RecordId r = 0; r < problem.num_records; ++r) {
+          if (best[r] != kInvalidPairId) candidates.push_back(best[r]);
+        }
+        break;
+      case MatchingReduce::kMutualBest:
+      case MatchingReduce::kStrictMutualBest:
+        for (PairId p : eligible) {
+          const RecordPair& rp = pairs.pair(p);
+          if (best[rp.a] != p || best[rp.b] != p) continue;
+          if (reduce_ == MatchingReduce::kStrictMutualBest &&
+              (ambiguous[rp.a] || ambiguous[rp.b])) {
+            continue;
+          }
+          candidates.push_back(p);
+        }
+        break;
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+
+    // Greedy matching by weight descending, pair id ascending — the
+    // deterministic unique-mapping sweep.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [&prob](PairId x, PairId y) {
+                       if (prob[x] != prob[y]) return prob[x] > prob[y];
+                       return x < y;
+                     });
+    std::vector<RecordId> partner(problem.num_records, kInvalidRecordId);
+    scanned = 0;
+    for (PairId p : candidates) {
+      if (++scanned % kPollBatch == 0) GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+      const RecordPair& rp = pairs.pair(p);
+      if (partner[rp.a] != kInvalidRecordId ||
+          partner[rp.b] != kInvalidRecordId) {
+        continue;
+      }
+      partner[rp.a] = rp.b;
+      partner[rp.b] = rp.a;
+    }
+
+    // Matched pairs become 2-record entities, everything else singletons.
+    std::vector<uint32_t> labels(problem.num_records, kUnset);
+    uint32_t next = 0;
+    for (RecordId r = 0; r < problem.num_records; ++r) {
+      if (labels[r] != kUnset) continue;
+      labels[r] = next;
+      if (partner[r] != kInvalidRecordId) labels[partner[r]] = next;
+      ++next;
+    }
+    return FinishClustering(std::move(labels), metrics);
+  }
+
+ private:
+  std::string name_;
+  MatchingReduce reduce_;
+};
+
+// ---------------------------------------------------------------------------
+// Graph-based hierarchical record clustering (Ebeid & Talburt):
+// average-linkage agglomeration over the similarity graph. link(A, B) =
+// Σ w(a, b) / (|A|·|B|) over candidate edges between the clusters (absent
+// edges count 0); merge the best-linked pair while link ≥ merge_threshold.
+//
+// Cluster ids are never reused (a merge mints a fresh id), so the weight
+// between two existing ids is immutable — a heap entry is stale exactly
+// when one of its ids is dead, which makes lazy invalidation sound.
+
+class HierarchicalClusterer : public Clusterer {
+ public:
+  explicit HierarchicalClusterer(double merge_threshold)
+      : merge_threshold_(merge_threshold) {}
+
+  std::string name() const override { return "hierarchical"; }
+
+  Result<Clustering> Cluster(const ClusterProblem& problem,
+                             const ExecContext& ctx) const override {
+    ValidateProblem(problem);
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+    MetricsRegistry* metrics = ctx.metrics_or_ambient();
+    ScopedTimer timer(metrics, ctx.trace_or_ambient(), "cluster/total");
+    const size_t n = problem.num_records;
+    const PairSpace& pairs = *problem.pairs;
+    const std::vector<double>& prob = *problem.pair_probability;
+
+    // Candidate heap entry: average link between two live clusters. Ties
+    // break on the clusters' representative records (smallest member), so
+    // the merge order — and with it the dendrogram cut — is deterministic.
+    struct Link {
+      double link;
+      RecordId rep_u, rep_v;  // rep_u < rep_v
+      uint32_t u, v;          // cluster ids
+    };
+    struct LinkLess {
+      bool operator()(const Link& x, const Link& y) const {
+        if (x.link != y.link) return x.link < y.link;
+        if (x.rep_u != y.rep_u) return x.rep_u > y.rep_u;
+        return x.rep_v > y.rep_v;
+      }
+    };
+    std::priority_queue<Link, std::vector<Link>, LinkLess> heap;
+
+    std::vector<char> alive(n, 1);
+    std::vector<uint32_t> size(n, 1);
+    std::vector<RecordId> rep(n);
+    // Total edge weight to each adjacent live cluster, by cluster id.
+    std::vector<std::unordered_map<uint32_t, double>> weight(n);
+    for (RecordId r = 0; r < n; ++r) rep[r] = r;
+
+    size_t scanned = 0;
+    for (PairId p = 0; p < pairs.size(); ++p) {
+      if (++scanned % kPollBatch == 0) GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+      const RecordPair& rp = pairs.pair(p);
+      weight[rp.a][rp.b] = prob[p];
+      weight[rp.b][rp.a] = prob[p];
+      heap.push(Link{prob[p], rp.a, rp.b, rp.a, rp.b});
+    }
+
+    UnionFind uf(n);
+    while (!heap.empty()) {
+      GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+      Link top = heap.top();
+      heap.pop();
+      if (!alive[top.u] || !alive[top.v]) continue;  // stale entry
+      if (top.link < merge_threshold_) break;  // heap max: nothing merges
+      // Merge u and v into a fresh cluster.
+      const uint32_t merged = static_cast<uint32_t>(weight.size());
+      alive[top.u] = 0;
+      alive[top.v] = 0;
+      alive.push_back(1);
+      size.push_back(size[top.u] + size[top.v]);
+      rep.push_back(std::min(rep[top.u], rep[top.v]));
+      uf.Union(rep[top.u], rep[top.v]);
+      std::unordered_map<uint32_t, double> combined;
+      for (uint32_t old : {top.u, top.v}) {
+        for (const auto& [neighbor, w] : weight[old]) {
+          if (!alive[neighbor]) continue;
+          combined[neighbor] += w;
+        }
+        weight[old] = {};
+      }
+      for (const auto& [neighbor, w] : combined) {
+        weight[neighbor][merged] = w;
+        const double link =
+            w / (static_cast<double>(size[merged]) * size[neighbor]);
+        const RecordId ra = rep[merged];
+        const RecordId rb = rep[neighbor];
+        heap.push(Link{link, std::min(ra, rb), std::max(ra, rb), merged,
+                       neighbor});
+      }
+      weight.push_back(std::move(combined));
+    }
+    return FinishClustering(uf.ComponentLabels(), metrics);
+  }
+
+ private:
+  double merge_threshold_;
+};
+
+struct KindEntry {
+  ClustererKind kind;
+  const char* name;
+};
+
+constexpr KindEntry kKinds[] = {
+    {ClustererKind::kConnectedComponents, "connected_components"},
+    {ClustererKind::kCorrelation, "correlation"},
+    {ClustererKind::kUniqueMapping, "unique_mapping"},
+    {ClustererKind::kRowAssignment, "row_assignment"},
+    {ClustererKind::kColumnAssignment, "column_assignment"},
+    {ClustererKind::kBestMatch, "best_match"},
+    {ClustererKind::kReciprocalMatch, "reciprocal_match"},
+    {ClustererKind::kExactMatch, "exact_match"},
+    {ClustererKind::kHierarchical, "hierarchical"},
+};
+
+}  // namespace
+
+const char* ClustererKindName(ClustererKind kind) {
+  for (const KindEntry& entry : kKinds) {
+    if (entry.kind == kind) return entry.name;
+  }
+  return "unknown";
+}
+
+Result<ClustererKind> ParseClustererKind(const std::string& name) {
+  std::string valid;
+  for (const KindEntry& entry : kKinds) {
+    if (name == entry.name) return entry.kind;
+    if (!valid.empty()) valid += ", ";
+    valid += entry.name;
+  }
+  return Status::InvalidArgument("unknown clusterer '" + name +
+                                 "' (valid: " + valid + ")");
+}
+
+const std::vector<ClustererKind>& AllClustererKinds() {
+  static const std::vector<ClustererKind>* kinds = [] {
+    auto* all = new std::vector<ClustererKind>();
+    for (const KindEntry& entry : kKinds) all->push_back(entry.kind);
+    return all;
+  }();
+  return *kinds;
+}
+
+std::unique_ptr<Clusterer> MakeClusterer(ClustererKind kind,
+                                         const ClustererOptions& options) {
+  switch (kind) {
+    case ClustererKind::kConnectedComponents:
+      return std::make_unique<ConnectedComponentsClusterer>();
+    case ClustererKind::kCorrelation:
+      return std::make_unique<CorrelationClusterer>(options.correlation);
+    case ClustererKind::kUniqueMapping:
+      return std::make_unique<MatchingClusterer>("unique_mapping",
+                                                 MatchingReduce::kAll);
+    case ClustererKind::kRowAssignment:
+      return std::make_unique<MatchingClusterer>("row_assignment",
+                                                 MatchingReduce::kRowBest);
+    case ClustererKind::kColumnAssignment:
+      return std::make_unique<MatchingClusterer>("column_assignment",
+                                                 MatchingReduce::kColumnBest);
+    case ClustererKind::kBestMatch:
+      return std::make_unique<MatchingClusterer>("best_match",
+                                                 MatchingReduce::kAnyBest);
+    case ClustererKind::kReciprocalMatch:
+      return std::make_unique<MatchingClusterer>("reciprocal_match",
+                                                 MatchingReduce::kMutualBest);
+    case ClustererKind::kExactMatch:
+      return std::make_unique<MatchingClusterer>(
+          "exact_match", MatchingReduce::kStrictMutualBest);
+    case ClustererKind::kHierarchical:
+      return std::make_unique<HierarchicalClusterer>(options.merge_threshold);
+  }
+  return nullptr;  // unreachable: the switch is exhaustive
+}
+
+}  // namespace gter

@@ -14,10 +14,11 @@ void DeclarePipelineMetrics(MetricsRegistry* registry) {
         "rss/walks_run", "rss/early_stops", "rss/target_hits",
         "cliquerank/runs", "cliquerank/engine_dense",
         "cliquerank/engine_masked", "cliquerank/steps",
-        "fusion/rounds", "fusion/matches"}) {
+        "fusion/rounds", "fusion/matches", "cluster/endgame_runs"}) {
     registry->DeclareCounter(name);
   }
   registry->SetGauge("cliquerank/scratch_bytes", 0.0);
+  registry->SetGauge("cluster/clusters", 0.0);
 }
 
 FusionPipeline::FusionPipeline(const Dataset& dataset, FusionConfig config)
@@ -99,6 +100,28 @@ Result<FusionResult> FusionPipeline::Run(const ExecContext& ctx) {
     matched += result.matches[p] ? 1 : 0;
   }
   if (metrics != nullptr) metrics->AddCounter("fusion/matches", matched);
+
+  // The clustering endgame: turn pairwise probabilities into entities.
+  // A cancellation inside the clusterer still leaves the matches readable
+  // through partial() — the endgame only adds to the result.
+  ClusterProblem problem;
+  problem.num_records = dataset_.size();
+  problem.pairs = &pairs_;
+  problem.pair_probability = &result.pair_probability;
+  problem.eta = config_.eta;
+  std::vector<uint32_t> source_of;
+  if (dataset_.num_sources() > 1) {
+    source_of.reserve(dataset_.size());
+    for (const Record& r : dataset_.records()) source_of.push_back(r.source);
+    problem.source_of = &source_of;
+  }
+  Result<Clustering> clustered =
+      MakeClusterer(config_.clusterer, config_.clusterer_options)
+          ->Cluster(problem, ctx);
+  if (!clustered.ok()) return fail(clustered.status());
+  result.num_clusters = clustered.value().num_clusters;
+  result.cluster_of = std::move(clustered).value().cluster_of;
+
   result.total_seconds = total_watch.ElapsedSeconds();
   return std::move(partial_);
 }

@@ -8,6 +8,7 @@
 #include "gter/common/exec_context.h"
 #include "gter/common/metrics.h"
 #include "gter/core/cliquerank.h"
+#include "gter/core/clusterer.h"
 #include "gter/core/iter.h"
 #include "gter/core/rss.h"
 #include "gter/er/dataset.h"
@@ -29,6 +30,11 @@ struct FusionConfig {
   bool use_rss = false;
   RssOptions rss;
   PtMode pt_mode = PtMode::kPaper;
+  /// Clustering endgame applied to the final probabilities (DESIGN.md §4f).
+  /// The default reproduces the historical behaviour: transitive closure
+  /// of the p ≥ η decisions.
+  ClustererKind clusterer = ClustererKind::kConnectedComponents;
+  ClustererOptions clusterer_options;
 };
 
 /// Timing and quality snapshot after each reinforcement round.
@@ -50,6 +56,10 @@ struct FusionResult {
   std::vector<double> pair_probability;
   /// p ≥ η decisions, by PairId.
   std::vector<bool> matches;
+  /// Entity partition from the configured clustering endgame: dense
+  /// cluster label per record.
+  std::vector<uint32_t> cluster_of;
+  size_t num_clusters = 0;
   std::vector<FusionRoundStats> round_stats;
   double total_seconds = 0.0;
   /// Σ|Δx| trace of the *first* ITER run (Figure 5).

@@ -95,6 +95,7 @@
 #include "gter/baselines/crowd/transm.h"
 
 #include "gter/core/cliquerank.h"
+#include "gter/core/clusterer.h"
 #include "gter/core/correlation_clustering.h"
 #include "gter/core/fusion.h"
 #include "gter/core/iter.h"

@@ -4,12 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
 #include "gter/common/metrics.h"
 #include "gter/common/trace.h"
-#include "gter/core/resolver.h"
+#include "gter/core/clusterer.h"
 #include "gter/text/tokenizer.h"
 
 namespace gter {
@@ -81,9 +82,9 @@ Status ResolutionService::Train(const ExecContext& ctx) {
   matched_count_ = 0;
   for (bool m : matches_) matched_count_ += m;
 
-  ResolutionResult resolution =
-      ResolveFromMatches(dataset_, pairs_, matches_);
-  cluster_of_ = std::move(resolution.cluster_of);
+  // The entity partition comes from the pipeline's configured clustering
+  // endgame (connected components by default — the historical closure).
+  cluster_of_ = std::move(result.cluster_of);
   uint32_t num_clusters = 0;
   for (uint32_t c : cluster_of_) num_clusters = std::max(num_clusters, c + 1);
   cluster_members_.assign(num_clusters, {});
@@ -92,6 +93,9 @@ Status ResolutionService::Train(const ExecContext& ctx) {
   }
   inverted_ = dataset_.BuildInvertedIndex();
   inverted_.resize(dataset_.vocabulary().size());
+  source_of_.clear();
+  source_of_.reserve(dataset_.size());
+  for (const Record& r : dataset_.records()) source_of_.push_back(r.source);
   return Status::OK();
 }
 
@@ -202,8 +206,37 @@ Result<JsonValue> ResolutionService::Resolve(const JsonValue& params,
     }
     top_k = k.value();
   }
+  // Optional clustering-endgame override, validated before any work so an
+  // unknown name answers InvalidArgument even for queries with no matches.
+  std::optional<ClustererKind> endgame;
+  if (params.Find("clusterer") != nullptr) {
+    auto name = GetStringParam(params, "clusterer");
+    if (!name.ok()) return name.status();
+    auto kind = ParseClustererKind(name.value());
+    if (!kind.ok()) return kind.status();
+    endgame = kind.value();
+  }
 
   std::shared_lock lock(mu_);
+
+  // Re-cluster the trained probabilities under the request's context: the
+  // clusterer polls `ctx`, so a per-request deadline fires mid-run and the
+  // status propagates out as DeadlineExceeded. Records ingested after
+  // training have no candidate pairs and come out as singletons.
+  std::vector<uint32_t> fresh_cluster_of;
+  if (endgame.has_value()) {
+    ClusterProblem problem;
+    problem.num_records = dataset_.size();
+    problem.pairs = &pairs_;
+    problem.pair_probability = &pair_probability_;
+    problem.eta = options_.fusion.eta;
+    if (dataset_.num_sources() > 1) problem.source_of = &source_of_;
+    Result<Clustering> fresh =
+        MakeClusterer(*endgame, options_.fusion.clusterer_options)
+            ->Cluster(problem, ctx);
+    if (!fresh.ok()) return fresh.status();
+    fresh_cluster_of = std::move(fresh).value().cluster_of;
+  }
   // Query terms: tokenize like the corpus, keep the sorted unique ids that
   // exist in the trained vocabulary.
   std::vector<TermId> query_terms;
@@ -271,23 +304,37 @@ Result<JsonValue> ResolutionService::Resolve(const JsonValue& params,
     top.Append(std::move(entry));
   }
   out.Set("top", std::move(top));
+  if (endgame.has_value()) {
+    out.Set("clusterer",
+            JsonValue::MakeString(ClustererKindName(*endgame)));
+  }
   if (ranked.empty()) {
     out.Set("best", JsonValue::MakeNull());
     out.Set("clique", JsonValue::MakeArray());
     return out;
   }
   const RecordId best = ranked.front().record;
+  const uint32_t best_cluster =
+      endgame.has_value() ? fresh_cluster_of[best] : cluster_of_[best];
   JsonValue best_obj = JsonValue::MakeObject();
   best_obj.Set("record", JsonValue::MakeNumber(best));
   best_obj.Set("score", JsonValue::MakeNumber(ranked.front().score));
-  best_obj.Set("cluster", JsonValue::MakeNumber(cluster_of_[best]));
+  best_obj.Set("cluster", JsonValue::MakeNumber(best_cluster));
   best_obj.Set("text", JsonValue::MakeString(dataset_.record(best).raw_text));
   out.Set("best", std::move(best_obj));
   // The matching clique: every record resolved to the same entity as the
   // best match (including the best match itself).
   JsonValue clique = JsonValue::MakeArray();
-  for (RecordId member : cluster_members_[cluster_of_[best]]) {
-    clique.Append(JsonValue::MakeNumber(member));
+  if (endgame.has_value()) {
+    for (RecordId r = 0; r < fresh_cluster_of.size(); ++r) {
+      if (fresh_cluster_of[r] == best_cluster) {
+        clique.Append(JsonValue::MakeNumber(r));
+      }
+    }
+  } else {
+    for (RecordId member : cluster_members_[best_cluster]) {
+      clique.Append(JsonValue::MakeNumber(member));
+    }
   }
   out.Set("clique", std::move(clique));
   return out;
@@ -323,6 +370,7 @@ Result<JsonValue> ResolutionService::AddRecord(const JsonValue& params) {
   const uint32_t cluster = static_cast<uint32_t>(cluster_members_.size());
   cluster_of_.push_back(cluster);
   cluster_members_.push_back({id});
+  source_of_.push_back(source);
   records_added_.fetch_add(1, std::memory_order_relaxed);
 
   JsonValue out = JsonValue::MakeObject();

@@ -63,10 +63,17 @@ class ResolutionService {
   ///   record id out of range    -> OutOfRange
   ///   tripped deadline/cancel   -> DeadlineExceeded / Cancelled
   ///
-  /// Methods: pair_score(a, b), resolve(text[, top_k]),
+  /// Methods: pair_score(a, b), resolve(text[, top_k][, clusterer]),
   /// add_record(text[, source]), stats(), and debug_sleep(ms) — a
   /// diagnostic that idles cooperatively, polling cancellation every
   /// millisecond (what the deadline/disconnect tests lean on).
+  ///
+  /// resolve's optional `clusterer` selects a clustering endgame by
+  /// registry name: the trained probabilities are re-clustered under the
+  /// request's ExecContext (so per-request deadlines fire inside the run)
+  /// and the answered clique comes from that fresh partition. An unknown
+  /// name is InvalidArgument; without the param the partition computed at
+  /// training time is served.
   Result<JsonValue> Handle(const GterdRequest& request,
                            const ExecContext& ctx);
 
@@ -107,6 +114,7 @@ class ResolutionService {
   std::vector<uint32_t> cluster_of_;                // by RecordId
   std::vector<std::vector<RecordId>> cluster_members_;  // by cluster id
   std::vector<std::vector<RecordId>> inverted_;     // by TermId, sorted
+  std::vector<uint32_t> source_of_;                 // by RecordId
 
   // Request counters for stats (atomic: bumped outside the lock).
   std::atomic<uint64_t> requests_total_{0};

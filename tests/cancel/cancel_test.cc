@@ -24,6 +24,7 @@
 #include "gter/common/exec_context.h"
 #include "gter/common/random.h"
 #include "gter/common/thread_pool.h"
+#include "gter/core/clusterer.h"
 #include "gter/core/correlation_clustering.h"
 #include "gter/core/fusion.h"
 #include "gter/core/iter_matrix.h"
@@ -45,11 +46,30 @@ struct CancelWorld {
   RecordGraph graph = RecordGraph::Build(
       data.dataset.size(), pairs,
       RunIter(bipartite, uniform).value().pair_scores);
+  // Varied edge weights for the clustering endgames: at η = 0.5 about half
+  // the edges are eligible, so every endgame's merge/matching loop runs.
+  std::vector<double> varied = MakeVaried(pairs.size());
 
   static GeneratedDataset MakeData() {
     auto data = GenerateBenchmark(BenchmarkKind::kRestaurant, 0.15, 3);
     RemoveFrequentTerms(&data.dataset);
     return data;
+  }
+
+  static std::vector<double> MakeVaried(size_t n) {
+    Rng rng(17);
+    std::vector<double> out(n);
+    for (double& p : out) p = rng.UniformDouble();
+    return out;
+  }
+
+  ClusterProblem Problem() const {
+    ClusterProblem problem;
+    problem.num_records = data.dataset.size();
+    problem.pairs = &pairs;
+    problem.pair_probability = &varied;
+    problem.eta = 0.5;
+    return problem;
   }
 };
 
@@ -95,6 +115,16 @@ std::vector<std::pair<std::string, StageFn>> Stages(const CancelWorld& w) {
                               ctx)
         .status();
   });
+  // Every registered clustering endgame is a cancellable entry point of
+  // its own (the Clusterer contract, DESIGN.md §4f).
+  for (ClustererKind kind : AllClustererKinds()) {
+    stages.emplace_back(std::string("cluster_") + ClustererKindName(kind),
+                        [&w, kind](const ExecContext& ctx) {
+                          return MakeClusterer(kind)
+                              ->Cluster(w.Problem(), ctx)
+                              .status();
+                        });
+  }
   stages.emplace_back("lsh_blocking", [&w](const ExecContext& ctx) {
     return LshBlocking(w.data.dataset, {}, ctx).status();
   });
@@ -196,6 +226,44 @@ TEST(CancelRerunTest, CancelThenRerunReproducesTheBaseline) {
   EXPECT_EQ(baseline.matches, rerun.matches);
 }
 
+TEST(CancelRerunTest, ClusterersAreDeterministicAfterACancelledAttempt) {
+  // Per-endgame cancel-then-rerun: a k = 0 attempt must cancel (entry
+  // poll), and rerunning with the reset token reproduces an uncancelled
+  // baseline exactly — no endgame keeps state across attempts.
+  CancelWorld w;
+  for (ClustererKind kind : AllClustererKinds()) {
+    SCOPED_TRACE(ClustererKindName(kind));
+    std::unique_ptr<Clusterer> clusterer = MakeClusterer(kind);
+    Clustering baseline = clusterer->Cluster(w.Problem()).value();
+
+    CancelToken token;
+    token.CancelAfterPolls(0);
+    ExecContext ctx = ExecContext::WithCancel(&token);
+    Result<Clustering> cancelled = clusterer->Cluster(w.Problem(), ctx);
+    ASSERT_FALSE(cancelled.ok());
+    EXPECT_TRUE(IsCancellation(cancelled.status()))
+        << cancelled.status().ToString();
+
+    token.Reset();
+    Clustering rerun = clusterer->Cluster(w.Problem(), ctx).value();
+    EXPECT_EQ(baseline.cluster_of, rerun.cluster_of);
+    EXPECT_EQ(baseline.num_clusters, rerun.num_clusters);
+
+    // A mid-run trip must also leave no residue.
+    token.Reset();
+    token.CancelAfterPolls(2);
+    Result<Clustering> mid = clusterer->Cluster(w.Problem(), ctx);
+    if (mid.ok()) {
+      EXPECT_EQ(baseline.cluster_of, mid.value().cluster_of);
+    } else {
+      EXPECT_TRUE(IsCancellation(mid.status()));
+    }
+    token.Reset();
+    Clustering again = clusterer->Cluster(w.Problem(), ctx).value();
+    EXPECT_EQ(baseline.cluster_of, again.cluster_of);
+  }
+}
+
 TEST(FusionThreadDifferentialTest, PipelineIsBitIdenticalAcrossThreadCounts) {
   CancelWorld w;
   FusionResult serial =
@@ -216,6 +284,10 @@ TEST(FusionThreadDifferentialTest, PipelineIsBitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(serial.pair_scores, eight.pair_scores);
   EXPECT_EQ(serial.pair_probability, eight.pair_probability);
   EXPECT_EQ(serial.matches, eight.matches);
+  // The clustering endgame inherits the determinism contract.
+  EXPECT_EQ(serial.cluster_of, one.cluster_of);
+  EXPECT_EQ(serial.cluster_of, eight.cluster_of);
+  EXPECT_EQ(serial.num_clusters, eight.num_clusters);
 }
 
 }  // namespace

@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gter/core/clusterer.h"
 #include "gter/server/client.h"
 
 namespace gter {
@@ -130,6 +131,92 @@ TEST(GterdServerTest, ResolveFindsTheMatchingRecord) {
     if (member.number() == record) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(GterdServerTest, ResolveSucceedsWithEveryRegisteredClusterer) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  for (ClustererKind kind : AllClustererKinds()) {
+    SCOPED_TRACE(ClustererKindName(kind));
+    JsonValue params = JsonValue::MakeObject();
+    params.Set("text", JsonValue::MakeString("golden dragon pasadena"));
+    params.Set("clusterer", JsonValue::MakeString(ClustererKindName(kind)));
+    auto r = client.Call("resolve", std::move(params));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // The response names the endgame that produced its clique.
+    const JsonValue* used = r.value().Find("clusterer");
+    ASSERT_NE(used, nullptr);
+    EXPECT_EQ(used->string(), ClustererKindName(kind));
+    const JsonValue* best = r.value().Find("best");
+    ASSERT_NE(best, nullptr);
+    ASSERT_FALSE(best->is_null());
+    const double record = best->NumberOr("record", -1);
+    // The fresh partition's clique contains the best match itself.
+    const JsonValue* clique = r.value().Find("clique");
+    ASSERT_NE(clique, nullptr);
+    bool found = false;
+    for (const JsonValue& member : clique->array()) {
+      if (member.number() == record) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(GterdServerTest, UnknownClustererIsInvalidArgumentAndKeepsConnection) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("text", JsonValue::MakeString("golden dragon pasadena"));
+  params.Set("clusterer", JsonValue::MakeString("kmeans"));
+  auto r = client.Call("resolve", std::move(params));
+  // Answered ok:false with InvalidArgument — not dropped.
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The connection survives and keeps serving.
+  auto stats = client.Call("stats", JsonValue::MakeObject());
+  EXPECT_TRUE(stats.ok()) << stats.status().ToString();
+}
+
+TEST(GterdServerTest, DeadlineFiresInsideASlowHierarchicalResolve) {
+  // A hub term shared by every record makes the candidate space complete
+  // (n·(n−1)/2 pairs), so the hierarchical endgame has tens of thousands
+  // of heap operations to do — far more than a 1 ms deadline allows. The
+  // endgame polls per merge, so the deadline fires inside the run and is
+  // answered as DeadlineExceeded on a connection that stays usable.
+  Dataset dataset("server-slow-test");
+  for (int i = 0; i < 300; ++i) {
+    dataset.AddRecord(0, "hub entry" + std::to_string(i) + " tag" +
+                             std::to_string(i % 7));
+  }
+  ResolutionServiceOptions options;
+  options.fusion.rounds = 1;
+  options.fusion.cliquerank.max_steps = 5;
+  auto built = ResolutionService::Create(std::move(dataset), options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  auto service = std::move(built).value();
+  auto started = GterdServer::Start(service.get(), {});
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  auto server = std::move(started).value();
+
+  auto connected = GterdClient::Connect("127.0.0.1", server->port());
+  ASSERT_TRUE(connected.ok());
+  GterdClient client = std::move(connected).value();
+
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("text", JsonValue::MakeString("hub entry42"));
+  params.Set("clusterer", JsonValue::MakeString("hierarchical"));
+  const auto start = steady_clock::now();
+  auto r = client.Call("resolve", std::move(params), /*deadline_ms=*/1);
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded)
+      << r.status().ToString();
+  EXPECT_LT(SecondsSince(start), 10.0);
+
+  // The same connection still serves; without a deadline the same
+  // request completes.
+  JsonValue retry = JsonValue::MakeObject();
+  retry.Set("text", JsonValue::MakeString("hub entry42"));
+  retry.Set("clusterer", JsonValue::MakeString("hierarchical"));
+  auto ok = client.Call("resolve", std::move(retry));
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
 }
 
 TEST(GterdServerTest, AddRecordIsImmediatelyResolvable) {

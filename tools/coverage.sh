@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Line-coverage summary for a GTER_COVERAGE-instrumented build (DESIGN.md
+# §6). Configure, build, and run the tests first:
+#
+#   cmake -B build-cov -S . -DGTER_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug \
+#         -DGTER_BUILD_BENCHMARKS=OFF -DGTER_BUILD_EXAMPLES=OFF
+#   cmake --build build-cov -j
+#   ctest --test-dir build-cov --output-on-failure -j
+#   tools/coverage.sh build-cov
+#
+# With lcov installed the script writes an lcov tracefile (and an HTML
+# report when genhtml is present). Without lcov it falls back to plain
+# gcov and aggregates per-file line coverage itself — no extra packages
+# needed beyond the gcc toolchain that built the tree.
+#
+# Usage:
+#   tools/coverage.sh [build-dir] [out-dir]
+#
+#   build-dir  coverage-instrumented CMake build directory (default:
+#              build-cov)
+#   out-dir    where reports land (default: <build-dir>/coverage)
+#
+# Exit status: 0 when a report was produced, 1 when no coverage data was
+# found (build not instrumented, or tests never ran).
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build-cov}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT_DIR="${2:-${BUILD_DIR}/coverage}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  echo "error: build dir '${BUILD_DIR}' does not exist" >&2
+  exit 1
+fi
+# Absolute: the gcov fallback chdirs into the report dir, so relative
+# .gcda paths from `find` would no longer resolve there.
+BUILD_DIR="$(cd "${BUILD_DIR}" && pwd)"
+if ! find "${BUILD_DIR}" -name '*.gcda' -print -quit | grep -q .; then
+  echo "error: no .gcda files under '${BUILD_DIR}'." >&2
+  echo "Configure with -DGTER_COVERAGE=ON and run ctest first." >&2
+  exit 1
+fi
+mkdir -p "${OUT_DIR}"
+
+if command -v lcov >/dev/null 2>&1; then
+  # Preferred path: lcov tracefile, filtered to the library sources.
+  TRACE="${OUT_DIR}/coverage.info"
+  lcov --capture --directory "${BUILD_DIR}" --output-file "${TRACE}" \
+       --rc lcov_branch_coverage=1 --quiet
+  lcov --extract "${TRACE}" "${REPO_ROOT}/src/*" \
+       --output-file "${TRACE}" --quiet
+  lcov --list "${TRACE}"
+  if command -v genhtml >/dev/null 2>&1; then
+    genhtml "${TRACE}" --output-directory "${OUT_DIR}/html" --quiet
+    echo "HTML report: ${OUT_DIR}/html/index.html"
+  fi
+  echo "lcov tracefile: ${TRACE}"
+  exit 0
+fi
+
+# Fallback: plain gcov. Run gcov on every .gcda (object-dir layout keeps
+# the .gcno next to it), then fold the per-file Lines executed summaries
+# into one table for src/gter sources.
+echo "lcov not found; falling back to gcov aggregation." >&2
+GCOV_OUT="${OUT_DIR}/gcov"
+rm -rf "${GCOV_OUT}"
+mkdir -p "${GCOV_OUT}"
+find "${BUILD_DIR}" -name '*.gcda' -print0 |
+  (cd "${GCOV_OUT}" && xargs -0 gcov --preserve-paths >gcov.log 2>&1 || true)
+
+python3 - "$GCOV_OUT" "$REPO_ROOT" <<'EOF'
+import os, re, sys
+
+gcov_dir, repo_root = sys.argv[1], sys.argv[2]
+per_file = {}  # source path -> [covered, total]
+for name in os.listdir(gcov_dir):
+    if not name.endswith(".gcov"):
+        continue
+    # --preserve-paths encodes '/' as '#' in the report file name.
+    source = name[:-5].replace("#", "/")
+    marker = "/src/gter/"
+    if marker not in "/" + source:
+        continue
+    rel = source[source.index(marker[1:]):]
+    covered = total = 0
+    with open(os.path.join(gcov_dir, name), errors="replace") as f:
+        for line in f:
+            count = line.split(":", 1)[0].strip()
+            if count == "-":
+                continue
+            total += 1
+            if count not in ("#####", "====="):
+                covered += 1
+    if total:
+        prev = per_file.setdefault(rel, [0, 0])
+        # The same source can appear from several test binaries; keep the
+        # best-covered instance (runs differ only in which tests linked).
+        if covered * prev[1] >= prev[0] * total:
+            per_file[rel] = [covered, total]
+
+if not per_file:
+    print("no src/gter coverage data found", file=sys.stderr)
+    sys.exit(1)
+
+width = max(len(p) for p in per_file) + 2
+print(f"{'file':<{width}} {'lines':>8} {'covered':>8} {'pct':>7}")
+sum_cov = sum_tot = 0
+for path in sorted(per_file):
+    cov, tot = per_file[path]
+    sum_cov += cov
+    sum_tot += tot
+    print(f"{path:<{width}} {tot:>8} {cov:>8} {100.0 * cov / tot:>6.1f}%")
+print(f"{'TOTAL':<{width}} {sum_tot:>8} {sum_cov:>8} "
+      f"{100.0 * sum_cov / sum_tot:>6.1f}%")
+EOF
+echo "per-file .gcov reports: ${GCOV_OUT}"

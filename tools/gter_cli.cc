@@ -6,8 +6,12 @@
 //       Synthesize a benchmark dataset (with ground truth) to CSV.
 //   gter_cli resolve --in data.csv [--sources 1] [--eta 0.98]
 //                    [--rounds 5] [--matches out.csv] [--weights w.csv]
+//                    [--clusterer connected_components] [--merge_threshold T]
 //                    [--simd scalar|avx2|auto] [--deadline_ms N]
 //       Resolve a CSV dataset; write matched pairs and term weights.
+//       --clusterer picks the clustering endgame that turns pairwise
+//       probabilities into entities (connected_components, correlation,
+//       the clean-clean matching family, hierarchical).
 //       --simd=scalar pins the scalar reference kernels (bit-reproducible
 //       against pre-SIMD runs); auto picks the best level CPUID reports.
 //       Ctrl-C (or an elapsed --deadline_ms) cancels the run at the next
@@ -16,6 +20,15 @@
 //       is 3 (vs 0 success, 1 failure, 2 usage).
 //   gter_cli evaluate --in data.csv [--sources 1] [--matches out.csv]
 //       Score a match file against the CSV's ground-truth entity column.
+//   gter_cli eval-endgames [--scale 0.25] [--seed 2018] [--rounds 3]
+//                          [--eta 0.98] [--merge_threshold 0.5]
+//                          [--out endgames.json]
+//       Run every registered clustering endgame over the three synthetic
+//       dataset families (restaurant, product, paper): fusion trains the
+//       pairwise probabilities once per family, then each endgame
+//       re-clusters them. Prints a table of pairwise precision/recall/F1
+//       and wall time per (family, endgame) and writes the same numbers
+//       as JSON when --out is given.
 //   gter_cli report run.json
 //       Print a per-stage breakdown of one --metrics_out file.
 //   gter_cli report baseline.json candidate.json [--regress_ratio 0.10]
@@ -99,6 +112,10 @@ int RunResolve(int argc, char** argv) {
   flags.AddDouble("alpha", 20.0, "transition exponent");
   flags.AddInt("steps", 20, "random-walk steps S");
   flags.AddDouble("max_df_ratio", 0.12, "frequent-term removal ratio");
+  flags.AddString("clusterer", "connected_components",
+                  "clustering endgame (see eval-endgames for the registry)");
+  flags.AddDouble("merge_threshold", 0.5,
+                  "hierarchical endgame: stop merging below this linkage");
   flags.AddString("matches", "matches.csv", "output: matched pairs CSV");
   flags.AddString("weights", "", "output: term weights CSV (optional)");
   flags.AddInt("deadline_ms", 0,
@@ -142,6 +159,11 @@ int RunResolve(int argc, char** argv) {
   config.eta = flags.GetDouble("eta");
   config.cliquerank.alpha = flags.GetDouble("alpha");
   config.cliquerank.max_steps = static_cast<size_t>(flags.GetInt("steps"));
+  auto clusterer = ParseClustererKind(flags.GetString("clusterer"));
+  if (!clusterer.ok()) return Fail(clusterer.status());
+  config.clusterer = clusterer.value();
+  config.clusterer_options.merge_threshold =
+      flags.GetDouble("merge_threshold");
 
   // Results are bit-identical for any thread count, so --threads only
   // changes wall-clock time.
@@ -181,9 +203,10 @@ int RunResolve(int argc, char** argv) {
   } else {
     size_t matched = 0;
     for (bool m : result.matches) matched += m;
-    std::printf("resolved %zu records: %zu candidate pairs, %zu matches "
-                "(%.1fs)\n",
+    std::printf("resolved %zu records: %zu candidate pairs, %zu matches, "
+                "%zu entities via %s (%.1fs)\n",
                 dataset.size(), pipeline.pairs().size(), matched,
+                result.num_clusters, ClustererKindName(config.clusterer),
                 result.total_seconds);
     Status write = SaveMatches(flags.GetString("matches"), pipeline.pairs(),
                                result);
@@ -251,6 +274,139 @@ int RunEvaluate(int argc, char** argv) {
               static_cast<unsigned long long>(c.true_positives),
               static_cast<unsigned long long>(c.false_positives),
               static_cast<unsigned long long>(c.false_negatives));
+  return 0;
+}
+
+// Runs every registered clustering endgame over the three synthetic
+// families. Fusion (the expensive part) runs once per family; the
+// endgames then re-cluster the same trained probabilities, which is
+// exactly how they differ in production.
+int RunEvalEndgames(int argc, char** argv) {
+  FlagSet flags;
+  flags.AddDouble("scale", 0.25, "dataset scale (1.0 = paper sizes)");
+  flags.AddInt("seed", 2018, "generator seed");
+  flags.AddInt("rounds", 3, "ITER/CliqueRank reinforcement rounds");
+  flags.AddDouble("eta", 0.98, "matching probability threshold");
+  flags.AddDouble("merge_threshold", 0.5,
+                  "hierarchical endgame: stop merging below this linkage");
+  flags.AddInt("threads", 0, "worker threads (0 = sequential)");
+  flags.AddString("out", "", "output JSON path (optional)");
+  AddLogLevelFlag(&flags);
+  Status s = flags.Parse(argc, argv);
+  if (s.ok()) s = ApplyLogLevelFlag(flags);
+  if (!s.ok()) return Fail(s);
+
+  struct Family {
+    BenchmarkKind kind;
+    const char* name;
+  };
+  const Family kFamilies[] = {{BenchmarkKind::kRestaurant, "restaurant"},
+                              {BenchmarkKind::kProduct, "product"},
+                              {BenchmarkKind::kPaper, "paper"}};
+
+  std::unique_ptr<ThreadPool> pool = MakeThreadPool(flags.GetInt("threads"));
+  ExecContext ctx;
+  ctx.pool = pool.get();
+
+  JsonValue report = JsonValue::MakeObject();
+  report.Set("scale", JsonValue::MakeNumber(flags.GetDouble("scale")));
+  report.Set("seed", JsonValue::MakeNumber(flags.GetInt("seed")));
+  report.Set("eta", JsonValue::MakeNumber(flags.GetDouble("eta")));
+  JsonValue datasets = JsonValue::MakeArray();
+
+  for (const Family& family : kFamilies) {
+    auto data = GenerateBenchmark(family.kind, flags.GetDouble("scale"),
+                                  static_cast<uint64_t>(flags.GetInt("seed")));
+    RemoveFrequentTerms(&data.dataset);
+
+    FusionConfig config;
+    config.rounds = static_cast<size_t>(flags.GetInt("rounds"));
+    config.eta = flags.GetDouble("eta");
+    FusionPipeline pipeline(data.dataset, config);
+    Result<FusionResult> run = pipeline.Run(ctx);
+    if (!run.ok()) return Fail(run.status());
+    const FusionResult& result = run.value();
+
+    std::printf("%s: %zu records, %zu sources, %zu candidate pairs "
+                "(fusion %.2fs)\n",
+                family.name, data.dataset.size(),
+                static_cast<size_t>(data.dataset.num_sources()),
+                pipeline.pairs().size(), result.total_seconds);
+    std::printf("  %-22s %9s %9s %9s %9s %9s\n", "clusterer", "prec",
+                "recall", "f1", "clusters", "seconds");
+
+    JsonValue dataset_obj = JsonValue::MakeObject();
+    dataset_obj.Set("kind", JsonValue::MakeString(family.name));
+    dataset_obj.Set("records", JsonValue::MakeNumber(data.dataset.size()));
+    dataset_obj.Set("sources",
+                    JsonValue::MakeNumber(data.dataset.num_sources()));
+    dataset_obj.Set("candidate_pairs",
+                    JsonValue::MakeNumber(pipeline.pairs().size()));
+    dataset_obj.Set("fusion_seconds",
+                    JsonValue::MakeNumber(result.total_seconds));
+    JsonValue endgames = JsonValue::MakeArray();
+
+    ClusterProblem problem;
+    problem.num_records = data.dataset.size();
+    problem.pairs = &pipeline.pairs();
+    problem.pair_probability = &result.pair_probability;
+    problem.eta = config.eta;
+    std::vector<uint32_t> source_of;
+    if (data.dataset.num_sources() > 1) {
+      source_of.reserve(data.dataset.size());
+      for (const Record& r : data.dataset.records()) {
+        source_of.push_back(r.source);
+      }
+      problem.source_of = &source_of;
+    }
+
+    ClustererOptions options;
+    options.merge_threshold = flags.GetDouble("merge_threshold");
+    for (ClustererKind kind : AllClustererKinds()) {
+      Stopwatch watch;
+      Result<Clustering> clustered =
+          MakeClusterer(kind, options)->Cluster(problem, ctx);
+      if (!clustered.ok()) return Fail(clustered.status());
+      const double seconds = watch.ElapsedSeconds();
+      ClusterEvaluation eval =
+          EvaluateClustering(clustered.value().cluster_of, data.truth);
+
+      std::printf("  %-22s %9.4f %9.4f %9.4f %9zu %9.3f\n",
+                  ClustererKindName(kind), eval.pairwise_precision,
+                  eval.pairwise_recall, eval.pairwise_f1,
+                  clustered.value().num_clusters, seconds);
+
+      JsonValue row = JsonValue::MakeObject();
+      row.Set("clusterer", JsonValue::MakeString(ClustererKindName(kind)));
+      row.Set("precision", JsonValue::MakeNumber(eval.pairwise_precision));
+      row.Set("recall", JsonValue::MakeNumber(eval.pairwise_recall));
+      row.Set("f1", JsonValue::MakeNumber(eval.pairwise_f1));
+      row.Set("adjusted_rand_index",
+              JsonValue::MakeNumber(eval.adjusted_rand_index));
+      row.Set("clusters",
+              JsonValue::MakeNumber(clustered.value().num_clusters));
+      row.Set("seconds", JsonValue::MakeNumber(seconds));
+      endgames.Append(std::move(row));
+    }
+    dataset_obj.Set("endgames", std::move(endgames));
+    datasets.Append(std::move(dataset_obj));
+  }
+  report.Set("datasets", std::move(datasets));
+
+  if (!flags.GetString("out").empty()) {
+    const std::string path = flags.GetString("out");
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(Status::Internal("cannot open '" + path + "' for writing"));
+    }
+    const std::string json = report.Serialize();
+    const bool ok = std::fwrite(json.data(), 1, json.size(), f) ==
+                        json.size() &&
+                    std::fputc('\n', f) != EOF;
+    std::fclose(f);
+    if (!ok) return Fail(Status::Internal("short write to '" + path + "'"));
+    std::printf("report written to %s\n", path.c_str());
+  }
   return 0;
 }
 
@@ -340,14 +496,17 @@ int RunClient(int argc, char** argv) {
 }
 
 int Usage() {
-  std::fprintf(stderr,
-               "usage: gter_cli <generate|resolve|evaluate|report|client> "
-               "[flags]\n"
-               "  generate  synthesize a benchmark dataset to CSV\n"
-               "  resolve   run unsupervised resolution on a CSV dataset\n"
-               "  evaluate  score a match file against ground truth\n"
-               "  report    summarize or diff --metrics_out JSON files\n"
-               "  client    send one request to a running gterd\n");
+  std::fprintf(
+      stderr,
+      "usage: gter_cli "
+      "<generate|resolve|evaluate|eval-endgames|report|client> [flags]\n"
+      "  generate       synthesize a benchmark dataset to CSV\n"
+      "  resolve        run unsupervised resolution on a CSV dataset\n"
+      "  evaluate       score a match file against ground truth\n"
+      "  eval-endgames  compare every clustering endgame on the synthetic "
+      "families\n"
+      "  report         summarize or diff --metrics_out JSON files\n"
+      "  client         send one request to a running gterd\n");
   return 2;
 }
 
@@ -361,6 +520,9 @@ int main(int argc, char** argv) {
   if (command == "generate") return gter::RunGenerate(argc - 1, argv + 1);
   if (command == "resolve") return gter::RunResolve(argc - 1, argv + 1);
   if (command == "evaluate") return gter::RunEvaluate(argc - 1, argv + 1);
+  if (command == "eval-endgames") {
+    return gter::RunEvalEndgames(argc - 1, argv + 1);
+  }
   if (command == "report") return gter::RunReport(argc - 1, argv + 1);
   if (command == "client") return gter::RunClient(argc - 1, argv + 1);
   return gter::Usage();
