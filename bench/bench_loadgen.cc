@@ -11,12 +11,24 @@
 //   --port=0 (default) self-hosts: generates a dataset at --scale, trains
 //     a ResolutionService, starts a GterdServer on an ephemeral loopback
 //     port, and hammers it — the perf-gate configuration, hermetic in one
-//     process.
+//     process. The server gets an ephemeral metrics port, and after the
+//     run its /metrics is scraped to cross-check the server-side resolve
+//     work_us p99 against the client-side resolve p99.
 //   --port=N targets an already-running gterd (--host to point off-box).
 //     Queries are built from a stats() probe, so no dataset is needed.
+//     --metrics_port=N enables the same scrape cross-check.
+//
+// --warmup_requests=N has every connection issue N unrecorded requests
+// before measurement starts (cache/JIT-free here, but it drains the
+// first-connection and allocator cold paths out of the percentiles).
+//
+// --p99_budget_ms=B (0 = off) turns the run into a latency gate: exit 1
+// when the measured client p99 exceeds B. tools/perf_gate.sh wires this
+// through PERF_GATE_P99_BUDGET_MS.
 //
 // Exit code: 0 when every request got a well-formed response (deadline
-// errors are valid responses), 1 on any transport/protocol error.
+// errors are valid responses), 1 on any transport/protocol error or a
+// blown latency budget.
 
 #include <algorithm>
 #include <chrono>
@@ -33,6 +45,7 @@ namespace {
 
 struct WorkerResult {
   std::vector<double> latencies_ms;
+  std::vector<double> resolve_latencies_ms;  // resolve calls only
   uint64_t ok = 0;
   uint64_t deadline = 0;  // Cancelled / DeadlineExceeded responses
   uint64_t errors = 0;    // transport or malformed-frame failures
@@ -40,9 +53,10 @@ struct WorkerResult {
 
 /// One connection's request loop. `texts` drives resolve queries; when
 /// empty (external mode without record texts) the mix degrades to
-/// pair_score + stats.
+/// pair_score + stats. The first `warmup` requests are issued but not
+/// recorded.
 void RunWorker(const std::string& host, uint16_t port, uint64_t requests,
-               int64_t deadline_ms, uint64_t num_records,
+               uint64_t warmup, int64_t deadline_ms, uint64_t num_records,
                const std::vector<std::string>* texts, uint64_t seed,
                WorkerResult* out) {
   auto connected = GterdClient::Connect(host, port);
@@ -53,7 +67,8 @@ void RunWorker(const std::string& host, uint16_t port, uint64_t requests,
   GterdClient client = std::move(connected).value();
   Rng rng(seed);
   out->latencies_ms.reserve(requests);
-  for (uint64_t i = 0; i < requests; ++i) {
+  for (uint64_t i = 0; i < warmup + requests; ++i) {
+    const bool measured = i >= warmup;
     JsonValue params = JsonValue::MakeObject();
     std::string method;
     const uint64_t kind = i % 4;
@@ -73,14 +88,18 @@ void RunWorker(const std::string& host, uint16_t port, uint64_t requests,
     const auto start = std::chrono::steady_clock::now();
     auto response = client.Call(method, std::move(params), deadline_ms);
     const auto elapsed = std::chrono::steady_clock::now() - start;
-    out->latencies_ms.push_back(
-        std::chrono::duration<double, std::milli>(elapsed).count());
+    if (measured) {
+      const double ms =
+          std::chrono::duration<double, std::milli>(elapsed).count();
+      out->latencies_ms.push_back(ms);
+      if (method == "resolve") out->resolve_latencies_ms.push_back(ms);
+    }
     if (response.ok()) {
-      ++out->ok;
+      if (measured) ++out->ok;
     } else if (IsCancellation(response.status())) {
-      ++out->deadline;
+      if (measured) ++out->deadline;
     } else {
-      ++out->errors;
+      ++out->errors;  // counted even in warmup: a broken run must not pass
       if (response.status().code() == StatusCode::kIOError) return;
     }
   }
@@ -98,7 +117,14 @@ int Run(int argc, char** argv) {
   flags.AddInt("port", 0, "gterd port; 0 self-hosts an in-process server");
   flags.AddInt("connections", 16, "concurrent connections");
   flags.AddInt("requests", 250, "requests per connection");
+  flags.AddInt("warmup_requests", 0,
+               "unrecorded warmup requests per connection");
   flags.AddInt("deadline_ms", 0, "per-request deadline (0 = none)");
+  flags.AddDouble("p99_budget_ms", 0.0,
+                  "fail (exit 1) when client p99 exceeds this (0 = off)");
+  flags.AddInt("metrics_port", 0,
+               "external server's /metrics port for the scrape cross-check "
+               "(self-host mode discovers it automatically)");
   flags.AddString("kind", "restaurant",
                   "self-host dataset kind: restaurant | product | paper");
   if (!bench::ParseStandardFlags(argc, argv, &flags)) return 2;
@@ -106,9 +132,13 @@ int Run(int argc, char** argv) {
 
   const auto connections = static_cast<size_t>(flags.GetInt("connections"));
   const auto requests = static_cast<uint64_t>(flags.GetInt("requests"));
+  const auto warmup =
+      static_cast<uint64_t>(std::max<int64_t>(0, flags.GetInt("warmup_requests")));
   const int64_t deadline_ms = flags.GetInt("deadline_ms");
+  const double p99_budget_ms = flags.GetDouble("p99_budget_ms");
   std::string host = flags.GetString("host");
   auto port = static_cast<uint16_t>(flags.GetInt("port"));
+  auto metrics_port = static_cast<uint16_t>(flags.GetInt("metrics_port"));
 
   // Self-host state (kept alive for the run when --port=0).
   std::unique_ptr<ResolutionService> service;
@@ -150,7 +180,9 @@ int Run(int argc, char** argv) {
       return 1;
     }
     service = std::move(built).value();
-    auto started = GterdServer::Start(service.get(), GterdServerOptions{},
+    GterdServerOptions server_options;
+    server_options.metrics_port = 0;  // ephemeral: scraped after the run
+    auto started = GterdServer::Start(service.get(), server_options,
                                       bench::BenchContext(flags));
     if (!started.ok()) {
       std::fprintf(stderr, "loadgen: %s\n",
@@ -159,6 +191,7 @@ int Run(int argc, char** argv) {
     }
     server = std::move(started).value();
     port = server->port();
+    metrics_port = server->metrics_port();
   } else {
     // Probe the target so pair_score draws valid record ids.
     auto probe = GterdClient::Connect(host, port);
@@ -182,8 +215,9 @@ int Run(int argc, char** argv) {
   workers.reserve(connections);
   const auto wall_start = std::chrono::steady_clock::now();
   for (size_t c = 0; c < connections; ++c) {
-    workers.emplace_back(RunWorker, host, port, requests, deadline_ms,
-                         num_records, texts.empty() ? nullptr : &texts,
+    workers.emplace_back(RunWorker, host, port, requests, warmup,
+                         deadline_ms, num_records,
+                         texts.empty() ? nullptr : &texts,
                          static_cast<uint64_t>(flags.GetInt("seed")) + c,
                          &results[c]);
   }
@@ -195,14 +229,19 @@ int Run(int argc, char** argv) {
 
   uint64_t ok = 0, deadline = 0, errors = 0;
   std::vector<double> latencies;
+  std::vector<double> resolve_latencies;
   for (const WorkerResult& r : results) {
     ok += r.ok;
     deadline += r.deadline;
     errors += r.errors;
     latencies.insert(latencies.end(), r.latencies_ms.begin(),
                      r.latencies_ms.end());
+    resolve_latencies.insert(resolve_latencies.end(),
+                             r.resolve_latencies_ms.begin(),
+                             r.resolve_latencies_ms.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  std::sort(resolve_latencies.begin(), resolve_latencies.end());
   const double qps =
       wall_seconds > 0.0 ? static_cast<double>(latencies.size()) / wall_seconds
                          : 0.0;
@@ -213,9 +252,61 @@ int Run(int argc, char** argv) {
               static_cast<unsigned long long>(ok),
               static_cast<unsigned long long>(errors),
               static_cast<unsigned long long>(deadline));
+  const double client_p99 = Percentile(latencies, 0.99);
   std::printf("qps %.1f  p50 %.3f ms  p95 %.3f ms  p99 %.3f ms\n", qps,
               Percentile(latencies, 0.50), Percentile(latencies, 0.95),
-              Percentile(latencies, 0.99));
+              client_p99);
+
+  // Scrape cross-check: read the server's own windowed resolve queue_us /
+  // work_us histograms off /metrics and put their p99s next to the
+  // client-observed resolve p99. Client latency ≈ queue + work + wire, so
+  // client and server-side queue+work should agree closely (within ~20%
+  // once work is non-trivial); the split localizes a latency regression
+  // to the handler (work moves), admission backlog (queue moves), or the
+  // transport (only the client moves).
+  if (metrics_port != 0 && !resolve_latencies.empty()) {
+    auto scraped = GterdClient::HttpGet(host, metrics_port, "/metrics");
+    if (!scraped.ok()) {
+      std::fprintf(stderr, "loadgen: /metrics scrape: %s\n",
+                   scraped.status().ToString().c_str());
+      ++errors;
+    } else {
+      PromParsedHistogram queue_us, work_us;
+      if (!FindPromHistogram(scraped.value(), "gter_server_resolve_queue_us",
+                             &queue_us) ||
+          !FindPromHistogram(scraped.value(), "gter_server_resolve_work_us",
+                             &work_us)) {
+        std::fprintf(stderr,
+                     "loadgen: gter_server_resolve_{queue,work}_us missing "
+                     "from /metrics\n");
+        ++errors;
+      } else {
+        const double work_p99_ms =
+            PromHistogramQuantile(work_us, 0.99) / 1000.0;
+        const double queue_p99_ms =
+            PromHistogramQuantile(queue_us, 0.99) / 1000.0;
+        const double server_p99_ms = queue_p99_ms + work_p99_ms;
+        const double client_resolve_p99 = Percentile(resolve_latencies, 0.99);
+        const double ratio = server_p99_ms > 0.0
+                                 ? client_resolve_p99 / server_p99_ms
+                                 : 0.0;
+        std::printf("resolve p99: client %.3f ms, server queue+work %.3f ms "
+                    "(queue %.3f + work %.3f; x%.2f, %llu server-side "
+                    "observations)\n",
+                    client_resolve_p99, server_p99_ms, queue_p99_ms,
+                    work_p99_ms, ratio,
+                    static_cast<unsigned long long>(work_us.count));
+      }
+    }
+  }
+
+  if (p99_budget_ms > 0.0 && client_p99 > p99_budget_ms) {
+    std::fprintf(stderr,
+                 "loadgen: LATENCY BUDGET EXCEEDED: client p99 %.3f ms > "
+                 "budget %.3f ms\n",
+                 client_p99, p99_budget_ms);
+    return 1;
+  }
   return errors == 0 ? 0 : 1;
 }
 

@@ -142,6 +142,11 @@ struct ExecContext {
   std::optional<SimdLevel> simd;
   CancelToken* cancel = nullptr;
 
+  /// Serving-side request id minted at admission (0 outside a server
+  /// request). Rides the context so handlers, access-log lines, and
+  /// slow-request trace dumps all agree on the id without re-plumbing.
+  uint64_t request_id = 0;
+
   /// One cancellation poll: false (and zero work beyond a pointer test)
   /// when no token is attached.
   bool cancelled() const { return cancel != nullptr && cancel->cancelled(); }

@@ -1,13 +1,22 @@
 #include "gter/common/metrics.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 
 namespace gter {
 namespace {
 
 thread_local MetricsRegistry* tls_current_registry = nullptr;
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 /// Bucket index for a value: floor(log2(v)) shifted so 1.0 lands at
 /// kBucketOfOne, clamped to the array. frexp avoids a log call.
@@ -59,6 +68,38 @@ void AppendUint(std::string* out, uint64_t value) {
   std::snprintf(buf, sizeof(buf), "%llu",
                 static_cast<unsigned long long>(value));
   *out += buf;
+}
+
+void AppendHistogramJson(std::string* o, const Histogram& h) {
+  *o += "{\"count\": ";
+  AppendUint(o, h.count);
+  *o += ", \"sum\": ";
+  AppendDouble(o, h.sum);
+  if (h.count > 0) {
+    *o += ", \"min\": ";
+    AppendDouble(o, h.min);
+    *o += ", \"max\": ";
+    AppendDouble(o, h.max);
+    *o += ", \"p50\": ";
+    AppendDouble(o, h.Quantile(0.50));
+    *o += ", \"p95\": ";
+    AppendDouble(o, h.Quantile(0.95));
+    *o += ", \"p99\": ";
+    AppendDouble(o, h.Quantile(0.99));
+  }
+  *o += ", \"buckets\": [";
+  bool first = true;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;  // sparse emission
+    if (!first) *o += ", ";
+    first = false;
+    *o += "{\"le\": ";
+    AppendDouble(o, Histogram::BucketUpperBound(i));
+    *o += ", \"count\": ";
+    AppendUint(o, h.buckets[i]);
+    *o += "}";
+  }
+  *o += "]}";
 }
 
 /// Emits `"name": <value>` sequences for one section.
@@ -132,15 +173,117 @@ double Histogram::Quantile(double q) const {
     const double in_bucket = static_cast<double>(buckets[i]);
     if (cumulative + in_bucket >= target) {
       const double fraction = (target - cumulative) / in_bucket;
-      const double lo = BucketLowerBound(i);
-      const double hi = BucketUpperBound(i);
-      const double estimate = lo + fraction * (hi - lo);
-      // The exact envelope beats the bucket bounds at the extremes.
-      return std::min(std::max(estimate, min), max);
+      // Interpolate over the bucket span clamped to the recorded
+      // [min, max] envelope. Raw bucket bounds only lie outside the data
+      // in the first/last populated bucket, where interpolating over the
+      // full power-of-two span used to push the estimate past min/max
+      // and flat-clamp it there; the clamped span keeps the estimate
+      // exact for uniformly-spread observations.
+      const double lo = std::max(BucketLowerBound(i), min);
+      const double hi = std::min(BucketUpperBound(i), max);
+      if (hi <= lo) return lo;
+      return lo + fraction * (hi - lo);
     }
     cumulative += in_bucket;
   }
   return max;  // unreachable for a consistent histogram
+}
+
+SlidingHistogram::SlidingHistogram(double window_seconds)
+    : window_seconds_(window_seconds > 0.0 ? window_seconds : 60.0),
+      slot_ns_(static_cast<uint64_t>(window_seconds_ * 1e9 /
+                                     static_cast<double>(kNumSlots))) {
+  if (slot_ns_ == 0) slot_ns_ = 1;
+  for (Slot& slot : slots_) {
+    slot.min.store(std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+    slot.max.store(-std::numeric_limits<double>::infinity(),
+                   std::memory_order_relaxed);
+  }
+}
+
+void SlidingHistogram::Record(double value) {
+  RecordAt(value, SteadyNowNs());
+}
+
+void SlidingHistogram::RecordAt(double value, uint64_t now_ns) {
+  const uint64_t epoch = now_ns / slot_ns_;
+  Slot& slot = slots_[epoch % kNumSlots];
+  uint64_t seen = slot.epoch.load(std::memory_order_acquire);
+  if (seen != epoch) {
+    // The slot's previous tenancy has lapsed. One recorder wins the CAS
+    // and recycles it; losers (and recorders racing the reset) proceed
+    // into the slot immediately — a bounded number of observations at the
+    // rotation edge may be dropped or mis-binned, which monitoring
+    // tolerates in exchange for a lock-free record path.
+    if (slot.epoch.compare_exchange_strong(seen, epoch,
+                                           std::memory_order_acq_rel)) {
+      slot.sum.store(0.0, std::memory_order_relaxed);
+      slot.min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+      slot.max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+      for (auto& bucket : slot.buckets) {
+        bucket.store(0, std::memory_order_relaxed);
+      }
+    }
+  }
+  slot.buckets[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+  slot.sum.fetch_add(value, std::memory_order_relaxed);
+  double cur = slot.min.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !slot.min.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+  }
+  cur = slot.max.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !slot.max.compare_exchange_weak(cur, value,
+                                         std::memory_order_relaxed)) {
+  }
+}
+
+Histogram SlidingHistogram::Snapshot() const {
+  return SnapshotAt(SteadyNowNs());
+}
+
+Histogram SlidingHistogram::SnapshotAt(uint64_t now_ns) const {
+  const uint64_t current_epoch = now_ns / slot_ns_;
+  const uint64_t oldest_epoch =
+      current_epoch >= kNumSlots - 1 ? current_epoch - (kNumSlots - 1) : 0;
+  Histogram merged;
+  for (const Slot& slot : slots_) {
+    const uint64_t epoch = slot.epoch.load(std::memory_order_acquire);
+    if (epoch < oldest_epoch || epoch > current_epoch) continue;
+    Histogram part;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      part.buckets[i] = slot.buckets[i].load(std::memory_order_relaxed);
+      part.count += part.buckets[i];
+    }
+    if (part.count == 0) continue;
+    part.sum = slot.sum.load(std::memory_order_relaxed);
+    part.min = slot.min.load(std::memory_order_relaxed);
+    part.max = slot.max.load(std::memory_order_relaxed);
+    // A reset racing this read can tear min/max/sum; re-derive a sane
+    // envelope from the bucket array (which count was derived from) so
+    // Quantile()'s clamping invariants hold for every snapshot.
+    if (!std::isfinite(part.min) || !std::isfinite(part.max) ||
+        part.min > part.max) {
+      size_t first = Histogram::kNumBuckets;
+      size_t last = 0;
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        if (part.buckets[i] == 0) continue;
+        if (first == Histogram::kNumBuckets) first = i;
+        last = i;
+      }
+      part.min = Histogram::BucketLowerBound(first);
+      part.max = Histogram::BucketUpperBound(last);
+    }
+    if (!std::isfinite(part.sum)) {
+      part.sum = part.min * static_cast<double>(part.count);
+    }
+    merged.Merge(part);
+  }
+  return merged;
 }
 
 void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
@@ -197,6 +340,25 @@ void MetricsRegistry::RecordTime(std::string_view name, double seconds) {
   it->second.seconds += seconds;
 }
 
+SlidingHistogram* MetricsRegistry::Sliding(std::string_view name,
+                                           double window_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sliding_.find(name);
+  if (it == sliding_.end()) {
+    it = sliding_
+             .emplace(std::string(name),
+                      std::make_unique<SlidingHistogram>(window_seconds))
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram MetricsRegistry::SlidingSnapshot(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sliding_.find(name);
+  return it == sliding_.end() ? Histogram{} : it->second->Snapshot();
+}
+
 uint64_t MetricsRegistry::Counter(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = counters_.find(name);
@@ -221,6 +383,40 @@ Histogram MetricsRegistry::HistogramOf(std::string_view name) const {
   return it == histograms_.end() ? Histogram{} : it->second;
 }
 
+std::map<std::string, uint64_t, std::less<>> MetricsRegistry::CountersSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::map<std::string, double, std::less<>> MetricsRegistry::GaugesSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return gauges_;
+}
+
+std::map<std::string, TimerStat, std::less<>> MetricsRegistry::TimersSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return timers_;
+}
+
+std::map<std::string, Histogram, std::less<>>
+MetricsRegistry::HistogramsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return histograms_;
+}
+
+std::map<std::string, Histogram, std::less<>>
+MetricsRegistry::SlidingSnapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, Histogram, std::less<>> out;
+  for (const auto& [name, sliding] : sliding_) {
+    out.emplace(name, sliding->Snapshot());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::string out = "{\n";
@@ -239,38 +435,18 @@ std::string MetricsRegistry::ToJson() const {
                   *o += "}";
                 });
   out += ",\n";
-  AppendSection(&out, "histograms", histograms_,
-                [](std::string* o, const Histogram& h) {
-                  *o += "{\"count\": ";
-                  AppendUint(o, h.count);
-                  *o += ", \"sum\": ";
-                  AppendDouble(o, h.sum);
-                  if (h.count > 0) {
-                    *o += ", \"min\": ";
-                    AppendDouble(o, h.min);
-                    *o += ", \"max\": ";
-                    AppendDouble(o, h.max);
-                    *o += ", \"p50\": ";
-                    AppendDouble(o, h.Quantile(0.50));
-                    *o += ", \"p95\": ";
-                    AppendDouble(o, h.Quantile(0.95));
-                    *o += ", \"p99\": ";
-                    AppendDouble(o, h.Quantile(0.99));
-                  }
-                  *o += ", \"buckets\": [";
-                  bool first = true;
-                  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-                    if (h.buckets[i] == 0) continue;  // sparse emission
-                    if (!first) *o += ", ";
-                    first = false;
-                    *o += "{\"le\": ";
-                    AppendDouble(o, Histogram::BucketUpperBound(i));
-                    *o += ", \"count\": ";
-                    AppendUint(o, h.buckets[i]);
-                    *o += "}";
-                  }
-                  *o += "]}";
-                });
+  AppendSection(&out, "histograms", histograms_, AppendHistogramJson);
+  if (!sliding_.empty()) {
+    // Windowed snapshots — present only when a server declared sliding
+    // histograms, so batch-run metrics JSON keeps its historical schema
+    // (run_report's FromJson skips unknown sections either way).
+    std::map<std::string, Histogram, std::less<>> snapshots;
+    for (const auto& [name, sliding] : sliding_) {
+      snapshots.emplace(name, sliding->Snapshot());
+    }
+    out += ",\n";
+    AppendSection(&out, "sliding", snapshots, AppendHistogramJson);
+  }
   out += "\n}\n";
   return out;
 }

@@ -2,9 +2,11 @@
 #define GTER_COMMON_METRICS_H_
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -59,9 +61,11 @@ struct Histogram {
   void Merge(const Histogram& other);
 
   /// Estimated q-quantile (q in [0, 1]), by linear interpolation inside
-  /// the log-scale bucket holding the q·count-th observation, clamped to
-  /// the exact [min, max] envelope — so single-valued histograms are
-  /// exact and the estimation error is bounded by one bucket's width.
+  /// the log-scale bucket holding the q·count-th observation, with the
+  /// interpolation span clamped to the exact [min, max] envelope — so
+  /// single-valued histograms are exact, values uniform across one bucket
+  /// interpolate exactly instead of flat-clamping at the envelope edge,
+  /// and the estimation error is bounded by one bucket's width.
   /// Returns 0 when the histogram is empty.
   double Quantile(double q) const;
 
@@ -71,6 +75,60 @@ struct Histogram {
   /// Inclusive lower bound of bucket `i` (2^(i-33); bucket 0 starts at 0
   /// because it also absorbs non-positive values).
   static double BucketLowerBound(size_t i);
+};
+
+/// Sliding-window log-scale histogram: a ring of `kNumSlots` epoch-rotated
+/// sub-histograms covering `window_seconds` of wall time in total, so a
+/// snapshot reflects only recent observations (live serving percentiles)
+/// while old slots are recycled in place.
+///
+/// The record path is lock-free: plain atomic adds into the slot owned by
+/// the current epoch, plus one CAS to claim a slot whose epoch has lapsed
+/// (the winner zeroes it). Observations racing a rotation may land in the
+/// slot being recycled and be dropped — a bounded, monitoring-acceptable
+/// loss at slot boundaries only. Snapshots derive each slot's count from
+/// its bucket array (never a separately-torn counter), so the Prometheus
+/// invariant `+Inf bucket == _count` holds for every snapshot.
+///
+/// `RecordAt`/`SnapshotAt` take an explicit steady-clock timestamp — the
+/// production path (`Record`/`Snapshot`) reads the clock once; tests
+/// inject timestamps to drive rotation deterministically.
+class SlidingHistogram {
+ public:
+  /// Number of ring slots; each spans window_seconds / kNumSlots.
+  static constexpr size_t kNumSlots = 8;
+
+  explicit SlidingHistogram(double window_seconds = 60.0);
+  SlidingHistogram(const SlidingHistogram&) = delete;
+  SlidingHistogram& operator=(const SlidingHistogram&) = delete;
+
+  /// Records one observation at the current steady-clock time.
+  void Record(double value);
+
+  /// Records one observation as of steady-clock time `now_ns` (test hook;
+  /// timestamps must be non-decreasing across threads for exact windows).
+  void RecordAt(double value, uint64_t now_ns);
+
+  /// Merges every slot still inside the window into one plain Histogram.
+  Histogram Snapshot() const;
+
+  /// Snapshot as of steady-clock time `now_ns` (test hook).
+  Histogram SnapshotAt(uint64_t now_ns) const;
+
+  double window_seconds() const { return window_seconds_; }
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> min{0.0};
+    std::atomic<double> max{0.0};
+    std::array<std::atomic<uint64_t>, Histogram::kNumBuckets> buckets{};
+  };
+
+  double window_seconds_;
+  uint64_t slot_ns_;
+  std::array<Slot, kNumSlots> slots_;
 };
 
 /// Thread-safe metrics registry. All methods may be called concurrently.
@@ -100,15 +158,35 @@ class MetricsRegistry {
   /// Adds one completed timing of stage `name` (ScopedTimer's sink).
   void RecordTime(std::string_view name, double seconds);
 
+  /// Create-or-get the sliding histogram `name` (the pointer is stable
+  /// for the registry's lifetime; recording through it is lock-free).
+  /// `window_seconds` applies only on first creation.
+  SlidingHistogram* Sliding(std::string_view name,
+                            double window_seconds = 60.0);
+
   /// Point reads (zero / empty when the metric was never touched).
   uint64_t Counter(std::string_view name) const;
   double Gauge(std::string_view name) const;
   TimerStat Timer(std::string_view name) const;
   Histogram HistogramOf(std::string_view name) const;
 
+  /// Windowed snapshot of sliding histogram `name` (empty when absent).
+  Histogram SlidingSnapshot(std::string_view name) const;
+
+  /// Whole-section snapshots for exposition writers (Prometheus, /varz):
+  /// copies taken under the registry lock; sliding histograms are
+  /// materialized as plain windowed Histograms.
+  std::map<std::string, uint64_t, std::less<>> CountersSnapshot() const;
+  std::map<std::string, double, std::less<>> GaugesSnapshot() const;
+  std::map<std::string, TimerStat, std::less<>> TimersSnapshot() const;
+  std::map<std::string, Histogram, std::less<>> HistogramsSnapshot() const;
+  std::map<std::string, Histogram, std::less<>> SlidingSnapshots() const;
+
   /// Serializes every metric as a JSON object with top-level sections
-  /// "counters", "gauges", "timers", "histograms". Keys are sorted, so the
-  /// output is deterministic for a given state.
+  /// "counters", "gauges", "timers", "histograms" and — when any sliding
+  /// histogram exists — "sliding" (windowed snapshots, same schema as
+  /// "histograms"). Keys are sorted, so the output is deterministic for a
+  /// given state.
   std::string ToJson() const;
 
   /// The registry installed on this thread by `ScopedMetricsInstall`, or
@@ -127,6 +205,9 @@ class MetricsRegistry {
   std::map<std::string, double, std::less<>> gauges_;
   std::map<std::string, TimerStat, std::less<>> timers_;
   std::map<std::string, Histogram, std::less<>> histograms_;
+  // unique_ptr keeps Sliding()'s returned pointers stable across inserts.
+  std::map<std::string, std::unique_ptr<SlidingHistogram>, std::less<>>
+      sliding_;
 };
 
 /// Installs `registry` as the thread-local current registry for the

@@ -1,0 +1,272 @@
+#include "gter/common/prom.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <set>
+
+namespace gter {
+namespace {
+
+void AppendDouble(std::string* out, double value) {
+  if (std::isinf(value)) {
+    *out += value > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  if (std::isnan(value)) {
+    *out += "NaN";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  *out += buf;
+}
+
+/// Reserves `name` in `taken`, appending `_2`, `_3`, … on a collision
+/// (possible only if two distinct slugs sanitize to the same name; the
+/// metric-name lint keeps the declared slug set collision-free).
+std::string ClaimName(std::string name, std::set<std::string>* taken,
+                      std::string* out) {
+  if (taken->insert(name).second) return name;
+  for (int suffix = 2;; ++suffix) {
+    std::string candidate = name + "_" + std::to_string(suffix);
+    if (taken->insert(candidate).second) {
+      *out += "# NOTE " + candidate + " renamed from " + name +
+              " (post-sanitization collision)\n";
+      return candidate;
+    }
+  }
+}
+
+void AppendHelpType(std::string* out, const std::string& name,
+                    std::string_view slug, const char* type) {
+  *out += "# HELP " + name + " gter metric ";
+  // Slugs are [a-z0-9_/] by the lint; escape defensively anyway.
+  for (char c : slug) {
+    if (c == '\\') {
+      *out += "\\\\";
+    } else if (c == '\n') {
+      *out += "\\n";
+    } else {
+      out->push_back(c);
+    }
+  }
+  *out += "\n# TYPE " + name + " ";
+  *out += type;
+  out->push_back('\n');
+}
+
+void AppendHistogramFamily(std::string* out, const std::string& name,
+                           std::string_view slug, const Histogram& h) {
+  AppendHelpType(out, name, slug, "histogram");
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.buckets[i] == 0) continue;  // sparse: monotonicity is preserved
+    cumulative += h.buckets[i];
+    *out += name + "_bucket{le=\"";
+    AppendDouble(out, Histogram::BucketUpperBound(i));
+    *out += "\"} ";
+    AppendUint(out, cumulative);
+    out->push_back('\n');
+  }
+  *out += name + "_bucket{le=\"+Inf\"} ";
+  AppendUint(out, h.count);
+  out->push_back('\n');
+  *out += name + "_sum ";
+  AppendDouble(out, h.sum);
+  out->push_back('\n');
+  *out += name + "_count ";
+  AppendUint(out, h.count);
+  out->push_back('\n');
+}
+
+/// Parses one exposition sample line `<series> <value>`; returns true and
+/// fills `value` when `line` is exactly series `series`.
+bool ParseSample(std::string_view line, std::string_view series,
+                 double* value) {
+  if (line.size() <= series.size() ||
+      line.substr(0, series.size()) != series || line[series.size()] != ' ') {
+    return false;
+  }
+  const std::string text(line.substr(series.size() + 1));
+  char* end = nullptr;
+  *value = std::strtod(text.c_str(), &end);
+  return end != text.c_str();
+}
+
+}  // namespace
+
+std::string PromSanitizeName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsRegistry& registry,
+                                 std::string_view prefix) {
+  // Section snapshots are taken one lock each; a scrape racing writers
+  // sees each section internally consistent, which is all Prometheus
+  // semantics require.
+  const auto counters = registry.CountersSnapshot();
+  const auto gauges = registry.GaugesSnapshot();
+  const auto timers = registry.TimersSnapshot();
+  const auto histograms = registry.HistogramsSnapshot();
+  const auto sliding = registry.SlidingSnapshots();
+
+  std::string out;
+  std::set<std::string> taken;
+  const std::string p(prefix);
+
+  // Claim histogram family names first — including the derived _bucket/
+  // _sum/_count series — so a scalar metric that sanitizes to e.g.
+  // `x_count` is the one renamed, never a histogram's derived series
+  // (renaming those would break the family grouping scrapers rely on).
+  const auto claim_family = [&](const std::string& slug) {
+    const std::string name = ClaimName(p + PromSanitizeName(slug), &taken, &out);
+    taken.insert(name + "_bucket");
+    taken.insert(name + "_sum");
+    taken.insert(name + "_count");
+    return name;
+  };
+  std::vector<std::string> histogram_names;
+  histogram_names.reserve(histograms.size());
+  for (const auto& [slug, histogram] : histograms) {
+    (void)histogram;
+    histogram_names.push_back(claim_family(slug));
+  }
+  std::vector<std::string> sliding_names;
+  sliding_names.reserve(sliding.size());
+  for (const auto& [slug, snapshot] : sliding) {
+    (void)snapshot;
+    sliding_names.push_back(claim_family(slug));
+  }
+
+  for (const auto& [slug, value] : counters) {
+    const std::string name = ClaimName(p + PromSanitizeName(slug), &taken, &out);
+    AppendHelpType(&out, name, slug, "counter");
+    out += name + " ";
+    AppendUint(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [slug, value] : gauges) {
+    const std::string name = ClaimName(p + PromSanitizeName(slug), &taken, &out);
+    AppendHelpType(&out, name, slug, "gauge");
+    out += name + " ";
+    AppendDouble(&out, value);
+    out.push_back('\n');
+  }
+  for (const auto& [slug, stat] : timers) {
+    const std::string base = p + PromSanitizeName(slug);
+    const std::string count_name = ClaimName(base + "_count", &taken, &out);
+    AppendHelpType(&out, count_name, slug, "counter");
+    out += count_name + " ";
+    AppendUint(&out, stat.count);
+    out.push_back('\n');
+    const std::string seconds_name =
+        ClaimName(base + "_seconds_total", &taken, &out);
+    AppendHelpType(&out, seconds_name, slug, "counter");
+    out += seconds_name + " ";
+    AppendDouble(&out, stat.seconds);
+    out.push_back('\n');
+  }
+  size_t family = 0;
+  for (const auto& [slug, histogram] : histograms) {
+    AppendHistogramFamily(&out, histogram_names[family++], slug, histogram);
+  }
+  family = 0;
+  for (const auto& [slug, snapshot] : sliding) {
+    AppendHistogramFamily(&out, sliding_names[family++], slug, snapshot);
+  }
+  return out;
+}
+
+bool FindPromHistogram(std::string_view text, std::string_view name,
+                       PromParsedHistogram* out) {
+  *out = PromParsedHistogram{};
+  const std::string bucket_prefix = std::string(name) + "_bucket{le=\"";
+  const std::string sum_series = std::string(name) + "_sum";
+  const std::string count_series = std::string(name) + "_count";
+  bool saw_count = false;
+  bool saw_sum = false;
+
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.size() > bucket_prefix.size() &&
+        line.substr(0, bucket_prefix.size()) == bucket_prefix) {
+      const size_t close = line.find("\"} ", bucket_prefix.size());
+      if (close == std::string_view::npos) return false;
+      const std::string le_text(
+          line.substr(bucket_prefix.size(), close - bucket_prefix.size()));
+      double le = 0.0;
+      if (le_text == "+Inf") {
+        le = std::numeric_limits<double>::infinity();
+      } else {
+        char* end = nullptr;
+        le = std::strtod(le_text.c_str(), &end);
+        if (end == le_text.c_str()) return false;
+      }
+      const std::string value_text(line.substr(close + 3));
+      char* end = nullptr;
+      const double value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str()) return false;
+      out->cumulative.emplace_back(le, static_cast<uint64_t>(value));
+      continue;
+    }
+    double value = 0.0;
+    if (ParseSample(line, sum_series, &value)) {
+      out->sum = value;
+      saw_sum = true;
+    } else if (ParseSample(line, count_series, &value)) {
+      out->count = static_cast<uint64_t>(value);
+      saw_count = true;
+    }
+  }
+  return saw_sum && saw_count && !out->cumulative.empty();
+}
+
+double PromHistogramQuantile(const PromParsedHistogram& h, double q) {
+  if (h.count == 0 || h.cumulative.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(h.count);
+  double lower = 0.0;
+  uint64_t below = 0;
+  for (const auto& [le, cum] : h.cumulative) {
+    if (static_cast<double>(cum) >= target && cum > below) {
+      if (std::isinf(le)) return lower;  // tail bucket: best bound we have
+      const double in_bucket = static_cast<double>(cum - below);
+      const double fraction =
+          (target - static_cast<double>(below)) / in_bucket;
+      return lower + fraction * (le - lower);
+    }
+    if (cum > below) {
+      below = cum;
+      lower = le;
+    }
+  }
+  return lower;
+}
+
+}  // namespace gter

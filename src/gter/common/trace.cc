@@ -220,6 +220,16 @@ std::string TraceRecorder::ToChromeJson() const {
   return out;
 }
 
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(logs_mutex_);
+  std::vector<TraceEvent> out;
+  for (const auto& log : logs_) {
+    const size_t n = log->count.load(std::memory_order_acquire);
+    out.insert(out.end(), log->events.begin(), log->events.begin() + n);
+  }
+  return out;
+}
+
 TraceRecorder* TraceRecorder::Current() {
   return g_current_recorder.load(std::memory_order_relaxed);
 }

@@ -100,6 +100,12 @@ class TraceRecorder {
   /// (their unpublished tail is simply not included).
   std::string ToChromeJson() const;
 
+  /// Copies out every published span across all threads, in per-thread
+  /// recording order. The raw-event counterpart of `ToChromeJson` — the
+  /// server's slow-request ring uses it to lift a per-request recorder's
+  /// spans into its bounded buffer. Same concurrency contract as export.
+  std::vector<TraceEvent> Snapshot() const;
+
   /// The recorder installed by `ScopedTraceInstall`, or nullptr. One
   /// relaxed atomic load — the whole cost of disabled tracing. Unlike the
   /// metrics registry this slot is process-global, so ThreadPool workers

@@ -29,6 +29,7 @@
 #include "gter/common/json.h"
 #include "gter/common/logging.h"
 #include "gter/common/metrics.h"
+#include "gter/common/prom.h"
 #include "gter/common/random.h"
 #include "gter/common/run_report.h"
 #include "gter/common/status.h"

@@ -1,0 +1,88 @@
+#include "gter/server/access_log.h"
+
+#include <chrono>
+#include <cstring>
+
+namespace gter {
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& text) {
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+void AppendMicros(std::string* out, double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  *out += buf;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AccessLog>> AccessLog::Open(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::IOError("cannot open access log '" + path +
+                           "': " + std::strerror(errno));
+  }
+  return std::unique_ptr<AccessLog>(new AccessLog(f));
+}
+
+AccessLog::~AccessLog() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fclose(file_);
+}
+
+void AccessLog::Write(const Entry& entry) {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  const int64_t ts_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(now).count();
+
+  std::string line = "{\"ts_ms\": " + std::to_string(ts_ms) +
+                     ", \"request_id\": " + std::to_string(entry.request_id) +
+                     ", \"method\": \"";
+  AppendEscaped(&line, entry.method);
+  line += "\", \"status\": \"";
+  AppendEscaped(&line, entry.status);
+  line += "\", \"bytes_in\": " + std::to_string(entry.bytes_in) +
+          ", \"bytes_out\": " + std::to_string(entry.bytes_out) +
+          ", \"queue_us\": ";
+  AppendMicros(&line, entry.queue_us);
+  line += ", \"work_us\": ";
+  AppendMicros(&line, entry.work_us);
+  if (entry.deadline_ms > 0) {
+    line += ", \"deadline_ms\": " + std::to_string(entry.deadline_ms) +
+            ", \"slack_ms\": ";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.3f", entry.slack_ms);
+    line += buf;
+  }
+  if (!entry.clusterer.empty()) {
+    line += ", \"clusterer\": \"";
+    AppendEscaped(&line, entry.clusterer);
+    line += "\"";
+  }
+  line += "}\n";
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+}
+
+}  // namespace gter

@@ -1,0 +1,66 @@
+#ifndef GTER_SERVER_ACCESS_LOG_H_
+#define GTER_SERVER_ACCESS_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+/// Structured per-request access log for gterd (`--access_log`): one
+/// NDJSON line per completed request, flushed as written so a crashed or
+/// killed daemon loses at most the line being formatted. Writes are
+/// serialized by a mutex — the log is written once per request from pool
+/// workers, far off any hot path.
+///
+/// Line schema (fields in this order; `deadline_ms`/`slack_ms` appear
+/// only when the request carried a deadline, `clusterer` only when the
+/// request selected one):
+///   {"ts_ms": <unix millis>, "request_id": <uint>, "method": "...",
+///    "status": "OK|DeadlineExceeded|...", "bytes_in": <uint>,
+///    "bytes_out": <uint>, "queue_us": <float>, "work_us": <float>,
+///    "deadline_ms": <int>, "slack_ms": <float>, "clusterer": "..."}
+class AccessLog {
+ public:
+  /// One completed request's log fields.
+  struct Entry {
+    uint64_t request_id = 0;
+    std::string method;
+    /// Wire status name ("OK" on success — StatusCodeToString vocabulary).
+    std::string status;
+    uint64_t bytes_in = 0;
+    uint64_t bytes_out = 0;
+    double queue_us = 0.0;
+    double work_us = 0.0;
+    /// Effective deadline; 0 = none (drops deadline_ms/slack_ms fields).
+    int64_t deadline_ms = 0;
+    /// Remaining budget at completion (negative = finished past it).
+    double slack_ms = 0.0;
+    /// Clustering endgame requested by the client; empty = absent.
+    std::string clusterer;
+  };
+
+  /// Opens `path` in append mode (the daemon-restart-friendly choice).
+  static Result<std::unique_ptr<AccessLog>> Open(const std::string& path);
+
+  ~AccessLog();
+  AccessLog(const AccessLog&) = delete;
+  AccessLog& operator=(const AccessLog&) = delete;
+
+  /// Appends one line and flushes. Thread-safe.
+  void Write(const Entry& entry);
+
+ private:
+  explicit AccessLog(std::FILE* file) : file_(file) {}
+
+  std::mutex mutex_;
+  std::FILE* file_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_SERVER_ACCESS_LOG_H_

@@ -121,6 +121,46 @@ Result<JsonValue> GterdClient::ReadResponseFrame() {
   return JsonValue::Parse(line);
 }
 
+Result<std::string> GterdClient::HttpGet(const std::string& host,
+                                         uint16_t port,
+                                         const std::string& path) {
+  auto connected = Connect(host, port);
+  if (!connected.ok()) return connected.status();
+  GterdClient client = std::move(connected).value();
+  GTER_RETURN_IF_ERROR(client.WriteAll("GET " + path +
+                                       " HTTP/1.0\r\n"
+                                       "Host: " +
+                                       host + "\r\n\r\n"));
+  // HTTP/1.0 with Connection: close — the response is everything until EOF.
+  std::string response;
+  char chunk[16384];
+  while (true) {
+    ssize_t n = recv(client.fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      response.append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+  size_t header_end = response.find("\r\n\r\n");
+  size_t body_start = header_end + 4;
+  if (header_end == std::string::npos) {
+    header_end = response.find("\n\n");
+    body_start = header_end + 2;
+  }
+  if (header_end == std::string::npos) {
+    return Status::IOError("malformed HTTP response (no header terminator)");
+  }
+  const size_t line_end = response.find_first_of("\r\n");
+  const std::string status_line = response.substr(0, line_end);
+  if (status_line.find(" 200 ") == std::string::npos) {
+    return Status::IOError("HTTP GET " + path + ": " + status_line);
+  }
+  return response.substr(body_start);
+}
+
 Result<JsonValue> GterdClient::Call(const std::string& method,
                                     JsonValue params, int64_t deadline_ms) {
   if (fd_ < 0) return Status::FailedPrecondition("client not connected");

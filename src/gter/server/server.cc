@@ -13,12 +13,67 @@
 #include <utility>
 
 #include "gter/common/logging.h"
+#include "gter/common/prom.h"
 
 namespace gter {
 namespace {
 
 constexpr uint64_t kListenId = 0;
 constexpr uint64_t kWakeId = 1;
+constexpr uint64_t kMetricsListenId = 2;
+
+/// Per-request trace buffer for slow-request capture: small — a request's
+/// own spans, not a whole run's.
+constexpr size_t kSlowTraceCapacity = 512;
+
+/// An HTTP request head larger than this answers 431 and closes.
+constexpr size_t kMaxHttpHeadBytes = 16384;
+
+/// Sliding-histogram slot names; the last entry absorbs unknown methods.
+constexpr const char* kMethodSlotNames[] = {
+    "pair_score", "resolve",    "add_record", "stats",
+    "debug_sleep", "debug_slow", "unknown",
+};
+
+size_t MethodSlot(const std::string& method) {
+  for (size_t i = 0; i + 1 < std::size(kMethodSlotNames); ++i) {
+    if (method == kMethodSlotNames[i]) return i;
+  }
+  return std::size(kMethodSlotNames) - 1;
+}
+
+/// Creates a non-blocking listening socket bound to `bind_address:port`,
+/// returning the fd and the actually-bound port (resolves port 0).
+Status BindAndListen(const std::string& bind_address, uint16_t port,
+                     int* out_fd, uint16_t* out_port) {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  *out_fd = fd;  // owned by the caller from here (closed by Stop)
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad bind address '" + bind_address + "'");
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IOError(std::string("bind: ") + std::strerror(errno));
+  }
+  if (listen(fd, SOMAXCONN) != 0) {
+    return Status::IOError(std::string("listen: ") + std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return Status::IOError(std::string("getsockname: ") +
+                           std::strerror(errno));
+  }
+  *out_port = ntohs(addr.sin_port);
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -27,7 +82,25 @@ GterdServer::GterdServer(ResolutionService* service,
     : service_(service),
       options_(std::move(options)),
       base_ctx_(ctx),
-      pool_(ctx.pool != nullptr ? ctx.pool : ThreadPool::Default()) {}
+      pool_(ctx.pool != nullptr ? ctx.pool : ThreadPool::Default()),
+      start_time_(std::chrono::steady_clock::now()) {
+  metrics_ = base_ctx_.metrics_or_ambient();
+  if (metrics_ == nullptr) {
+    // The observability listener and sliding latency histograms always
+    // have a registry to land in, even when the embedding context carries
+    // none (tests, minimal embedders).
+    own_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = own_metrics_.get();
+  }
+  base_ctx_.metrics = metrics_;  // request handlers record into the same one
+  for (size_t i = 0; i < kNumMethodSlots; ++i) {
+    const std::string base = std::string("server/") + kMethodSlotNames[i];
+    queue_us_slidings_[i] = metrics_->Sliding(
+        base + "/queue_us", options_.sliding_window_seconds);
+    work_us_slidings_[i] = metrics_->Sliding(
+        base + "/work_us", options_.sliding_window_seconds);
+  }
+}
 
 Result<std::unique_ptr<GterdServer>> GterdServer::Start(
     ResolutionService* service, GterdServerOptions options,
@@ -40,34 +113,19 @@ Result<std::unique_ptr<GterdServer>> GterdServer::Start(
 }
 
 Status GterdServer::Init() {
-  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
-  if (listen_fd_ < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  GTER_RETURN_IF_ERROR(
+      BindAndListen(options_.bind_address, options_.port, &listen_fd_, &port_));
+  if (options_.metrics_port >= 0) {
+    GTER_RETURN_IF_ERROR(
+        BindAndListen(options_.bind_address,
+                      static_cast<uint16_t>(options_.metrics_port),
+                      &metrics_listen_fd_, &metrics_port_));
   }
-  int one = 1;
-  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options_.port);
-  if (inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    return Status::InvalidArgument("bad bind address '" +
-                                   options_.bind_address + "'");
+  if (!options_.access_log_path.empty()) {
+    auto log = AccessLog::Open(options_.access_log_path);
+    if (!log.ok()) return log.status();
+    access_log_ = std::move(log).value();
   }
-  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Status::IOError(std::string("bind: ") + std::strerror(errno));
-  }
-  if (listen(listen_fd_, SOMAXCONN) != 0) {
-    return Status::IOError(std::string("listen: ") + std::strerror(errno));
-  }
-  socklen_t len = sizeof(addr);
-  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
-      0) {
-    return Status::IOError(std::string("getsockname: ") +
-                           std::strerror(errno));
-  }
-  port_ = ntohs(addr.sin_port);
 
   wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
   if (wake_fd_ < 0) {
@@ -90,6 +148,14 @@ Status GterdServer::Init() {
   if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
     return Status::IOError(std::string("epoll_ctl(wake): ") +
                            std::strerror(errno));
+  }
+  if (metrics_listen_fd_ >= 0) {
+    ev.events = EPOLLIN;
+    ev.data.u64 = kMetricsListenId;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, metrics_listen_fd_, &ev) != 0) {
+      return Status::IOError(std::string("epoll_ctl(metrics): ") +
+                             std::strerror(errno));
+    }
   }
   return Status::OK();
 }
@@ -124,7 +190,19 @@ void GterdServer::Stop() {
   if (epoll_fd_ >= 0) close(epoll_fd_);
   if (wake_fd_ >= 0) close(wake_fd_);
   if (listen_fd_ >= 0) close(listen_fd_);
-  epoll_fd_ = wake_fd_ = listen_fd_ = -1;
+  if (metrics_listen_fd_ >= 0) close(metrics_listen_fd_);
+  epoll_fd_ = wake_fd_ = listen_fd_ = metrics_listen_fd_ = -1;
+  // Last chance to see what was slow before the ring evaporates: one
+  // summary line per captured request (`debug_slow` serves the full spans
+  // while the daemon is up).
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  for (const SlowRequestRecord& rec : slow_ring_) {
+    GTER_LOG(Info) << "gterd: slow request id=" << rec.request_id
+                   << " method=" << rec.method << " status=" << rec.status
+                   << " queue_us=" << rec.queue_us
+                   << " work_us=" << rec.work_us
+                   << " spans=" << rec.spans.size();
+  }
 }
 
 void GterdServer::Loop() {
@@ -139,7 +217,9 @@ void GterdServer::Loop() {
     for (int i = 0; i < n; ++i) {
       const uint64_t id = events[i].data.u64;
       if (id == kListenId) {
-        AcceptNew();
+        AcceptNew(listen_fd_, /*http=*/false);
+      } else if (id == kMetricsListenId) {
+        AcceptNew(metrics_listen_fd_, /*http=*/true);
       } else if (id == kWakeId) {
         uint64_t drained;
         while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
@@ -152,9 +232,9 @@ void GterdServer::Loop() {
   }
 }
 
-void GterdServer::AcceptNew() {
+void GterdServer::AcceptNew(int listen_fd, bool http) {
   while (true) {
-    int fd = accept4(listen_fd_, nullptr, nullptr,
+    int fd = accept4(listen_fd, nullptr, nullptr,
                      SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       if (errno == EAGAIN || errno == EWOULDBLOCK) return;
@@ -168,7 +248,8 @@ void GterdServer::AcceptNew() {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->id = id;
-    conn->session = std::make_unique<Session>(this, id);
+    conn->http = http;
+    if (!http) conn->session = std::make_unique<Session>(this, id);
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.u64 = id;
@@ -188,7 +269,7 @@ void GterdServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
   Connection* conn = it->second.get();
 
   if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
-    conn->session->CancelInFlight();
+    if (conn->session != nullptr) conn->session->CancelInFlight();
     CloseConnection(conn_id);
     return;
   }
@@ -204,18 +285,20 @@ void GterdServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
       if (n == 0) {
         // Orderly disconnect. Anything still executing for this client is
         // abandoned work: trip its tokens so it unwinds as Cancelled.
-        conn->session->CancelInFlight();
+        if (conn->session != nullptr) conn->session->CancelInFlight();
         CloseConnection(conn_id);
         return;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      conn->session->CancelInFlight();
+      if (conn->session != nullptr) conn->session->CancelInFlight();
       CloseConnection(conn_id);
       return;
     }
-    if (!conn->session->ConsumeFrames(&conn->read_buffer,
-                                      &conn->write_buffer)) {
+    if (conn->http) {
+      HandleHttp(conn);
+    } else if (!conn->session->ConsumeFrames(&conn->read_buffer,
+                                             &conn->write_buffer)) {
       conn->closing = true;
       conn->read_buffer.clear();
     } else if (conn->read_buffer.size() > options_.max_frame_bytes) {
@@ -232,6 +315,75 @@ void GterdServer::HandleConnEvent(uint64_t conn_id, uint32_t events) {
   FlushWrites(conn);  // may erase the connection
 }
 
+void GterdServer::HandleHttp(Connection* conn) {
+  // Wait for the full request head (we never read a body: every endpoint
+  // is a GET). Tolerate bare-LF clients.
+  size_t head_end = conn->read_buffer.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    head_end = conn->read_buffer.find("\n\n");
+  }
+  if (head_end == std::string::npos) {
+    if (conn->read_buffer.size() > kMaxHttpHeadBytes) {
+      conn->write_buffer.append(
+          "HTTP/1.0 431 Request Header Fields Too Large\r\n"
+          "Connection: close\r\n\r\n");
+      conn->closing = true;
+      conn->read_buffer.clear();
+    }
+    return;
+  }
+
+  const size_t line_end = conn->read_buffer.find_first_of("\r\n");
+  const std::string request_line = conn->read_buffer.substr(0, line_end);
+  conn->read_buffer.clear();
+
+  const size_t method_end = request_line.find(' ');
+  std::string method;
+  std::string path;
+  if (method_end != std::string::npos) {
+    method = request_line.substr(0, method_end);
+    const size_t path_end = request_line.find(' ', method_end + 1);
+    path = request_line.substr(method_end + 1,
+                               path_end == std::string::npos
+                                   ? std::string::npos
+                                   : path_end - method_end - 1);
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+  }
+
+  const auto respond = [conn](const char* status_line,
+                              const char* content_type, std::string body) {
+    conn->write_buffer.append("HTTP/1.0 ");
+    conn->write_buffer.append(status_line);
+    conn->write_buffer.append("\r\nContent-Type: ");
+    conn->write_buffer.append(content_type);
+    conn->write_buffer.append("\r\nContent-Length: " +
+                              std::to_string(body.size()) +
+                              "\r\nConnection: close\r\n\r\n");
+    conn->write_buffer.append(body);
+  };
+
+  if (method != "GET") {
+    respond("405 Method Not Allowed", "text/plain; charset=utf-8",
+            "method not allowed\n");
+  } else if (path == "/metrics") {
+    metrics_->SetGauge(
+        "server/uptime_s",
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_time_)
+            .count());
+    respond("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+            RenderPrometheusText(*metrics_));
+  } else if (path == "/healthz") {
+    respond("200 OK", "text/plain; charset=utf-8", "ok\n");
+  } else if (path == "/varz") {
+    respond("200 OK", "application/json", metrics_->ToJson());
+  } else {
+    respond("404 Not Found", "text/plain; charset=utf-8", "not found\n");
+  }
+  conn->closing = true;
+}
+
 void GterdServer::FlushWrites(Connection* conn) {
   while (!conn->write_buffer.empty()) {
     ssize_t n = send(conn->fd, conn->write_buffer.data(),
@@ -242,7 +394,7 @@ void GterdServer::FlushWrites(Connection* conn) {
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (n < 0 && errno == EINTR) continue;
-    conn->session->CancelInFlight();
+    if (conn->session != nullptr) conn->session->CancelInFlight();
     CloseConnection(conn->id);
     return;
   }
@@ -256,7 +408,7 @@ void GterdServer::FlushWrites(Connection* conn) {
   }
   if (conn->closing && conn->write_buffer.empty()) {
     // Error frame (if any) is on the wire; in-flight work is moot.
-    conn->session->CancelInFlight();
+    if (conn->session != nullptr) conn->session->CancelInFlight();
     CloseConnection(conn->id);
   }
 }
@@ -298,7 +450,8 @@ bool GterdServer::Session::ConsumeFrames(std::string* read_buffer,
     }
     auto state = std::make_shared<RequestState>();
     in_flight_.push_back(state);
-    server_->Dispatch(conn_id_, std::move(parsed).value(), std::move(state));
+    server_->Dispatch(conn_id_, std::move(parsed).value(), std::move(state),
+                      line.size());
   }
   read_buffer->erase(0, start);
   // Opportunistic prune so a long-lived connection's list stays bounded.
@@ -314,7 +467,14 @@ void GterdServer::Session::CancelInFlight() {
 }
 
 void GterdServer::Dispatch(uint64_t conn_id, GterdRequest request,
-                           std::shared_ptr<RequestState> state) {
+                           std::shared_ptr<RequestState> state,
+                           uint64_t bytes_in) {
+  // Identity and admission time are minted here — on the loop thread,
+  // before queueing — so request ids are strictly increasing in admission
+  // order and queue_us covers the full wait for a worker.
+  state->request_id = next_request_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  state->admit_ns = TraceRecorder::NowNs();
+  state->bytes_in = bytes_in;
   // Armed before queueing: the deadline covers time spent waiting for a
   // worker, so an overloaded server answers DeadlineExceeded instead of
   // serving stale work.
@@ -324,14 +484,36 @@ void GterdServer::Dispatch(uint64_t conn_id, GterdRequest request,
   if (deadline_ms > 0) state->cancel.SetTimeout(deadline_ms * 1e-3);
   Status submitted = pool_->Submit(
       &requests_,
-      [this, conn_id, request = std::move(request), state]() mutable {
+      [this, conn_id, request = std::move(request), state,
+       deadline_ms]() mutable {
+        const uint64_t work_start_ns = TraceRecorder::NowNs();
         ExecContext rctx = base_ctx_;
         rctx.cancel = &state->cancel;
-        Result<JsonValue> result = service_->Handle(request, rctx);
+        rctx.request_id = state->request_id;
+        // With slow-request capture on, the request's spans land in its
+        // own small recorder so a slow one can be dumped span-by-span.
+        std::unique_ptr<TraceRecorder> request_trace;
+        if (options_.slow_request_ms > 0) {
+          request_trace = std::make_unique<TraceRecorder>(kSlowTraceCapacity);
+          rctx.trace = request_trace.get();
+        }
+        Result<JsonValue> result = [&]() -> Result<JsonValue> {
+          if (request.method == "debug_slow") {
+            // Served by the server, not the service: the ring is ours.
+            GTER_RETURN_IF_ERROR(rctx.CheckCancel());
+            return DumpSlowRing();
+          }
+          return service_->Handle(request, rctx);
+        }();
+        const Status status =
+            result.ok() ? Status::OK() : result.status();
         std::string response =
             result.ok()
                 ? FormatGterdResponse(request.id, std::move(result).value())
                 : FormatGterdError(request.id, result.status());
+        ObserveRequest(request, *state, work_start_ns, TraceRecorder::NowNs(),
+                       status, response.size(), deadline_ms,
+                       request_trace.get());
         state->done.store(true, std::memory_order_release);
         PostResponse(conn_id, std::move(response));
       });
@@ -340,6 +522,100 @@ void GterdServer::Dispatch(uint64_t conn_id, GterdRequest request,
     // connection will be closed without a response.
     state->done.store(true, std::memory_order_release);
   }
+}
+
+void GterdServer::ObserveRequest(const GterdRequest& request,
+                                 const RequestState& state,
+                                 uint64_t work_start_ns, uint64_t done_ns,
+                                 const Status& status, uint64_t bytes_out,
+                                 int64_t deadline_ms,
+                                 TraceRecorder* request_trace) {
+  const size_t slot = MethodSlot(request.method);
+  const double queue_us =
+      static_cast<double>(work_start_ns - state.admit_ns) * 1e-3;
+  const double work_us =
+      static_cast<double>(done_ns - work_start_ns) * 1e-3;
+  queue_us_slidings_[slot]->Record(queue_us);
+  work_us_slidings_[slot]->Record(work_us);
+
+  const std::string status_name =
+      status.ok() ? "OK" : StatusCodeToString(status.code());
+
+  if (access_log_ != nullptr) {
+    AccessLog::Entry entry;
+    entry.request_id = state.request_id;
+    entry.method = request.method;
+    entry.status = status_name;
+    entry.bytes_in = state.bytes_in;
+    entry.bytes_out = bytes_out;
+    entry.queue_us = queue_us;
+    entry.work_us = work_us;
+    entry.deadline_ms = deadline_ms;
+    if (deadline_ms > 0) {
+      entry.slack_ms = static_cast<double>(deadline_ms) -
+                       static_cast<double>(done_ns - state.admit_ns) * 1e-6;
+    }
+    const JsonValue* clusterer = request.params.Find("clusterer");
+    if (clusterer != nullptr && clusterer->is_string()) {
+      entry.clusterer = clusterer->string();
+    }
+    access_log_->Write(entry);
+  }
+
+  if (options_.slow_request_ms > 0 &&
+      work_us > static_cast<double>(options_.slow_request_ms) * 1e3) {
+    SlowRequestRecord rec;
+    rec.request_id = state.request_id;
+    rec.method = request.method;
+    rec.status = status_name;
+    rec.queue_us = queue_us;
+    rec.work_us = work_us;
+    if (request_trace != nullptr) rec.spans = request_trace->Snapshot();
+    std::lock_guard<std::mutex> lock(slow_mutex_);
+    if (slow_ring_.size() >= kSlowRingCapacity) slow_ring_.pop_front();
+    slow_ring_.push_back(std::move(rec));
+  }
+}
+
+JsonValue GterdServer::DumpSlowRing() {
+  std::lock_guard<std::mutex> lock(slow_mutex_);
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("threshold_ms", JsonValue::MakeNumber(
+                              static_cast<double>(options_.slow_request_ms)));
+  out.Set("capacity",
+          JsonValue::MakeNumber(static_cast<double>(kSlowRingCapacity)));
+  JsonValue slow = JsonValue::MakeArray();
+  for (const SlowRequestRecord& rec : slow_ring_) {
+    JsonValue entry = JsonValue::MakeObject();
+    entry.Set("request_id",
+              JsonValue::MakeNumber(static_cast<double>(rec.request_id)));
+    entry.Set("method", JsonValue::MakeString(rec.method));
+    entry.Set("status", JsonValue::MakeString(rec.status));
+    entry.Set("queue_us", JsonValue::MakeNumber(rec.queue_us));
+    entry.Set("work_us", JsonValue::MakeNumber(rec.work_us));
+    // Span starts are emitted relative to the request's first span, so
+    // the dump is readable without steady-clock context.
+    uint64_t base_ns = 0;
+    for (const TraceEvent& span : rec.spans) {
+      if (base_ns == 0 || span.start_ns < base_ns) base_ns = span.start_ns;
+    }
+    JsonValue spans = JsonValue::MakeArray();
+    for (const TraceEvent& span : rec.spans) {
+      JsonValue s = JsonValue::MakeObject();
+      s.Set("name", JsonValue::MakeString(span.name));
+      s.Set("cat", JsonValue::MakeString(span.category));
+      s.Set("start_us", JsonValue::MakeNumber(
+                            static_cast<double>(span.start_ns - base_ns) *
+                            1e-3));
+      s.Set("dur_us", JsonValue::MakeNumber(
+                          static_cast<double>(span.duration_ns) * 1e-3));
+      spans.Append(std::move(s));
+    }
+    entry.Set("spans", std::move(spans));
+    slow.Append(std::move(entry));
+  }
+  out.Set("slow", std::move(slow));
+  return out;
 }
 
 void GterdServer::PostResponse(uint64_t conn_id, std::string response) {

@@ -1,8 +1,11 @@
 #ifndef GTER_SERVER_SERVER_H_
 #define GTER_SERVER_SERVER_H_
 
+#include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,8 +14,11 @@
 #include <vector>
 
 #include "gter/common/exec_context.h"
+#include "gter/common/metrics.h"
 #include "gter/common/status.h"
 #include "gter/common/thread_pool.h"
+#include "gter/common/trace.h"
+#include "gter/server/access_log.h"
 #include "gter/server/service.h"
 
 namespace gter {
@@ -32,6 +38,34 @@ struct GterdServerOptions {
   /// Deadline applied to requests that do not carry their own
   /// `deadline_ms`; 0 means no deadline.
   int64_t default_deadline_ms = 0;
+  /// Observability listener port: when >= 0 a second listener on the same
+  /// epoll loop serves HTTP/1.0 GETs for `/metrics` (Prometheus text
+  /// exposition), `/healthz`, and `/varz` (registry ToJson). 0 picks an
+  /// ephemeral port (read back with metrics_port()); -1 disables.
+  int metrics_port = -1;
+  /// NDJSON access-log path (one line per completed request, appended and
+  /// flushed); empty disables.
+  std::string access_log_path;
+  /// Requests whose work time exceeds this land in a bounded in-memory
+  /// ring with their trace spans, dumped by the `debug_slow` method and
+  /// logged at shutdown; 0 disables slow-request capture.
+  int64_t slow_request_ms = 0;
+  /// Window covered by the per-method `server/<method>/{queue,work}_us`
+  /// sliding histograms (live percentiles in `/metrics` and `stats`).
+  double sliding_window_seconds = 60.0;
+};
+
+/// One slow request captured for `debug_slow` (work time exceeded
+/// `slow_request_ms`): identity, timing, outcome, and the request's trace
+/// spans (recorded into a per-request recorder, so the spans are the
+/// request's own).
+struct SlowRequestRecord {
+  uint64_t request_id = 0;
+  std::string method;
+  std::string status;
+  double queue_us = 0.0;
+  double work_us = 0.0;
+  std::vector<TraceEvent> spans;
 };
 
 /// The gterd network front end: one epoll event-loop thread owning all
@@ -74,7 +108,10 @@ class GterdServer {
   /// The bound port (resolves the ephemeral-port case).
   uint16_t port() const { return port_; }
 
-  /// Connections accepted over the server's lifetime.
+  /// The bound observability port (0 when the listener is disabled).
+  uint16_t metrics_port() const { return metrics_port_; }
+
+  /// Connections accepted over the server's lifetime (both listeners).
   uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
@@ -82,10 +119,14 @@ class GterdServer {
  private:
   /// Per-request shared state: the cancel token lives here so it outlives
   /// both the owning Session (connection may drop mid-request) and the
-  /// worker (session may cancel after completion, harmlessly).
+  /// worker (session may cancel after completion, harmlessly). Identity
+  /// and admission facts ride along for the access log.
   struct RequestState {
     CancelToken cancel;
     std::atomic<bool> done{false};
+    uint64_t request_id = 0;
+    uint64_t admit_ns = 0;   // TraceRecorder::NowNs() at admission
+    uint64_t bytes_in = 0;   // request frame size on the wire
   };
 
   class Session {
@@ -118,6 +159,9 @@ class GterdServer {
     bool write_registered = false;
     /// Close once the write buffer drains; stop reading.
     bool closing = false;
+    /// Accepted on the observability listener: speaks HTTP/1.0, has no
+    /// Session, closes after one response.
+    bool http = false;
     std::unique_ptr<Session> session;
   };
 
@@ -126,21 +170,38 @@ class GterdServer {
 
   Status Init();
   void Loop();
-  void AcceptNew();
+  void AcceptNew(int listen_fd, bool http);
   void HandleConnEvent(uint64_t conn_id, uint32_t events);
+  /// Serves one buffered HTTP/1.0 GET (/metrics, /healthz, /varz) and
+  /// marks the connection closing; waits for more bytes when the request
+  /// head is still incomplete.
+  void HandleHttp(Connection* conn);
   /// send() until EAGAIN or empty; (de)registers EPOLLOUT as needed and
   /// closes `closing` connections whose buffer drained.
   void FlushWrites(Connection* conn);
   void CloseConnection(uint64_t conn_id);
 
-  /// Arms the deadline and queues the request on the pool.
+  /// Mints the request id, arms the deadline, and queues the request on
+  /// the pool. `bytes_in` is the wire size of the request frame.
   void Dispatch(uint64_t conn_id, GterdRequest request,
-                std::shared_ptr<RequestState> state);
+                std::shared_ptr<RequestState> state, uint64_t bytes_in);
+  /// Worker-side epilogue: sliding latency histograms, access-log line,
+  /// slow-request capture.
+  void ObserveRequest(const GterdRequest& request, const RequestState& state,
+                      uint64_t work_start_ns, uint64_t done_ns,
+                      const Status& status, uint64_t bytes_out,
+                      int64_t deadline_ms, TraceRecorder* request_trace);
+  /// Serves the bounded slow-request ring as the `debug_slow` result.
+  JsonValue DumpSlowRing();
   /// Worker-side: enqueue a serialized response and wake the loop.
   void PostResponse(uint64_t conn_id, std::string response);
   /// Loop-side: move queued responses into their connections' write
   /// buffers.
   void DrainCompletions();
+
+  /// Methods with dedicated sliding latency histograms; every other
+  /// method shares the trailing "unknown" slot.
+  static constexpr size_t kNumMethodSlots = 7;
 
   ResolutionService* service_;
   GterdServerOptions options_;
@@ -148,22 +209,44 @@ class GterdServer {
   ThreadPool* pool_;
 
   int listen_fd_ = -1;
+  int metrics_listen_fd_ = -1;
   int epoll_fd_ = -1;
   int wake_fd_ = -1;
   uint16_t port_ = 0;
+  uint16_t metrics_port_ = 0;
   std::thread loop_thread_;
   std::atomic<bool> stopping_{false};
   bool stopped_ = false;
 
   // Loop-thread-only (Stop() touches it after joining the loop).
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> conns_;
-  uint64_t next_conn_id_ = 2;  // 0 = listen socket, 1 = wake eventfd
+  uint64_t next_conn_id_ = 3;  // 0 = listen, 1 = wake eventfd, 2 = metrics
 
   TaskGroup requests_;
   std::mutex completion_mutex_;
   std::vector<std::pair<uint64_t, std::string>> completions_;
 
   std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> next_request_id_{0};
+  std::chrono::steady_clock::time_point start_time_;
+
+  /// The registry behind `/metrics`, `/varz`, and the sliding latency
+  /// histograms: the context's registry when it has one, else an owned
+  /// private one (so the observability listener always has something to
+  /// serve).
+  MetricsRegistry* metrics_ = nullptr;
+  std::unique_ptr<MetricsRegistry> own_metrics_;
+  /// Per-method-slot sliding histograms, resolved once at Init so the
+  /// request epilogue records without name lookups.
+  std::array<SlidingHistogram*, kNumMethodSlots> queue_us_slidings_{};
+  std::array<SlidingHistogram*, kNumMethodSlots> work_us_slidings_{};
+
+  std::unique_ptr<AccessLog> access_log_;
+
+  /// Bounded ring of recent slow requests (guarded by slow_mutex_).
+  static constexpr size_t kSlowRingCapacity = 32;
+  std::mutex slow_mutex_;
+  std::deque<SlowRequestRecord> slow_ring_;
 
   friend class Session;
 };

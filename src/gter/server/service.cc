@@ -52,7 +52,9 @@ Result<std::string> GetStringParam(const JsonValue& params, const char* key) {
 
 ResolutionService::ResolutionService(Dataset dataset,
                                      ResolutionServiceOptions options)
-    : dataset_(std::move(dataset)), options_(std::move(options)) {
+    : dataset_(std::move(dataset)),
+      options_(std::move(options)),
+      start_time_(std::chrono::steady_clock::now()) {
   // Ingested records and query text must tokenize the way the training
   // corpus did.
   dataset_.set_tokenizer_options(options_.tokenizer);
@@ -116,7 +118,7 @@ Result<JsonValue> ResolutionService::Handle(const GterdRequest& request,
     if (request.method == "pair_score") return PairScore(request.params, ctx);
     if (request.method == "resolve") return Resolve(request.params, ctx);
     if (request.method == "add_record") return AddRecord(request.params);
-    if (request.method == "stats") return Stats();
+    if (request.method == "stats") return Stats(ctx);
     if (request.method == "debug_sleep") {
       auto ms = GetUint32Param(request.params, "ms");
       if (!ms.ok()) return ms.status();
@@ -381,9 +383,27 @@ Result<JsonValue> ResolutionService::AddRecord(const JsonValue& params) {
   return out;
 }
 
-JsonValue ResolutionService::Stats() const {
+namespace {
+
+/// Percentile triple for one sliding-histogram snapshot.
+JsonValue PercentilesJson(const Histogram& h) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("p50", JsonValue::MakeNumber(h.Quantile(0.50)));
+  out.Set("p95", JsonValue::MakeNumber(h.Quantile(0.95)));
+  out.Set("p99", JsonValue::MakeNumber(h.Quantile(0.99)));
+  return out;
+}
+
+}  // namespace
+
+JsonValue ResolutionService::Stats(const ExecContext& ctx) const {
   std::shared_lock lock(mu_);
   JsonValue out = JsonValue::MakeObject();
+  out.Set("uptime_s",
+          JsonValue::MakeNumber(std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now() -
+                                    start_time_)
+                                    .count()));
   out.Set("records", JsonValue::MakeNumber(dataset_.size()));
   out.Set("vocabulary_terms",
           JsonValue::MakeNumber(dataset_.vocabulary().size()));
@@ -397,6 +417,32 @@ JsonValue ResolutionService::Stats() const {
                                 std::memory_order_relaxed)));
   out.Set("requests_failed", JsonValue::MakeNumber(requests_failed_.load(
                                  std::memory_order_relaxed)));
+  // Live per-method latency percentiles over the server's sliding window
+  // (the same snapshots `/metrics` exposes). The server installs its
+  // registry in every request context, so this resolves to the sliding
+  // histograms its dispatch epilogue records into; a bare service (unit
+  // tests, embedders without a server) just emits an empty object.
+  MetricsRegistry* registry = ctx.metrics_or_ambient();
+  JsonValue live = JsonValue::MakeObject();
+  if (registry != nullptr) {
+    static constexpr const char* kMethods[] = {
+        "pair_score", "resolve",    "add_record", "stats",
+        "debug_sleep", "debug_slow", "unknown",
+    };
+    for (const char* method : kMethods) {
+      const std::string base = std::string("server/") + method;
+      const Histogram queue = registry->SlidingSnapshot(base + "/queue_us");
+      const Histogram work = registry->SlidingSnapshot(base + "/work_us");
+      if (queue.count == 0 && work.count == 0) continue;
+      JsonValue entry = JsonValue::MakeObject();
+      entry.Set("count", JsonValue::MakeNumber(
+                             static_cast<double>(work.count)));
+      entry.Set("queue_us", PercentilesJson(queue));
+      entry.Set("work_us", PercentilesJson(work));
+      live.Set(method, std::move(entry));
+    }
+  }
+  out.Set("live", std::move(live));
   return out;
 }
 

@@ -2,6 +2,7 @@
 #define GTER_SERVER_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -90,7 +91,11 @@ class ResolutionService {
   Result<JsonValue> Resolve(const JsonValue& params,
                             const ExecContext& ctx) const;
   Result<JsonValue> AddRecord(const JsonValue& params);
-  JsonValue Stats() const;
+  /// Lifetime counters plus `uptime_s` and — when the context's registry
+  /// carries the server's `server/<method>/{queue,work}_us` sliding
+  /// histograms — a `live` object of windowed per-method latency
+  /// percentiles (schema in DESIGN.md §5c).
+  JsonValue Stats(const ExecContext& ctx) const;
 
   /// Σ_{t ∈ a ∩ b} x_t over two sorted term lists (mu_ held).
   double SharedTermWeight(const std::vector<TermId>& a,
@@ -109,6 +114,9 @@ class ResolutionService {
   std::vector<bool> matches_;
   size_t matched_count_ = 0;
   double train_seconds_ = 0.0;
+  /// Service birth (training start); `stats` serves the elapsed time as
+  /// `uptime_s`.
+  std::chrono::steady_clock::time_point start_time_;
 
   // Clique structure and the online-scoring indexes.
   std::vector<uint32_t> cluster_of_;                // by RecordId

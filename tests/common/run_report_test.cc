@@ -40,7 +40,7 @@ TEST(MetricsSnapshot, RoundTripsRegistryDump) {
   EXPECT_EQ(h.count, 256u);
   EXPECT_DOUBLE_EQ(h.min, 256.0);
   EXPECT_DOUBLE_EQ(h.max, 511.0);
-  EXPECT_DOUBLE_EQ(h.p50, 384.0);  // dump carries the exact percentiles
+  EXPECT_DOUBLE_EQ(h.p50, 383.5);  // dump carries the exact percentiles
 }
 
 TEST(MetricsSnapshot, ReconstructsPercentilesFromBuckets) {
@@ -58,8 +58,8 @@ TEST(MetricsSnapshot, ReconstructsPercentilesFromBuckets) {
   Result<MetricsSnapshot> snap = MetricsSnapshot::FromJson(doc.value());
   ASSERT_TRUE(snap.ok());
   const HistogramSummary& h = snap.value().histograms.at("h/d");
-  EXPECT_DOUBLE_EQ(h.p50, 384.0);
-  EXPECT_DOUBLE_EQ(h.p95, 256.0 + 0.95 * 256.0);
+  EXPECT_DOUBLE_EQ(h.p50, 383.5);
+  EXPECT_DOUBLE_EQ(h.p95, 256.0 + 0.95 * 255.0);
 }
 
 TEST(MetricsSnapshot, RejectsNonObjectDocuments) {

@@ -1,0 +1,314 @@
+// Prometheus text-exposition writer tests (DESIGN.md §4c).
+//
+// The centerpiece is an in-test exposition validator: every sample line
+// must carry a valid metric name, every family must be announced by
+// `# HELP` then `# TYPE` before its first sample, histogram buckets must
+// be cumulative, ascending in `le`, and end in a `+Inf` bucket equal to
+// the `_count` series. Running it over a fully-populated registry means a
+// malformed render fails here, not in a scraping Prometheus.
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gter/common/metrics.h"
+#include "gter/common/prom.h"
+
+namespace gter {
+namespace {
+
+bool IsValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto ok_first = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  auto ok_rest = [&](char c) { return ok_first(c) || (c >= '0' && c <= '9'); };
+  if (!ok_first(name[0])) return false;
+  for (char c : name.substr(1)) {
+    if (!ok_rest(c)) return false;
+  }
+  return true;
+}
+
+/// Validates the whole exposition text; on failure returns false and
+/// stores a diagnostic into `*error`.
+bool ValidateExposition(const std::string& text, std::string* error) {
+  auto fail = [&](const std::string& message) {
+    *error = message;
+    return false;
+  };
+
+  // Family name -> declared type; insertion also checks HELP-before-TYPE.
+  std::map<std::string, std::string> family_type;
+  std::string pending_help;  // family name of the last unmatched # HELP
+  struct HistogramSeries {
+    std::vector<std::pair<double, uint64_t>> buckets;
+    bool saw_sum = false;
+    bool saw_count = false;
+    uint64_t count = 0;
+  };
+  std::map<std::string, HistogramSeries> histograms;
+
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) return fail("missing trailing newline");
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) return fail("blank line");
+
+    if (line.rfind("# HELP ", 0) == 0) {
+      const size_t name_end = line.find(' ', 7);
+      if (name_end == std::string::npos) return fail("bad HELP: " + line);
+      pending_help = line.substr(7, name_end - 7);
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const size_t name_end = line.find(' ', 7);
+      if (name_end == std::string::npos) return fail("bad TYPE: " + line);
+      const std::string name = line.substr(7, name_end - 7);
+      const std::string type = line.substr(name_end + 1);
+      if (name != pending_help) {
+        return fail("TYPE for " + name + " not preceded by its HELP");
+      }
+      pending_help.clear();
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        return fail("unknown type '" + type + "' for " + name);
+      }
+      if (!family_type.emplace(name, type).second) {
+        return fail("family " + name + " declared twice");
+      }
+      continue;
+    }
+    if (line[0] == '#') continue;  // other comments (rename NOTEs) are free
+
+    // Sample line: <name>[{labels}] <value>
+    const size_t name_end = line.find_first_of("{ ");
+    if (name_end == std::string::npos) return fail("bad sample: " + line);
+    const std::string series = line.substr(0, name_end);
+    if (!IsValidMetricName(series)) {
+      return fail("invalid metric name '" + series + "'");
+    }
+    const size_t value_start = line.rfind(' ');
+    const std::string value_text = line.substr(value_start + 1);
+    char* end = nullptr;
+    const double value = std::strtod(value_text.c_str(), &end);
+    if (end == value_text.c_str() && value_text != "+Inf" &&
+        value_text != "-Inf" && value_text != "NaN") {
+      return fail("unparseable value in: " + line);
+    }
+
+    // Resolve the series back to its family: exact for counters/gauges,
+    // a _bucket/_sum/_count suffix for histograms.
+    std::string family = series;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      const std::string s(suffix);
+      if (series.size() > s.size() &&
+          series.compare(series.size() - s.size(), s.size(), s) == 0) {
+        const std::string base = series.substr(0, series.size() - s.size());
+        auto it = family_type.find(base);
+        if (it != family_type.end() && it->second == "histogram") {
+          family = base;
+        }
+        break;
+      }
+    }
+    auto family_it = family_type.find(family);
+    if (family_it == family_type.end()) {
+      return fail("sample " + series + " before its TYPE");
+    }
+
+    if (family_it->second == "histogram") {
+      HistogramSeries& h = histograms[family];
+      if (series == family + "_sum") {
+        h.saw_sum = true;
+      } else if (series == family + "_count") {
+        h.saw_count = true;
+        h.count = static_cast<uint64_t>(value);
+      } else if (series == family + "_bucket") {
+        const std::string le_prefix = "{le=\"";
+        if (line.compare(name_end, le_prefix.size(), le_prefix) != 0) {
+          return fail("bucket without le label: " + line);
+        }
+        const size_t le_start = name_end + le_prefix.size();
+        const size_t le_end = line.find("\"}", le_start);
+        if (le_end == std::string::npos) return fail("bad bucket: " + line);
+        const std::string le_text = line.substr(le_start, le_end - le_start);
+        const double le =
+            le_text == "+Inf" ? std::numeric_limits<double>::infinity()
+                              : std::strtod(le_text.c_str(), nullptr);
+        h.buckets.emplace_back(le, static_cast<uint64_t>(value));
+      } else {
+        return fail("unexpected histogram series: " + series);
+      }
+    }
+  }
+
+  for (const auto& [family, h] : histograms) {
+    if (!h.saw_sum) return fail(family + " missing _sum");
+    if (!h.saw_count) return fail(family + " missing _count");
+    if (h.buckets.empty() || !std::isinf(h.buckets.back().first)) {
+      return fail(family + " missing +Inf bucket");
+    }
+    if (h.buckets.back().second != h.count) {
+      return fail(family + " +Inf bucket != _count");
+    }
+    for (size_t i = 1; i < h.buckets.size(); ++i) {
+      if (!(h.buckets[i - 1].first < h.buckets[i].first)) {
+        return fail(family + " buckets not ascending in le");
+      }
+      if (h.buckets[i - 1].second > h.buckets[i].second) {
+        return fail(family + " buckets not cumulative");
+      }
+    }
+  }
+  return true;
+}
+
+TEST(PromSanitizeName, MapsSlugsToValidNames) {
+  EXPECT_EQ(PromSanitizeName("server/resolve/work_us"),
+            "server_resolve_work_us");
+  EXPECT_EQ(PromSanitizeName("iter/sweeps"), "iter_sweeps");
+  EXPECT_EQ(PromSanitizeName("already_fine:x"), "already_fine:x");
+  EXPECT_EQ(PromSanitizeName("weird name-v1.2"), "weird_name_v1_2");
+  EXPECT_EQ(PromSanitizeName("9starts_with_digit"), "_9starts_with_digit");
+  EXPECT_TRUE(IsValidMetricName(PromSanitizeName("...///!!!")));
+}
+
+TEST(RenderPrometheusText, FullyPopulatedRegistryValidates) {
+  MetricsRegistry registry;
+  registry.AddCounter("iter/sweeps", 42);
+  registry.DeclareCounter("rss/walks_run");  // zero-valued still renders
+  registry.SetGauge("cliquerank/scratch_bytes", 1.5e6);
+  registry.SetGauge("server/uptime_s", 12.25);
+  registry.RecordTime("fusion/total", 0.5);
+  registry.RecordTime("fusion/total", 0.25);
+  for (int i = 0; i < 100; ++i) {
+    registry.Observe("iter/convergence_delta", 0.001 * (i + 1));
+    registry.Sliding("server/resolve/work_us")->Record(100.0 + i);
+  }
+
+  const std::string text = RenderPrometheusText(registry);
+  std::string error;
+  EXPECT_TRUE(ValidateExposition(text, &error)) << error << "\n" << text;
+
+  // Spot-check each section's rendering.
+  EXPECT_NE(text.find("# TYPE gter_iter_sweeps counter\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gter_iter_sweeps 42\n"), std::string::npos);
+  EXPECT_NE(text.find("gter_rss_walks_run 0\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gter_server_uptime_s gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gter_server_uptime_s 12.25\n"), std::string::npos);
+  // Timers: two counter families.
+  EXPECT_NE(text.find("gter_fusion_total_count 2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gter_fusion_total_seconds_total counter\n"),
+            std::string::npos);
+  // Histograms, plain and sliding.
+  EXPECT_NE(text.find("# TYPE gter_iter_convergence_delta histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gter_server_resolve_work_us_count 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gter_server_resolve_work_us_bucket{le=\"+Inf\"} 100\n"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheusText, EmptyRegistryRendersEmpty) {
+  MetricsRegistry registry;
+  std::string error;
+  EXPECT_TRUE(ValidateExposition(RenderPrometheusText(registry), &error))
+      << error;
+  EXPECT_EQ(RenderPrometheusText(registry), "");
+}
+
+TEST(RenderPrometheusText, CollisionGetsRenamedNotDropped) {
+  // Two distinct slugs that sanitize to the same name: both must render,
+  // the second under a numeric suffix with an explanatory comment, and
+  // the result must still validate.
+  MetricsRegistry registry;
+  registry.AddCounter("x/y", 1);
+  registry.AddCounter("x_y", 2);
+  const std::string text = RenderPrometheusText(registry);
+  std::string error;
+  EXPECT_TRUE(ValidateExposition(text, &error)) << error << "\n" << text;
+  EXPECT_NE(text.find("gter_x_y 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("gter_x_y_2 2\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("# NOTE gter_x_y_2 renamed from gter_x_y"),
+            std::string::npos);
+}
+
+TEST(RenderPrometheusText, HistogramDerivedNamesAreReserved) {
+  // A counter slug that sanitizes onto a histogram's derived _count
+  // series must be renamed rather than corrupting the histogram family.
+  MetricsRegistry registry;
+  registry.Observe("h/x", 1.0);
+  registry.AddCounter("h/x_count", 7);
+  const std::string text = RenderPrometheusText(registry);
+  std::string error;
+  EXPECT_TRUE(ValidateExposition(text, &error)) << error << "\n" << text;
+  // The histogram's own _count appears exactly once with value 1.
+  EXPECT_NE(text.find("gter_h_x_count 1\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("gter_h_x_count_2 7\n"), std::string::npos) << text;
+}
+
+TEST(FindPromHistogram, RoundTripsThroughExposition) {
+  MetricsRegistry registry;
+  for (int i = 0; i < 1000; ++i) {
+    registry.Sliding("server/resolve/work_us")
+        ->Record(static_cast<double>(i % 700 + 1));
+  }
+  const std::string text = RenderPrometheusText(registry);
+
+  PromParsedHistogram parsed;
+  ASSERT_TRUE(
+      FindPromHistogram(text, "gter_server_resolve_work_us", &parsed));
+  EXPECT_EQ(parsed.count, 1000u);
+  EXPECT_GT(parsed.sum, 0.0);
+  ASSERT_FALSE(parsed.cumulative.empty());
+  EXPECT_TRUE(std::isinf(parsed.cumulative.back().first));
+  EXPECT_EQ(parsed.cumulative.back().second, 1000u);
+
+  // The scrape-side quantile estimate must agree with the registry-side
+  // one to within one bucket's width (the scrape lacks the min/max
+  // envelope, so exact equality is not expected).
+  const Histogram direct =
+      registry.SlidingSnapshot("server/resolve/work_us");
+  for (double q : {0.5, 0.95, 0.99}) {
+    const double scraped = PromHistogramQuantile(parsed, q);
+    const double exact = direct.Quantile(q);
+    EXPECT_GE(scraped, exact / 2.0) << q;
+    EXPECT_LE(scraped, exact * 2.0) << q;
+  }
+
+  PromParsedHistogram absent;
+  EXPECT_FALSE(FindPromHistogram(text, "gter_no_such_family", &absent));
+}
+
+TEST(PromHistogramQuantile, InterpolatesAndHandlesEdges) {
+  PromParsedHistogram h;
+  h.cumulative = {{1.0, 10}, {2.0, 20},
+                  {std::numeric_limits<double>::infinity(), 20}};
+  h.count = 20;
+  h.sum = 25.0;
+  // Median: 10 of 20 observations are ≤ 1.0.
+  EXPECT_DOUBLE_EQ(PromHistogramQuantile(h, 0.5), 1.0);
+  // Three quarters: half-way through the (1, 2] bucket.
+  EXPECT_DOUBLE_EQ(PromHistogramQuantile(h, 0.75), 1.5);
+  // Into the +Inf tail: the last finite bound is the best estimate.
+  PromParsedHistogram tail;
+  tail.cumulative = {{1.0, 10},
+                     {std::numeric_limits<double>::infinity(), 12}};
+  tail.count = 12;
+  EXPECT_DOUBLE_EQ(PromHistogramQuantile(tail, 0.99), 1.0);
+  EXPECT_DOUBLE_EQ(PromHistogramQuantile(PromParsedHistogram{}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace gter

@@ -13,13 +13,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "gter/common/prom.h"
 #include "gter/core/clusterer.h"
 #include "gter/server/client.h"
 
@@ -422,6 +425,261 @@ TEST(GterdServerTest, SixteenConcurrentConnectionsZeroProtocolErrors) {
   EXPECT_EQ(errors.load(), 0);
   EXPECT_EQ(ok.load(), kConnections * kRequests);
   EXPECT_GE(fx.server->connections_accepted(), 16u);
+}
+
+// --- Serving-side observability (DESIGN.md §4c) -------------------------
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string contents;
+  char buffer[4096];
+  size_t got;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(f);
+  return contents;
+}
+
+TEST(GterdServerTest, MetricsListenerServesMetricsHealthzAndVarz) {
+  GterdServerOptions options;
+  options.metrics_port = 0;
+  ServerFixture fx(options);
+  ASSERT_NE(fx.server->metrics_port(), 0);
+
+  auto healthz =
+      GterdClient::HttpGet("127.0.0.1", fx.server->metrics_port(), "/healthz");
+  ASSERT_TRUE(healthz.ok()) << healthz.status().ToString();
+  EXPECT_EQ(healthz.value(), "ok\n");
+
+  // Drive one request so the sliding histograms are populated.
+  GterdClient client = fx.Connect();
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("text", JsonValue::MakeString("golden dragon pasadena"));
+  ASSERT_TRUE(client.Call("resolve", std::move(params)).ok());
+
+  auto metrics =
+      GterdClient::HttpGet("127.0.0.1", fx.server->metrics_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  EXPECT_NE(metrics.value().find("# TYPE gter_server_uptime_s gauge"),
+            std::string::npos)
+      << metrics.value();
+  PromParsedHistogram work_us;
+  EXPECT_TRUE(FindPromHistogram(metrics.value(),
+                                "gter_server_resolve_work_us", &work_us))
+      << metrics.value();
+  EXPECT_GE(work_us.count, 1u);
+
+  auto varz =
+      GterdClient::HttpGet("127.0.0.1", fx.server->metrics_port(), "/varz");
+  ASSERT_TRUE(varz.ok()) << varz.status().ToString();
+  auto varz_json = JsonValue::Parse(varz.value());
+  ASSERT_TRUE(varz_json.ok()) << varz.value();
+  EXPECT_NE(varz_json.value().Find("gauges"), nullptr);
+
+  auto missing =
+      GterdClient::HttpGet("127.0.0.1", fx.server->metrics_port(), "/nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().ToString().find("404"), std::string::npos)
+      << missing.status().ToString();
+}
+
+TEST(GterdServerTest, MetricsListenerRejectsNonGet) {
+  GterdServerOptions options;
+  options.metrics_port = 0;
+  ServerFixture fx(options);
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(fx.server->metrics_port());
+  ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  const std::string request = "POST /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char chunk[1024];
+  while (true) {
+    ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    response.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  EXPECT_NE(response.find("405"), std::string::npos) << response;
+}
+
+TEST(GterdServerTest, EightConcurrentScrapersDuringNdjsonTraffic) {
+  GterdServerOptions options;
+  options.metrics_port = 0;
+  ServerFixture fx(options);
+  constexpr int kScrapers = 8;
+  constexpr int kScrapes = 20;
+  std::atomic<int> scrape_errors{0};
+  std::atomic<bool> stop_traffic{false};
+
+  // NDJSON traffic in the background while scrapers hammer /metrics.
+  std::thread traffic([&] {
+    auto connected = GterdClient::Connect("127.0.0.1", fx.server->port());
+    if (!connected.ok()) return;
+    GterdClient client = std::move(connected).value();
+    while (!stop_traffic.load(std::memory_order_relaxed)) {
+      JsonValue params = JsonValue::MakeObject();
+      params.Set("text", JsonValue::MakeString("blue lagoon seafood"));
+      if (!client.Call("resolve", std::move(params)).ok()) break;
+    }
+  });
+
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&fx, &scrape_errors, s] {
+      for (int i = 0; i < kScrapes; ++i) {
+        const char* path = (s + i) % 2 == 0 ? "/metrics" : "/healthz";
+        auto got =
+            GterdClient::HttpGet("127.0.0.1", fx.server->metrics_port(), path);
+        if (!got.ok() || got.value().empty()) ++scrape_errors;
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop_traffic.store(true, std::memory_order_relaxed);
+  traffic.join();
+  EXPECT_EQ(scrape_errors.load(), 0);
+
+  // A final scrape parses and carries the traffic's histograms.
+  auto metrics =
+      GterdClient::HttpGet("127.0.0.1", fx.server->metrics_port(), "/metrics");
+  ASSERT_TRUE(metrics.ok());
+  PromParsedHistogram work_us;
+  EXPECT_TRUE(FindPromHistogram(metrics.value(),
+                                "gter_server_resolve_work_us", &work_us));
+  EXPECT_GE(work_us.count, 1u);
+}
+
+TEST(GterdServerTest, AccessLogHasOneLinePerRequestWithUniqueIds) {
+  GterdServerOptions options;
+  options.access_log_path =
+      ::testing::TempDir() + "/gterd_access_log_test.ndjson";
+  std::remove(options.access_log_path.c_str());
+  ServerFixture fx(options);
+  GterdClient client = fx.Connect();
+
+  constexpr int kResolves = 5;
+  for (int i = 0; i < kResolves; ++i) {
+    JsonValue params = JsonValue::MakeObject();
+    params.Set("text", JsonValue::MakeString("taco fiesta cantina"));
+    params.Set("clusterer", JsonValue::MakeString("connected_components"));
+    ASSERT_TRUE(client.Call("resolve", std::move(params), 5000).ok());
+  }
+  ASSERT_TRUE(client.Call("stats", JsonValue::MakeObject()).ok());
+  // Errors are logged too.
+  EXPECT_FALSE(client.Call("frobnicate", JsonValue::MakeObject()).ok());
+  constexpr int kTotal = kResolves + 2;
+
+  // Every response implies its log line was already written and flushed.
+  const std::string log = ReadWholeFile(options.access_log_path);
+  std::set<uint64_t> ids;
+  std::set<std::string> methods;
+  int lines = 0;
+  size_t pos = 0;
+  while (pos < log.size()) {
+    const size_t eol = log.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated line";
+    const std::string line = log.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lines;
+    auto parsed = JsonValue::Parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    const JsonValue& entry = parsed.value();
+    ids.insert(static_cast<uint64_t>(entry.NumberOr("request_id", 0)));
+    methods.insert(entry.Find("method")->string());
+    EXPECT_GE(entry.NumberOr("work_us", -1.0), 0.0) << line;
+    EXPECT_GE(entry.NumberOr("queue_us", -1.0), 0.0) << line;
+    EXPECT_GT(entry.NumberOr("bytes_in", 0.0), 0.0) << line;
+    EXPECT_GT(entry.NumberOr("bytes_out", 0.0), 0.0) << line;
+    const std::string status = entry.Find("status")->string();
+    const std::string method = entry.Find("method")->string();
+    if (method == "frobnicate") {
+      EXPECT_EQ(status, "NotFound") << line;
+    } else {
+      EXPECT_EQ(status, "OK") << line;
+    }
+    if (method == "resolve") {
+      EXPECT_EQ(entry.Find("clusterer")->string(), "connected_components") << line;
+      EXPECT_EQ(entry.NumberOr("deadline_ms", 0.0), 5000.0) << line;
+      EXPECT_NE(entry.Find("slack_ms"), nullptr) << line;
+    }
+  }
+  EXPECT_EQ(lines, kTotal);
+  EXPECT_EQ(ids.size(), static_cast<size_t>(kTotal));  // ids are unique
+  EXPECT_EQ(methods.size(), 3u);  // resolve, stats, frobnicate
+  std::remove(options.access_log_path.c_str());
+}
+
+TEST(GterdServerTest, StatsServesUptimeAndLivePercentiles) {
+  ServerFixture fx;
+  GterdClient client = fx.Connect();
+  for (int i = 0; i < 3; ++i) {
+    JsonValue params = JsonValue::MakeObject();
+    params.Set("text", JsonValue::MakeString("golden dragon"));
+    ASSERT_TRUE(client.Call("resolve", std::move(params)).ok());
+  }
+  auto stats = client.Call("stats", JsonValue::MakeObject());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GE(stats.value().NumberOr("uptime_s", -1.0), 0.0);
+  const JsonValue* live = stats.value().Find("live");
+  ASSERT_NE(live, nullptr);
+  const JsonValue* resolve = live->Find("resolve");
+  ASSERT_NE(resolve, nullptr) << stats.value().Serialize();
+  EXPECT_GE(resolve->NumberOr("count", 0.0), 3.0);
+  const JsonValue* work = resolve->Find("work_us");
+  ASSERT_NE(work, nullptr);
+  EXPECT_GT(work->NumberOr("p50", -1.0), 0.0);
+  EXPECT_GE(work->NumberOr("p99", 0.0), work->NumberOr("p50", 0.0));
+  EXPECT_NE(resolve->Find("queue_us"), nullptr);
+}
+
+TEST(GterdServerTest, DebugSlowCapturesSlowRequestsWithSpans) {
+  GterdServerOptions options;
+  options.slow_request_ms = 20;
+  ServerFixture fx(options);
+  GterdClient client = fx.Connect();
+
+  // A fast request must not land in the ring.
+  ASSERT_TRUE(client.Call("stats", JsonValue::MakeObject()).ok());
+  auto empty = client.Call("debug_slow", JsonValue::MakeObject());
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_EQ(empty.value().NumberOr("threshold_ms", -1.0), 20.0);
+  EXPECT_EQ(empty.value().Find("slow")->array().size(), 0u);
+
+  // debug_sleep(60ms) trips the 20ms threshold.
+  JsonValue params = JsonValue::MakeObject();
+  params.Set("ms", JsonValue::MakeNumber(60));
+  ASSERT_TRUE(client.Call("debug_sleep", std::move(params)).ok());
+
+  auto dump = client.Call("debug_slow", JsonValue::MakeObject());
+  ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+  const JsonValue* slow = dump.value().Find("slow");
+  ASSERT_NE(slow, nullptr);
+  ASSERT_EQ(slow->array().size(), 1u) << dump.value().Serialize();
+  const JsonValue& rec = slow->array()[0];
+  EXPECT_EQ(rec.Find("method")->string(), "debug_sleep");
+  EXPECT_EQ(rec.Find("status")->string(), "OK");
+  EXPECT_GE(rec.NumberOr("work_us", 0.0), 20000.0);
+  const JsonValue* spans = rec.Find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_GE(spans->array().size(), 1u) << dump.value().Serialize();
+  // The handler's stage span is among them, with a plausible duration.
+  bool saw_handler = false;
+  for (const JsonValue& span : spans->array()) {
+    if (span.Find("name")->string() == "server/debug_sleep") {
+      saw_handler = true;
+      EXPECT_GE(span.NumberOr("dur_us", 0.0), 20000.0);
+    }
+  }
+  EXPECT_TRUE(saw_handler) << dump.value().Serialize();
 }
 
 TEST(GterdServerTest, StopWithIdleConnectionsDoesNotHang) {

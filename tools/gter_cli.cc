@@ -34,8 +34,10 @@
 //   gter_cli report baseline.json candidate.json [--regress_ratio 0.10]
 //       Diff two --metrics_out files; exit non-zero when a stage timer
 //       regressed past the threshold (the CI perf gate).
-//   gter_cli client [--host H] [--port P] <method> [params-json]
+//   gter_cli client [--host H] [--port P] [--repeat N] <method> [params-json]
 //       Send one request to a running gterd and print the JSON result.
+//       --repeat sends it N times and prints client-observed p50/p95/p99
+//       latency (comparable against the daemon's /metrics percentiles).
 //       Exit 3 when the server answers Cancelled/DeadlineExceeded.
 //
 // Every subcommand takes --log_level=debug|info|warning|error.
@@ -43,11 +45,14 @@
 // The CSV interchange format is the one SaveDatasetCsv writes:
 //   entity,source,field...
 
+#include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "gter/gter.h"
 
@@ -455,6 +460,9 @@ int RunClient(int argc, char** argv) {
   flags.AddString("host", "127.0.0.1", "gterd address");
   flags.AddInt("port", 7421, "gterd port");
   flags.AddInt("deadline_ms", 0, "per-request deadline (0 = none)");
+  flags.AddInt("repeat", 1,
+               "send the request N times and print client-observed "
+               "p50/p95/p99 latency on exit");
   AddLogLevelFlag(&flags);
   Status s = flags.Parse(argc, argv);
   if (s.ok()) s = ApplyLogLevelFlag(flags);
@@ -465,12 +473,14 @@ int RunClient(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: gter_cli client [--host H] [--port P] [--deadline_ms D] "
-        "<method> [params-json]\n"
+        "[--repeat N] <method> [params-json]\n"
         "e.g.   gter_cli client --port 7421 stats\n"
         "       gter_cli client resolve '{\"text\": \"fenix cafe lodge\"}'\n"
-        "       gter_cli client pair_score '{\"a\": 3, \"b\": 17}'\n");
+        "       gter_cli client pair_score '{\"a\": 3, \"b\": 17}'\n"
+        "       gter_cli client --repeat 100 resolve '{\"text\": \"x\"}'\n");
     return 2;
   }
+  const int64_t repeat = std::max<int64_t>(1, flags.GetInt("repeat"));
   JsonValue params = JsonValue::MakeObject();
   if (args.size() == 2) {
     auto parsed = JsonValue::Parse(args[1]);
@@ -485,13 +495,41 @@ int RunClient(int argc, char** argv) {
       GterdClient::Connect(flags.GetString("host"),
                            static_cast<uint16_t>(flags.GetInt("port")));
   if (!client.ok()) return Fail(client.status());
-  auto response = client.value().Call(args[0], std::move(params),
-                                      flags.GetInt("deadline_ms"));
-  if (!response.ok()) {
-    std::fprintf(stderr, "error: %s\n", response.status().ToString().c_str());
-    return IsCancellation(response.status()) ? kExitCancelled : 1;
+
+  // One round trip per iteration; per-call wall times feed the percentile
+  // printout, so a hand-run smoke check is directly comparable to the
+  // server's /metrics work_us percentiles (client time adds RTT + queue).
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<size_t>(repeat));
+  for (int64_t i = 0; i < repeat; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto response = client.value().Call(args[0], params,
+                                        flags.GetInt("deadline_ms"));
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return IsCancellation(response.status()) ? kExitCancelled : 1;
+    }
+    latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - start)
+                               .count());
+    // The response body prints once: repeats are for timing, not output.
+    if (i == 0) {
+      std::printf("%s\n", response.value().Serialize().c_str());
+    }
   }
-  std::printf("%s\n", response.value().Serialize().c_str());
+  if (repeat > 1) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const auto pct = [&latencies_us](double q) {
+      const size_t idx = static_cast<size_t>(
+          q * static_cast<double>(latencies_us.size() - 1) + 0.5);
+      return latencies_us[std::min(idx, latencies_us.size() - 1)];
+    };
+    std::printf(
+        "client latency over %lld calls: p50 %.1f us, p95 %.1f us, "
+        "p99 %.1f us\n",
+        static_cast<long long>(repeat), pct(0.50), pct(0.95), pct(0.99));
+  }
   return 0;
 }
 

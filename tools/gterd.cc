@@ -10,6 +10,14 @@
 //         [--eta 0.98] [--rounds 5] [--alpha 20] [--steps 20]
 //         [--max_df_ratio 0.12] [--default_deadline_ms 0]
 //         [--threads 0] [--simd auto] [--metrics_out m.json]
+//         [--metrics_port -1] [--access_log gterd.log]
+//         [--slow_request_ms 0]
+//
+// Observability (DESIGN.md §4c/§5c): --metrics_port >= 0 serves live
+// Prometheus text on GET /metrics (plus /healthz and /varz);
+// --access_log appends one NDJSON line per request; --slow_request_ms
+// captures trace spans of requests over the threshold into a bounded
+// ring served by the debug_slow method.
 //
 // SIGINT/SIGTERM shuts the daemon down cleanly: stop accepting, cancel
 // in-flight requests, wait for workers, exit 0.
@@ -51,18 +59,25 @@ int Run(int argc, char** argv) {
   flags.AddInt("default_deadline_ms", 0,
                "deadline for requests without their own (0 = none)");
   flags.AddInt("max_frame_bytes", 1 << 20, "request line size limit");
+  flags.AddInt("metrics_port", -1,
+               "HTTP observability port for /metrics, /healthz, /varz "
+               "(0 = ephemeral, -1 = disabled)");
+  flags.AddString("access_log", "",
+                  "NDJSON access log path (one line per request)");
+  flags.AddInt("slow_request_ms", 0,
+               "capture trace spans of requests slower than this into the "
+               "debug_slow ring (0 = off)");
   AddCommonStageFlags(&flags);
   Status s = flags.Parse(argc, argv);
   if (s.ok()) s = ApplyCommonStageFlags(flags);
   if (!s.ok()) return Fail(s);
 
-  std::unique_ptr<MetricsRegistry> metrics;
-  std::optional<ScopedMetricsInstall> metrics_install;
-  if (!flags.GetString("metrics_out").empty()) {
-    metrics = std::make_unique<MetricsRegistry>();
-    DeclarePipelineMetrics(metrics.get());
-    metrics_install.emplace(metrics.get());
-  }
+  // The daemon always carries a registry: the serving layer records live
+  // latency histograms into it, /metrics and /varz serve it, and
+  // --metrics_out snapshots it at shutdown.
+  auto metrics = std::make_unique<MetricsRegistry>();
+  DeclarePipelineMetrics(metrics.get());
+  ScopedMetricsInstall metrics_install(metrics.get());
 
   auto loaded = LoadDatasetCsv(flags.GetString("in"), "input",
                                static_cast<uint32_t>(flags.GetInt("sources")));
@@ -97,15 +112,23 @@ int Run(int argc, char** argv) {
   server_options.default_deadline_ms = flags.GetInt("default_deadline_ms");
   server_options.max_frame_bytes =
       static_cast<size_t>(flags.GetInt("max_frame_bytes"));
+  server_options.metrics_port = static_cast<int>(flags.GetInt("metrics_port"));
+  server_options.access_log_path = flags.GetString("access_log");
+  server_options.slow_request_ms = flags.GetInt("slow_request_ms");
   auto server =
       GterdServer::Start(service.value().get(), server_options, ctx);
   if (!server.ok()) return Fail(server.status());
 
-  // Printed on stdout (and flushed) so scripts can scrape the bound port
-  // when --port=0.
+  // Printed on stdout (and flushed) so scripts can scrape the bound ports
+  // when --port=0 / --metrics_port=0.
   std::printf("gterd listening on %s:%u\n",
               server_options.bind_address.c_str(),
               server.value()->port());
+  if (server.value()->metrics_port() != 0) {
+    std::printf("gterd metrics on http://%s:%u/metrics\n",
+                server_options.bind_address.c_str(),
+                server.value()->metrics_port());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
@@ -116,7 +139,7 @@ int Run(int argc, char** argv) {
   std::fprintf(stderr, "gterd: shutting down\n");
   server.value()->Stop();
 
-  if (metrics != nullptr) {
+  if (!flags.GetString("metrics_out").empty()) {
     Status write = WriteMetricsJson(flags.GetString("metrics_out"), *metrics);
     if (!write.ok()) return Fail(write);
   }

@@ -9,7 +9,7 @@
 #
 # Usage:
 #   tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd] \
-#                      [loadgen-conns]
+#                      [loadgen-conns] [p99-budget-ms]
 #
 #   build-dir      CMake build directory holding bench/bench_micro and
 #                  tools/gter_cli (e.g. `build`).
@@ -36,6 +36,13 @@
 #                  printed for the log but never diffed against a baseline,
 #                  so it cannot flake on a slow machine. Default 0 (off).
 #                  Also settable via the PERF_GATE_LOADGEN env var.
+#   p99-budget-ms  When > 0 (and loadgen-conns > 0), the loadgen run also
+#                  gates on latency: it warms up each connection and fails
+#                  if the measured client p99 exceeds this many
+#                  milliseconds. OFF by default (0) because a wall-clock
+#                  budget is only meaningful on a dedicated reference
+#                  machine — opt in where the hardware is pinned. Also
+#                  settable via the PERF_GATE_P99_BUDGET_MS env var.
 #
 # Wired into ctest behind -DGTER_PERF_GATE=ON with label `perf`:
 #   cmake -B build -S . -DGTER_PERF_GATE=ON && cmake --build build -j
@@ -51,11 +58,12 @@
 set -u -o pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
-build_dir="${1:?usage: tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd] [loadgen-conns]}"
+build_dir="${1:?usage: tools/perf_gate.sh <build-dir> [baseline.json] [regress-ratio] [simd] [loadgen-conns] [p99-budget-ms]}"
 baseline="${2:-${repo_root}/BENCH_baseline.json}"
 ratio="${3:-0.5}"
 simd="${4:-auto}"
 loadgen_conns="${5:-${PERF_GATE_LOADGEN:-0}}"
+p99_budget_ms="${6:-${PERF_GATE_P99_BUDGET_MS:-0}}"
 
 bench="${build_dir}/bench/bench_micro"
 cli="${build_dir}/tools/gter_cli"
@@ -91,9 +99,15 @@ if [[ "${loadgen_conns}" -gt 0 ]]; then
     echo "perf_gate: missing binary ${loadgen}" >&2
     exit 2
   fi
-  echo "perf_gate: running ${loadgen} --connections=${loadgen_conns}" >&2
-  if ! "${loadgen}" --connections="${loadgen_conns}" --requests=200; then
-    echo "perf_gate: bench_loadgen reported protocol errors" >&2
+  loadgen_args=(--connections="${loadgen_conns}" --requests=200)
+  if [[ "${p99_budget_ms}" != "0" ]]; then
+    # Latency-budget mode: warm each connection up so allocator / page-cache
+    # cold starts don't land in the gated percentiles.
+    loadgen_args+=(--warmup_requests=50 --p99_budget_ms="${p99_budget_ms}")
+  fi
+  echo "perf_gate: running ${loadgen} ${loadgen_args[*]}" >&2
+  if ! "${loadgen}" "${loadgen_args[@]}"; then
+    echo "perf_gate: bench_loadgen failed (protocol errors or latency budget)" >&2
     exit 1
   fi
 fi
