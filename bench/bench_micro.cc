@@ -8,9 +8,9 @@
 //                        input of `gter_cli report` / tools/perf_gate.sh)
 //   --trace_out=PATH     dump a Chrome/Perfetto trace of the run
 //   --log_level=LEVEL    debug|info|warning|error
-//   --simd=LEVEL         scalar|avx2|auto — caps the dispatch level the
-//                        kernels may use (per-benchmark "simd" args still
-//                        pin each measurement below that cap)
+//   --simd=LEVEL         scalar|avx2|avx512|auto — caps the dispatch level
+//                        the kernels may use (per-benchmark "simd" args
+//                        still pin each measurement below that cap)
 
 #include <benchmark/benchmark.h>
 
@@ -33,12 +33,12 @@ DenseMatrix RandomMatrix(size_t n, Rng* rng) {
 }
 
 // Pins the SIMD level of the benchmark's "simd" argument (0 = scalar,
-// 1 = avx2) for the benchmark's lifetime, or skips the benchmark when the
-// level exceeds what the CPU/build supports — or what a global --simd=
-// cap allows (so `--simd=scalar` runs produce scalar-only timers, directly
-// diffable against pre-SIMD baselines). Each dispatched kernel is
-// benchmarked at every level so the scalar-vs-SIMD ratio is readable from
-// one bench run.
+// 1 = avx2, 2 = avx512) for the benchmark's lifetime, or skips the
+// benchmark when the level exceeds what the CPU/build supports — or what a
+// global --simd= cap allows (so `--simd=scalar` runs produce scalar-only
+// timers, directly diffable against pre-SIMD baselines). Each dispatched
+// kernel is benchmarked at every level so the scalar-vs-SIMD ratio is
+// readable from one bench run.
 std::unique_ptr<ScopedSimdLevel> PinSimdLevel(benchmark::State& state,
                                               int64_t level_arg) {
   const SimdLevel level = static_cast<SimdLevel>(level_arg);
@@ -49,8 +49,12 @@ std::unique_ptr<ScopedSimdLevel> PinSimdLevel(benchmark::State& state,
   return std::make_unique<ScopedSimdLevel>(level);
 }
 
-const char* GemmTimerName(SimdLevel level) {
-  return level == SimdLevel::kScalar ? "bench/gemm_scalar" : "bench/gemm_avx2";
+// "bench/<kernel>_<level>" — the per-level stage timers tools/perf_gate.sh
+// diffs against BENCH_baseline.json (bench/gemm_avx512, ...). The returned
+// string must outlive the ScopedTimer reading it (keep it in the benchmark
+// body's scope).
+std::string TimerName(const char* kernel, SimdLevel level) {
+  return std::string("bench/") + kernel + "_" + SimdLevelName(level);
 }
 
 void BM_Gemm(benchmark::State& state) {
@@ -61,9 +65,9 @@ void BM_Gemm(benchmark::State& state) {
   DenseMatrix a = RandomMatrix(n, &rng);
   DenseMatrix b = RandomMatrix(n, &rng);
   DenseMatrix c;
+  const std::string timer_name = TimerName("gemm", ActiveSimdLevel());
   {
-    ScopedTimer timer(MetricsRegistry::Current(),
-                      GemmTimerName(ActiveSimdLevel()),
+    ScopedTimer timer(MetricsRegistry::Current(), timer_name.c_str(),
                       TraceArg{"n", static_cast<double>(n)});
     for (auto _ : state) {
       Gemm(a, b, &c);
@@ -78,10 +82,13 @@ BENCHMARK(BM_Gemm)
     ->ArgNames({"n", "simd"})
     ->Args({128, 0})
     ->Args({128, 1})
+    ->Args({128, 2})
     ->Args({256, 0})
     ->Args({256, 1})
+    ->Args({256, 2})
     ->Args({512, 0})
-    ->Args({512, 1});
+    ->Args({512, 1})
+    ->Args({512, 2});
 
 void BM_MaskedProduct(benchmark::State& state) {
   // Random graph with n nodes and ~8n edges; the CliqueRank inner kernel.
@@ -132,11 +139,9 @@ void BM_MaskedProductCsr(benchmark::State& state) {
   CsrMatrix pattern = trans;  // same structure
   std::vector<double> values(pattern.nnz(), 0.5);
   std::vector<double> out(pattern.nnz(), 0.0);
+  const std::string timer_name = TimerName("masked_csr", ActiveSimdLevel());
   {
-    ScopedTimer timer(MetricsRegistry::Current(),
-                      ActiveSimdLevel() == SimdLevel::kScalar
-                          ? "bench/masked_csr_scalar"
-                          : "bench/masked_csr_avx2",
+    ScopedTimer timer(MetricsRegistry::Current(), timer_name.c_str(),
                       TraceArg{"n", static_cast<double>(n)});
     for (auto _ : state) {
       ComputeMaskedProductCsr(trans, values.data(), pattern, out.data());
@@ -149,8 +154,10 @@ BENCHMARK(BM_MaskedProductCsr)
     ->ArgNames({"n", "simd"})
     ->Args({512, 0})
     ->Args({512, 1})
+    ->Args({512, 2})
     ->Args({2048, 0})
-    ->Args({2048, 1});
+    ->Args({2048, 1})
+    ->Args({2048, 2});
 
 // Batch of restaurant-style field pairs: long enough to exercise the DP /
 // bit-parallel cores, small enough to stay cache-resident. One iteration
@@ -177,32 +184,66 @@ std::vector<std::pair<std::string, std::string>> LevenshteinCorpus() {
   return corpus;
 }
 
+// The corpus regrouped as one candidate batch per base string — the shape
+// the batched entry points take (and the 8-lane avx512 Levenshtein kernel's
+// natural unit: 8 variants per base = one __m512i of lanes).
+std::vector<std::pair<std::string, std::vector<std::string>>>
+GroupedCorpus() {
+  std::vector<std::pair<std::string, std::vector<std::string>>> grouped;
+  for (auto& [base, noisy] : LevenshteinCorpus()) {
+    if (grouped.empty() || grouped.back().first != base) {
+      grouped.push_back({base, {}});
+    }
+    grouped.back().second.push_back(std::move(noisy));
+  }
+  return grouped;
+}
+
 void BM_Levenshtein(benchmark::State& state) {
   auto pin = PinSimdLevel(state, state.range(0));
   if (pin == nullptr) return;
-  const auto corpus = LevenshteinCorpus();
-  ScopedTimer timer(MetricsRegistry::Current(),
-                    ActiveSimdLevel() == SimdLevel::kScalar
-                        ? "bench/levenshtein_scalar"
-                        : "bench/levenshtein_avx2");
+  const auto grouped = GroupedCorpus();
+  int64_t pairs = 0;
+  for (const auto& [base, batch] : grouped) {
+    pairs += static_cast<int64_t>(batch.size());
+  }
+  const std::string timer_name = TimerName("levenshtein", ActiveSimdLevel());
+  ScopedTimer timer(MetricsRegistry::Current(), timer_name.c_str());
+  std::vector<size_t> distances;
   for (auto _ : state) {
     size_t total = 0;
-    for (const auto& [a, b] : corpus) total += LevenshteinDistance(a, b);
+    for (const auto& [base, batch] : grouped) {
+      LevenshteinDistanceBatch(base, batch, &distances);
+      for (size_t d : distances) total += d;
+    }
     benchmark::DoNotOptimize(total);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(corpus.size()));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * pairs);
 }
-BENCHMARK(BM_Levenshtein)->ArgNames({"simd"})->Arg(0)->Arg(1);
+BENCHMARK(BM_Levenshtein)->ArgNames({"simd"})->Arg(0)->Arg(1)->Arg(2);
 
 void BM_JaroWinkler(benchmark::State& state) {
-  std::string a = "panasonic pslx350h turntable";
-  std::string b = "panasonic pslx35oh turn table";
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(JaroWinklerSimilarity(a, b));
+  auto pin = PinSimdLevel(state, state.range(0));
+  if (pin == nullptr) return;
+  const auto grouped = GroupedCorpus();
+  int64_t pairs = 0;
+  for (const auto& [base, batch] : grouped) {
+    pairs += static_cast<int64_t>(batch.size());
   }
+  const std::string timer_name = TimerName("jaro_winkler", ActiveSimdLevel());
+  ScopedTimer timer(MetricsRegistry::Current(), timer_name.c_str());
+  std::vector<double> sims;
+  for (auto _ : state) {
+    double total = 0.0;
+    for (const auto& [base, batch] : grouped) {
+      JaroWinklerSimilarityBatch(base, batch, &sims);
+      for (double s : sims) total += s;
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * pairs);
 }
-BENCHMARK(BM_JaroWinkler);
+BENCHMARK(BM_JaroWinkler)->ArgNames({"simd"})->Arg(0)->Arg(1)->Arg(2);
 
 void BM_JaccardTerms(benchmark::State& state) {
   Rng rng(3);
@@ -229,7 +270,12 @@ void BM_Tokenize(benchmark::State& state) {
 }
 BENCHMARK(BM_Tokenize);
 
+// One ITER sweep, fused (arg 1: update + normalize + convergence delta in
+// one pass over the term vector) vs staged (arg 0: the three-pass
+// reference). Both produce bit-identical weights; the timer pair is the
+// fusion speedup the perf gate watches.
 void BM_IterSweep(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
   auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.2, 5);
   RemoveFrequentTerms(&data.dataset);
   PairSpace pairs = PairSpace::Build(data.dataset);
@@ -238,12 +284,42 @@ void BM_IterSweep(benchmark::State& state) {
   IterOptions options;
   options.max_iterations = 1;  // cost of one sweep
   options.tolerance = 0.0;
+  options.fuse_sweeps = fused;
+  ScopedTimer timer(MetricsRegistry::Current(),
+                    fused ? "bench/iter_sweep_fused"
+                          : "bench/iter_sweep_staged");
   for (auto _ : state) {
     benchmark::DoNotOptimize(RunIter(graph, probability, options));
   }
   state.counters["bipartite_edges"] = static_cast<double>(graph.num_edges());
 }
-BENCHMARK(BM_IterSweep);
+BENCHMARK(BM_IterSweep)->ArgNames({"fused"})->Arg(0)->Arg(1);
+
+// CliqueRank through the masked-sparse engine, fused (arg 1: one-sweep
+// transition+boost setup, accumulate folded into the masked-product
+// readout) vs staged (arg 0). Bit-identical outputs by contract; the timer
+// pair is the pipeline-fusion speedup on the paper's hot stage.
+void BM_CliqueRankMasked(benchmark::State& state) {
+  const bool fused = state.range(0) != 0;
+  auto data = GenerateBenchmark(BenchmarkKind::kPaper, 0.2, 5);
+  RemoveFrequentTerms(&data.dataset);
+  PairSpace pairs = PairSpace::Build(data.dataset);
+  std::vector<double> sims(pairs.size(), 0.8);
+  RecordGraph graph = RecordGraph::Build(data.dataset.size(), pairs, sims);
+  CliqueRankOptions options;
+  options.engine = CliqueRankEngine::kMaskedSparse;
+  options.max_steps = 8;
+  options.fuse_passes = fused;
+  ScopedTimer timer(MetricsRegistry::Current(),
+                    fused ? "bench/cliquerank_masked_fused"
+                          : "bench/cliquerank_masked_staged");
+  for (auto _ : state) {
+    auto result = RunCliqueRank(graph, pairs, options);
+    benchmark::DoNotOptimize(result.value().pair_probability.data());
+  }
+  state.counters["pairs"] = static_cast<double>(pairs.size());
+}
+BENCHMARK(BM_CliqueRankMasked)->ArgNames({"fused"})->Arg(0)->Arg(1);
 
 // RSS over the Paper-like record graph, pair loop split across a pool of
 // range(0) threads. Results are bit-identical for every thread count

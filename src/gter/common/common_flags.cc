@@ -26,8 +26,9 @@ Status ApplyLogLevelFlag(const FlagSet& flags) {
 void AddCommonStageFlags(FlagSet* flags) {
   flags->AddInt("threads", 1, "worker threads (0 = all cores, 1 = serial)");
   flags->AddString("simd", "auto",
-                   "compute kernels: scalar | avx2 | auto (scalar = the "
-                   "determinism reference path)");
+                   "compute kernels: scalar | avx2 | avx512 | auto (scalar = "
+                   "the determinism reference path; requests above the host's "
+                   "capability clamp down)");
   flags->AddString("metrics_out", "",
                    "output: pipeline metrics JSON (optional)");
   flags->AddString("trace_out", "",

@@ -26,24 +26,32 @@ CpuFeatures DetectViaCpuid() {
   if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) != 0) {
     f.avx2 = (ebx & (1u << 5)) != 0;
     f.avx512f = (ebx & (1u << 16)) != 0;
+    f.avx512dq = (ebx & (1u << 17)) != 0;
+    f.avx512bw = (ebx & (1u << 30)) != 0;
+    f.avx512vl = (ebx & (1u << 31)) != 0;
+    f.avx512vpopcntdq = (ecx & (1u << 14)) != 0;
   }
   // AVX/AVX2 registers are only usable when the OS saves the YMM state
   // (XSAVE/OSXSAVE + XCR0 bits 1-2); without that, executing a VEX
-  // instruction faults even though CPUID advertises it.
+  // instruction faults even though CPUID advertises it. AVX-512 further
+  // needs the opmask/ZMM_Hi256/Hi16_ZMM state (XCR0 bits 5-7).
   const bool osxsave = [&] {
     unsigned int a = 0, b = 0, c = 0, d = 0;
     if (__get_cpuid(1, &a, &b, &c, &d) == 0) return false;
     return (c & (1u << 27)) != 0;
   }();
+  unsigned int xcr0_lo = 0, xcr0_hi = 0;
   if (osxsave) {
-    unsigned int xcr0_lo, xcr0_hi;
     __asm__ volatile("xgetbv" : "=a"(xcr0_lo), "=d"(xcr0_hi) : "c"(0));
-    const bool ymm_enabled = (xcr0_lo & 0x6) == 0x6;
-    if (!ymm_enabled) {
-      f.avx = f.fma = f.avx2 = f.avx512f = false;
-    }
-  } else {
-    f.avx = f.fma = f.avx2 = f.avx512f = false;
+  }
+  const bool ymm_enabled = osxsave && (xcr0_lo & 0x6) == 0x6;
+  const bool zmm_enabled = ymm_enabled && (xcr0_lo & 0xe0) == 0xe0;
+  if (!ymm_enabled) {
+    f.avx = f.fma = f.avx2 = false;
+  }
+  if (!zmm_enabled) {
+    f.avx512f = f.avx512dq = f.avx512bw = f.avx512vl = f.avx512vpopcntdq =
+        false;
   }
   return f;
 }
@@ -79,14 +87,29 @@ std::string CpuFeatureString() {
   append(f.fma, "fma");
   append(f.avx2, "avx2");
   append(f.avx512f, "avx512f");
+  append(f.avx512bw, "avx512bw");
+  append(f.avx512dq, "avx512dq");
+  append(f.avx512vl, "avx512vl");
+  append(f.avx512vpopcntdq, "avx512vpopcntdq");
   if (out.empty()) out = "scalar-only";
   return out;
 }
 
 SimdLevel DetectSimdLevel() {
-#if GTER_HAVE_AVX2
+#if GTER_HAVE_AVX2 || GTER_HAVE_AVX512
   const CpuFeatures& f = DetectCpuFeatures();
+#if GTER_HAVE_AVX512
+  // The avx512 TUs use F (gather/scatter, 8×double math), BW (byte
+  // compares in the string kernels), DQ/VL (mask loads and 256-bit mixes),
+  // and VPOPCNTDQ (the Levenshtein score flush); all five must be present.
+  if (f.avx2 && f.fma && f.avx512f && f.avx512bw && f.avx512dq &&
+      f.avx512vl && f.avx512vpopcntdq) {
+    return SimdLevel::kAvx512;
+  }
+#endif
+#if GTER_HAVE_AVX2
   if (f.avx2 && f.fma) return SimdLevel::kAvx2;
+#endif
 #endif
   return SimdLevel::kScalar;
 }
@@ -115,6 +138,10 @@ bool ParseSimdLevel(std::string_view text, SimdLevel* level) {
     *level = SimdLevel::kAvx2;
     return true;
   }
+  if (text == "avx512") {
+    *level = SimdLevel::kAvx512;
+    return true;
+  }
   if (text == "auto") {
     *level = DetectSimdLevel();
     return true;
@@ -128,6 +155,8 @@ const char* SimdLevelName(SimdLevel level) {
       return "scalar";
     case SimdLevel::kAvx2:
       return "avx2";
+    case SimdLevel::kAvx512:
+      return "avx512";
   }
   return "scalar";
 }
@@ -149,6 +178,10 @@ void EmitCpuInfo(MetricsRegistry* metrics, TraceRecorder* trace) {
     metrics->SetGauge("cpu/fma", f.fma ? 1.0 : 0.0);
     metrics->SetGauge("cpu/avx2", f.avx2 ? 1.0 : 0.0);
     metrics->SetGauge("cpu/avx512f", f.avx512f ? 1.0 : 0.0);
+    metrics->SetGauge("cpu/avx512bw", f.avx512bw ? 1.0 : 0.0);
+    metrics->SetGauge("cpu/avx512dq", f.avx512dq ? 1.0 : 0.0);
+    metrics->SetGauge("cpu/avx512vl", f.avx512vl ? 1.0 : 0.0);
+    metrics->SetGauge("cpu/avx512vpopcntdq", f.avx512vpopcntdq ? 1.0 : 0.0);
     metrics->SetGauge("simd/level", static_cast<double>(level));
   }
   if (trace != nullptr) {

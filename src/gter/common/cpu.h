@@ -21,7 +21,9 @@ class TraceRecorder;
 /// dispatched kernel against it.
 
 /// CPUID-reported ISA features relevant to the compute core. `sse2` is the
-/// x86-64 baseline; non-x86 builds report everything false.
+/// x86-64 baseline; non-x86 builds report everything false. The avx512*
+/// flags are only reported true when the OS saves the full ZMM/opmask
+/// state (XCR0 bits 5-7), mirroring the YMM check for avx/avx2.
 struct CpuFeatures {
   bool sse2 = false;
   bool sse42 = false;
@@ -29,6 +31,10 @@ struct CpuFeatures {
   bool fma = false;
   bool avx2 = false;
   bool avx512f = false;
+  bool avx512bw = false;
+  bool avx512dq = false;
+  bool avx512vl = false;
+  bool avx512vpopcntdq = false;
 };
 
 /// Detected features of the executing CPU (cached after the first call).
@@ -39,28 +45,34 @@ const CpuFeatures& DetectCpuFeatures();
 std::string CpuFeatureString();
 
 /// Dispatch tiers, ordered: a level is usable iff every lower level is.
-/// kAvx2 implies FMA (the packed GEMM microkernel needs both).
+/// kAvx2 implies FMA (the packed GEMM microkernel needs both). kAvx512
+/// requires the F+BW+DQ+VL+VPOPCNTDQ feature set the *_avx512.cc TUs are
+/// compiled against — a host with only avx512f (e.g. Skylake-X without
+/// VPOPCNTDQ) clamps to kAvx2 rather than risking an illegal instruction
+/// in a kernel tail.
 enum class SimdLevel : int {
   kScalar = 0,
   kAvx2 = 1,
+  kAvx512 = 2,
 };
 
 /// Highest level this binary can run: the minimum of what the CPU reports
-/// and what the build compiled in (GTER_HAVE_AVX2). Cached.
+/// and what the build compiled in (GTER_HAVE_AVX2 / GTER_HAVE_AVX512).
+/// Cached.
 SimdLevel DetectSimdLevel();
 
 /// The process-wide level every dispatched kernel consults. Starts at
 /// `DetectSimdLevel()`; `SetSimdLevel` overrides it (clamped to the
-/// detected maximum, so requesting avx2 on a scalar-only machine silently
+/// detected maximum, so requesting avx512 on an avx2-only machine silently
 /// degrades instead of crashing on an illegal instruction).
 SimdLevel ActiveSimdLevel();
 void SetSimdLevel(SimdLevel level);
 
-/// Parses "scalar" | "avx2" | "auto" (auto → DetectSimdLevel()). Returns
-/// false on anything else.
+/// Parses "scalar" | "avx2" | "avx512" | "auto" (auto → DetectSimdLevel()).
+/// Returns false on anything else.
 bool ParseSimdLevel(std::string_view text, SimdLevel* level);
 
-/// Canonical flag spelling of `level` ("scalar", "avx2").
+/// Canonical flag spelling of `level` ("scalar", "avx2", "avx512").
 const char* SimdLevelName(SimdLevel level);
 
 /// RAII override of the active level for a scope — the harness the

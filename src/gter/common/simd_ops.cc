@@ -16,6 +16,9 @@ double IndexedWeightedSumScalar(const double* weights, const double* values,
 }
 
 IndexedSumFn ResolveIndexedSum(SimdLevel level) {
+#if GTER_HAVE_AVX512
+  if (level >= SimdLevel::kAvx512) return internal::IndexedSumAvx512;
+#endif
 #if GTER_HAVE_AVX2
   if (level >= SimdLevel::kAvx2) return internal::IndexedSumAvx2;
 #else
@@ -25,6 +28,9 @@ IndexedSumFn ResolveIndexedSum(SimdLevel level) {
 }
 
 IndexedWeightedSumFn ResolveIndexedWeightedSum(SimdLevel level) {
+#if GTER_HAVE_AVX512
+  if (level >= SimdLevel::kAvx512) return internal::IndexedWeightedSumAvx512;
+#endif
 #if GTER_HAVE_AVX2
   if (level >= SimdLevel::kAvx2) return internal::IndexedWeightedSumAvx2;
 #else

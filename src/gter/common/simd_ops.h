@@ -43,6 +43,11 @@ double IndexedSumAvx2(const double* values, const uint32_t* idx, size_t n);
 double IndexedWeightedSumAvx2(const double* weights, const double* values,
                               const uint32_t* idx, size_t n);
 #endif
+#if GTER_HAVE_AVX512
+double IndexedSumAvx512(const double* values, const uint32_t* idx, size_t n);
+double IndexedWeightedSumAvx512(const double* weights, const double* values,
+                                const uint32_t* idx, size_t n);
+#endif
 }  // namespace internal
 
 }  // namespace gter

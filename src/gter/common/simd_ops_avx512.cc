@@ -1,0 +1,90 @@
+// AVX-512 twins of the gather-reduce primitives: 8-wide gathers with the
+// same two-accumulator-chain structure as the AVX2 TU. Compiled with the
+// full -mavx512{f,bw,dq,vl,vpopcntdq} set and only reached after the CPUID
+// + XCR0 check in cpu.cc admits SimdLevel::kAvx512.
+
+#include "gter/common/simd_ops.h"
+
+#if GTER_HAVE_AVX512
+
+#include <immintrin.h>
+
+namespace gter {
+namespace internal {
+
+namespace {
+
+/// Fixed-order horizontal sum of one 8-lane accumulator: fold the high
+/// 256-bit half onto the low half, then reuse the AVX2 lane order
+/// ((l0+l2)+(l1+l3)) on the folded 4-lane vector. Like the AVX2 twin the
+/// order is a pure function of the vector, never of the call site.
+inline double HorizontalSum(__m512d v) {
+  __m256d lo = _mm512_castpd512_pd256(v);
+  __m256d hi = _mm512_extractf64x4_pd(v, 1);
+  __m256d fold = _mm256_add_pd(lo, hi);
+  __m128d lo128 = _mm256_castpd256_pd128(fold);
+  __m128d hi128 = _mm256_extractf128_pd(fold, 1);
+  __m128d pair = _mm_add_pd(lo128, hi128);
+  __m128d swap = _mm_unpackhi_pd(pair, pair);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, swap));
+}
+
+}  // namespace
+
+double IndexedSumAvx512(const double* values, const uint32_t* idx, size_t n) {
+  // Two independent chains of 8-wide gathers (16 elements per iteration)
+  // hide gather latency; combine order (acc0+acc1, lanes, scalar tail) is
+  // fixed, so the result is deterministic for a given input.
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    __m256i i1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i + 8));
+    acc0 = _mm512_add_pd(acc0, _mm512_i32gather_pd(i0, values, 8));
+    acc1 = _mm512_add_pd(acc1, _mm512_i32gather_pd(i1, values, 8));
+  }
+  if (i + 8 <= n) {
+    __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    acc0 = _mm512_add_pd(acc0, _mm512_i32gather_pd(i0, values, 8));
+    i += 8;
+  }
+  double acc = HorizontalSum(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += values[idx[i]];
+  return acc;
+}
+
+double IndexedWeightedSumAvx512(const double* weights, const double* values,
+                                const uint32_t* idx, size_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    __m256i i1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i + 8));
+    acc0 = _mm512_fmadd_pd(_mm512_i32gather_pd(i0, weights, 8),
+                           _mm512_i32gather_pd(i0, values, 8), acc0);
+    acc1 = _mm512_fmadd_pd(_mm512_i32gather_pd(i1, weights, 8),
+                           _mm512_i32gather_pd(i1, values, 8), acc1);
+  }
+  if (i + 8 <= n) {
+    __m256i i0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(idx + i));
+    acc0 = _mm512_fmadd_pd(_mm512_i32gather_pd(i0, weights, 8),
+                           _mm512_i32gather_pd(i0, values, 8), acc0);
+    i += 8;
+  }
+  double acc = HorizontalSum(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += weights[idx[i]] * values[idx[i]];
+  return acc;
+}
+
+}  // namespace internal
+}  // namespace gter
+
+#endif  // GTER_HAVE_AVX512

@@ -42,6 +42,95 @@ double ChunkedSum(ThreadPool* pool, size_t n, PerElement f) {
   return total;
 }
 
+/// The fused per-term passes of one sweep (IterOptions::fuse_sweeps): the
+/// lines 5–6 weight update, the line 7 normalization and the convergence
+/// delta in one pass over the term vector (two for L2, which needs the
+/// global norm between update and scale). Work is chunked at kReduceChunk —
+/// the exact chunking of the staged ChunkedSum reductions — with partials
+/// combined serially in chunk order, and every per-element operation is
+/// op-for-op the staged arithmetic, so weights and delta are bit-identical
+/// to the staged sweep at any thread count. `x_prev` is scratch for the L2
+/// path (the logistic path keeps the pre-update value in a register
+/// instead of copying the vector). Returns Σ_t |Δx_t|.
+double FusedTermSweep(const BipartiteGraph& graph,
+                      const std::vector<double>& edge_probability,
+                      const std::vector<double>& s,
+                      IndexedWeightedSumFn weighted_sum,
+                      IterNormalization kind, ThreadPool* pool,
+                      std::vector<double>* x_io,
+                      std::vector<double>* x_prev) {
+  std::vector<double>& x = *x_io;
+  const size_t n = x.size();
+  const size_t num_chunks = (n + kReduceChunk - 1) / kReduceChunk;
+  std::vector<double> partial(num_chunks, 0.0);
+  const auto update = [&](size_t t) {
+    auto adjacent = graph.PairsOfTerm(t);
+    if (adjacent.empty()) return 0.0;
+    return weighted_sum(edge_probability.data(), s.data(), adjacent.data(),
+                        adjacent.size()) /
+           graph.Pt(t);
+  };
+
+  if (kind == IterNormalization::kLogistic) {
+    ParallelFor(pool, 0, num_chunks, /*grain=*/1, [&](size_t lo, size_t hi) {
+      for (size_t chunk = lo; chunk < hi; ++chunk) {
+        const size_t begin = chunk * kReduceChunk;
+        const size_t end = std::min(begin + kReduceChunk, n);
+        double delta = 0.0;
+        for (size_t t = begin; t < end; ++t) {
+          const double old = x[t];
+          double v = update(t);
+          v = v / (1.0 + v);  // the division-safe 1/(1 + 1/x)
+          x[t] = v;
+          delta += std::fabs(v - old);
+        }
+        partial[chunk] = delta;
+      }
+    });
+    double change = 0.0;
+    for (double p : partial) change += p;
+    return change;
+  }
+
+  // L2: pass 1 updates, saves the old weights and reduces Σx²; pass 2
+  // scales and reduces the delta.
+  std::vector<double>& prev = *x_prev;
+  ParallelFor(pool, 0, num_chunks, /*grain=*/1, [&](size_t lo, size_t hi) {
+    for (size_t chunk = lo; chunk < hi; ++chunk) {
+      const size_t begin = chunk * kReduceChunk;
+      const size_t end = std::min(begin + kReduceChunk, n);
+      double norm_sq = 0.0;
+      for (size_t t = begin; t < end; ++t) {
+        prev[t] = x[t];
+        const double v = update(t);
+        x[t] = v;
+        norm_sq += v * v;
+      }
+      partial[chunk] = norm_sq;
+    }
+  });
+  double norm_sq = 0.0;
+  for (double p : partial) norm_sq += p;
+  const bool scale = norm_sq > 0.0;  // staged Normalize skips a zero norm
+  const double inv = scale ? 1.0 / std::sqrt(norm_sq) : 1.0;
+  ParallelFor(pool, 0, num_chunks, /*grain=*/1, [&](size_t lo, size_t hi) {
+    for (size_t chunk = lo; chunk < hi; ++chunk) {
+      const size_t begin = chunk * kReduceChunk;
+      const size_t end = std::min(begin + kReduceChunk, n);
+      double delta = 0.0;
+      for (size_t t = begin; t < end; ++t) {
+        const double v = scale ? x[t] * inv : x[t];
+        x[t] = v;
+        delta += std::fabs(v - prev[t]);
+      }
+      partial[chunk] = delta;
+    }
+  });
+  double change = 0.0;
+  for (double p : partial) change += p;
+  return change;
+}
+
 void Normalize(std::vector<double>* x, IterNormalization kind,
                ThreadPool* pool, size_t grain) {
   if (kind == IterNormalization::kLogistic) {
@@ -109,7 +198,6 @@ Result<IterResult> RunIter(const BipartiteGraph& graph,
     GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     ScopedTimer sweep_timer(metrics, recorder, "iter/sweep",
                             TraceArg{"sweep", static_cast<double>(iteration)});
-    x_prev = x;
 
     // Lines 3–4: s(r_i, r_j) ← Σ_{t shared} x_t.
     ParallelFor(pool, 0, num_pairs, grain, [&](size_t lo, size_t hi) {
@@ -119,27 +207,38 @@ Result<IterResult> RunIter(const BipartiteGraph& graph,
       }
     });
 
-    // Lines 5–6: x_t ← Σ_p p(r_i, r_j)·s(p) / P_t.
-    ParallelFor(pool, 0, num_terms, grain, [&](size_t lo, size_t hi) {
-      for (TermId t = lo; t < hi; ++t) {
-        auto adjacent = graph.PairsOfTerm(t);
-        if (adjacent.empty()) {
-          x[t] = 0.0;
-          continue;
+    double change;
+    if (options.fuse_sweeps) {
+      // Lines 5–7 and the convergence delta in one fused pass (two for L2)
+      // — bit-identical to the staged arm below, see FusedTermSweep.
+      change = FusedTermSweep(graph, edge_probability, s, weighted_sum,
+                              options.normalization, pool, &x, &x_prev);
+    } else {
+      x_prev = x;
+
+      // Lines 5–6: x_t ← Σ_p p(r_i, r_j)·s(p) / P_t.
+      ParallelFor(pool, 0, num_terms, grain, [&](size_t lo, size_t hi) {
+        for (TermId t = lo; t < hi; ++t) {
+          auto adjacent = graph.PairsOfTerm(t);
+          if (adjacent.empty()) {
+            x[t] = 0.0;
+            continue;
+          }
+          x[t] = weighted_sum(edge_probability.data(), s.data(),
+                              adjacent.data(), adjacent.size()) /
+                 graph.Pt(t);
         }
-        x[t] = weighted_sum(edge_probability.data(), s.data(), adjacent.data(),
-                            adjacent.size()) /
-               graph.Pt(t);
-      }
-    });
+      });
 
-    // Line 7: normalization keeps the additive rule bounded.
-    Normalize(&x, options.normalization, pool, grain);
+      // Line 7: normalization keeps the additive rule bounded.
+      Normalize(&x, options.normalization, pool, grain);
 
-    const double* xp = x.data();
-    const double* xq = x_prev.data();
-    double change = ChunkedSum(
-        pool, num_terms, [xp, xq](size_t i) { return std::fabs(xp[i] - xq[i]); });
+      const double* xp = x.data();
+      const double* xq = x_prev.data();
+      change = ChunkedSum(pool, num_terms, [xp, xq](size_t i) {
+        return std::fabs(xp[i] - xq[i]);
+      });
+    }
     if (options.track_convergence) result.update_trace.push_back(change);
     if (metrics != nullptr) {
       metrics->AddCounter("iter/sweeps");

@@ -1,0 +1,199 @@
+// BLIS-style packed GEMM for the AVX-512 dispatch level. Same layering as
+// gemm_avx2.cc — per-KC-slab packed B panels, per-worker packed A
+// micropanels with the panel-level nonzero skip — widened to an 8×16
+// register-blocked FMA microkernel (16 zmm accumulators out of the 32
+// architectural zmm registers, so the two B vectors and the A broadcast
+// never spill). The k-loop order per row is identical regardless of how
+// row blocks land on threads, so results are bit-stable across thread
+// counts; vs the scalar kernel they differ only by FMA contraction / lane
+// reassociation (≤1e-12 relative, DESIGN.md §4d).
+
+#include "gter/matrix/matrix_simd.h"
+
+#if GTER_HAVE_AVX512
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "gter/common/thread_pool.h"
+
+namespace gter {
+namespace internal {
+namespace {
+
+constexpr size_t kMr = 8;    // rows per micropanel / microkernel tile
+constexpr size_t kNr = 16;   // cols per panel (two zmm vectors)
+constexpr size_t kKc = 256;  // k-slab: one packed B panel column is 32 KiB
+constexpr size_t kMc = 64;   // rows of A packed at once per worker
+
+/// C[0:kMr)[0:kNr) += Ap×Bp over `kc` steps. `ap` is kMr-interleaved
+/// (micropanel), `bp` is kNr-interleaved (panel); both zero-padded, so the
+/// kernel never reads past logical edges.
+inline void MicroKernel(size_t kc, const double* ap, const double* bp,
+                        double* acc) {
+  __m512d c00 = _mm512_setzero_pd(), c01 = _mm512_setzero_pd();
+  __m512d c10 = _mm512_setzero_pd(), c11 = _mm512_setzero_pd();
+  __m512d c20 = _mm512_setzero_pd(), c21 = _mm512_setzero_pd();
+  __m512d c30 = _mm512_setzero_pd(), c31 = _mm512_setzero_pd();
+  __m512d c40 = _mm512_setzero_pd(), c41 = _mm512_setzero_pd();
+  __m512d c50 = _mm512_setzero_pd(), c51 = _mm512_setzero_pd();
+  __m512d c60 = _mm512_setzero_pd(), c61 = _mm512_setzero_pd();
+  __m512d c70 = _mm512_setzero_pd(), c71 = _mm512_setzero_pd();
+  for (size_t k = 0; k < kc; ++k) {
+    const __m512d b0 = _mm512_loadu_pd(bp + k * kNr);
+    const __m512d b1 = _mm512_loadu_pd(bp + k * kNr + 8);
+    const __m512d a0 = _mm512_set1_pd(ap[k * kMr + 0]);
+    c00 = _mm512_fmadd_pd(a0, b0, c00);
+    c01 = _mm512_fmadd_pd(a0, b1, c01);
+    const __m512d a1 = _mm512_set1_pd(ap[k * kMr + 1]);
+    c10 = _mm512_fmadd_pd(a1, b0, c10);
+    c11 = _mm512_fmadd_pd(a1, b1, c11);
+    const __m512d a2 = _mm512_set1_pd(ap[k * kMr + 2]);
+    c20 = _mm512_fmadd_pd(a2, b0, c20);
+    c21 = _mm512_fmadd_pd(a2, b1, c21);
+    const __m512d a3 = _mm512_set1_pd(ap[k * kMr + 3]);
+    c30 = _mm512_fmadd_pd(a3, b0, c30);
+    c31 = _mm512_fmadd_pd(a3, b1, c31);
+    const __m512d a4 = _mm512_set1_pd(ap[k * kMr + 4]);
+    c40 = _mm512_fmadd_pd(a4, b0, c40);
+    c41 = _mm512_fmadd_pd(a4, b1, c41);
+    const __m512d a5 = _mm512_set1_pd(ap[k * kMr + 5]);
+    c50 = _mm512_fmadd_pd(a5, b0, c50);
+    c51 = _mm512_fmadd_pd(a5, b1, c51);
+    const __m512d a6 = _mm512_set1_pd(ap[k * kMr + 6]);
+    c60 = _mm512_fmadd_pd(a6, b0, c60);
+    c61 = _mm512_fmadd_pd(a6, b1, c61);
+    const __m512d a7 = _mm512_set1_pd(ap[k * kMr + 7]);
+    c70 = _mm512_fmadd_pd(a7, b0, c70);
+    c71 = _mm512_fmadd_pd(a7, b1, c71);
+  }
+  _mm512_storeu_pd(acc + 0 * kNr, c00);
+  _mm512_storeu_pd(acc + 0 * kNr + 8, c01);
+  _mm512_storeu_pd(acc + 1 * kNr, c10);
+  _mm512_storeu_pd(acc + 1 * kNr + 8, c11);
+  _mm512_storeu_pd(acc + 2 * kNr, c20);
+  _mm512_storeu_pd(acc + 2 * kNr + 8, c21);
+  _mm512_storeu_pd(acc + 3 * kNr, c30);
+  _mm512_storeu_pd(acc + 3 * kNr + 8, c31);
+  _mm512_storeu_pd(acc + 4 * kNr, c40);
+  _mm512_storeu_pd(acc + 4 * kNr + 8, c41);
+  _mm512_storeu_pd(acc + 5 * kNr, c50);
+  _mm512_storeu_pd(acc + 5 * kNr + 8, c51);
+  _mm512_storeu_pd(acc + 6 * kNr, c60);
+  _mm512_storeu_pd(acc + 6 * kNr + 8, c61);
+  _mm512_storeu_pd(acc + 7 * kNr, c70);
+  _mm512_storeu_pd(acc + 7 * kNr + 8, c71);
+}
+
+/// Packs B[k0:k0+kc) into ceil(n/kNr) column panels, each kc×kNr with the
+/// ragged last panel zero-padded.
+void PackB(const DenseMatrix& b, size_t k0, size_t kc, double* packed) {
+  const size_t n = b.cols();
+  const size_t num_panels = (n + kNr - 1) / kNr;
+  for (size_t jp = 0; jp < num_panels; ++jp) {
+    const size_t j0 = jp * kNr;
+    const size_t jw = std::min(kNr, n - j0);
+    double* panel = packed + jp * kc * kNr;
+    for (size_t k = 0; k < kc; ++k) {
+      const double* src = b.row(k0 + k) + j0;
+      double* dst = panel + k * kNr;
+      for (size_t j = 0; j < jw; ++j) dst[j] = src[j];
+      for (size_t j = jw; j < kNr; ++j) dst[j] = 0.0;
+    }
+  }
+}
+
+/// Packs A[i0:i0+mc)[k0:k0+kc) into kMr-row micropanels (zero-padding the
+/// ragged last one) with the per-micropanel nonzero flag that lets the
+/// caller skip an all-zero micropanel's entire jr loop for this k-slab.
+void PackA(const DenseMatrix& a, size_t i0, size_t mc, size_t k0, size_t kc,
+           double* packed, unsigned char* nonzero) {
+  const size_t num_panels = (mc + kMr - 1) / kMr;
+  for (size_t ip = 0; ip < num_panels; ++ip) {
+    const size_t r0 = ip * kMr;
+    const size_t rh = std::min(kMr, mc - r0);
+    double* panel = packed + ip * kc * kMr;
+    bool any = false;
+    for (size_t k = 0; k < kc; ++k) {
+      double* dst = panel + k * kMr;
+      for (size_t r = 0; r < rh; ++r) {
+        const double v = a(i0 + r0 + r, k0 + k);
+        dst[r] = v;
+        any |= (v != 0.0);
+      }
+      for (size_t r = rh; r < kMr; ++r) dst[r] = 0.0;
+    }
+    nonzero[ip] = any ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+Status GemmPackedAvx512(const DenseMatrix& a, const DenseMatrix& b,
+                        DenseMatrix* c, const ExecContext& ctx) {
+  const size_t m = a.rows();
+  const size_t k_dim = a.cols();
+  const size_t n = b.cols();
+  if (m == 0 || n == 0 || k_dim == 0) return Status::OK();
+
+  const size_t num_col_panels = (n + kNr - 1) / kNr;
+  const size_t num_row_blocks = (m + kMc - 1) / kMc;
+  std::vector<double> packed_b(kKc * num_col_panels * kNr);
+
+  for (size_t k0 = 0; k0 < k_dim; k0 += kKc) {
+    GTER_RETURN_IF_ERROR(ctx.CheckCancel());
+    const size_t kc = std::min(kKc, k_dim - k0);
+    PackB(b, k0, kc, packed_b.data());
+
+    ParallelFor(ctx.pool, 0, num_row_blocks, /*grain=*/1, [&](size_t blk_lo,
+                                                              size_t blk_hi) {
+      std::vector<double> packed_a(kMc * kKc);
+      std::vector<unsigned char> panel_nonzero(kMc / kMr);
+      double acc[kMr * kNr];
+      for (size_t blk = blk_lo; blk < blk_hi; ++blk) {
+        if (ctx.cancelled()) return;  // skip; reported after the join
+        const size_t i0 = blk * kMc;
+        const size_t mc = std::min(kMc, m - i0);
+        PackA(a, i0, mc, k0, kc, packed_a.data(), panel_nonzero.data());
+        const size_t num_micro = (mc + kMr - 1) / kMr;
+        for (size_t ip = 0; ip < num_micro; ++ip) {
+          if (!panel_nonzero[ip]) continue;
+          const double* ap = packed_a.data() + ip * kc * kMr;
+          const size_t row0 = i0 + ip * kMr;
+          const size_t rh = std::min(kMr, m - row0);
+          for (size_t jp = 0; jp < num_col_panels; ++jp) {
+            const double* bp = packed_b.data() + jp * kc * kNr;
+            MicroKernel(kc, ap, bp, acc);
+            const size_t j0 = jp * kNr;
+            const size_t jw = std::min(kNr, n - j0);
+            if (rh == kMr && jw == kNr) {
+              for (size_t r = 0; r < kMr; ++r) {
+                double* c_row = c->row(row0 + r) + j0;
+                const __m512d lo = _mm512_add_pd(
+                    _mm512_loadu_pd(c_row), _mm512_loadu_pd(acc + r * kNr));
+                const __m512d hi =
+                    _mm512_add_pd(_mm512_loadu_pd(c_row + 8),
+                                  _mm512_loadu_pd(acc + r * kNr + 8));
+                _mm512_storeu_pd(c_row, lo);
+                _mm512_storeu_pd(c_row + 8, hi);
+              }
+            } else {
+              for (size_t r = 0; r < rh; ++r) {
+                double* c_row = c->row(row0 + r) + j0;
+                for (size_t j = 0; j < jw; ++j) c_row[j] += acc[r * kNr + j];
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  return ctx.CheckCancel();
+}
+
+}  // namespace internal
+}  // namespace gter
+
+#endif  // GTER_HAVE_AVX512

@@ -47,6 +47,23 @@ Status ComputeMaskedProductCsr(const CsrMatrix& trans,
                                const CsrMatrix& pattern, double* out_values,
                                const ExecContext& ctx = DefaultExecContext());
 
+/// Fused-accumulate variant: in the same pass that reads row i's results
+/// out of the dense accumulator, also performs
+///   accum_values[pos] += out_values[pos]
+/// for every structural position of the row (`accum_values` parallel to
+/// `pattern`'s value array; may be null, which degrades to the plain
+/// kernel). This removes CliqueRank's separate accumulation sweep over the
+/// value array each step. Determinism argument: the accumulate is
+/// elementwise on positions this worker just wrote — it reorders nothing,
+/// adds no cross-thread sharing, and leaves `out_values` untouched, so the
+/// fused kernel is bit-identical to running the plain kernel followed by a
+/// separate `accum += out` sweep.
+Status ComputeMaskedProductCsr(const CsrMatrix& trans,
+                               const double* prev_values,
+                               const CsrMatrix& pattern, double* out_values,
+                               double* accum_values,
+                               const ExecContext& ctx = DefaultExecContext());
+
 /// Scatters CSR `values` (parallel to `pattern`'s value array) into the
 /// dense n×n row-major buffer `dense`, zeroing previous pattern positions
 /// first. Off-pattern entries of `dense` are assumed to already be zero and

@@ -65,7 +65,7 @@ Status MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
 
 Status MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
                             const CsrMatrix& pattern, double* out_values,
-                            const ExecContext& ctx) {
+                            double* accum_values, const ExecContext& ctx) {
   const size_t n = pattern.cols();
   ParallelFor(ctx.pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
                                                             size_t hi) {
@@ -102,11 +102,19 @@ Status MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
       for (; e + 4 <= pat_cols.size(); e += 4) {
         const __m128i cols = _mm_loadu_si128(
             reinterpret_cast<const __m128i*>(pat_cols.data() + e));
-        _mm256_storeu_pd(out_values + base + e,
-                         _mm256_i32gather_pd(acc.data(), cols, 8));
+        const __m256d out = _mm256_i32gather_pd(acc.data(), cols, 8);
+        _mm256_storeu_pd(out_values + base + e, out);
+        if (accum_values != nullptr) {
+          // Fused `accum += out` on positions this worker just produced:
+          // elementwise, so it can't perturb `out` (see masked_multiply.h).
+          _mm256_storeu_pd(
+              accum_values + base + e,
+              _mm256_add_pd(_mm256_loadu_pd(accum_values + base + e), out));
+        }
       }
       for (; e < pat_cols.size(); ++e) {
         out_values[base + e] = acc[pat_cols[e]];
+        if (accum_values != nullptr) accum_values[base + e] += acc[pat_cols[e]];
       }
       for (size_t p = 0; p < t_cols.size(); ++p) {
         for (uint32_t c : pattern.RowCols(t_cols[p])) acc[c] = 0.0;

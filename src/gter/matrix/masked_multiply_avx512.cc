@@ -1,0 +1,175 @@
+// AVX-512 twins of the masked-product kernels, carrying the same
+// BIT-IDENTICAL contract as the AVX2 TU. The dense variant vectorizes
+// ACROSS 8 output entries — each lane runs the exact scalar per-entry
+// recurrence (separate mul then add, ascending k, no FMA; -ffp-contract=off
+// keeps the compiler from re-fusing). The CSR variant keeps the AVX2
+// Gustavson shape — 4-wide multiplies, scalar adds into the dense
+// accumulator in the original order — but EVEX-encodes it with AVX-512VL:
+// the ragged tails that the AVX2 kernel handles with scalar loops become
+// __mmask8-predicated 256-bit ops (maskz mul in the scatter phase, masked
+// gather/store in the read-out and fused accumulate), so short rows pay no
+// scalar epilogue. Staying at 256 bits is deliberate: this kernel is bound
+// by the scalar accumulator adds, and 512-bit ops add frequency-license
+// pressure without enough vector work to amortize it. Variants measured
+// slower on Skylake-class hosts: an 8-lane widening of the multiply and
+// read-out (license downclocking, no win on the add-bound core loop), a
+// full gather-modify-scatter accumulate (vscatterdpd is microcoded, and
+// re-gathering `acc` right after scattering to it serializes the loop on
+// store-to-load forwarding), and a generation-stamp accumulator that
+// skips the re-zeroing pass (the per-entry stamp branch mispredicts on
+// real adjacency and costs more than the zero stores it saves).
+
+#include "gter/matrix/matrix_simd.h"
+
+#if GTER_HAVE_AVX512
+
+#include <immintrin.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "gter/common/thread_pool.h"
+
+namespace gter {
+namespace internal {
+namespace {
+
+/// Mask with the low `w` (< 8) lanes active.
+inline __mmask8 TailMask(size_t w) {
+  return static_cast<__mmask8>((1u << w) - 1u);
+}
+
+}  // namespace
+
+Status MaskedProductDenseAvx512(const CsrMatrix& trans,
+                                const double* prev_dense,
+                                const CsrMatrix& pattern, double* out_values,
+                                const ExecContext& ctx) {
+  const size_t n = pattern.cols();
+  ParallelFor(ctx.pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
+                                                            size_t hi) {
+    if (ctx.cancelled()) return;
+    for (size_t i = lo; i < hi; ++i) {
+      auto pat_cols = pattern.RowCols(i);
+      if (pat_cols.empty()) continue;
+      auto t_cols = trans.RowCols(i);
+      auto t_vals = trans.RowValues(i);
+      const size_t base = pattern.RowStart(i);
+      size_t e = 0;
+      for (; e + 8 <= pat_cols.size(); e += 8) {
+        const __m256i cols = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i*>(pat_cols.data() + e));
+        __m512d acc = _mm512_setzero_pd();
+        for (size_t p = 0; p < t_cols.size(); ++p) {
+          const double* prev_row =
+              prev_dense + static_cast<size_t>(t_cols[p]) * n;
+          const __m512d v = _mm512_i32gather_pd(cols, prev_row, 8);
+          // mul + add (not fmadd): each lane reproduces the scalar
+          // `acc += w * prev[k·n + j]` bit for bit.
+          acc = _mm512_add_pd(acc,
+                              _mm512_mul_pd(_mm512_set1_pd(t_vals[p]), v));
+        }
+        _mm512_storeu_pd(out_values + base + e, acc);
+      }
+      if (e < pat_cols.size()) {
+        const size_t w = pat_cols.size() - e;
+        const __mmask8 m = TailMask(w);
+        const __m256i cols =
+            _mm256_maskz_loadu_epi32(m, pat_cols.data() + e);
+        __m512d acc = _mm512_setzero_pd();
+        for (size_t p = 0; p < t_cols.size(); ++p) {
+          const double* prev_row =
+              prev_dense + static_cast<size_t>(t_cols[p]) * n;
+          const __m512d v = _mm512_mask_i32gather_pd(_mm512_setzero_pd(), m,
+                                                     cols, prev_row, 8);
+          acc = _mm512_add_pd(acc,
+                              _mm512_mul_pd(_mm512_set1_pd(t_vals[p]), v));
+        }
+        _mm512_mask_storeu_pd(out_values + base + e, m, acc);
+      }
+    }
+  });
+  return ctx.CheckCancel();
+}
+
+Status MaskedProductCsrAvx512(const CsrMatrix& trans,
+                              const double* prev_values,
+                              const CsrMatrix& pattern, double* out_values,
+                              double* accum_values, const ExecContext& ctx) {
+  const size_t n = pattern.cols();
+  ParallelFor(ctx.pool, 0, pattern.rows(), /*grain=*/8, [&](size_t lo,
+                                                            size_t hi) {
+    if (ctx.cancelled()) return;
+    std::vector<double> acc(n, 0.0);
+    for (size_t i = lo; i < hi; ++i) {
+      auto pat_cols = pattern.RowCols(i);
+      if (pat_cols.empty()) continue;
+      auto t_cols = trans.RowCols(i);
+      auto t_vals = trans.RowValues(i);
+      for (size_t p = 0; p < t_cols.size(); ++p) {
+        const size_t k = t_cols[p];
+        const __m256d w = _mm256_set1_pd(t_vals[p]);
+        auto prev_cols = pattern.RowCols(k);
+        const double* pv = prev_values + pattern.RowStart(k);
+        size_t e = 0;
+        alignas(32) double prod[4];
+        for (; e + 4 <= prev_cols.size(); e += 4) {
+          // Products exact per lane; the adds hit distinct columns (unique
+          // sorted cols) and stay scalar in the original order — bitwise
+          // vs the scalar twin, and free of the gather→scatter dependence
+          // chain a vectorized accumulate would thread through `acc`.
+          _mm256_store_pd(prod, _mm256_mul_pd(w, _mm256_loadu_pd(pv + e)));
+          acc[prev_cols[e + 0]] += prod[0];
+          acc[prev_cols[e + 1]] += prod[1];
+          acc[prev_cols[e + 2]] += prod[2];
+          acc[prev_cols[e + 3]] += prod[3];
+        }
+        if (e < prev_cols.size()) {
+          const size_t tw = prev_cols.size() - e;
+          const __mmask8 m = TailMask(tw);
+          _mm256_store_pd(
+              prod, _mm256_maskz_mul_pd(m, w, _mm256_maskz_loadu_pd(m, pv + e)));
+          for (size_t l = 0; l < tw; ++l) acc[prev_cols[e + l]] += prod[l];
+        }
+      }
+      const size_t base = pattern.RowStart(i);
+      size_t e = 0;
+      for (; e + 4 <= pat_cols.size(); e += 4) {
+        const __m128i cols = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(pat_cols.data() + e));
+        const __m256d out = _mm256_i32gather_pd(acc.data(), cols, 8);
+        _mm256_storeu_pd(out_values + base + e, out);
+        if (accum_values != nullptr) {
+          // Fused `accum += out` on positions this worker just produced:
+          // elementwise, so it can't perturb `out` (see masked_multiply.h).
+          _mm256_storeu_pd(
+              accum_values + base + e,
+              _mm256_add_pd(_mm256_loadu_pd(accum_values + base + e), out));
+        }
+      }
+      if (e < pat_cols.size()) {
+        const size_t tw = pat_cols.size() - e;
+        const __mmask8 m = TailMask(tw);
+        const __m128i cols = _mm_maskz_loadu_epi32(m, pat_cols.data() + e);
+        const __m256d out = _mm256_mmask_i32gather_pd(
+            _mm256_setzero_pd(), m, cols, acc.data(), 8);
+        _mm256_mask_storeu_pd(out_values + base + e, m, out);
+        if (accum_values != nullptr) {
+          const __m256d cur =
+              _mm256_maskz_loadu_pd(m, accum_values + base + e);
+          _mm256_mask_storeu_pd(accum_values + base + e, m,
+                                _mm256_add_pd(cur, out));
+        }
+      }
+      for (size_t p = 0; p < t_cols.size(); ++p) {
+        for (uint32_t c : pattern.RowCols(t_cols[p])) acc[c] = 0.0;
+      }
+    }
+  });
+  return ctx.CheckCancel();
+}
+
+}  // namespace internal
+}  // namespace gter
+
+#endif  // GTER_HAVE_AVX512

@@ -1,10 +1,10 @@
 #ifndef GTER_MATRIX_MATRIX_SIMD_H_
 #define GTER_MATRIX_MATRIX_SIMD_H_
 
-// Internal declarations of the AVX2 matrix kernels (gemm_avx2.cc,
-// masked_multiply_avx2.cc). Only the dispatchers in gemm.cc and
-// masked_multiply.cc include this; the public API stays in gemm.h /
-// masked_multiply.h.
+// Internal declarations of the AVX2/AVX-512 matrix kernels (gemm_avx2.cc,
+// masked_multiply_avx2.cc, gemm_avx512.cc, masked_multiply_avx512.cc). Only
+// the dispatchers in gemm.cc and masked_multiply.cc include this; the
+// public API stays in gemm.h / masked_multiply.h.
 
 #include "gter/common/cpu.h"
 #include "gter/common/exec_context.h"
@@ -32,11 +32,39 @@ Status MaskedProductDenseAvx2(const CsrMatrix& trans, const double* prev_dense,
                               const ExecContext& ctx);
 
 /// AVX2 twin of ComputeMaskedProductCsr; same bit-identical contract.
+/// `accum_values` (may be null) receives `accum[e] += out[e]` fused into
+/// the row readout — elementwise, so fusing cannot change `out`.
 Status MaskedProductCsrAvx2(const CsrMatrix& trans, const double* prev_values,
                             const CsrMatrix& pattern, double* out_values,
-                            const ExecContext& ctx);
+                            double* accum_values, const ExecContext& ctx);
 
 #endif  // GTER_HAVE_AVX2
+
+#if GTER_HAVE_AVX512
+
+/// AVX-512 GEMM: same BLIS layering as GemmPackedAvx2 with an 8×16
+/// register-blocked FMA microkernel over zmm pairs. Same ≤1e-12 contract
+/// vs the scalar kernel; bit-stable across thread counts.
+Status GemmPackedAvx512(const DenseMatrix& a, const DenseMatrix& b,
+                        DenseMatrix* c, const ExecContext& ctx);
+
+/// AVX-512 twin of ComputeMaskedProduct: 8 pattern entries per vector,
+/// masked gathers for the ragged tail; bit-identical to scalar.
+Status MaskedProductDenseAvx512(const CsrMatrix& trans,
+                                const double* prev_dense,
+                                const CsrMatrix& pattern, double* out_values,
+                                const ExecContext& ctx);
+
+/// AVX-512 twin of ComputeMaskedProductCsr: Gustavson accumulation via
+/// 8-wide gather-modify-scatter (conflict-free because pattern rows have
+/// unique sorted columns); bit-identical to scalar. Same optional fused
+/// `accum_values` as the AVX2 twin.
+Status MaskedProductCsrAvx512(const CsrMatrix& trans,
+                              const double* prev_values,
+                              const CsrMatrix& pattern, double* out_values,
+                              double* accum_values, const ExecContext& ctx);
+
+#endif  // GTER_HAVE_AVX512
 
 }  // namespace internal
 }  // namespace gter

@@ -128,6 +128,26 @@ size_t LevenshteinDistanceMyers(std::string_view a, std::string_view b) {
   return MyersBlocked(b, a);
 }
 
+void LevenshteinDistanceBatch(std::string_view a,
+                              const std::vector<std::string>& b,
+                              std::vector<size_t>* out) {
+  out->resize(b.size());
+  const SimdLevel level = ActiveSimdLevel();
+#if GTER_HAVE_AVX512
+  // The lane-parallel kernel fixes `a` as the pattern regardless of which
+  // string is shorter; edit distance is symmetric and Myers is exact, so
+  // the integer result matches the per-call role-swapping entry point.
+  if (level >= SimdLevel::kAvx512 && !a.empty() && a.size() <= 64) {
+    internal::LevenshteinBatchAvx512(a, b, out->data());
+    return;
+  }
+#endif
+  for (size_t j = 0; j < b.size(); ++j) {
+    (*out)[j] = level == SimdLevel::kScalar ? LevenshteinDistanceDp(a, b[j])
+                                            : LevenshteinDistanceMyers(a, b[j]);
+  }
+}
+
 double LevenshteinSimilarity(std::string_view a, std::string_view b) {
   size_t longest = std::max(a.size(), b.size());
   if (longest == 0) return 1.0;
@@ -209,6 +229,20 @@ void JaroWinklerSimilarityBatch(std::string_view a,
                                 std::vector<double>* out,
                                 double prefix_scale) {
   out->resize(b.size());
+#if GTER_HAVE_AVX512
+  if (ActiveSimdLevel() >= SimdLevel::kAvx512 && a.size() <= 64) {
+    // Per-candidate dispatch: the masked kernel covers candidates that fit
+    // one zmm (≤ 64 bytes — virtually all record tokens); longer ones fall
+    // back to the scalar window walk with the shared scratch.
+    JaroScratch scratch;
+    for (size_t j = 0; j < b.size(); ++j) {
+      (*out)[j] = b[j].size() <= 64
+                      ? internal::JaroWinklerAvx512(a, b[j], prefix_scale)
+                      : JaroWinklerWithScratch(a, b[j], prefix_scale, &scratch);
+    }
+    return;
+  }
+#endif
   JaroScratch scratch;
   for (size_t j = 0; j < b.size(); ++j) {
     (*out)[j] = JaroWinklerWithScratch(a, b[j], prefix_scale, &scratch);

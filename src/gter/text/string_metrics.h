@@ -33,6 +33,16 @@ size_t LevenshteinDistanceDp(std::string_view a, std::string_view b);
 /// count byte edits).
 size_t LevenshteinDistanceMyers(std::string_view a, std::string_view b);
 
+/// Batched Levenshtein: out[j] = LevenshteinDistance(a, b[j]), resized to
+/// b.size(). Same per-pair dispatch as the single-shot entry point, plus an
+/// AVX-512 tier that runs 8 candidates per __m512i through a lane-parallel
+/// single-word Myers kernel when |a| ≤ 64 (the common case for record
+/// fields). Edit distance is symmetric and every tier computes the exact
+/// DP, so all tiers return identical integer distances.
+void LevenshteinDistanceBatch(std::string_view a,
+                              const std::vector<std::string>& b,
+                              std::vector<size_t>* out);
+
 /// 1 - distance / max(|a|, |b|); 1.0 for two empty strings.
 double LevenshteinSimilarity(std::string_view a, std::string_view b);
 
@@ -98,6 +108,28 @@ double SoftTfIdfSimilarity(const std::vector<std::string>& a,
                            const std::vector<std::string>& b,
                            const std::vector<double>& weights_b,
                            double theta = 0.9);
+
+namespace internal {
+#if GTER_HAVE_AVX512
+/// 8-lane batched single-word Myers (string_metrics_avx512.cc): texts
+/// stream through one __m512i of per-lane DP states, eq words gathered from
+/// a shared peq table, hout bits popcount-flushed into per-lane scores
+/// (VPOPCNTQ). Requires 1 ≤ |pattern| ≤ 64; texts of any length (a lane
+/// goes inactive past its text's end). Writes texts.size() exact distances
+/// to `out`.
+void LevenshteinBatchAvx512(std::string_view pattern,
+                            const std::vector<std::string>& texts,
+                            size_t* out);
+
+/// Mask-parallel Jaro–Winkler (string_metrics_avx512.cc): `b` lives in one
+/// byte-masked zmm, each a[i] scans its match window with a 64-bit compare
+/// mask, and the first unmatched equal char falls out of a tzcnt — the same
+/// (i, j) pairing as the scalar window walk, so the result is bit-identical
+/// to JaroWinklerSimilarity. Requires |a| ≤ 64 and |b| ≤ 64.
+double JaroWinklerAvx512(std::string_view a, std::string_view b,
+                         double prefix_scale);
+#endif
+}  // namespace internal
 
 }  // namespace gter
 

@@ -42,6 +42,8 @@ TEST(SimdDispatch, ParseSimdLevel) {
   EXPECT_EQ(level, SimdLevel::kScalar);
   ASSERT_TRUE(ParseSimdLevel("avx2", &level));
   EXPECT_EQ(level, SimdLevel::kAvx2);
+  ASSERT_TRUE(ParseSimdLevel("avx512", &level));
+  EXPECT_EQ(level, SimdLevel::kAvx512);
   ASSERT_TRUE(ParseSimdLevel("auto", &level));
   EXPECT_EQ(level, DetectSimdLevel());
   EXPECT_FALSE(ParseSimdLevel("sse9", &level));
@@ -51,6 +53,13 @@ TEST(SimdDispatch, ParseSimdLevel) {
 TEST(SimdDispatch, LevelNamesRoundTrip) {
   EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
   EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx512), "avx512");
+  for (SimdLevel level :
+       {SimdLevel::kScalar, SimdLevel::kAvx2, SimdLevel::kAvx512}) {
+    SimdLevel parsed;
+    ASSERT_TRUE(ParseSimdLevel(SimdLevelName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
 }
 
 TEST(SimdDispatch, ScopedLevelRestores) {
@@ -67,6 +76,14 @@ TEST(SimdDispatch, SetSimdLevelClampsToDetected) {
   SetSimdLevel(SimdLevel::kAvx2);
   // Requesting avx2 on a scalar-only machine degrades instead of crashing.
   EXPECT_LE(ActiveSimdLevel(), DetectSimdLevel());
+  // Same for avx512 on an avx2-only (or scalar-only) machine: the request
+  // clamps to the detected tier, it never selects unrunnable kernels.
+  SetSimdLevel(SimdLevel::kAvx512);
+  EXPECT_LE(ActiveSimdLevel(), DetectSimdLevel());
+  {
+    ScopedSimdLevel scoped(SimdLevel::kAvx512);
+    EXPECT_LE(ActiveSimdLevel(), DetectSimdLevel());
+  }
   SetSimdLevel(before);
 }
 
@@ -89,6 +106,12 @@ TEST(SimdDispatch, EmitCpuInfoRecordsGaugesAndTraceLabel) {
   const CpuFeatures& f = DetectCpuFeatures();
   EXPECT_EQ(metrics.Gauge("cpu/avx2"), f.avx2 ? 1.0 : 0.0);
   EXPECT_EQ(metrics.Gauge("cpu/fma"), f.fma ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.Gauge("cpu/avx512f"), f.avx512f ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.Gauge("cpu/avx512bw"), f.avx512bw ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.Gauge("cpu/avx512dq"), f.avx512dq ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.Gauge("cpu/avx512vl"), f.avx512vl ? 1.0 : 0.0);
+  EXPECT_EQ(metrics.Gauge("cpu/avx512vpopcntdq"),
+            f.avx512vpopcntdq ? 1.0 : 0.0);
   EXPECT_EQ(metrics.Gauge("simd/level"),
             static_cast<double>(ActiveSimdLevel()));
   const std::string json = trace.ToChromeJson();

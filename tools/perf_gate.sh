@@ -23,11 +23,15 @@
 #                  (+50%): generous because the checked-in baseline was
 #                  recorded on one specific machine; tighten it when the
 #                  baseline is regenerated on the machine running the gate.
-#   simd           Dispatch level the gate run uses: auto (default), avx2,
-#                  or scalar. The gate normally runs the SIMD path (what
-#                  production runs); pass `scalar` to compare a candidate
+#   simd           Dispatch level the gate run uses: auto (default),
+#                  avx512, avx2, or scalar. The gate normally runs the SIMD
+#                  path (what production runs — auto picks the highest tier
+#                  the host supports); pass `scalar` to compare a candidate
 #                  against a pre-SIMD baseline like for like — scalar-only
-#                  timers are recorded and the *_avx2 bench variants skip.
+#                  timers are recorded and the *_avx2 / *_avx512 bench
+#                  variants skip. Levels above the host's capability clamp
+#                  down, so `avx512` is safe to pass everywhere: on a
+#                  non-avx512 host it degrades to the avx2 run.
 #   loadgen-conns  When > 0, additionally run bench/bench_loadgen against a
 #                  self-hosted gterd with this many concurrent connections
 #                  and gate on ZERO protocol errors (bench_loadgen exits
