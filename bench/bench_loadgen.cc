@@ -13,10 +13,19 @@
 //     port, and hammers it — the perf-gate configuration, hermetic in one
 //     process. The server gets an ephemeral metrics port, and after the
 //     run its /metrics is scraped to cross-check the server-side resolve
-//     work_us p99 against the client-side resolve p99.
+//     work_us p99 against the client-side resolve p99. --incremental
+//     self-hosts the updatable ResolverState engine instead of the
+//     frozen batch model (add_record then ingests for real).
 //   --port=N targets an already-running gterd (--host to point off-box).
 //     Queries are built from a stats() probe, so no dataset is needed.
 //     --metrics_port=N enables the same scrape cross-check.
+//
+// --mix=R:A:P:S sets the per-connection request cycle as a ratio of
+// resolve : add_record : pair_score : stats calls. The default 2:0:1:1
+// is the historical mix; 8:1:4:3 is the mixed-ingest gate configuration.
+// A method that cannot run degrades in place (resolve/add_record need
+// record texts, pair_score needs >= 2 records; the fallback is stats),
+// so external-mode runs without texts still issue every slot.
 //
 // --warmup_requests=N has every connection issue N unrecorded requests
 // before measurement starts (cache/JIT-free here, but it drains the
@@ -33,6 +42,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -51,13 +61,44 @@ struct WorkerResult {
   uint64_t errors = 0;    // transport or malformed-frame failures
 };
 
-/// One connection's request loop. `texts` drives resolve queries; when
-/// empty (external mode without record texts) the mix degrades to
-/// pair_score + stats. The first `warmup` requests are issued but not
-/// recorded.
+enum class ReqKind { kResolve, kAddRecord, kPairScore, kStats };
+
+/// Parses "R:A:P:S" (resolve : add_record : pair_score : stats ratio)
+/// into the per-connection request cycle. Returns false on malformed
+/// input or an all-zero ratio.
+bool ParseMix(const std::string& spec, std::vector<ReqKind>* cycle) {
+  constexpr ReqKind kOrder[] = {ReqKind::kResolve, ReqKind::kAddRecord,
+                                ReqKind::kPairScore, ReqKind::kStats};
+  cycle->clear();
+  size_t pos = 0;
+  for (size_t field = 0; field < 4; ++field) {
+    size_t end = spec.find(':', pos);
+    if (field < 3 ? end == std::string::npos : end != std::string::npos) {
+      return false;
+    }
+    if (field == 3) end = spec.size();
+    const std::string token = spec.substr(pos, end - pos);
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos) {
+      return false;
+    }
+    const unsigned long count = std::strtoul(token.c_str(), nullptr, 10);
+    if (count > 1000) return false;  // the cycle is repeated, keep it short
+    for (unsigned long k = 0; k < count; ++k) cycle->push_back(kOrder[field]);
+    pos = end + 1;
+  }
+  return !cycle->empty();
+}
+
+/// One connection's request loop. `texts` drives resolve/add_record
+/// bodies; a cycle slot whose method cannot run here (no texts, or
+/// pair_score with < 2 records) degrades toward stats so every slot
+/// still issues a request. The first `warmup` requests are issued but
+/// not recorded.
 void RunWorker(const std::string& host, uint16_t port, uint64_t requests,
                uint64_t warmup, int64_t deadline_ms, uint64_t num_records,
-               const std::vector<std::string>* texts, uint64_t seed,
+               const std::vector<std::string>* texts,
+               const std::vector<ReqKind>* cycle, uint64_t seed,
                WorkerResult* out) {
   auto connected = GterdClient::Connect(host, port);
   if (!connected.ok()) {
@@ -67,23 +108,43 @@ void RunWorker(const std::string& host, uint16_t port, uint64_t requests,
   GterdClient client = std::move(connected).value();
   Rng rng(seed);
   out->latencies_ms.reserve(requests);
+  const bool have_texts = texts != nullptr && !texts->empty();
   for (uint64_t i = 0; i < warmup + requests; ++i) {
     const bool measured = i >= warmup;
     JsonValue params = JsonValue::MakeObject();
     std::string method;
-    const uint64_t kind = i % 4;
-    if (kind < 2 && texts != nullptr && !texts->empty()) {
-      method = "resolve";
-      params.Set("text", JsonValue::MakeString(
-                             (*texts)[rng.NextBounded(texts->size())]));
-    } else if (kind < 3 && num_records >= 2) {
-      method = "pair_score";
-      params.Set("a", JsonValue::MakeNumber(static_cast<double>(
-                          rng.NextBounded(num_records))));
-      params.Set("b", JsonValue::MakeNumber(static_cast<double>(
-                          rng.NextBounded(num_records))));
-    } else {
-      method = "stats";
+    ReqKind kind = (*cycle)[i % cycle->size()];
+    // Degradation ladder: resolve/add_record need texts, pair_score
+    // needs two records; anything unservable lands on stats.
+    if ((kind == ReqKind::kResolve || kind == ReqKind::kAddRecord) &&
+        !have_texts) {
+      kind = ReqKind::kPairScore;
+    }
+    if (kind == ReqKind::kPairScore && num_records < 2) {
+      kind = ReqKind::kStats;
+    }
+    switch (kind) {
+      case ReqKind::kResolve:
+        method = "resolve";
+        params.Set("text", JsonValue::MakeString(
+                               (*texts)[rng.NextBounded(texts->size())]));
+        break;
+      case ReqKind::kAddRecord:
+        method = "add_record";
+        params.Set("text", JsonValue::MakeString(
+                               (*texts)[rng.NextBounded(texts->size())]));
+        params.Set("source", JsonValue::MakeNumber(0.0));
+        break;
+      case ReqKind::kPairScore:
+        method = "pair_score";
+        params.Set("a", JsonValue::MakeNumber(static_cast<double>(
+                            rng.NextBounded(num_records))));
+        params.Set("b", JsonValue::MakeNumber(static_cast<double>(
+                            rng.NextBounded(num_records))));
+        break;
+      case ReqKind::kStats:
+        method = "stats";
+        break;
     }
     const auto start = std::chrono::steady_clock::now();
     auto response = client.Call(method, std::move(params), deadline_ms);
@@ -127,8 +188,21 @@ int Run(int argc, char** argv) {
                "(self-host mode discovers it automatically)");
   flags.AddString("kind", "restaurant",
                   "self-host dataset kind: restaurant | product | paper");
+  flags.AddString("mix", "2:0:1:1",
+                  "resolve:add_record:pair_score:stats request ratio");
+  flags.AddBool("incremental", false,
+                "self-host the incremental ResolverState engine "
+                "(add_record ingests for real)");
   if (!bench::ParseStandardFlags(argc, argv, &flags)) return 2;
   bench::BenchMetricsScope metrics(flags);
+
+  std::vector<ReqKind> cycle;
+  if (!ParseMix(flags.GetString("mix"), &cycle)) {
+    std::fprintf(stderr, "loadgen: bad --mix '%s' (want R:A:P:S, e.g. "
+                 "2:0:1:1)\n",
+                 flags.GetString("mix").c_str());
+    return 2;
+  }
 
   const auto connections = static_cast<size_t>(flags.GetInt("connections"));
   const auto requests = static_cast<uint64_t>(flags.GetInt("requests"));
@@ -171,8 +245,10 @@ int Run(int argc, char** argv) {
     }
     std::fprintf(stderr, "loadgen: training on %llu records...\n",
                  static_cast<unsigned long long>(num_records));
+    ResolutionServiceOptions service_options;
+    service_options.incremental = flags.GetBool("incremental");
     auto built = ResolutionService::Create(
-        std::move(data.dataset), ResolutionServiceOptions{},
+        std::move(data.dataset), std::move(service_options),
         bench::BenchContext(flags));
     if (!built.ok()) {
       std::fprintf(stderr, "loadgen: %s\n",
@@ -217,7 +293,7 @@ int Run(int argc, char** argv) {
   for (size_t c = 0; c < connections; ++c) {
     workers.emplace_back(RunWorker, host, port, requests, warmup,
                          deadline_ms, num_records,
-                         texts.empty() ? nullptr : &texts,
+                         texts.empty() ? nullptr : &texts, &cycle,
                          static_cast<uint64_t>(flags.GetInt("seed")) + c,
                          &results[c]);
   }

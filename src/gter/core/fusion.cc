@@ -2,6 +2,7 @@
 
 #include "gter/common/status.h"
 #include "gter/common/timer.h"
+#include "gter/core/progressive.h"
 #include "gter/graph/record_graph.h"
 
 namespace gter {
@@ -14,11 +15,18 @@ void DeclarePipelineMetrics(MetricsRegistry* registry) {
         "rss/walks_run", "rss/early_stops", "rss/target_hits",
         "cliquerank/runs", "cliquerank/engine_dense",
         "cliquerank/engine_masked", "cliquerank/steps",
-        "fusion/rounds", "fusion/matches", "cluster/endgame_runs"}) {
+        "fusion/rounds", "fusion/matches", "cluster/endgame_runs",
+        "iter/dirty_runs", "iter/dirty_sweeps", "iter/full_resweeps",
+        "iter/stall_escalations", "iter/subsystem_solves",
+        "ingest/records", "ingest/dirty_reiter_runs", "ingest/full_resweeps",
+        "progressive/runs", "progressive/considered", "progressive/emitted",
+        "progressive/budget_exhausted"}) {
     registry->DeclareCounter(name);
   }
   registry->SetGauge("cliquerank/scratch_bytes", 0.0);
   registry->SetGauge("cluster/clusters", 0.0);
+  registry->SetGauge("ingest/last_converge_sweeps", 0.0);
+  registry->SetGauge("ingest/last_touched_pairs", 0.0);
 }
 
 FusionPipeline::FusionPipeline(const Dataset& dataset, FusionConfig config)
@@ -93,13 +101,34 @@ Result<FusionResult> FusionPipeline::Run(const ExecContext& ctx) {
     if (observer_) observer_(round, result);
   }
 
-  result.matches.resize(pairs_.size());
-  size_t matched = 0;
-  for (PairId p = 0; p < pairs_.size(); ++p) {
-    result.matches[p] = result.pair_probability[p] >= config_.eta;
-    matched += result.matches[p] ? 1 : 0;
+  // Match emission goes through the progressive scheduler (DESIGN.md §4g):
+  // pairs are visited in descending ITER-score order, so a budget-truncated
+  // run has spent its time on the most promising pairs. Unlimited budget →
+  // exactly the batch p ≥ η match set.
+  ProgressiveOptions prog_options;
+  prog_options.eta = config_.eta;
+  prog_options.budget_seconds = config_.progressive_budget_ms / 1000.0;
+  ProgressiveResult prog;
+  if (Status s = RunProgressive(dataset_.size(), pairs_, result.pair_scores,
+                                result.pair_probability, prog_options, &prog,
+                                ctx);
+      !s.ok()) {
+    return fail(std::move(s));
   }
-  if (metrics != nullptr) metrics->AddCounter("fusion/matches", matched);
+  result.matches = std::move(prog.matches);
+  result.budget_exhausted = prog.budget_exhausted;
+  result.pairs_considered = prog.pairs_considered;
+  if (metrics != nullptr) {
+    metrics->AddCounter("fusion/matches", prog.matched_count);
+  }
+  if (result.budget_exhausted) {
+    // The configured endgame needs every decision; under a tripped budget
+    // the scheduler's own transitive closure is the anytime answer.
+    result.cluster_of = std::move(prog.cluster_of);
+    result.num_clusters = prog.num_clusters;
+    result.total_seconds = total_watch.ElapsedSeconds();
+    return std::move(partial_);
+  }
 
   // The clustering endgame: turn pairwise probabilities into entities.
   // A cancellation inside the clusterer still leaves the matches readable

@@ -35,6 +35,14 @@ struct FusionConfig {
   /// of the p ≥ η decisions.
   ClustererKind clusterer = ClustererKind::kConnectedComponents;
   ClustererOptions clusterer_options;
+  /// Wall-clock budget for the match-emission endgame, in milliseconds
+  /// (DESIGN.md §4g). 0 = unlimited: the progressive scheduler visits every
+  /// pair (emitting exactly the batch match set) and the configured
+  /// clusterer runs as usual. When the budget trips mid-scan, the result
+  /// carries the scheduler's anytime snapshot — the highest-benefit prefix
+  /// of matches and its transitive closure — with `budget_exhausted` set,
+  /// and the configured endgame is skipped (it would need all decisions).
+  double progressive_budget_ms = 0.0;
 };
 
 /// Timing and quality snapshot after each reinforcement round.
@@ -60,6 +68,11 @@ struct FusionResult {
   /// cluster label per record.
   std::vector<uint32_t> cluster_of;
   size_t num_clusters = 0;
+  /// The progressive scheduler's budget tripped before every pair was
+  /// visited; `matches`/`cluster_of` are the anytime prefix snapshot.
+  bool budget_exhausted = false;
+  /// Pairs the scheduler visited (== pair count when not truncated).
+  size_t pairs_considered = 0;
   std::vector<FusionRoundStats> round_stats;
   double total_seconds = 0.0;
   /// Σ|Δx| trace of the *first* ITER run (Figure 5).

@@ -1,0 +1,81 @@
+#include "gter/core/progressive.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gter/common/metrics.h"
+#include "gter/common/status.h"
+#include "gter/graph/union_find.h"
+
+namespace gter {
+
+Status RunProgressive(size_t num_records, const PairSpace& pairs,
+                      const std::vector<double>& benefit,
+                      const std::vector<double>& pair_probability,
+                      const ProgressiveOptions& options,
+                      ProgressiveResult* out, const ExecContext& ctx) {
+  const size_t num_pairs = pairs.size();
+  GTER_CHECK(benefit.size() == num_pairs);
+  GTER_CHECK(pair_probability.size() == num_pairs);
+  GTER_CHECK(out != nullptr);
+
+  MetricsRegistry* metrics = ctx.metrics_or_ambient();
+  TraceRecorder* recorder = ctx.trace_or_ambient();
+  ScopedTimer total_timer(metrics, recorder, "progressive/run");
+  if (metrics != nullptr) metrics->AddCounter("progressive/runs");
+
+  out->matches.assign(num_pairs, false);
+  out->matched_count = 0;
+  out->pairs_considered = 0;
+  out->budget_exhausted = false;
+  UnionFind uf(num_records);
+  const auto finalize = [&] {
+    out->cluster_of = uf.ComponentLabels();
+    out->num_clusters = uf.num_components();
+    if (metrics != nullptr) {
+      metrics->AddCounter("progressive/considered", out->pairs_considered);
+      metrics->AddCounter("progressive/emitted", out->matched_count);
+    }
+  };
+
+  // Benefit order: descending key, PairId tiebreak — fully deterministic,
+  // so any truncated prefix is too.
+  std::vector<PairId> order(num_pairs);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](PairId a, PairId b) {
+    if (benefit[a] != benefit[b]) return benefit[a] > benefit[b];
+    return a < b;
+  });
+
+  CancelToken budget;
+  if (options.budget_seconds > 0.0) budget.SetTimeout(options.budget_seconds);
+
+  const size_t stride = options.poll_stride == 0 ? 1 : options.poll_stride;
+  for (size_t i = 0; i < num_pairs; ++i) {
+    if (i % stride == 0) {
+      if (Status cancel = ctx.CheckCancel(); !cancel.ok()) {
+        finalize();
+        return cancel;
+      }
+      if (budget.cancelled()) {
+        out->budget_exhausted = true;
+        if (metrics != nullptr) {
+          metrics->AddCounter("progressive/budget_exhausted");
+        }
+        break;
+      }
+    }
+    const PairId p = order[i];
+    out->pairs_considered = i + 1;
+    if (pair_probability[p] >= options.eta) {
+      out->matches[p] = true;
+      ++out->matched_count;
+      const RecordPair& rp = pairs.pair(p);
+      uf.Union(rp.a, rp.b);
+    }
+  }
+  finalize();
+  return Status::OK();
+}
+
+}  // namespace gter

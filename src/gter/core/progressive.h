@@ -1,0 +1,69 @@
+#ifndef GTER_CORE_PROGRESSIVE_H_
+#define GTER_CORE_PROGRESSIVE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "gter/common/exec_context.h"
+#include "gter/er/pair_space.h"
+
+namespace gter {
+
+/// Options for the budgeted progressive match scheduler (DESIGN.md §4g).
+struct ProgressiveOptions {
+  /// Match threshold applied to `pair_probability` (FusionConfig::eta).
+  double eta = 0.98;
+  /// Wall-clock emission budget in seconds; 0 means unlimited (the
+  /// scheduler then visits every pair and emits exactly the batch match
+  /// set). Implemented as a private CancelToken deadline, so the budget
+  /// composes with — and is checked alongside — the caller's token.
+  double budget_seconds = 0.0;
+  /// Pairs between cancellation/budget polls.
+  size_t poll_stride = 1024;
+};
+
+/// Anytime output of the scheduler. Valid after every return — including a
+/// cancelled one — because the caller passes it as an output parameter:
+/// `matches`/`cluster_of` always describe exactly the pairs considered so
+/// far (unvisited pairs are non-matches, unmerged records are singletons).
+struct ProgressiveResult {
+  std::vector<bool> matches;
+  size_t matched_count = 0;
+  /// Pairs visited in benefit order before the budget/cancel/end stopped
+  /// the scan.
+  size_t pairs_considered = 0;
+  /// The time budget tripped before the scan finished. Never set by
+  /// caller-token cancellation (that returns the error status instead).
+  bool budget_exhausted = false;
+  /// Connected components of the emitted matches: dense labels stable by
+  /// smallest member, one per record.
+  std::vector<uint32_t> cluster_of;
+  size_t num_clusters = 0;
+};
+
+/// Emits match decisions over `pairs` in descending-benefit order until the
+/// order is exhausted or the time budget trips. `benefit[p]` is the
+/// expected-benefit key — the fusion pipeline passes the ITER pair scores
+/// (an upper-bound-style proxy in the SPER spirit: high-similarity pairs
+/// are resolved first, so an interrupted run has spent its budget on the
+/// pairs most likely to merge entities). Ties break toward the smaller
+/// PairId, so the order — and therefore every budget-truncated prefix — is
+/// deterministic. A pair matches iff `pair_probability[p] >= options.eta`,
+/// exactly the batch rule; with an unlimited budget the emitted set is
+/// bit-identical to the batch loop.
+///
+/// Cancellation contract: the caller's token is polled before the first
+/// emission and every `poll_stride` pairs; a trip returns its status with
+/// `*out` holding the partial snapshot. The budget trip is NOT an error:
+/// the scan stops, `budget_exhausted` is set, and the call returns OK.
+Status RunProgressive(size_t num_records, const PairSpace& pairs,
+                      const std::vector<double>& benefit,
+                      const std::vector<double>& pair_probability,
+                      const ProgressiveOptions& options,
+                      ProgressiveResult* out,
+                      const ExecContext& ctx = DefaultExecContext());
+
+}  // namespace gter
+
+#endif  // GTER_CORE_PROGRESSIVE_H_

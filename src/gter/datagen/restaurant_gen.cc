@@ -46,15 +46,26 @@ struct EntityFactory {
   std::vector<std::string> street_pool;        // distinct values
   size_t next_distinctive = 0;
 
+  /// MakeSurname can produce ~264k distinct strings. The rejection loops
+  /// below collect *distinct* values, so the wanted pool sizes must stay
+  /// well under that bound or the loops never terminate (40·n alone
+  /// exceeds the space past ~6.6k records — generation used to hang at
+  /// scale ≳ 7.7). Capping keeps the draw count near-linear; past the
+  /// cap the street-collision rate grows with n² / 120k instead of n/80,
+  /// which only makes the hard-false-positive budget scale-proportional
+  /// sooner.
+  static constexpr size_t kMaxNamePool = 100000;
+  static constexpr size_t kMaxStreetPool = 120000;
+
   EntityFactory(size_t num_records, Rng* rng) {
     std::unordered_set<std::string> used;
-    size_t want_names = num_records * 3 + 16;
+    size_t want_names = std::min(num_records * 3 + 16, kMaxNamePool);
     distinctive_names.reserve(want_names);
     while (distinctive_names.size() < want_names) {
       std::string w = VocabBank::MakeSurname(rng);
       if (used.insert(w).second) distinctive_names.push_back(w);
     }
-    size_t want_streets = num_records * 40;
+    size_t want_streets = std::min(num_records * 40, kMaxStreetPool);
     street_pool.reserve(want_streets);
     while (street_pool.size() < want_streets) {
       std::string w = VocabBank::MakeSurname(rng);

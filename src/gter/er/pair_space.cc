@@ -56,6 +56,21 @@ PairSpace PairSpace::FromPairs(std::vector<RecordPair> pairs) {
   return space;
 }
 
+PairId PairSpace::Append(RecordId a, RecordId b) {
+  if (a > b) std::swap(a, b);
+  GTER_CHECK(a != b);
+  uint64_t key = Key(a, b);
+  auto [it, inserted] =
+      index_.emplace(key, static_cast<PairId>(pairs_.size()));
+  if (inserted) {
+    pairs_.push_back(RecordPair{a, b});
+    if (MetricsRegistry* metrics = MetricsRegistry::Current()) {
+      metrics->AddCounter("pairspace/pairs");
+    }
+  }
+  return it->second;
+}
+
 PairId PairSpace::Find(RecordId a, RecordId b) const {
   if (a > b) std::swap(a, b);
   auto it = index_.find(Key(a, b));

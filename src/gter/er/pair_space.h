@@ -47,6 +47,13 @@ class PairSpace {
   /// term. Order of a and b does not matter.
   PairId Find(RecordId a, RecordId b) const;
 
+  /// Appends the pair {a, b} (canonicalized to a < b) and returns its id; if
+  /// the pair is already present, returns the existing id without mutating
+  /// the space. This is the incremental-ingest hook: existing PairIds are
+  /// stable across Append, so score/probability vectors indexed by PairId
+  /// can simply grow. Self-pairs are a checked error.
+  PairId Append(RecordId a, RecordId b);
+
   /// Total pairs in the full candidate universe of the dataset, i.e.
   /// n·(n−1)/2 for single-source or |S0|·|S1| for two-source. Pairs sharing
   /// no term are counted here but not materialized.

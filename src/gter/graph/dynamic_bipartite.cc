@@ -1,0 +1,33 @@
+#include "gter/graph/dynamic_bipartite.h"
+
+#include "gter/common/status.h"
+
+namespace gter {
+
+void DynamicBipartiteGraph::EnsureTerms(size_t num_terms) {
+  if (num_terms <= term_pairs_.size()) return;
+  term_pairs_.resize(num_terms);
+  nt_.resize(num_terms, 0);
+}
+
+void DynamicBipartiteGraph::AddRecordTerms(std::span<const TermId> terms) {
+  for (TermId t : terms) {
+    GTER_CHECK(t < nt_.size());
+    ++nt_[t];
+  }
+}
+
+PairId DynamicBipartiteGraph::AddPair(std::span<const TermId> shared_terms) {
+  GTER_CHECK(!shared_terms.empty());
+  const PairId p = static_cast<PairId>(num_pairs());
+  pair_terms_.insert(pair_terms_.end(), shared_terms.begin(),
+                     shared_terms.end());
+  pair_offsets_.push_back(pair_terms_.size());
+  for (TermId t : shared_terms) {
+    GTER_CHECK(t < term_pairs_.size());
+    term_pairs_[t].push_back(p);
+  }
+  return p;
+}
+
+}  // namespace gter

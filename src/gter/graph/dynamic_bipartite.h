@@ -1,0 +1,100 @@
+#ifndef GTER_GRAPH_DYNAMIC_BIPARTITE_H_
+#define GTER_GRAPH_DYNAMIC_BIPARTITE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gter/er/pair_space.h"
+#include "gter/graph/bipartite_graph.h"
+#include "gter/text/vocabulary.h"
+
+namespace gter {
+
+/// Appendable variant of the §V-B term ↔ record-pair graph for incremental
+/// resolution (DESIGN.md §4g). Where BipartiteGraph is a frozen two-sided
+/// CSR built in one pass, this structure grows in place:
+///
+///  - `EnsureTerms` extends the term side as the vocabulary interns new
+///    terms (existing TermIds are stable).
+///  - `AddRecordTerms` registers one record's term set, bumping N_t — and
+///    therefore the Eq. 6 denominator P_t in kPaper mode — for each term.
+///  - `AddPair` appends one pair node with its shared-term adjacency and
+///    mirrors it into the per-term posting lists. PairIds are assigned
+///    densely in append order, so vectors indexed by PairId simply grow.
+///
+/// Adjacency is stored as append-only offset+flat arrays on the pair side
+/// (identical layout to the CSR) and as per-term posting vectors on the
+/// term side; postings stay sorted because pairs are appended in PairId
+/// order. P_t is derived on demand from N_t / the posting degree, so it can
+/// never go stale. The accessors mirror BipartiteGraph so RunIterDirty's
+/// gather loops read both shapes the same way.
+class DynamicBipartiteGraph {
+ public:
+  explicit DynamicBipartiteGraph(PtMode pt_mode = PtMode::kPaper)
+      : pt_mode_(pt_mode) {
+    pair_offsets_.push_back(0);
+  }
+
+  /// Grows the term side to at least `num_terms` (new terms start with
+  /// N_t = 0 and no adjacent pairs). Never shrinks.
+  void EnsureTerms(size_t num_terms);
+
+  /// Registers one record's sorted-unique term set: N_t increments for each
+  /// term. Call exactly once per record, before adding the record's pairs.
+  void AddRecordTerms(std::span<const TermId> terms);
+
+  /// Appends a pair node adjacent to `shared_terms` (the sorted shared-term
+  /// set of the record pair, must be non-empty) and returns its dense id.
+  PairId AddPair(std::span<const TermId> shared_terms);
+
+  size_t num_terms() const { return term_pairs_.size(); }
+  size_t num_pairs() const { return pair_offsets_.size() - 1; }
+  size_t num_edges() const { return pair_terms_.size(); }
+
+  /// Shared terms of pair node `p`, sorted ascending. The span is
+  /// invalidated by the next AddPair.
+  std::span<const TermId> TermsOfPair(PairId p) const {
+    return {pair_terms_.data() + pair_offsets_[p],
+            pair_offsets_[p + 1] - pair_offsets_[p]};
+  }
+
+  /// Pair nodes adjacent to term `t`, ascending. The span is invalidated by
+  /// the next AddPair touching `t`.
+  std::span<const PairId> PairsOfTerm(TermId t) const {
+    return {term_pairs_[t].data(), term_pairs_[t].size()};
+  }
+
+  /// Normalization denominator P_t of Eq. 6, derived from the live N_t /
+  /// degree so appends can never leave it stale (≥ 1 always, matching
+  /// BipartiteGraph's clamp).
+  double Pt(TermId t) const {
+    double pt;
+    if (pt_mode_ == PtMode::kPaper) {
+      const double nt = static_cast<double>(nt_[t]);
+      pt = nt * (nt - 1.0) / 2.0;
+    } else {
+      pt = static_cast<double>(term_pairs_[t].size());
+    }
+    return pt < 1.0 ? 1.0 : pt;
+  }
+
+  /// N_t = number of records registered (via AddRecordTerms) containing t.
+  uint32_t Nt(TermId t) const { return nt_[t]; }
+
+  PtMode pt_mode() const { return pt_mode_; }
+
+ private:
+  PtMode pt_mode_;
+  // Pair → terms: append-only offsets + flat adjacency (CSR layout).
+  std::vector<size_t> pair_offsets_;
+  std::vector<TermId> pair_terms_;
+  // Term → pairs: posting vectors, sorted by construction.
+  std::vector<std::vector<PairId>> term_pairs_;
+  std::vector<uint32_t> nt_;
+};
+
+}  // namespace gter
+
+#endif  // GTER_GRAPH_DYNAMIC_BIPARTITE_H_

@@ -57,6 +57,7 @@
 #include "gter/er/record.h"
 
 #include "gter/graph/bipartite_graph.h"
+#include "gter/graph/dynamic_bipartite.h"
 #include "gter/graph/connected_components.h"
 #include "gter/graph/pagerank.h"
 #include "gter/graph/record_graph.h"
@@ -102,7 +103,9 @@
 #include "gter/core/iter.h"
 #include "gter/core/iter_matrix.h"
 #include "gter/core/model_io.h"
+#include "gter/core/progressive.h"
 #include "gter/core/resolver.h"
+#include "gter/core/resolver_state.h"
 #include "gter/core/rss.h"
 
 #include "gter/server/client.h"

@@ -9,6 +9,7 @@
 #include <unordered_map>
 
 #include "gter/common/metrics.h"
+#include "gter/common/timer.h"
 #include "gter/common/trace.h"
 #include "gter/core/clusterer.h"
 #include "gter/text/tokenizer.h"
@@ -69,6 +70,18 @@ Result<std::unique_ptr<ResolutionService>> ResolutionService::Create(
 }
 
 Status ResolutionService::Train(const ExecContext& ctx) {
+  if (options_.incremental) {
+    // Incremental mode: the startup "training" is a ResolverState batch
+    // build over the loaded dataset; every later add_record extends it.
+    Stopwatch watch;
+    state_ = std::make_unique<ResolverState>(&dataset_, options_.resolver);
+    GTER_RETURN_IF_ERROR(state_->BuildBatch(ctx));
+    train_seconds_ = watch.ElapsedSeconds();
+    source_of_.clear();
+    source_of_.reserve(dataset_.size());
+    for (const Record& r : dataset_.records()) source_of_.push_back(r.source);
+    return Status::OK();
+  }
   FusionPipeline pipeline(dataset_, options_.fusion);
   Result<FusionResult> run = pipeline.Run(ctx);
   if (!run.ok()) return run.status();
@@ -117,7 +130,9 @@ Result<JsonValue> ResolutionService::Handle(const GterdRequest& request,
     GTER_RETURN_IF_ERROR(ctx.CheckCancel());
     if (request.method == "pair_score") return PairScore(request.params, ctx);
     if (request.method == "resolve") return Resolve(request.params, ctx);
-    if (request.method == "add_record") return AddRecord(request.params);
+    if (request.method == "add_record") {
+      return AddRecord(request.params, ctx);
+    }
     if (request.method == "stats") return Stats(ctx);
     if (request.method == "debug_sleep") {
       auto ms = GetUint32Param(request.params, "ms");
@@ -150,7 +165,7 @@ double ResolutionService::SharedTermWeight(const std::vector<TermId>& a,
     } else if (b[j] < a[i]) {
       ++j;
     } else {
-      sum += term_weights_[a[i]];
+      sum += WeightsView()[a[i]];
       ++i;
       ++j;
     }
@@ -174,12 +189,13 @@ Result<JsonValue> ResolutionService::PairScore(const JsonValue& params,
   JsonValue out = JsonValue::MakeObject();
   out.Set("a", JsonValue::MakeNumber(a.value()));
   out.Set("b", JsonValue::MakeNumber(b.value()));
-  PairId p = pairs_.Find(a.value(), b.value());
+  PairId p = PairsView().Find(a.value(), b.value());
   if (p != kInvalidPairId) {
-    // Trained candidate pair: serve the fusion model's score verbatim.
-    out.Set("score", JsonValue::MakeNumber(pair_scores_[p]));
-    out.Set("probability", JsonValue::MakeNumber(pair_probability_[p]));
-    out.Set("match", JsonValue::MakeBool(matches_[p]));
+    // Candidate pair: serve the model's score verbatim (live in
+    // incremental mode, fusion-trained otherwise).
+    out.Set("score", JsonValue::MakeNumber(ScoresView()[p]));
+    out.Set("probability", JsonValue::MakeNumber(ProbabilityView()[p]));
+    out.Set("match", JsonValue::MakeBool(MatchesView()[p]));
     out.Set("in_candidate_space", JsonValue::MakeBool(true));
   } else {
     // Outside the candidate space (no shared term at training time, or a
@@ -229,9 +245,9 @@ Result<JsonValue> ResolutionService::Resolve(const JsonValue& params,
   if (endgame.has_value()) {
     ClusterProblem problem;
     problem.num_records = dataset_.size();
-    problem.pairs = &pairs_;
-    problem.pair_probability = &pair_probability_;
-    problem.eta = options_.fusion.eta;
+    problem.pairs = &PairsView();
+    problem.pair_probability = &ProbabilityView();
+    problem.eta = Eta();
     if (dataset_.num_sources() > 1) problem.source_of = &source_of_;
     Result<Clustering> fresh =
         MakeClusterer(*endgame, options_.fusion.clusterer_options)
@@ -263,8 +279,8 @@ Result<JsonValue> ResolutionService::Resolve(const JsonValue& params,
   size_t postings_since_poll = 0;
   for (TermId t : query_terms) {
     GTER_RETURN_IF_ERROR(ctx.CheckCancel());
-    const double w = term_weights_[t];
-    for (RecordId r : inverted_[t]) {
+    const double w = WeightsView()[t];
+    for (RecordId r : InvertedView()[t]) {
       Candidate& c = scores[r];
       c.score += w;
       ++c.overlap;
@@ -316,33 +332,43 @@ Result<JsonValue> ResolutionService::Resolve(const JsonValue& params,
     return out;
   }
   const RecordId best = ranked.front().record;
-  const uint32_t best_cluster =
-      endgame.has_value() ? fresh_cluster_of[best] : cluster_of_[best];
+  // A record can lack a cluster label only in incremental mode, when a
+  // cancelled ingest left the decision pass pending: serve it as a
+  // singleton until the next converge labels it.
+  const std::vector<uint32_t>& labels =
+      endgame.has_value() ? fresh_cluster_of : ClusterOfView();
   JsonValue best_obj = JsonValue::MakeObject();
   best_obj.Set("record", JsonValue::MakeNumber(best));
   best_obj.Set("score", JsonValue::MakeNumber(ranked.front().score));
-  best_obj.Set("cluster", JsonValue::MakeNumber(best_cluster));
-  best_obj.Set("text", JsonValue::MakeString(dataset_.record(best).raw_text));
-  out.Set("best", std::move(best_obj));
-  // The matching clique: every record resolved to the same entity as the
-  // best match (including the best match itself).
   JsonValue clique = JsonValue::MakeArray();
-  if (endgame.has_value()) {
-    for (RecordId r = 0; r < fresh_cluster_of.size(); ++r) {
-      if (fresh_cluster_of[r] == best_cluster) {
-        clique.Append(JsonValue::MakeNumber(r));
+  if (best >= labels.size()) {
+    best_obj.Set("cluster", JsonValue::MakeNull());
+    clique.Append(JsonValue::MakeNumber(best));
+  } else {
+    const uint32_t best_cluster = labels[best];
+    best_obj.Set("cluster", JsonValue::MakeNumber(best_cluster));
+    // The matching clique: every record resolved to the same entity as
+    // the best match (including the best match itself).
+    if (endgame.has_value()) {
+      for (RecordId r = 0; r < labels.size(); ++r) {
+        if (labels[r] == best_cluster) {
+          clique.Append(JsonValue::MakeNumber(r));
+        }
+      }
+    } else {
+      for (RecordId member : ClusterMembersView()[best_cluster]) {
+        clique.Append(JsonValue::MakeNumber(member));
       }
     }
-  } else {
-    for (RecordId member : cluster_members_[best_cluster]) {
-      clique.Append(JsonValue::MakeNumber(member));
-    }
   }
+  best_obj.Set("text", JsonValue::MakeString(dataset_.record(best).raw_text));
+  out.Set("best", std::move(best_obj));
   out.Set("clique", std::move(clique));
   return out;
 }
 
-Result<JsonValue> ResolutionService::AddRecord(const JsonValue& params) {
+Result<JsonValue> ResolutionService::AddRecord(const JsonValue& params,
+                                               const ExecContext& ctx) {
   auto text = GetStringParam(params, "text");
   if (!text.ok()) return text.status();
   uint32_t source = 0;
@@ -359,27 +385,49 @@ Result<JsonValue> ResolutionService::AddRecord(const JsonValue& params) {
                               std::to_string(dataset_.num_sources()) +
                               " sources)");
   }
-  const size_t vocab_before = dataset_.vocabulary().size();
-  RecordId id = dataset_.AddRecord(source, text.value());
-  // Terms interned by this record get zero weight until the next training
-  // run; the record scores through the terms it shares with the trained
-  // vocabulary.
-  term_weights_.resize(dataset_.vocabulary().size(), 0.0);
-  inverted_.resize(dataset_.vocabulary().size());
-  for (TermId t : dataset_.record(id).terms) {
-    inverted_[t].push_back(id);  // id is the largest, so order is kept
-  }
-  const uint32_t cluster = static_cast<uint32_t>(cluster_members_.size());
-  cluster_of_.push_back(cluster);
-  cluster_members_.push_back({id});
-  source_of_.push_back(source);
-  records_added_.fetch_add(1, std::memory_order_relaxed);
-
   JsonValue out = JsonValue::MakeObject();
-  out.Set("record", JsonValue::MakeNumber(id));
-  out.Set("cluster", JsonValue::MakeNumber(cluster));
-  out.Set("new_terms", JsonValue::MakeNumber(dataset_.vocabulary().size() -
-                                             vocab_before));
+  if (state_ != nullptr) {
+    // Incremental mode: a real ingest — O(neighborhood) structural update
+    // plus a dirty-region re-ITER under the request's deadline. The
+    // response reports the cluster the record resolved into.
+    Result<IngestStats> ingest = state_->Ingest(source, text.value(), ctx);
+    if (!ingest.ok()) return ingest.status();
+    const IngestStats& stats = ingest.value();
+    source_of_.push_back(source);
+    records_added_.fetch_add(1, std::memory_order_relaxed);
+    out.Set("record", JsonValue::MakeNumber(stats.record));
+    out.Set("cluster", JsonValue::MakeNumber(stats.cluster));
+    out.Set("cluster_size", JsonValue::MakeNumber(stats.cluster_size));
+    out.Set("new_terms", JsonValue::MakeNumber(stats.new_terms));
+    out.Set("new_pairs", JsonValue::MakeNumber(stats.new_pairs));
+    out.Set("sweeps", JsonValue::MakeNumber(stats.sweeps));
+  } else {
+    const size_t vocab_before = dataset_.vocabulary().size();
+    RecordId id = dataset_.AddRecord(source, text.value());
+    // Terms interned by this record get zero weight until the next
+    // training run; the record scores through the terms it shares with
+    // the trained vocabulary.
+    term_weights_.resize(dataset_.vocabulary().size(), 0.0);
+    inverted_.resize(dataset_.vocabulary().size());
+    for (TermId t : dataset_.record(id).terms) {
+      inverted_[t].push_back(id);  // id is the largest, so order is kept
+    }
+    const uint32_t cluster = static_cast<uint32_t>(cluster_members_.size());
+    cluster_of_.push_back(cluster);
+    cluster_members_.push_back({id});
+    source_of_.push_back(source);
+    records_added_.fetch_add(1, std::memory_order_relaxed);
+    out.Set("record", JsonValue::MakeNumber(id));
+    out.Set("cluster", JsonValue::MakeNumber(cluster));
+    out.Set("cluster_size", JsonValue::MakeNumber(1));
+    out.Set("new_terms", JsonValue::MakeNumber(dataset_.vocabulary().size() -
+                                               vocab_before));
+  }
+  // Post-ingest sizes, so a streaming client tracks dataset growth without
+  // a stats round-trip.
+  out.Set("records", JsonValue::MakeNumber(dataset_.size()));
+  out.Set("vocabulary_terms",
+          JsonValue::MakeNumber(dataset_.vocabulary().size()));
   return out;
 }
 
@@ -407,10 +455,29 @@ JsonValue ResolutionService::Stats(const ExecContext& ctx) const {
   out.Set("records", JsonValue::MakeNumber(dataset_.size()));
   out.Set("vocabulary_terms",
           JsonValue::MakeNumber(dataset_.vocabulary().size()));
-  out.Set("candidate_pairs", JsonValue::MakeNumber(pairs_.size()));
-  out.Set("matched_pairs", JsonValue::MakeNumber(matched_count_));
-  out.Set("cliques", JsonValue::MakeNumber(cluster_members_.size()));
+  out.Set("candidate_pairs", JsonValue::MakeNumber(PairsView().size()));
+  out.Set("matched_pairs", JsonValue::MakeNumber(MatchedCountView()));
+  out.Set("cliques", JsonValue::MakeNumber(ClusterMembersView().size()));
   out.Set("train_seconds", JsonValue::MakeNumber(train_seconds_));
+  out.Set("incremental", JsonValue::MakeBool(state_ != nullptr));
+  if (state_ != nullptr) {
+    // Ingest health of the incremental engine (DESIGN.md §4g). The same
+    // counters flow into the request-context MetricsRegistry, so gterd's
+    // /metrics exposes them to Prometheus as ingest_* series.
+    JsonValue ingest = JsonValue::MakeObject();
+    ingest.Set("records_ingested",
+               JsonValue::MakeNumber(state_->records_ingested()));
+    ingest.Set("dirty_reiter_runs",
+               JsonValue::MakeNumber(state_->dirty_reiter_runs()));
+    ingest.Set("full_resweeps",
+               JsonValue::MakeNumber(state_->full_resweeps()));
+    ingest.Set("last_converge_sweeps",
+               JsonValue::MakeNumber(state_->last_converge_sweeps()));
+    ingest.Set("pending_dirty",
+               JsonValue::MakeBool(state_->has_pending_dirty()));
+    ingest.Set("state_version", JsonValue::MakeNumber(state_->version()));
+    out.Set("ingest", std::move(ingest));
+  }
   out.Set("records_added", JsonValue::MakeNumber(records_added_.load(
                                std::memory_order_relaxed)));
   out.Set("requests_total", JsonValue::MakeNumber(requests_total_.load(

@@ -12,6 +12,7 @@
 #include "gter/common/exec_context.h"
 #include "gter/common/json.h"
 #include "gter/core/fusion.h"
+#include "gter/core/resolver_state.h"
 #include "gter/er/dataset.h"
 #include "gter/er/pair_space.h"
 #include "gter/server/protocol.h"
@@ -25,6 +26,14 @@ struct ResolutionServiceOptions {
   /// Tokenizer applied to query/ingested text; must match the one the
   /// dataset was built with so query terms intern identically.
   TokenizerOptions tokenizer;
+  /// Serve from the incremental ResolverState engine (DESIGN.md §4g)
+  /// instead of a frozen fusion run: training becomes a ResolverState
+  /// batch build and add_record becomes a real ingest — the record joins
+  /// the candidate space, ITER re-converges over the dirty region under
+  /// the request's context, and the response reports the resolved
+  /// cluster. `resolver` (not `fusion`) then governs eta/Pt/iter knobs.
+  bool incremental = false;
+  ResolverStateOptions resolver;
 };
 
 /// The long-lived resolution model behind gterd: a dataset, the fusion
@@ -39,12 +48,16 @@ struct ResolutionServiceOptions {
 /// ITER assigns to candidate pairs, evaluated against arbitrary query
 /// text through the inverted index in O(Σ_t |postings(t)|).
 ///
-/// add_record ingests a new record into the vocabulary, the inverted
-/// index, and a fresh singleton clique. It does not re-run fusion — newly
-/// interned terms carry zero weight until the next training run
-/// (incremental re-ITER is the ROADMAP's next arc); the record is still
-/// immediately visible to resolve/pair_score through the terms it shares
-/// with the trained vocabulary.
+/// add_record has two behaviours. In the default (batch-trained) mode it
+/// ingests a new record into the vocabulary, the inverted index, and a
+/// fresh singleton clique without re-running fusion — newly interned
+/// terms carry zero weight until the next training run; the record is
+/// still immediately visible to resolve/pair_score through the terms it
+/// shares with the trained vocabulary. In incremental mode
+/// (`options.incremental`) add_record is a full ingest into the
+/// ResolverState engine: O(neighborhood) structural update plus a
+/// dirty-region re-ITER under the request's deadline, after which the
+/// response reports the cluster the record actually resolved into.
 class ResolutionService {
  public:
   /// Builds the service: takes ownership of `dataset` (already
@@ -90,7 +103,7 @@ class ResolutionService {
                               const ExecContext& ctx) const;
   Result<JsonValue> Resolve(const JsonValue& params,
                             const ExecContext& ctx) const;
-  Result<JsonValue> AddRecord(const JsonValue& params);
+  Result<JsonValue> AddRecord(const JsonValue& params, const ExecContext& ctx);
   /// Lifetime counters plus `uptime_s` and — when the context's registry
   /// carries the server's `server/<method>/{queue,work}_us` sliding
   /// histograms — a `live` object of windowed per-method latency
@@ -101,12 +114,52 @@ class ResolutionService {
   double SharedTermWeight(const std::vector<TermId>& a,
                           const std::vector<TermId>& b) const;
 
+  // Mode-dispatching views over the model (mu_ held): incremental mode
+  // serves the ResolverState's live vectors, batch mode the frozen
+  // fusion-trained members. Handlers read through these only.
+  const PairSpace& PairsView() const {
+    return state_ ? state_->pairs() : pairs_;
+  }
+  const std::vector<double>& WeightsView() const {
+    return state_ ? state_->term_weights() : term_weights_;
+  }
+  const std::vector<double>& ScoresView() const {
+    return state_ ? state_->pair_scores() : pair_scores_;
+  }
+  const std::vector<double>& ProbabilityView() const {
+    return state_ ? state_->pair_probability() : pair_probability_;
+  }
+  const std::vector<bool>& MatchesView() const {
+    return state_ ? state_->matches() : matches_;
+  }
+  const std::vector<uint32_t>& ClusterOfView() const {
+    return state_ ? state_->cluster_of() : cluster_of_;
+  }
+  const std::vector<std::vector<RecordId>>& ClusterMembersView() const {
+    return state_ ? state_->cluster_members() : cluster_members_;
+  }
+  const std::vector<std::vector<RecordId>>& InvertedView() const {
+    return state_ ? state_->inverted_index() : inverted_;
+  }
+  size_t MatchedCountView() const {
+    return state_ ? state_->matched_count() : matched_count_;
+  }
+  double Eta() const {
+    return state_ ? options_.resolver.eta : options_.fusion.eta;
+  }
+
   mutable std::shared_mutex mu_;
   Dataset dataset_;
   ResolutionServiceOptions options_;
 
-  // The trained model (guarded by mu_; term_weights_ is resized, zero
-  // padded, when add_record grows the vocabulary).
+  /// The incremental engine (set iff options_.incremental). Guarded by
+  /// mu_: ingest mutates under the exclusive lock, reads go through the
+  /// views under shared locks.
+  std::unique_ptr<ResolverState> state_;
+
+  // The batch-trained model (guarded by mu_; term_weights_ is resized,
+  // zero padded, when add_record grows the vocabulary). Unused in
+  // incremental mode — the views above dispatch to state_ instead.
   std::vector<double> term_weights_;
   PairSpace pairs_;
   std::vector<double> pair_scores_;

@@ -90,5 +90,39 @@ TEST(PairSpaceTest, CliqueOfSharers) {
   EXPECT_EQ(space.size(), 15u);  // 6 choose 2
 }
 
+TEST(PairSpaceTest, AppendAssignsStableIdsAndDedupes) {
+  PairSpace space;
+  PairId p0 = space.Append(3, 1);  // canonicalized to (1, 3)
+  PairId p1 = space.Append(2, 5);
+  EXPECT_EQ(p0, 0u);
+  EXPECT_EQ(p1, 1u);
+  EXPECT_EQ(space.size(), 2u);
+  EXPECT_EQ(space.pairs()[p0].a, 1u);
+  EXPECT_EQ(space.pairs()[p0].b, 3u);
+  // Re-appending (either orientation) returns the existing id.
+  EXPECT_EQ(space.Append(1, 3), p0);
+  EXPECT_EQ(space.Append(5, 2), p1);
+  EXPECT_EQ(space.size(), 2u);
+  // Find sees appended pairs.
+  EXPECT_EQ(space.Find(3, 1), p0);
+  EXPECT_EQ(space.Find(2, 5), p1);
+  EXPECT_EQ(space.Find(1, 2), kInvalidPairId);
+}
+
+TEST(PairSpaceTest, AppendInterleavesWithBuild) {
+  Dataset ds("test");
+  ds.AddRecord(0, "a b");
+  ds.AddRecord(0, "b c");
+  ds.AddRecord(0, "x");
+  PairSpace space = PairSpace::Build(ds);
+  ASSERT_EQ(space.size(), 1u);
+  PairId existing = space.Find(0, 1);
+  // Built pairs dedupe through Append; new pairs extend the id space.
+  EXPECT_EQ(space.Append(1, 0), existing);
+  PairId fresh = space.Append(2, 0);
+  EXPECT_EQ(fresh, 1u);
+  EXPECT_EQ(space.Find(0, 2), fresh);
+}
+
 }  // namespace
 }  // namespace gter

@@ -41,7 +41,8 @@ struct ServerFixture {
   std::unique_ptr<ResolutionService> service;
   std::unique_ptr<GterdServer> server;
 
-  explicit ServerFixture(GterdServerOptions options = {}) {
+  explicit ServerFixture(GterdServerOptions options = {},
+                         ResolutionServiceOptions service_options = {}) {
     Dataset dataset("server-test");
     dataset.AddRecord(0, "golden dragon szechuan pasadena 8185551234");
     dataset.AddRecord(0, "golden dragon szechuan pasadena 8185551234");
@@ -49,7 +50,7 @@ struct ServerFixture {
     dataset.AddRecord(0, "blue lagoon seafood grill marina 3105559876");
     dataset.AddRecord(0, "taco fiesta cantina downtown 2135550000");
     auto built = ResolutionService::Create(std::move(dataset),
-                                           ResolutionServiceOptions{});
+                                           std::move(service_options));
     EXPECT_TRUE(built.ok()) << built.status().ToString();
     service = std::move(built).value();
     auto started = GterdServer::Start(service.get(), options);
@@ -237,6 +238,83 @@ TEST(GterdServerTest, AddRecordIsImmediatelyResolvable) {
   auto resolved = client.Call("resolve", std::move(query));
   ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
   EXPECT_EQ(resolved.value().Find("best")->NumberOr("record", -1), 5.0);
+}
+
+// --- Incremental serving mode (DESIGN.md §4g) --------------------------
+
+ResolutionServiceOptions IncrementalOptions() {
+  ResolutionServiceOptions options;
+  options.incremental = true;
+  return options;
+}
+
+TEST(GterdServerTest, IncrementalAddRecordResolvesIntoExistingCluster) {
+  ServerFixture fx({}, IncrementalOptions());
+  GterdClient client = fx.Connect();
+
+  // The incremental fixture clusters the two duplicate pairs at build.
+  auto before = client.Call("stats", JsonValue::MakeObject());
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_TRUE(before.value().Find("incremental")->boolean());
+  EXPECT_EQ(before.value().NumberOr("cliques", -1), 3.0);
+
+  // A third copy of the golden-dragon record must land in its cluster —
+  // a real ingest, not the batch mode's provisional singleton.
+  JsonValue add = JsonValue::MakeObject();
+  add.Set("text",
+          JsonValue::MakeString("golden dragon szechuan pasadena 8185551234"));
+  auto added = client.Call("add_record", std::move(add));
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_EQ(added.value().NumberOr("record", -1), 5.0);
+  EXPECT_EQ(added.value().NumberOr("cluster_size", -1), 3.0);
+  EXPECT_GE(added.value().NumberOr("new_pairs", -1), 2.0);
+  // Satellite contract: the response reports the post-ingest sizes.
+  EXPECT_EQ(added.value().NumberOr("records", -1), 6.0);
+  EXPECT_GT(added.value().NumberOr("vocabulary_terms", -1), 0.0);
+
+  // Its cluster is the one records 0/1 already occupy.
+  JsonValue query = JsonValue::MakeObject();
+  query.Set("text", JsonValue::MakeString("golden dragon pasadena"));
+  auto resolved = client.Call("resolve", std::move(query));
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  const JsonValue* clique = resolved.value().Find("clique");
+  ASSERT_NE(clique, nullptr);
+  EXPECT_EQ(clique->array().size(), 3u);
+
+  // And pair_score sees the new record inside the live candidate space.
+  JsonValue pair = JsonValue::MakeObject();
+  pair.Set("a", JsonValue::MakeNumber(0));
+  pair.Set("b", JsonValue::MakeNumber(5));
+  auto scored = client.Call("pair_score", std::move(pair));
+  ASSERT_TRUE(scored.ok()) << scored.status().ToString();
+  EXPECT_TRUE(scored.value().Find("in_candidate_space")->boolean());
+  EXPECT_TRUE(scored.value().Find("match")->boolean());
+}
+
+TEST(GterdServerTest, IncrementalStatsExposesIngestCounters) {
+  ServerFixture fx({}, IncrementalOptions());
+  GterdClient client = fx.Connect();
+  JsonValue add = JsonValue::MakeObject();
+  add.Set("text", JsonValue::MakeString("harbor house oyster bar 4155552222"));
+  ASSERT_TRUE(client.Call("add_record", std::move(add)).ok());
+
+  auto stats = client.Call("stats", JsonValue::MakeObject());
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  const JsonValue* ingest = stats.value().Find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_EQ(ingest->NumberOr("records_ingested", -1), 1.0);
+  // Build-batch converge + one ingest converge.
+  EXPECT_GE(ingest->NumberOr("dirty_reiter_runs", -1), 2.0);
+  EXPECT_GE(ingest->NumberOr("last_converge_sweeps", -1), 1.0);
+  EXPECT_FALSE(ingest->Find("pending_dirty")->boolean());
+  EXPECT_GE(ingest->NumberOr("state_version", -1), 2.0);
+  // The batch-mode fixture serves no ingest object.
+  ServerFixture batch;
+  GterdClient batch_client = batch.Connect();
+  auto batch_stats = batch_client.Call("stats", JsonValue::MakeObject());
+  ASSERT_TRUE(batch_stats.ok());
+  EXPECT_FALSE(batch_stats.value().Find("incremental")->boolean());
+  EXPECT_EQ(batch_stats.value().Find("ingest"), nullptr);
 }
 
 TEST(GterdServerTest, MalformedJsonAnswersErrorAndKeepsConnection) {

@@ -8,6 +8,7 @@
 //                    [--rounds 5] [--matches out.csv] [--weights w.csv]
 //                    [--clusterer connected_components] [--merge_threshold T]
 //                    [--simd scalar|avx2|auto] [--deadline_ms N]
+//                    [--budget_ms N] [--incremental]
 //       Resolve a CSV dataset; write matched pairs and term weights.
 //       --clusterer picks the clustering endgame that turns pairwise
 //       probabilities into entities (connected_components, correlation,
@@ -18,17 +19,25 @@
 //       stage boundary: the partial results seen so far are reported,
 //       --metrics_out/--trace_out are still written, and the exit code
 //       is 3 (vs 0 success, 1 failure, 2 usage).
+//       --budget_ms bounds the match-emission endgame: the progressive
+//       scheduler visits pairs in descending-score order and stops when
+//       the budget trips, keeping the highest-benefit match prefix.
+//       --incremental resolves through the ResolverState engine instead
+//       of the batch fusion rounds (DESIGN.md §4g).
 //   gter_cli evaluate --in data.csv [--sources 1] [--matches out.csv]
 //       Score a match file against the CSV's ground-truth entity column.
 //   gter_cli eval-endgames [--scale 0.25] [--seed 2018] [--rounds 3]
 //                          [--eta 0.98] [--merge_threshold 0.5]
-//                          [--out endgames.json]
+//                          [--out endgames.json] [--incremental]
 //       Run every registered clustering endgame over the three synthetic
 //       dataset families (restaurant, product, paper): fusion trains the
 //       pairwise probabilities once per family, then each endgame
 //       re-clusters them. Prints a table of pairwise precision/recall/F1
 //       and wall time per (family, endgame) and writes the same numbers
-//       as JSON when --out is given.
+//       as JSON when --out is given. --incremental trains through the
+//       ResolverState engine instead — half the records batch-built, the
+//       rest streamed in one at a time — so the endgames re-cluster the
+//       live incremental probabilities.
 //   gter_cli report run.json
 //       Print a per-stage breakdown of one --metrics_out file.
 //   gter_cli report baseline.json candidate.json [--regress_ratio 0.10]
@@ -125,6 +134,14 @@ int RunResolve(int argc, char** argv) {
   flags.AddString("weights", "", "output: term weights CSV (optional)");
   flags.AddInt("deadline_ms", 0,
                "cancel the run after this many milliseconds (0 = none)");
+  flags.AddInt("budget_ms", 0,
+               "progressive match-emission budget: stop emitting matches "
+               "after this many milliseconds, keeping the highest-benefit "
+               "prefix (0 = unlimited)");
+  flags.AddBool("incremental", false,
+                "resolve through the incremental ResolverState engine "
+                "(streaming fixed point; reciprocal-best matching, "
+                "connected-components endgame)");
   AddCommonStageFlags(&flags);
   Status s = flags.Parse(argc, argv);
   if (s.ok()) s = ApplyCommonStageFlags(flags);
@@ -169,6 +186,9 @@ int RunResolve(int argc, char** argv) {
   config.clusterer = clusterer.value();
   config.clusterer_options.merge_threshold =
       flags.GetDouble("merge_threshold");
+  config.progressive_budget_ms =
+      static_cast<double>(flags.GetInt("budget_ms"));
+  const bool incremental = flags.GetBool("incremental");
 
   // Results are bit-identical for any thread count, so --threads only
   // changes wall-clock time.
@@ -189,31 +209,76 @@ int RunResolve(int argc, char** argv) {
   g_resolve_cancel = &cancel;
   auto previous_handler = std::signal(SIGINT, HandleInterrupt);
 
-  FusionPipeline pipeline(dataset, config);
-  Result<FusionResult> run = pipeline.Run(ctx);
+  // Either arm fills a FusionResult so the output paths below are shared.
+  // The incremental arm resolves through the ResolverState engine
+  // (DESIGN.md §4g): same candidate space, streaming-capable fixed point,
+  // reciprocal-best matching with the connected-components closure.
+  std::optional<FusionPipeline> pipeline;
+  std::optional<ResolverState> state;
+  auto execute = [&]() -> Result<FusionResult> {
+    if (incremental) {
+      Stopwatch watch;
+      ResolverStateOptions rs_options;
+      rs_options.eta = config.eta;
+      rs_options.pt_mode = config.pt_mode;
+      state.emplace(&dataset, rs_options);
+      GTER_RETURN_IF_ERROR(state->BuildBatch(ctx));
+      FusionResult out;
+      out.term_weights = state->term_weights();
+      out.pair_scores = state->pair_scores();
+      out.pair_probability = state->pair_probability();
+      out.matches = state->matches();
+      out.cluster_of = state->cluster_of();
+      out.num_clusters = state->num_clusters();
+      out.pairs_considered = state->pairs().size();
+      out.total_seconds = watch.ElapsedSeconds();
+      return out;
+    }
+    pipeline.emplace(dataset, config);
+    return pipeline->Run(ctx);
+  };
+  Result<FusionResult> run = execute();
 
   std::signal(SIGINT, previous_handler);
   g_resolve_cancel = nullptr;
 
   const bool cancelled = !run.ok() && IsCancellation(run.status());
   if (!run.ok() && !cancelled) return Fail(run.status());
-  const FusionResult& result = run.ok() ? run.value() : pipeline.partial();
+  static const FusionResult kEmptyResult;
+  const FusionResult& result =
+      run.ok() ? run.value()
+               : (pipeline.has_value() ? pipeline->partial() : kEmptyResult);
+  const PairSpace& pair_space =
+      incremental ? state->pairs() : pipeline->pairs();
 
   if (cancelled) {
-    std::printf("interrupted (%s): %zu of %zu rounds completed (%.1fs); "
-                "match decisions were not reached\n",
-                StatusCodeToString(run.status().code()),
-                result.round_stats.size(), config.rounds,
-                result.total_seconds);
+    if (incremental) {
+      std::printf("interrupted (%s): incremental build cancelled; re-run "
+                  "or resume via the daemon's converge path\n",
+                  StatusCodeToString(run.status().code()));
+    } else {
+      std::printf("interrupted (%s): %zu of %zu rounds completed (%.1fs); "
+                  "match decisions were not reached\n",
+                  StatusCodeToString(run.status().code()),
+                  result.round_stats.size(), config.rounds,
+                  result.total_seconds);
+    }
   } else {
     size_t matched = 0;
     for (bool m : result.matches) matched += m;
     std::printf("resolved %zu records: %zu candidate pairs, %zu matches, "
                 "%zu entities via %s (%.1fs)\n",
-                dataset.size(), pipeline.pairs().size(), matched,
-                result.num_clusters, ClustererKindName(config.clusterer),
+                dataset.size(), pair_space.size(), matched,
+                result.num_clusters,
+                incremental ? "incremental"
+                            : ClustererKindName(config.clusterer),
                 result.total_seconds);
-    Status write = SaveMatches(flags.GetString("matches"), pipeline.pairs(),
+    if (result.budget_exhausted) {
+      std::printf("note: --budget_ms tripped after %zu of %zu pairs; the "
+                  "matches are the highest-benefit prefix\n",
+                  result.pairs_considered, pair_space.size());
+    }
+    Status write = SaveMatches(flags.GetString("matches"), pair_space,
                                result);
     if (!write.ok()) return Fail(write);
     std::printf("matches written to %s\n", flags.GetString("matches").c_str());
@@ -296,10 +361,15 @@ int RunEvalEndgames(int argc, char** argv) {
                   "hierarchical endgame: stop merging below this linkage");
   flags.AddInt("threads", 0, "worker threads (0 = sequential)");
   flags.AddString("out", "", "output JSON path (optional)");
+  flags.AddBool("incremental", false,
+                "train through the ResolverState engine (half the records "
+                "batch-built, the rest streamed one at a time) instead of "
+                "the batch fusion rounds");
   AddLogLevelFlag(&flags);
   Status s = flags.Parse(argc, argv);
   if (s.ok()) s = ApplyLogLevelFlag(flags);
   if (!s.ok()) return Fail(s);
+  const bool incremental = flags.GetBool("incremental");
 
   struct Family {
     BenchmarkKind kind;
@@ -327,16 +397,47 @@ int RunEvalEndgames(int argc, char** argv) {
     FusionConfig config;
     config.rounds = static_cast<size_t>(flags.GetInt("rounds"));
     config.eta = flags.GetDouble("eta");
-    FusionPipeline pipeline(data.dataset, config);
-    Result<FusionResult> run = pipeline.Run(ctx);
-    if (!run.ok()) return Fail(run.status());
-    const FusionResult& result = run.value();
+
+    // Either training arm fills these: the candidate space the endgames
+    // re-cluster and the pairwise probabilities over it.
+    std::optional<FusionPipeline> pipeline;
+    std::optional<FusionResult> result;
+    std::optional<ResolverState> state;
+    Stopwatch train_watch;
+    if (incremental) {
+      // Replay harness: batch-build the first half, stream the rest in one
+      // record at a time — the endgames then see the live incremental
+      // probabilities rather than a frozen fusion run.
+      ResolverStateOptions rs_options;
+      rs_options.eta = config.eta;
+      state.emplace(&data.dataset, rs_options);
+      if (Status built = state->BuildBatch(ctx, data.dataset.size() / 2);
+          !built.ok()) {
+        return Fail(built);
+      }
+      while (state->num_records() < data.dataset.size()) {
+        Result<IngestStats> ingested = state->IngestExisting(ctx);
+        if (!ingested.ok()) return Fail(ingested.status());
+      }
+    } else {
+      pipeline.emplace(data.dataset, config);
+      Result<FusionResult> run = pipeline->Run(ctx);
+      if (!run.ok()) return Fail(run.status());
+      result = std::move(run).value();
+    }
+    const double train_seconds =
+        incremental ? train_watch.ElapsedSeconds() : result->total_seconds;
+    const PairSpace& candidate_pairs =
+        incremental ? state->pairs() : pipeline->pairs();
+    const std::vector<double>& probabilities =
+        incremental ? state->pair_probability() : result->pair_probability;
 
     std::printf("%s: %zu records, %zu sources, %zu candidate pairs "
-                "(fusion %.2fs)\n",
+                "(%s %.2fs)\n",
                 family.name, data.dataset.size(),
                 static_cast<size_t>(data.dataset.num_sources()),
-                pipeline.pairs().size(), result.total_seconds);
+                candidate_pairs.size(),
+                incremental ? "incremental" : "fusion", train_seconds);
     std::printf("  %-22s %9s %9s %9s %9s %9s\n", "clusterer", "prec",
                 "recall", "f1", "clusters", "seconds");
 
@@ -346,15 +447,15 @@ int RunEvalEndgames(int argc, char** argv) {
     dataset_obj.Set("sources",
                     JsonValue::MakeNumber(data.dataset.num_sources()));
     dataset_obj.Set("candidate_pairs",
-                    JsonValue::MakeNumber(pipeline.pairs().size()));
-    dataset_obj.Set("fusion_seconds",
-                    JsonValue::MakeNumber(result.total_seconds));
+                    JsonValue::MakeNumber(candidate_pairs.size()));
+    dataset_obj.Set("fusion_seconds", JsonValue::MakeNumber(train_seconds));
+    dataset_obj.Set("incremental", JsonValue::MakeBool(incremental));
     JsonValue endgames = JsonValue::MakeArray();
 
     ClusterProblem problem;
     problem.num_records = data.dataset.size();
-    problem.pairs = &pipeline.pairs();
-    problem.pair_probability = &result.pair_probability;
+    problem.pairs = &candidate_pairs;
+    problem.pair_probability = &probabilities;
     problem.eta = config.eta;
     std::vector<uint32_t> source_of;
     if (data.dataset.num_sources() > 1) {

@@ -11,7 +11,13 @@
 //         [--max_df_ratio 0.12] [--default_deadline_ms 0]
 //         [--threads 0] [--simd auto] [--metrics_out m.json]
 //         [--metrics_port -1] [--access_log gterd.log]
-//         [--slow_request_ms 0]
+//         [--slow_request_ms 0] [--incremental]
+//
+// --incremental serves from the updatable ResolverState engine
+// (DESIGN.md §4g): startup is a batch build of the same fixed point, and
+// every add_record is a real O(neighborhood) ingest + dirty-region
+// re-ITER — the response reports the cluster the record resolved into,
+// and stats/metrics expose the ingest health counters.
 //
 // Observability (DESIGN.md §4c/§5c): --metrics_port >= 0 serves live
 // Prometheus text on GET /metrics (plus /healthz and /varz);
@@ -67,6 +73,10 @@ int Run(int argc, char** argv) {
   flags.AddInt("slow_request_ms", 0,
                "capture trace spans of requests slower than this into the "
                "debug_slow ring (0 = off)");
+  flags.AddBool("incremental", false,
+                "serve from the incremental ResolverState engine: "
+                "add_record ingests for real (dirty-region re-ITER) "
+                "instead of parking new records as singletons");
   AddCommonStageFlags(&flags);
   Status s = flags.Parse(argc, argv);
   if (s.ok()) s = ApplyCommonStageFlags(flags);
@@ -94,6 +104,9 @@ int Run(int argc, char** argv) {
   service_options.fusion.cliquerank.alpha = flags.GetDouble("alpha");
   service_options.fusion.cliquerank.max_steps =
       static_cast<size_t>(flags.GetInt("steps"));
+  service_options.incremental = flags.GetBool("incremental");
+  // The incremental engine reads its threshold from the resolver options.
+  service_options.resolver.eta = flags.GetDouble("eta");
 
   std::unique_ptr<ThreadPool> pool = MakeThreadPool(flags.GetInt("threads"));
   ExecContext ctx;
